@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks for the hot kernels underneath every
+//! experiment: wire codec, geometry, local index operations, signature
+//! distance, and partition routing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stcam::{PartitionMap, PartitionPolicy};
+use stcam_bench::{square_extent, synthetic_stream};
+use stcam_camnet::Signature;
+use stcam_codec::{decode_from_slice, encode_to_vec};
+use stcam_geo::{zorder, BBox, Duration, Point, Polygon, TimeInterval, Timestamp};
+use stcam_index::{FlatIndex, IndexConfig, StIndex};
+use stcam_net::NodeId;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let obs = synthetic_stream(1, square_extent(1000.0), 60, 1).pop().unwrap();
+    let encoded = encode_to_vec(&obs);
+    group.bench_function("encode_observation", |b| {
+        b.iter(|| encode_to_vec(black_box(&obs)))
+    });
+    group.bench_function("decode_observation", |b| {
+        b.iter(|| decode_from_slice::<stcam_camnet::Observation>(black_box(&encoded)).unwrap())
+    });
+    let batch = synthetic_stream(100, square_extent(1000.0), 60, 2);
+    group.bench_function("encode_batch_100", |b| {
+        b.iter(|| encode_to_vec(black_box(&batch)))
+    });
+    group.finish();
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometry");
+    let sector = Polygon::sector(Point::new(0.0, 0.0), 0.7, 1.0, 150.0, 12);
+    let p = Point::new(80.0, 40.0);
+    group.bench_function("sector_contains", |b| {
+        b.iter(|| black_box(&sector).contains(black_box(p)))
+    });
+    group.bench_function("zorder_encode_decode", |b| {
+        b.iter(|| zorder::decode(zorder::encode(black_box(12345), black_box(67890))))
+    });
+    let bb = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+    group.bench_function("bbox_intersects", |b| {
+        b.iter(|| black_box(&sector).intersects_bbox(black_box(&bb)))
+    });
+    group.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index");
+    let extent = square_extent(4000.0);
+    let stream = synthetic_stream(100_000, extent, 300, 3);
+    let config = IndexConfig::new(extent, 50.0, Duration::from_secs(10));
+
+    group.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            let mut index = StIndex::new(config.clone());
+            for obs in &stream {
+                index.insert(obs.clone());
+            }
+            index.len()
+        })
+    });
+
+    let mut index = StIndex::new(config.clone());
+    index.insert_batch(stream.iter().cloned());
+    let mut flat = FlatIndex::new();
+    flat.extend(stream.iter().cloned());
+    let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(300));
+    let region = BBox::around(Point::new(2000.0, 2000.0), 200.0);
+
+    group.bench_function("range_indexed", |b| {
+        b.iter(|| black_box(&index).range(black_box(region), black_box(window)).len())
+    });
+    group.bench_function("range_flat_scan", |b| {
+        b.iter(|| black_box(&flat).range(black_box(region), black_box(window)).len())
+    });
+    for k in [1usize, 16, 128] {
+        group.bench_with_input(BenchmarkId::new("knn_indexed", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(&index)
+                    .knn(black_box(Point::new(1500.0, 2500.0)), black_box(window), k)
+                    .len()
+            })
+        });
+    }
+    group.bench_function("heatmap_64x64", |b| {
+        let buckets = stcam_geo::GridSpec::covering(extent, 4000.0 / 64.0);
+        b.iter(|| black_box(&index).heatmap(black_box(&buckets), black_box(window)))
+    });
+    group.finish();
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature");
+    let a = Signature::latent_for_entity(1);
+    let b_sig = Signature::latent_for_entity(2);
+    group.bench_function("distance", |b| {
+        b.iter(|| black_box(&a).distance(black_box(&b_sig)))
+    });
+    group.bench_function("latent_derivation", |b| {
+        b.iter(|| Signature::latent_for_entity(black_box(77)))
+    });
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    let extent = square_extent(8000.0);
+    let workers: Vec<NodeId> = (1..=16).map(NodeId).collect();
+    let map = PartitionMap::uniform(extent, 500.0, workers.clone());
+    group.bench_function("owner_of", |b| {
+        b.iter(|| map.owner_of(black_box(Point::new(3120.0, 5470.0))))
+    });
+    group.bench_function("workers_for_region", |b| {
+        let region = BBox::around(Point::new(4000.0, 4000.0), 1500.0);
+        b.iter(|| map.workers_for_region(black_box(region)).len())
+    });
+    let loads: Vec<u64> = (0..map.grid().cell_count()).map(|i| (i % 97) * 13).collect();
+    group.bench_function("build_load_aware_16w", |b| {
+        b.iter(|| {
+            PartitionMap::build(
+                PartitionPolicy::LoadAware,
+                extent,
+                500.0,
+                workers.clone(),
+                Some(black_box(&loads)),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_geometry,
+    bench_index,
+    bench_signature,
+    bench_partition
+);
+criterion_main!(benches);

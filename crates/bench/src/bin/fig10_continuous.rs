@@ -1,0 +1,103 @@
+//! Figure 10 — continuous-query cost vs number of standing queries.
+//!
+//! Registers 10–5 000 geo-fence predicates, streams a fixed workload, and
+//! measures the ingest critical path (per-observation worker busy time)
+//! and notification delivery. Expected shape: per-observation cost grows
+//! linearly with the standing-query count a worker must evaluate — this
+//! is the motivation for decomposing registrations to only the workers
+//! whose shards overlap each predicate, which divides the per-worker
+//! count by the cluster size for local predicates.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin fig10_continuous
+//! ```
+
+use std::time::Duration as StdDuration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stcam::{Cluster, ClusterConfig, Predicate};
+use stcam_bench::{fmt_count, square_extent, synthetic_stream, Table};
+use stcam_geo::{BBox, Point};
+use stcam_net::LinkModel;
+
+const EXTENT_M: f64 = 8_000.0;
+const WORKERS: usize = 8;
+const STREAM_LEN: usize = 50_000;
+const FENCE_RADIUS: f64 = 250.0;
+
+fn main() {
+    let extent = square_extent(EXTENT_M);
+    let stream = synthetic_stream(STREAM_LEN, extent, 600, 41);
+    println!(
+        "Figure 10: continuous-query cost vs standing queries ({} observations, {WORKERS} workers, {:.0} m geo-fences)\n",
+        fmt_count(STREAM_LEN as f64),
+        FENCE_RADIUS
+    );
+    let mut table = Table::new(&[
+        "queries",
+        "ingest busy µs/obs",
+        "notifications",
+        "matches",
+        "queries/worker",
+    ]);
+
+    for count in [0usize, 10, 100, 1_000, 5_000] {
+        let cluster = Cluster::launch(
+            ClusterConfig::new(extent, WORKERS)
+                .with_replication(0)
+                .with_link(LinkModel::lan()),
+        )
+        .expect("launch");
+        let mut rng = StdRng::seed_from_u64(count as u64 + 1);
+        for _ in 0..count {
+            let center = Point::new(
+                rng.gen_range(0.0..EXTENT_M),
+                rng.gen_range(0.0..EXTENT_M),
+            );
+            cluster
+                .register_continuous(Predicate {
+                    region: BBox::around(center, FENCE_RADIUS),
+                    class: None,
+                })
+                .expect("register");
+        }
+        // Per-worker registration count: predicates register only at
+        // workers whose shard overlaps the fence.
+        let per_worker: f64 = {
+            let stats = cluster.stats().expect("stats");
+            stats.workers.iter().map(|(_, s)| s.continuous_queries as f64).sum::<f64>()
+                / stats.workers.len() as f64
+        };
+
+        let busy_before: u64 = cluster
+            .stats()
+            .expect("stats")
+            .workers
+            .iter()
+            .map(|(_, s)| s.busy_micros)
+            .sum();
+        for chunk in stream.chunks(500) {
+            cluster.ingest(chunk.to_vec()).expect("ingest");
+        }
+        cluster.flush().expect("flush");
+        let stats = cluster.stats().expect("stats");
+        let busy_after: u64 = stats.workers.iter().map(|(_, s)| s.busy_micros).sum();
+        let notifications_sent: u64 =
+            stats.workers.iter().map(|(_, s)| s.notifications_sent).sum();
+        let matches: usize = cluster
+            .poll_notifications(StdDuration::from_millis(500))
+            .iter()
+            .map(|n| n.matches.len())
+            .sum();
+        table.row(&[
+            count.to_string(),
+            format!("{:.2}", (busy_after - busy_before) as f64 / STREAM_LEN as f64),
+            notifications_sent.to_string(),
+            fmt_count(matches as f64),
+            format!("{per_worker:.1}"),
+        ]);
+        cluster.shutdown();
+    }
+    table.print();
+}

@@ -1,0 +1,82 @@
+//! Figure 11 — end-to-end scale-up: sustained ingest rate vs camera-network
+//! size.
+//!
+//! The full pipeline (city simulation → detectors → edge ingestors →
+//! cluster) at growing deployment scales, entities proportional to
+//! cameras, cluster size fixed at 8 workers. Metrics: the observation
+//! rate the deployment *generates* and the rate the bottleneck shard can
+//! *sustain* (critical path, as in Figure 4). The deployment saturates
+//! the 8-worker cluster when generated rate crosses sustained rate —
+//! the provisioning rule the framework gives operators.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin fig11_camera_scale
+//! ```
+
+use stcam::{Cluster, ClusterConfig};
+use stcam_bench::{city_stream, fmt_count, square_extent, Table};
+use stcam_net::LinkModel;
+
+const WORKERS: usize = 8;
+const SECONDS: u64 = 20;
+
+fn main() {
+    println!(
+        "Figure 11: deployment scale-up, {WORKERS}-worker cluster, {SECONDS} s of city time per point\n"
+    );
+    let mut table = Table::new(&[
+        "cameras",
+        "entities",
+        "observations",
+        "generated obs/s",
+        "sustained obs/s (crit path)",
+        "headroom",
+    ]);
+
+    for (cameras, entities, extent_m) in [
+        (250usize, 2_500usize, 4_000.0),
+        (500, 5_000, 5_600.0),
+        (1_000, 10_000, 8_000.0),
+        (2_000, 20_000, 11_200.0),
+        (4_000, 40_000, 16_000.0),
+    ] {
+        let stream = city_stream(extent_m, cameras, entities, SECONDS, 61);
+        let n = stream.observations.len();
+        let generated_rate = n as f64 / SECONDS as f64;
+
+        let cluster = Cluster::launch(
+            ClusterConfig::new(square_extent(extent_m), WORKERS)
+                .with_replication(1)
+                .with_link(LinkModel::lan()),
+        )
+        .expect("launch");
+        let ingestor = cluster.create_ingestor();
+        for chunk in stream.observations.chunks(1000) {
+            ingestor.ingest(chunk.to_vec()).expect("ingest");
+        }
+        ingestor.flush().expect("flush");
+        let stats = cluster.stats().expect("stats");
+        assert_eq!(stats.total_primary() as usize, n, "observations lost");
+        let max_busy_s = stats
+            .workers
+            .iter()
+            .map(|(_, s)| s.busy_micros)
+            .max()
+            .unwrap_or(0) as f64
+            / 1e6;
+        let sustained_rate = n as f64 / max_busy_s.max(1e-9);
+        table.row(&[
+            cameras.to_string(),
+            fmt_count(entities as f64),
+            fmt_count(n as f64),
+            fmt_count(generated_rate),
+            fmt_count(sustained_rate),
+            format!("{:.0}x", sustained_rate / generated_rate),
+        ]);
+        cluster.shutdown();
+    }
+    table.print();
+    println!(
+        "\n(headroom = sustained ÷ generated; the cluster saturates where it crosses 1x)"
+    );
+}

@@ -1,0 +1,102 @@
+//! Figure 12 (ablation) — online rebalancing under traffic drift.
+//!
+//! Traffic starts uniform, then a hotspot appears, then it moves across
+//! town. After each epoch the coordinator rebalances by measured load and
+//! migrates the affected shards. Reported: imbalance before/after each
+//! rebalance and the migration bill (cells, observations, bytes). The
+//! ablation point: without rebalancing (the "static" column) imbalance
+//! compounds across epochs; with it, the cluster returns to ≈1.0 for a
+//! bounded, load-proportional migration cost.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin fig12_rebalance
+//! ```
+
+use stcam::{Cluster, ClusterConfig};
+use stcam_bench::{fmt_count, skewed_stream, square_extent, synthetic_stream, Table};
+use stcam_geo::Point;
+use stcam_net::LinkModel;
+
+const EXTENT_M: f64 = 8_000.0;
+const WORKERS: usize = 8;
+const EPOCH_LEN: usize = 100_000;
+
+fn main() {
+    let extent = square_extent(EXTENT_M);
+    println!(
+        "Figure 12 (ablation): online rebalancing under traffic drift ({WORKERS} workers, {} obs/epoch)\n",
+        fmt_count(EPOCH_LEN as f64)
+    );
+    let epochs = [
+        ("uniform", synthetic_stream(EPOCH_LEN, extent, 600, 71)),
+        (
+            "hotspot SW",
+            skewed_stream(EPOCH_LEN, extent, 600, 72, Point::new(1500.0, 1500.0), 400.0, 0.7),
+        ),
+        (
+            "hotspot NE",
+            skewed_stream(EPOCH_LEN, extent, 600, 73, Point::new(6500.0, 6500.0), 400.0, 0.7),
+        ),
+    ];
+
+    // Static cluster (never rebalances) for the ablation column.
+    let static_cluster = Cluster::launch(
+        ClusterConfig::new(extent, WORKERS)
+            .with_replication(0)
+            .with_link(LinkModel::lan()),
+    )
+    .expect("launch");
+    let adaptive = Cluster::launch(
+        ClusterConfig::new(extent, WORKERS)
+            .with_replication(0)
+            .with_macro_cell_size(EXTENT_M / 32.0)
+            .with_link(LinkModel::lan()),
+    )
+    .expect("launch");
+
+    let mut table = Table::new(&[
+        "epoch",
+        "static imbalance",
+        "adaptive before",
+        "adaptive after",
+        "cells moved",
+        "obs moved",
+        "MB moved",
+    ]);
+
+    for (label, stream) in &epochs {
+        for cluster in [&static_cluster, &adaptive] {
+            for chunk in stream.chunks(2000) {
+                cluster.ingest(chunk.to_vec()).expect("ingest");
+            }
+            cluster.flush().expect("flush");
+        }
+        let static_imbalance = static_cluster.stats().expect("stats").imbalance();
+        let traffic_before = adaptive.fabric_stats().total_bytes;
+        let report = adaptive.rebalance().expect("rebalance");
+        let moved_mb =
+            (adaptive.fabric_stats().total_bytes - traffic_before) as f64 / (1024.0 * 1024.0);
+        table.row(&[
+            label.to_string(),
+            format!("{static_imbalance:.2}"),
+            format!("{:.2}", report.imbalance_before),
+            format!("{:.2}", report.imbalance_after),
+            report.cells_moved.to_string(),
+            fmt_count(report.observations_moved as f64),
+            format!("{moved_mb:.1}"),
+        ]);
+    }
+    table.print();
+    // Sanity: nothing lost across three epochs of migration.
+    let window = stcam_geo::TimeInterval::new(
+        stcam_geo::Timestamp::ZERO,
+        stcam_geo::Timestamp::from_secs(10_000),
+    );
+    let held = adaptive.range_query(extent, window).expect("audit").len();
+    println!(
+        "\naudit: adaptive cluster holds {held} of {} ingested observations",
+        3 * EPOCH_LEN
+    );
+    static_cluster.shutdown();
+    adaptive.shutdown();
+}

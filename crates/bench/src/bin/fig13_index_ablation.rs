@@ -1,0 +1,94 @@
+//! Figure 13 (ablation) — local index parameters: spatial cell size ×
+//! temporal slice length.
+//!
+//! The worker index's two knobs trade insert cost against query cost:
+//! finer cells mean more buckets to manage but tighter range scans;
+//! shorter slices mean finer retention/temporal pruning but more slice
+//! structures. This sweep justifies the framework defaults (cell ≈
+//! extent/80, slice 10 s) on the standard archive.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin fig13_index_ablation
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stcam_bench::{square_extent, synthetic_stream, timed, Table};
+use stcam_geo::{BBox, Duration, Point, TimeInterval, Timestamp};
+use stcam_index::{IndexConfig, StIndex};
+
+const EXTENT_M: f64 = 8_000.0;
+const ARCHIVE: usize = 500_000;
+const QUERIES: usize = 200;
+
+fn main() {
+    let extent = square_extent(EXTENT_M);
+    let stream = synthetic_stream(ARCHIVE, extent, 600, 83);
+    println!("Figure 13 (ablation): index cell size × slice length (500k archive)\n");
+    let mut table = Table::new(&[
+        "cell m",
+        "slice s",
+        "insert Mobs/s",
+        "range 500 m ms",
+        "range 30 s window ms",
+        "knn16 ms",
+        "slices",
+    ]);
+
+    for cell_size in [25.0f64, 100.0, 400.0, 1600.0] {
+        for slice_secs in [1u64, 10, 100] {
+            let config = IndexConfig::new(extent, cell_size, Duration::from_secs(slice_secs));
+            let (index, insert_s) = timed(|| {
+                let mut index = StIndex::new(config.clone());
+                index.insert_batch(stream.iter().cloned());
+                index
+            });
+
+            let mut rng = StdRng::seed_from_u64((cell_size as u64) ^ slice_secs);
+            let points: Vec<Point> = (0..QUERIES)
+                .map(|_| Point::new(rng.gen_range(0.0..EXTENT_M), rng.gen_range(0.0..EXTENT_M)))
+                .collect();
+            let full_window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(600));
+
+            let (_, range_s) = timed(|| {
+                let mut total = 0usize;
+                for &p in &points {
+                    total += index.range(BBox::around(p, 250.0), full_window).len();
+                }
+                total
+            });
+            // Temporally selective query: a 30 s window over the full area
+            // exercises slice pruning.
+            let (_, trange_s) = timed(|| {
+                let mut total = 0usize;
+                for (i, &p) in points.iter().enumerate() {
+                    let t0 = (i as u64 * 17) % 570;
+                    let window = TimeInterval::new(
+                        Timestamp::from_secs(t0),
+                        Timestamp::from_secs(t0 + 30),
+                    );
+                    total += index.range_count(BBox::around(p, 1000.0), window);
+                }
+                total
+            });
+            let (_, knn_s) = timed(|| {
+                let mut total = 0usize;
+                for &p in &points {
+                    total += index.knn(p, full_window, 16).len();
+                }
+                total
+            });
+            table.row(&[
+                format!("{cell_size:.0}"),
+                slice_secs.to_string(),
+                format!("{:.2}", ARCHIVE as f64 / insert_s / 1e6),
+                format!("{:.3}", range_s * 1e3 / QUERIES as f64),
+                format!("{:.3}", trange_s * 1e3 / QUERIES as f64),
+                format!("{:.3}", knn_s * 1e3 / QUERIES as f64),
+                index.stats().slices.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!("\n(framework default: cell = extent/80 = 100 m, slice = 10 s)");
+}

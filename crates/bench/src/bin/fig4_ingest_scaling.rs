@@ -1,0 +1,120 @@
+//! Figure 4 — ingest throughput vs worker count, against the centralized
+//! baseline.
+//!
+//! The stream arrives through four parallel edge ingestors (camera
+//! aggregation points holding the partition map), mirroring a real
+//! deployment where the coordinator is not on the ingest path.
+//!
+//! **Metric.** This harness may run on a host with fewer cores than the
+//! modelled cluster has machines, where wall-clock cannot show parallel
+//! speedup. The primary metric is therefore the *critical path*: the
+//! busiest shard's measured busy time, which is what bounds sustained
+//! throughput when every worker is its own machine. Wall-clock time is
+//! reported alongside for transparency.
+//!
+//! Expected shape: the busiest shard's busy time falls roughly linearly
+//! with worker count (shards shrink), so critical-path throughput rises
+//! near-linearly and overtakes the single-node baseline immediately.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin fig4_ingest_scaling
+//! ```
+
+use stcam::{CentralizedStore, Cluster, ClusterConfig};
+use stcam_bench::{fmt_count, square_extent, synthetic_stream, timed, Table};
+use stcam_geo::Duration;
+use stcam_index::IndexConfig;
+use stcam_net::LinkModel;
+
+const STREAM_LEN: usize = 400_000;
+const BATCH: usize = 500;
+const SOURCES: usize = 4;
+const EXTENT_M: f64 = 8_000.0;
+
+fn main() {
+    let extent = square_extent(EXTENT_M);
+    let stream = synthetic_stream(STREAM_LEN, extent, 600, 7);
+    println!(
+        "Figure 4: ingest throughput vs workers ({} observations, {SOURCES} edge sources, batches of {BATCH})\n",
+        fmt_count(STREAM_LEN as f64)
+    );
+    let mut table = Table::new(&[
+        "system",
+        "workers",
+        "wall s",
+        "max-shard busy s",
+        "critical-path obs/s",
+        "scale-up",
+    ]);
+
+    // Centralized baseline: same index, no network, one thread. Its busy
+    // time IS its wall time.
+    let index_config = IndexConfig::new(extent, 100.0, Duration::from_secs(10));
+    let (_, base_busy) = timed(|| {
+        let mut store = CentralizedStore::indexed(index_config.clone());
+        for chunk in stream.chunks(BATCH) {
+            store.ingest(chunk.to_vec());
+        }
+        store
+    });
+    table.row(&[
+        "centralized".into(),
+        "1".into(),
+        format!("{base_busy:.2}"),
+        format!("{base_busy:.2}"),
+        fmt_count(STREAM_LEN as f64 / base_busy),
+        "1.00x".into(),
+    ]);
+
+    // Split the stream across the edge sources once, up front.
+    let shares: Vec<Vec<_>> = (0..SOURCES)
+        .map(|s| stream.iter().skip(s).step_by(SOURCES).cloned().collect())
+        .collect();
+
+    for workers in [1usize, 2, 4, 8, 16] {
+        let cluster = Cluster::launch(
+            ClusterConfig::new(extent, workers)
+                .with_replication(0)
+                .with_link(LinkModel::lan()),
+        )
+        .expect("launch");
+        let ingestors: Vec<_> = (0..SOURCES).map(|_| cluster.create_ingestor()).collect();
+        let (_, wall) = timed(|| {
+            std::thread::scope(|scope| {
+                for (ingestor, share) in ingestors.iter().zip(&shares) {
+                    scope.spawn(move || {
+                        for chunk in share.chunks(BATCH) {
+                            ingestor.ingest(chunk.to_vec()).expect("ingest");
+                        }
+                        ingestor.flush().expect("flush");
+                    });
+                }
+            });
+        });
+        let stats = cluster.stats().expect("stats");
+        assert_eq!(stats.total_primary(), STREAM_LEN as u64, "observations lost");
+        let max_busy = stats
+            .workers
+            .iter()
+            .map(|(_, s)| s.busy_micros)
+            .max()
+            .unwrap_or(0) as f64
+            / 1e6;
+        let critical_rate = STREAM_LEN as f64 / max_busy.max(1e-9);
+        table.row(&[
+            "distributed".into(),
+            workers.to_string(),
+            format!("{wall:.2}"),
+            format!("{max_busy:.2}"),
+            fmt_count(critical_rate),
+            format!("{:.2}x", critical_rate / (STREAM_LEN as f64 / base_busy)),
+        ]);
+        cluster.shutdown();
+    }
+    table.print();
+    println!(
+        "\nnotes: critical path = busiest shard's busy time (the throughput bound when\n\
+         each worker is its own machine); wall-clock on this host is core-limited.\n\
+         replication 0; see tab3_recovery for the replication cost."
+    );
+}

@@ -1,0 +1,128 @@
+//! Figure 5 — range-query latency vs query region size.
+//!
+//! A fixed archive of one million observations; query squares sweep from
+//! 0.01% to 25% of the deployment area. Three systems: the distributed
+//! cluster (8 workers), the centralized grid index, and the centralized
+//! flat scan. Expected shape: flat scan is size-independent (always
+//! ~full-scan cost) and overtakes the index once selectivity is low
+//! enough; the indexed systems grow with hit count; the cluster's
+//! *critical path* (busiest shard's scan time — its latency when each worker
+//! is a machine) wins on large regions through parallel shard scans but
+//! pays a constant scatter/gather overhead on tiny ones. Cluster
+//! wall-clock on a low-core host additionally pays result
+//! serialization.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin fig5_range_latency
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stcam::{CentralizedStore, Cluster, ClusterConfig};
+use stcam_bench::{fmt_count, square_extent, synthetic_stream, LatencyStats, Table};
+use stcam_geo::{BBox, Duration, Point, TimeInterval, Timestamp};
+use stcam_index::IndexConfig;
+use stcam_net::LinkModel;
+
+const ARCHIVE: usize = 1_000_000;
+const EXTENT_M: f64 = 8_000.0;
+const QUERIES_PER_POINT: usize = 60;
+
+fn main() {
+    let extent = square_extent(EXTENT_M);
+    let stream = synthetic_stream(ARCHIVE, extent, 600, 11);
+    println!(
+        "Figure 5: range-query latency vs region size ({} observation archive)\n",
+        fmt_count(ARCHIVE as f64)
+    );
+
+    let cluster = Cluster::launch(
+        ClusterConfig::new(extent, 8)
+            .with_replication(0)
+            .with_link(LinkModel::lan()),
+    )
+    .expect("launch");
+    for chunk in stream.chunks(2000) {
+        cluster.ingest(chunk.to_vec()).expect("ingest");
+    }
+    cluster.flush().expect("flush");
+
+    let mut indexed = CentralizedStore::indexed(IndexConfig::new(
+        extent,
+        100.0,
+        Duration::from_secs(10),
+    ));
+    indexed.ingest(stream.clone());
+    let mut flat = CentralizedStore::flat();
+    flat.ingest(stream);
+
+    let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(600));
+    let mut table = Table::new(&[
+        "area %",
+        "side m",
+        "hits",
+        "cluster wall ms (m/p50/p95)",
+        "cluster crit-path ms",
+        "central-idx ms",
+        "flat-scan ms",
+    ]);
+
+    for area_pct in [0.01, 0.1, 1.0, 5.0, 25.0] {
+        let side = EXTENT_M * (area_pct / 100.0f64).sqrt();
+        let mut rng = StdRng::seed_from_u64(area_pct.to_bits());
+        let regions: Vec<BBox> = (0..QUERIES_PER_POINT)
+            .map(|_| {
+                let x = rng.gen_range(0.0..EXTENT_M - side);
+                let y = rng.gen_range(0.0..EXTENT_M - side);
+                BBox::new(Point::new(x, y), Point::new(x + side, y + side))
+            })
+            .collect();
+
+        let mut hits = 0usize;
+        let mut samples_cluster = Vec::new();
+        let mut samples_indexed = Vec::new();
+        let mut samples_flat = Vec::new();
+        let busy_before: u64 = cluster
+            .stats()
+            .expect("stats")
+            .workers
+            .iter()
+            .map(|(_, s)| s.busy_micros)
+            .max()
+            .unwrap_or(0);
+        for region in &regions {
+            let t0 = std::time::Instant::now();
+            hits += cluster.range_query(*region, window).expect("query").len();
+            samples_cluster.push(t0.elapsed().as_secs_f64());
+
+            let t0 = std::time::Instant::now();
+            let _ = indexed.range_query(*region, window);
+            samples_indexed.push(t0.elapsed().as_secs_f64());
+
+            let t0 = std::time::Instant::now();
+            let _ = flat.range_query(*region, window);
+            samples_flat.push(t0.elapsed().as_secs_f64());
+        }
+        let busy_after: u64 = cluster
+            .stats()
+            .expect("stats")
+            .workers
+            .iter()
+            .map(|(_, s)| s.busy_micros)
+            .max()
+            .unwrap_or(0);
+        let crit_path_ms =
+            (busy_after - busy_before) as f64 / 1e3 / regions.len() as f64;
+        table.row(&[
+            format!("{area_pct}"),
+            format!("{side:.0}"),
+            fmt_count(hits as f64 / regions.len() as f64),
+            LatencyStats::from_samples(&samples_cluster).render_ms(),
+            format!("{crit_path_ms:.2}"),
+            format!("{:.2}", LatencyStats::from_samples(&samples_indexed).mean * 1e3),
+            format!("{:.2}", LatencyStats::from_samples(&samples_flat).mean * 1e3),
+        ]);
+    }
+    table.print();
+    cluster.shutdown();
+}

@@ -1,0 +1,94 @@
+//! Figure 6 — kNN query cost vs k: two-phase pruned search vs naive
+//! broadcast.
+//!
+//! The framework's kNN first asks the owner of the query point's cell,
+//! then bounds phase two by the k-th distance; the baseline broadcasts to
+//! every worker. The hardware-independent win is in *messages and bytes
+//! per query*: pruning contacts a small, k-dependent subset of workers.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin fig6_knn
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stcam::{Cluster, ClusterConfig};
+use stcam_bench::{fmt_count, square_extent, synthetic_stream, LatencyStats, Table};
+use stcam_geo::{Point, TimeInterval, Timestamp};
+use stcam_net::LinkModel;
+
+const ARCHIVE: usize = 1_000_000;
+const EXTENT_M: f64 = 8_000.0;
+const QUERIES_PER_POINT: usize = 60;
+const WORKERS: usize = 16;
+
+fn main() {
+    let extent = square_extent(EXTENT_M);
+    let stream = synthetic_stream(ARCHIVE, extent, 600, 13);
+    println!(
+        "Figure 6: kNN two-phase pruning vs broadcast ({} archive, {WORKERS} workers)\n",
+        fmt_count(ARCHIVE as f64)
+    );
+    let cluster = Cluster::launch(
+        ClusterConfig::new(extent, WORKERS)
+            .with_replication(0)
+            .with_link(LinkModel::lan()),
+    )
+    .expect("launch");
+    for chunk in stream.chunks(2000) {
+        cluster.ingest(chunk.to_vec()).expect("ingest");
+    }
+    cluster.flush().expect("flush");
+
+    let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(600));
+    let mut table = Table::new(&[
+        "k",
+        "pruned ms (m/p50/p95)",
+        "pruned msgs/q",
+        "pruned KB/q",
+        "bcast ms (m/p50/p95)",
+        "bcast msgs/q",
+        "bcast KB/q",
+    ]);
+
+    for k in [1usize, 4, 16, 64, 256] {
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let points: Vec<Point> = (0..QUERIES_PER_POINT)
+            .map(|_| Point::new(rng.gen_range(0.0..EXTENT_M), rng.gen_range(0.0..EXTENT_M)))
+            .collect();
+
+        let before = cluster.fabric_stats();
+        let mut pruned_samples = Vec::new();
+        for &at in &points {
+            let t0 = std::time::Instant::now();
+            let result = cluster.knn_query(at, window, k).expect("knn");
+            pruned_samples.push(t0.elapsed().as_secs_f64());
+            assert_eq!(result.len(), k.min(ARCHIVE));
+        }
+        let mid = cluster.fabric_stats();
+        let mut bcast_samples = Vec::new();
+        for &at in &points {
+            let t0 = std::time::Instant::now();
+            let result = cluster.knn_broadcast(at, window, k).expect("knn");
+            bcast_samples.push(t0.elapsed().as_secs_f64());
+            assert_eq!(result.len(), k.min(ARCHIVE));
+        }
+        let after = cluster.fabric_stats();
+
+        let pruned = mid.since(&before);
+        let bcast = after.since(&mid);
+        let q = points.len() as f64;
+        table.row(&[
+            k.to_string(),
+            LatencyStats::from_samples(&pruned_samples).render_ms(),
+            format!("{:.1}", pruned.total_msgs as f64 / q),
+            format!("{:.1}", pruned.total_bytes as f64 / 1024.0 / q),
+            LatencyStats::from_samples(&bcast_samples).render_ms(),
+            format!("{:.1}", bcast.total_msgs as f64 / q),
+            format!("{:.1}", bcast.total_bytes as f64 / 1024.0 / q),
+        ]);
+    }
+    table.print();
+    println!("\n(both strategies verified to return identical result sets by the test suite)");
+    cluster.shutdown();
+}

@@ -1,0 +1,120 @@
+//! Table 2 — communication cost per operation type.
+//!
+//! Exact wire accounting (every byte crosses the instrumented fabric) for
+//! each operation class, on a fixed 8-worker archive.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin tab2_comm_cost
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stcam::{Cluster, ClusterConfig, Predicate};
+use stcam_bench::{fmt_count, square_extent, synthetic_stream, Table};
+use stcam_geo::{BBox, GridSpec, Point, TimeInterval, Timestamp};
+use stcam_net::{FabricStats, LinkModel};
+
+const EXTENT_M: f64 = 8_000.0;
+const WORKERS: usize = 8;
+const ARCHIVE: usize = 200_000;
+const OPS: usize = 50;
+
+fn main() {
+    let extent = square_extent(EXTENT_M);
+    println!(
+        "Table 2: communication cost per operation ({WORKERS} workers, {} archive, mean of {OPS} ops)\n",
+        fmt_count(ARCHIVE as f64)
+    );
+
+    let run = |replication: usize| -> Vec<(String, f64, f64)> {
+        let cluster = Cluster::launch(
+            ClusterConfig::new(extent, WORKERS)
+                .with_replication(replication)
+                .with_link(LinkModel::lan()),
+        )
+        .expect("launch");
+        let stream = synthetic_stream(ARCHIVE, extent, 600, 47);
+        let mut rows = Vec::new();
+        let mut mark = cluster.fabric_stats();
+        let mut measure = |label: &str, cluster: &Cluster, ops: usize, f: &mut dyn FnMut()| {
+            f();
+            let now = cluster.fabric_stats();
+            let delta: FabricStats = now.since(&mark);
+            mark = now;
+            rows.push((
+                label.to_string(),
+                delta.total_msgs as f64 / ops as f64,
+                delta.total_bytes as f64 / 1024.0 / ops as f64,
+            ));
+        };
+
+        measure("ingest (batch of 500)", &cluster, ARCHIVE / 500, &mut || {
+            for chunk in stream.chunks(500) {
+                cluster.ingest(chunk.to_vec()).expect("ingest");
+            }
+            cluster.flush().expect("flush");
+        });
+
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(600));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut points: Vec<Point> = Vec::new();
+        for _ in 0..OPS {
+            points.push(Point::new(rng.gen_range(0.0..EXTENT_M), rng.gen_range(0.0..EXTENT_M)));
+        }
+        measure("range 500 m", &cluster, OPS, &mut || {
+            for &p in &points {
+                cluster
+                    .range_query(BBox::around(p, 500.0), window)
+                    .expect("range");
+            }
+        });
+        measure("kNN k=16 (pruned)", &cluster, OPS, &mut || {
+            for &p in &points {
+                cluster.knn_query(p, window, 16).expect("knn");
+            }
+        });
+        measure("kNN k=16 (broadcast)", &cluster, OPS, &mut || {
+            for &p in &points {
+                cluster.knn_broadcast(p, window, 16).expect("knn");
+            }
+        });
+        let buckets = GridSpec::covering(extent, EXTENT_M / 64.0);
+        measure("heatmap 64×64 (partial)", &cluster, OPS, &mut || {
+            for _ in 0..OPS {
+                cluster.heatmap(&buckets, window).expect("heatmap");
+            }
+        });
+        measure("heatmap 64×64 (ship-all)", &cluster, OPS, &mut || {
+            for _ in 0..OPS {
+                cluster.heatmap_ship_all(&buckets, window).expect("heatmap");
+            }
+        });
+        measure("register continuous", &cluster, OPS, &mut || {
+            for &p in &points {
+                cluster
+                    .register_continuous(Predicate {
+                        region: BBox::around(p, 250.0),
+                        class: None,
+                    })
+                    .expect("register");
+            }
+        });
+        cluster.shutdown();
+        rows
+    };
+
+    let r0 = run(0);
+    let r2 = run(2);
+    let mut table = Table::new(&["operation", "msgs (r=0)", "KB (r=0)", "msgs (r=2)", "KB (r=2)"]);
+    for (a, b) in r0.iter().zip(&r2) {
+        table.row(&[
+            a.0.clone(),
+            format!("{:.1}", a.1),
+            format!("{:.1}", a.2),
+            format!("{:.1}", b.1),
+            format!("{:.1}", b.2),
+        ]);
+    }
+    table.print();
+    println!("\n(r = replication factor; replication multiplies ingest traffic only)");
+}

@@ -1,0 +1,111 @@
+//! Table 3 — fault tolerance: data loss and recovery time vs replication
+//! factor.
+//!
+//! For each replication factor, stream a workload, kill one worker (and,
+//! in the paired column, two ring-adjacent workers) mid-archive, run
+//! detection + failover, and audit completeness. Expected shape: r = 0
+//! loses the whole dead shard (~1/N of the data); r = 1 survives one
+//! failure losing at most in-flight replication traffic; r = 2 survives
+//! two adjacent failures. Recovery time is dominated by replica-log
+//! promotion, proportional to the dead shard's size.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin tab3_recovery
+//! ```
+
+use stcam::{Cluster, ClusterConfig};
+use stcam_bench::{fmt_count, square_extent, synthetic_stream, timed, Table};
+use stcam_geo::{TimeInterval, Timestamp};
+use stcam_net::{LinkModel, NodeId};
+
+const EXTENT_M: f64 = 8_000.0;
+const WORKERS: usize = 8;
+const STREAM_LEN: usize = 200_000;
+
+fn main() {
+    let extent = square_extent(EXTENT_M);
+    println!(
+        "Table 3: data loss and recovery vs replication factor ({WORKERS} workers, {} observations)\n",
+        fmt_count(STREAM_LEN as f64)
+    );
+    let mut table = Table::new(&[
+        "r",
+        "failures",
+        "survivors hold",
+        "lost",
+        "loss %",
+        "detect+failover s",
+        "ingest overhead",
+    ]);
+
+    // Ingest bytes at r=0 for the overhead column.
+    let base_ingest_bytes = ingest_bytes(extent, 0);
+
+    for replication in [0usize, 1, 2] {
+        for victims in [vec![NodeId(3)], vec![NodeId(3), NodeId(4)]] {
+            let cluster = Cluster::launch(
+                ClusterConfig::new(extent, WORKERS)
+                    .with_replication(replication)
+                    .with_link(LinkModel::lan()),
+            )
+            .expect("launch");
+            let stream = synthetic_stream(STREAM_LEN, extent, 600, 53);
+            for chunk in stream.chunks(1000) {
+                cluster.ingest(chunk.to_vec()).expect("ingest");
+            }
+            cluster.flush().expect("flush");
+
+            for &victim in &victims {
+                cluster.kill_worker(victim);
+            }
+            let (failed, recovery_s) = timed(|| cluster.check_and_recover());
+            assert_eq!(failed.len(), victims.len(), "missed a failure");
+
+            let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(10_000));
+            let held = cluster
+                .range_query(extent.inflated(100.0), window)
+                .expect("audit")
+                .len();
+            let lost = STREAM_LEN.saturating_sub(held);
+            let overhead = if replication == 0 {
+                "1.00x".to_string()
+            } else {
+                format!("{:.2}x", ingest_bytes(extent, replication) / base_ingest_bytes)
+            };
+            table.row(&[
+                replication.to_string(),
+                victims.len().to_string(),
+                fmt_count(held as f64),
+                lost.to_string(),
+                format!("{:.3}%", lost as f64 * 100.0 / STREAM_LEN as f64),
+                format!("{recovery_s:.2}"),
+                overhead,
+            ]);
+            cluster.shutdown();
+        }
+    }
+    table.print();
+    println!(
+        "\n(failures are ring-adjacent — the worst case; replication is asynchronous,\n\
+         so loss under r ≥ failures is bounded by in-flight replica traffic)"
+    );
+}
+
+/// Total fabric bytes to ingest a small reference stream at the given
+/// replication factor.
+fn ingest_bytes(extent: stcam_geo::BBox, replication: usize) -> f64 {
+    let cluster = Cluster::launch(
+        ClusterConfig::new(extent, WORKERS)
+            .with_replication(replication)
+            .with_link(LinkModel::lan()),
+    )
+    .expect("launch");
+    let stream = synthetic_stream(20_000, extent, 600, 59);
+    for chunk in stream.chunks(1000) {
+        cluster.ingest(chunk.to_vec()).expect("ingest");
+    }
+    cluster.flush().expect("flush");
+    let bytes = cluster.fabric_stats().total_bytes as f64;
+    cluster.shutdown();
+    bytes
+}

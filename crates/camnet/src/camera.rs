@@ -1,0 +1,181 @@
+//! Individual cameras.
+
+use std::fmt;
+
+use stcam_geo::{BBox, Point, Polygon};
+
+/// Identifier of a camera in the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CameraId(pub u32);
+
+impl fmt::Display for CameraId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cam{}", self.0)
+    }
+}
+
+/// A fixed camera: mount position, viewing direction, angular field of
+/// view, and usable detection range. Its ground coverage is the circular
+/// sector swept by the view frustum projected onto the ground plane.
+#[derive(Debug, Clone)]
+pub struct Camera {
+    id: CameraId,
+    position: Point,
+    heading: f64,
+    fov: f64,
+    range: f64,
+    coverage: Polygon,
+}
+
+impl Camera {
+    /// Number of rim segments used to approximate the coverage sector.
+    const ARC_SEGMENTS: usize = 12;
+
+    /// Creates a camera.
+    ///
+    /// `heading` is radians counter-clockwise from east; `fov` is the
+    /// angular width in radians.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fov` is not in `(0, 2π)` or `range <= 0` (see
+    /// [`Polygon::sector`]).
+    pub fn new(id: CameraId, position: Point, heading: f64, fov: f64, range: f64) -> Self {
+        let coverage = Polygon::sector(position, heading, fov, range, Self::ARC_SEGMENTS);
+        Camera { id, position, heading, fov, range, coverage }
+    }
+
+    /// This camera's id.
+    pub fn id(&self) -> CameraId {
+        self.id
+    }
+
+    /// Mount position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Viewing direction, radians CCW from east.
+    pub fn heading(&self) -> f64 {
+        self.heading
+    }
+
+    /// Angular field of view, radians.
+    pub fn fov(&self) -> f64 {
+        self.fov
+    }
+
+    /// Maximum detection distance, metres.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// The ground coverage polygon.
+    pub fn coverage(&self) -> &Polygon {
+        &self.coverage
+    }
+
+    /// Bounding box of the coverage region.
+    pub fn coverage_bbox(&self) -> BBox {
+        self.coverage.bbox()
+    }
+
+    /// `true` when `p` is inside this camera's coverage.
+    ///
+    /// Checked analytically (distance + angular offset) rather than via
+    /// the polygon, so it is exact regardless of arc tessellation.
+    pub fn sees(&self, p: Point) -> bool {
+        let to_p = p - self.position;
+        let dist = to_p.norm();
+        if dist > self.range {
+            return false;
+        }
+        if dist < 1e-9 {
+            return true;
+        }
+        let angle = to_p.heading();
+        let mut offset = (angle - self.heading).rem_euclid(std::f64::consts::TAU);
+        if offset > std::f64::consts::PI {
+            offset = std::f64::consts::TAU - offset;
+        }
+        offset <= self.fov / 2.0 + 1e-12
+    }
+
+    /// A representative point well inside the coverage region (one third
+    /// of the range along the heading).
+    pub fn focus_point(&self) -> Point {
+        self.position + Point::from_heading(self.heading) * (self.range / 3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> Camera {
+        // 90° FOV looking east, 100 m range.
+        Camera::new(
+            CameraId(1),
+            Point::new(0.0, 0.0),
+            0.0,
+            std::f64::consts::FRAC_PI_2,
+            100.0,
+        )
+    }
+
+    #[test]
+    fn sees_respects_range_and_angle() {
+        let c = cam();
+        assert!(c.sees(Point::new(50.0, 0.0)));
+        assert!(c.sees(Point::new(50.0, 40.0))); // within 45°
+        assert!(!c.sees(Point::new(50.0, 60.0))); // beyond 45°
+        assert!(!c.sees(Point::new(150.0, 0.0))); // beyond range
+        assert!(!c.sees(Point::new(-10.0, 0.0))); // behind
+        assert!(c.sees(Point::new(0.0, 0.0))); // at the mount
+    }
+
+    #[test]
+    fn sees_handles_wraparound_heading() {
+        // Looking west (π), the angular test must wrap correctly.
+        let c = Camera::new(
+            CameraId(2),
+            Point::new(0.0, 0.0),
+            std::f64::consts::PI,
+            std::f64::consts::FRAC_PI_2,
+            100.0,
+        );
+        assert!(c.sees(Point::new(-50.0, 0.0)));
+        assert!(c.sees(Point::new(-50.0, -40.0)));
+        assert!(!c.sees(Point::new(50.0, 0.0)));
+    }
+
+    #[test]
+    fn coverage_polygon_agrees_with_sees() {
+        let c = cam();
+        // The polygon is an inscribed approximation; points it contains
+        // must always be seen.
+        for i in 0..200 {
+            let x = (i % 20) as f64 * 6.0 - 10.0;
+            let y = (i / 20) as f64 * 10.0 - 50.0;
+            let p = Point::new(x, y);
+            if c.coverage().contains(p) {
+                assert!(c.sees(p), "polygon contains {p} but sees() is false");
+            }
+        }
+    }
+
+    #[test]
+    fn focus_point_is_seen() {
+        let c = cam();
+        assert!(c.sees(c.focus_point()));
+    }
+
+    #[test]
+    fn accessors() {
+        let c = cam();
+        assert_eq!(c.id(), CameraId(1));
+        assert_eq!(c.range(), 100.0);
+        assert!(!c.coverage_bbox().is_empty());
+        assert_eq!(CameraId(3).to_string(), "cam3");
+    }
+}

@@ -1,0 +1,352 @@
+//! The detection simulator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr_normal::sample_gaussian;
+use stcam_geo::Point;
+use stcam_world::World;
+
+use crate::camera::CameraId;
+use crate::network::CameraNetwork;
+use crate::observation::{Observation, ObservationId};
+use crate::signature::{Signature, SIGNATURE_DIM};
+
+/// Parameters of the per-camera detector.
+///
+/// Calibrated to mimic a competent 2013-era pipeline: high but imperfect
+/// recall, metre-scale geo-localisation error, moderate appearance noise,
+/// and a low false-positive rate per camera per frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionModel {
+    /// Probability that an entity inside coverage is detected in a frame.
+    pub detect_probability: f64,
+    /// Standard deviation of geo-localisation error, metres (isotropic).
+    pub position_sigma: f64,
+    /// Standard deviation of per-component signature noise.
+    pub signature_sigma: f32,
+    /// Expected false positives per camera per frame (Bernoulli draw,
+    /// capped at 1 per frame — adequate for the rates evaluated).
+    pub false_positive_rate: f64,
+    /// Probability that a detection's class label is wrong (uniformly
+    /// confused with another class).
+    pub class_error_rate: f64,
+}
+
+impl DetectionModel {
+    /// A perfect detector: every covered entity detected, no noise, no
+    /// false positives. Used by correctness tests.
+    pub fn perfect() -> Self {
+        DetectionModel {
+            detect_probability: 1.0,
+            position_sigma: 0.0,
+            signature_sigma: 0.0,
+            false_positive_rate: 0.0,
+            class_error_rate: 0.0,
+        }
+    }
+
+    /// Replaces the signature noise level (the x-axis of the stitching
+    /// accuracy experiment).
+    pub fn with_signature_sigma(mut self, sigma: f32) -> Self {
+        self.signature_sigma = sigma;
+        self
+    }
+
+    /// Replaces the detection probability.
+    pub fn with_detect_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.detect_probability = p;
+        self
+    }
+}
+
+impl Default for DetectionModel {
+    fn default() -> Self {
+        DetectionModel {
+            detect_probability: 0.92,
+            position_sigma: 1.5,
+            signature_sigma: 0.08,
+            false_positive_rate: 0.02,
+            class_error_rate: 0.03,
+        }
+    }
+}
+
+/// Drives all cameras against the world state, producing one frame of
+/// observations per [`observe`](SensorSim::observe) call.
+#[derive(Debug)]
+pub struct SensorSim {
+    network: CameraNetwork,
+    model: DetectionModel,
+    rng: StdRng,
+    next_seq: Vec<u64>,
+}
+
+impl SensorSim {
+    /// Creates a simulator over `network` with detector `model`, seeded
+    /// deterministically by `seed`.
+    pub fn new(network: CameraNetwork, model: DetectionModel, seed: u64) -> Self {
+        let next_seq = vec![0u64; network.len()];
+        SensorSim {
+            network,
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            next_seq,
+        }
+    }
+
+    /// The camera network being simulated.
+    pub fn network(&self) -> &CameraNetwork {
+        &self.network
+    }
+
+    /// The detection model in effect.
+    pub fn model(&self) -> DetectionModel {
+        self.model
+    }
+
+    /// Produces the observations of one frame taken at `world.now()`.
+    ///
+    /// Every entity inside a camera's coverage yields an observation with
+    /// probability `detect_probability`; an entity covered by several
+    /// cameras can be observed by each of them independently (exactly as
+    /// in a real deployment — deduplication is the framework's job).
+    pub fn observe(&mut self, world: &World) -> Vec<Observation> {
+        let now = world.now();
+        let mut out = Vec::new();
+        // Spatially pre-bucket entities against camera coverage bboxes via
+        // the network's coverage grid to avoid the full cameras × entities
+        // product.
+        for entity in world.entities() {
+            let candidates = self.network.coverage_candidates(entity.position).to_vec();
+            for cam_idx in candidates {
+                let camera = self.network.camera_by_index(cam_idx);
+                if !camera.sees(entity.position) {
+                    continue;
+                }
+                let cam_id = camera.id();
+                if !self.rng.gen_bool(self.model.detect_probability) {
+                    continue;
+                }
+                let noisy_pos = Point::new(
+                    entity.position.x + sample_gaussian(&mut self.rng) * self.model.position_sigma,
+                    entity.position.y + sample_gaussian(&mut self.rng) * self.model.position_sigma,
+                );
+                let mut noise = [0f32; SIGNATURE_DIM];
+                if self.model.signature_sigma > 0.0 {
+                    for n in &mut noise {
+                        *n = sample_gaussian(&mut self.rng) as f32 * self.model.signature_sigma;
+                    }
+                }
+                let class = if self.model.class_error_rate > 0.0
+                    && self.rng.gen_bool(self.model.class_error_rate)
+                {
+                    let wrong = (entity.class.as_u8() + self.rng.gen_range(1..4)) % 4;
+                    stcam_world::EntityClass::from_u8(wrong).expect("class in range")
+                } else {
+                    entity.class
+                };
+                out.push(Observation {
+                    id: self.next_id(cam_idx),
+                    camera: cam_id,
+                    time: now,
+                    position: noisy_pos,
+                    class,
+                    signature: Signature::latent_for_entity(entity.id.0).perturbed(&noise),
+                    truth: Some(entity.id),
+                });
+            }
+        }
+        // False positives: uniform position inside coverage, random
+        // signature.
+        if self.model.false_positive_rate > 0.0 {
+            for cam_idx in 0..self.network.len() {
+                if !self.rng.gen_bool(self.model.false_positive_rate.min(1.0)) {
+                    continue;
+                }
+                let camera = self.network.camera_by_index(cam_idx);
+                // Rejection-sample a point inside the sector.
+                let bb = camera.coverage_bbox();
+                let pos = loop {
+                    let p = Point::new(
+                        self.rng.gen_range(bb.min.x..=bb.max.x),
+                        self.rng.gen_range(bb.min.y..=bb.max.y),
+                    );
+                    if camera.sees(p) {
+                        break p;
+                    }
+                };
+                let cam_id = camera.id();
+                let fake_latent = self.rng.gen::<u64>() | (1 << 63);
+                out.push(Observation {
+                    id: self.next_id(cam_idx),
+                    camera: cam_id,
+                    time: now,
+                    position: pos,
+                    class: stcam_world::EntityClass::from_u8(self.rng.gen_range(0..4))
+                        .expect("class in range"),
+                    signature: Signature::latent_for_entity(fake_latent),
+                    truth: None,
+                });
+            }
+        }
+        out
+    }
+
+    fn next_id(&mut self, cam_idx: usize) -> ObservationId {
+        let cam_id = self.network.camera_by_index(cam_idx).id();
+        let seq = self.next_seq[cam_idx];
+        self.next_seq[cam_idx] += 1;
+        ObservationId::compose(cam_id, seq)
+    }
+
+    /// Identifier of the camera by dense index (mostly for tests).
+    pub fn camera_id(&self, idx: usize) -> CameraId {
+        self.network.camera_by_index(idx).id()
+    }
+}
+
+/// Minimal Gaussian sampling (Box–Muller) so the crate does not need the
+/// `rand_distr` dependency.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One standard normal draw.
+    pub fn sample_gaussian<R: Rng>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_world::{World, WorldConfig};
+
+    fn setup(model: DetectionModel) -> (World, SensorSim) {
+        let world = World::new(WorldConfig::small_town().with_seed(5));
+        let network = CameraNetwork::deploy_on_roads(world.roads(), 30, 42);
+        (world, SensorSim::new(network, model, 11))
+    }
+
+    #[test]
+    fn perfect_detector_sees_every_covered_entity() {
+        let (world, mut sim) = setup(DetectionModel::perfect());
+        let frame = sim.observe(&world);
+        // Count expected detections directly.
+        let mut expected = 0;
+        for e in world.entities() {
+            for cam in sim.network().cameras() {
+                if cam.sees(e.position) {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(frame.len(), expected);
+        assert!(frame.iter().all(|o| o.truth.is_some()));
+        // Positions exact under zero noise.
+        for obs in &frame {
+            let entity_pos = world
+                .entities()
+                .find(|e| Some(e.id) == obs.truth)
+                .unwrap()
+                .position;
+            assert_eq!(obs.position, entity_pos);
+        }
+    }
+
+    #[test]
+    fn lossy_detector_misses_some() {
+        let (world, mut sim) = setup(DetectionModel::perfect().with_detect_probability(0.5));
+        let (world2, mut sim_perfect) = setup(DetectionModel::perfect());
+        let lossy = sim.observe(&world).len();
+        let full = sim_perfect.observe(&world2).len();
+        assert!(lossy < full, "lossy {lossy} vs full {full}");
+        assert!(lossy > 0);
+    }
+
+    #[test]
+    fn localisation_noise_displaces_positions() {
+        let mut model = DetectionModel::perfect();
+        model.position_sigma = 5.0;
+        let (world, mut sim) = setup(model);
+        let frame = sim.observe(&world);
+        let displaced = frame
+            .iter()
+            .filter(|o| {
+                let true_pos = world
+                    .entities()
+                    .find(|e| Some(e.id) == o.truth)
+                    .unwrap()
+                    .position;
+                o.position.distance(true_pos) > 0.01
+            })
+            .count();
+        assert!(displaced as f64 > frame.len() as f64 * 0.9);
+    }
+
+    #[test]
+    fn false_positives_have_no_truth_and_land_in_coverage() {
+        let mut model = DetectionModel::perfect();
+        model.false_positive_rate = 1.0; // one per camera per frame
+        let (world, mut sim) = setup(model);
+        let frame = sim.observe(&world);
+        let fps: Vec<_> = frame.iter().filter(|o| o.is_false_positive()).collect();
+        assert_eq!(fps.len(), sim.network().len());
+        for fp in fps {
+            let cam = sim
+                .network()
+                .cameras()
+                .find(|c| c.id() == fp.camera)
+                .unwrap();
+            assert!(cam.sees(fp.position));
+        }
+    }
+
+    #[test]
+    fn observation_ids_unique_across_frames() {
+        let (mut world, mut sim) = setup(DetectionModel::default());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5 {
+            for obs in sim.observe(&world) {
+                assert!(seen.insert(obs.id), "duplicate id {}", obs.id);
+            }
+            world.step(stcam_geo::Duration::from_millis(500));
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = || {
+            let (world, mut sim) = setup(DetectionModel::default());
+            sim.observe(&world)
+                .iter()
+                .map(|o| (o.id, o.position.x))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn signature_noise_scales_with_sigma() {
+        let avg_self_distance = |sigma: f32| {
+            let mut model = DetectionModel::perfect();
+            model.signature_sigma = sigma;
+            let (world, mut sim) = setup(model);
+            let frame = sim.observe(&world);
+            let mut total = 0f32;
+            let mut n = 0;
+            for o in &frame {
+                let latent = Signature::latent_for_entity(o.truth.unwrap().0);
+                total += o.signature.distance(&latent);
+                n += 1;
+            }
+            total / n as f32
+        };
+        let low = avg_self_distance(0.02);
+        let high = avg_self_distance(0.3);
+        assert!(high > low * 5.0, "low {low}, high {high}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Camera-network model for the `stcam` framework.
+//!
+//! The real system ingests detections produced by video analytics running
+//! at each camera. This crate substitutes a calibrated **detection
+//! simulator** operating on the synthetic ground truth of `stcam-world`:
+//!
+//! * [`Camera`] — mount position, heading, field-of-view sector, range.
+//! * [`CameraNetwork`] — a deployment of cameras over a road network,
+//!   with coverage lookup and the camera **adjacency graph** used for
+//!   cross-camera hand-off.
+//! * [`DetectionModel`] / [`SensorSim`] — per-frame detection with miss
+//!   probability, localisation noise, signature noise, and false
+//!   positives.
+//! * [`Signature`] — a compact appearance feature vector; real systems
+//!   extract these with re-identification networks, here each entity has
+//!   a stable latent signature observed through Gaussian noise.
+//! * [`Observation`] — the tuple every downstream component consumes:
+//!   *(camera, time, geo-located position, class, signature)*.
+//! * [`TransitionModel`] — expected travel-time windows between adjacent
+//!   cameras, the temporal gate for hand-off association.
+//!
+//! The simulator exercises exactly the code paths a live deployment
+//! would: the framework only ever sees [`Observation`] values.
+//!
+//! # Example
+//!
+//! ```
+//! use stcam_camnet::{CameraNetwork, DetectionModel, SensorSim};
+//! use stcam_world::{World, WorldConfig};
+//! use stcam_geo::Duration;
+//!
+//! let world = World::new(WorldConfig::small_town().with_seed(3));
+//! let cams = CameraNetwork::deploy_on_roads(world.roads(), 40, 99);
+//! let mut sim = SensorSim::new(cams, DetectionModel::default(), 7);
+//! let frame = sim.observe(&world);
+//! // Some entities are visible to some cameras.
+//! assert!(frame.len() < 400);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod camera;
+mod detection;
+mod network;
+mod observation;
+mod signature;
+mod wire_impls;
+
+pub use camera::{Camera, CameraId};
+pub use detection::{DetectionModel, SensorSim};
+pub use network::{CameraNetwork, TransitionModel};
+pub use observation::{Observation, ObservationId};
+pub use signature::{Signature, SIGNATURE_DIM};

@@ -1,0 +1,438 @@
+//! Camera deployments, coverage lookup, adjacency, transition times.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stcam_geo::{BBox, Duration, GridSpec, Point};
+use stcam_world::{EntityClass, RoadNetwork};
+
+use crate::camera::{Camera, CameraId};
+
+/// A deployment of cameras over a region, with fast point-to-camera
+/// coverage lookup and the adjacency graph used by cross-camera hand-off.
+#[derive(Debug)]
+pub struct CameraNetwork {
+    cameras: Vec<Camera>,
+    by_id: HashMap<CameraId, usize>,
+    grid: GridSpec,
+    buckets: Vec<Vec<usize>>,
+    adjacency: HashMap<CameraId, Vec<CameraId>>,
+}
+
+impl CameraNetwork {
+    /// Default field of view (60°).
+    pub const DEFAULT_FOV: f64 = std::f64::consts::FRAC_PI_3;
+
+    /// Builds a network from explicit cameras.
+    ///
+    /// Adjacency links any two cameras whose mounts are within
+    /// `adjacency_radius` metres; pass the road spacing × ~2.5 for
+    /// intersection-mounted deployments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cameras` is empty or contains duplicate ids.
+    pub fn new(cameras: Vec<Camera>, adjacency_radius: f64) -> Self {
+        assert!(!cameras.is_empty(), "a camera network needs at least one camera");
+        let mut by_id = HashMap::with_capacity(cameras.len());
+        for (idx, cam) in cameras.iter().enumerate() {
+            assert!(
+                by_id.insert(cam.id(), idx).is_none(),
+                "duplicate camera id {}",
+                cam.id()
+            );
+        }
+        // Coverage lookup grid: cell size on the order of a coverage
+        // radius keeps candidate lists short.
+        let extent = cameras
+            .iter()
+            .fold(BBox::EMPTY, |b, c| b.union(&c.coverage_bbox()));
+        let mean_range =
+            cameras.iter().map(Camera::range).sum::<f64>() / cameras.len() as f64;
+        let grid = GridSpec::covering(extent.inflated(1.0), mean_range.max(1.0));
+        let mut buckets = vec![Vec::new(); grid.cell_count() as usize];
+        for (idx, cam) in cameras.iter().enumerate() {
+            for cell in grid.cells_overlapping(cam.coverage_bbox()) {
+                let slot = (cell.row as usize) * grid.cols() as usize + cell.col as usize;
+                buckets[slot].push(idx);
+            }
+        }
+        // Adjacency by mount distance.
+        let mut adjacency: HashMap<CameraId, Vec<CameraId>> =
+            cameras.iter().map(|c| (c.id(), Vec::new())).collect();
+        for i in 0..cameras.len() {
+            for j in (i + 1)..cameras.len() {
+                let d = cameras[i].position().distance(cameras[j].position());
+                if d <= adjacency_radius {
+                    adjacency
+                        .get_mut(&cameras[i].id())
+                        .expect("present")
+                        .push(cameras[j].id());
+                    adjacency
+                        .get_mut(&cameras[j].id())
+                        .expect("present")
+                        .push(cameras[i].id());
+                }
+            }
+        }
+        CameraNetwork { cameras, by_id, grid, buckets, adjacency }
+    }
+
+    /// Deploys `n` cameras at distinct random intersections of `roads`,
+    /// each looking down one of the four road directions with the default
+    /// FOV and a range of 80% of the road spacing. Adjacency radius is
+    /// 2.5 × spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the number of intersections.
+    pub fn deploy_on_roads(roads: &RoadNetwork, n: usize, seed: u64) -> Self {
+        Self::deploy_weighted(roads, n, seed, |_rng, _roads| 1.0)
+    }
+
+    /// Like [`deploy_on_roads`](Self::deploy_on_roads) but intersections
+    /// near any of `centers` (within `3 * sigma`) are `boost`× more likely
+    /// to receive a camera — modelling the denser downtown coverage of
+    /// real deployments.
+    pub fn deploy_clustered(
+        roads: &RoadNetwork,
+        n: usize,
+        seed: u64,
+        centers: &[Point],
+        sigma: f64,
+        boost: f64,
+    ) -> Self {
+        Self::deploy_weighted_at(roads, n, seed, |p| {
+            if centers.iter().any(|c| c.distance(p) <= 3.0 * sigma) {
+                boost
+            } else {
+                1.0
+            }
+        })
+    }
+
+    fn deploy_weighted<F>(roads: &RoadNetwork, n: usize, seed: u64, _weight: F) -> Self
+    where
+        F: Fn(&mut StdRng, &RoadNetwork) -> f64,
+    {
+        Self::deploy_weighted_at(roads, n, seed, |_| 1.0)
+    }
+
+    fn deploy_weighted_at<F>(roads: &RoadNetwork, n: usize, seed: u64, weight_at: F) -> Self
+    where
+        F: Fn(Point) -> f64,
+    {
+        assert!(n > 0, "need at least one camera");
+        let total = roads.intersection_count() as usize;
+        assert!(n <= total, "more cameras ({n}) than intersections ({total})");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Weighted sampling without replacement over intersections.
+        let mut candidates: Vec<(u32, u32, f64)> = (0..roads.cols())
+            .flat_map(|c| (0..roads.rows()).map(move |r| (c, r)))
+            .map(|(c, r)| {
+                let p = roads.intersection(c, r);
+                (c, r, weight_at(p).max(1e-9))
+            })
+            .collect();
+        let mut chosen = Vec::with_capacity(n);
+        for _ in 0..n {
+            let total_w: f64 = candidates.iter().map(|c| c.2).sum();
+            let mut draw = rng.gen_range(0.0..total_w);
+            let mut pick = candidates.len() - 1;
+            for (i, c) in candidates.iter().enumerate() {
+                if draw < c.2 {
+                    pick = i;
+                    break;
+                }
+                draw -= c.2;
+            }
+            chosen.push(candidates.swap_remove(pick));
+        }
+        let range = roads.spacing() * 0.8;
+        let cameras: Vec<Camera> = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, r, _))| {
+                let heading = std::f64::consts::FRAC_PI_2 * rng.gen_range(0..4) as f64;
+                Camera::new(
+                    CameraId(i as u32),
+                    roads.intersection(c, r),
+                    heading,
+                    Self::DEFAULT_FOV,
+                    range,
+                )
+            })
+            .collect();
+        CameraNetwork::new(cameras, roads.spacing() * 2.5)
+    }
+
+    /// Number of cameras.
+    pub fn len(&self) -> usize {
+        self.cameras.len()
+    }
+
+    /// `false` always — construction rejects empty networks — provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.cameras.is_empty()
+    }
+
+    /// Iterates over all cameras.
+    pub fn cameras(&self) -> impl Iterator<Item = &Camera> {
+        self.cameras.iter()
+    }
+
+    /// The camera at dense index `idx` (stable for the network's life).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn camera_by_index(&self, idx: usize) -> &Camera {
+        &self.cameras[idx]
+    }
+
+    /// Looks up a camera by id.
+    pub fn get(&self, id: CameraId) -> Option<&Camera> {
+        self.by_id.get(&id).map(|&i| &self.cameras[i])
+    }
+
+    /// Indices of cameras whose coverage *might* contain `p` (superset,
+    /// by bounding box); confirm with [`Camera::sees`].
+    pub fn coverage_candidates(&self, p: Point) -> &[usize] {
+        match self.grid.cell_of(p) {
+            Some(cell) => {
+                let slot = (cell.row as usize) * self.grid.cols() as usize + cell.col as usize;
+                &self.buckets[slot]
+            }
+            None => &[],
+        }
+    }
+
+    /// The cameras that actually see `p`.
+    pub fn cameras_covering(&self, p: Point) -> Vec<CameraId> {
+        self.coverage_candidates(p)
+            .iter()
+            .map(|&i| &self.cameras[i])
+            .filter(|c| c.sees(p))
+            .map(Camera::id)
+            .collect()
+    }
+
+    /// The cameras adjacent to `id` in the hand-off graph.
+    pub fn adjacent(&self, id: CameraId) -> &[CameraId] {
+        self.adjacency
+            .get(&id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Fraction of probe points (on a uniform grid over the extent)
+    /// covered by at least one camera. A deployment-quality diagnostic
+    /// reported in the workload table.
+    pub fn coverage_fraction(&self, probes_per_axis: usize) -> f64 {
+        let ext = self.grid.extent();
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for i in 0..probes_per_axis {
+            for j in 0..probes_per_axis {
+                let p = Point::new(
+                    ext.min.x + ext.width() * (i as f64 + 0.5) / probes_per_axis as f64,
+                    ext.min.y + ext.height() * (j as f64 + 0.5) / probes_per_axis as f64,
+                );
+                total += 1;
+                if !self.cameras_covering(p).is_empty() {
+                    covered += 1;
+                }
+            }
+        }
+        covered as f64 / total as f64
+    }
+}
+
+/// Expected travel-time windows between adjacent cameras: the temporal
+/// gate of cross-camera hand-off association.
+///
+/// For each adjacency pair the model stores the road distance between the
+/// cameras' focus points; the plausible window for a class is
+/// `[0, 2 × d / v_lo + 5 s]`, where `v_lo` is the class's minimum speed.
+/// The lower bound is zero because adjacent coverage regions overlap or
+/// nearly touch — an entity can leave one camera and appear in the next
+/// immediately; the discriminative power of the gate is its upper bound
+/// (slow classes cannot teleport between distant cameras) combined with
+/// the adjacency requirement itself.
+#[derive(Debug)]
+pub struct TransitionModel {
+    distances: HashMap<(CameraId, CameraId), f64>,
+}
+
+impl TransitionModel {
+    /// Builds the model for every adjacent camera pair of `network`,
+    /// measuring distance along `roads`.
+    pub fn from_network(network: &CameraNetwork, roads: &RoadNetwork) -> Self {
+        let mut distances = HashMap::new();
+        for cam in network.cameras() {
+            for &other in network.adjacent(cam.id()) {
+                let key = Self::key(cam.id(), other);
+                if distances.contains_key(&key) {
+                    continue;
+                }
+                let other_cam = network.get(other).expect("adjacent camera exists");
+                let route = roads.route(cam.focus_point(), other_cam.focus_point());
+                let d = RoadNetwork::route_length(&route)
+                    .max(cam.focus_point().distance(other_cam.focus_point()));
+                distances.insert(key, d);
+            }
+        }
+        TransitionModel { distances }
+    }
+
+    fn key(a: CameraId, b: CameraId) -> (CameraId, CameraId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Number of modelled pairs.
+    pub fn pair_count(&self) -> usize {
+        self.distances.len()
+    }
+
+    /// Road distance between the pair, if adjacent.
+    pub fn distance(&self, a: CameraId, b: CameraId) -> Option<f64> {
+        self.distances.get(&Self::key(a, b)).copied()
+    }
+
+    /// The plausible transit window `(min, max)` for `class` between the
+    /// pair, or `None` when the cameras are not adjacent.
+    pub fn window(&self, a: CameraId, b: CameraId, class: EntityClass) -> Option<(Duration, Duration)> {
+        let d = self.distance(a, b)?;
+        let (v_lo, _v_hi) = class.speed_range();
+        let max = Duration::from_millis((d / v_lo * 2.0 * 1000.0) as u64) + Duration::from_secs(5);
+        Some((Duration::ZERO, max))
+    }
+
+    /// `true` when a gap of `dt` between sightings at `a` then `b` is
+    /// consistent with `class` travelling between them.
+    pub fn plausible(&self, a: CameraId, b: CameraId, class: EntityClass, dt: Duration) -> bool {
+        match self.window(a, b, class) {
+            Some((min, max)) => dt >= min && dt <= max,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_geo::BBox;
+
+    fn roads() -> RoadNetwork {
+        RoadNetwork::grid(BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)), 200.0)
+    }
+
+    #[test]
+    fn deployment_places_distinct_cameras_on_intersections() {
+        let r = roads();
+        let net = CameraNetwork::deploy_on_roads(&r, 50, 1);
+        assert_eq!(net.len(), 50);
+        let mut positions = std::collections::HashSet::new();
+        for cam in net.cameras() {
+            let p = cam.position();
+            assert!(r.on_road(p, 1e-6), "camera off-road at {p}");
+            assert!(
+                positions.insert((p.x as i64, p.y as i64)),
+                "two cameras at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_lookup_matches_exhaustive_scan() {
+        let r = roads();
+        let net = CameraNetwork::deploy_on_roads(&r, 40, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let p = Point::new(rng.gen_range(0.0..2000.0), rng.gen_range(0.0..2000.0));
+            let mut expected: Vec<CameraId> = net
+                .cameras()
+                .filter(|c| c.sees(p))
+                .map(Camera::id)
+                .collect();
+            expected.sort();
+            let mut got = net.cameras_covering(p);
+            got.sort();
+            assert_eq!(got, expected, "at {p}");
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_bounded_by_radius() {
+        let r = roads();
+        let net = CameraNetwork::deploy_on_roads(&r, 60, 4);
+        for cam in net.cameras() {
+            for &other in net.adjacent(cam.id()) {
+                assert!(net.adjacent(other).contains(&cam.id()), "asymmetric edge");
+                let d = cam
+                    .position()
+                    .distance(net.get(other).unwrap().position());
+                assert!(d <= 500.0 + 1e-9, "edge of length {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_deployment_is_denser_at_centers() {
+        let r = roads();
+        let center = Point::new(1000.0, 1000.0);
+        let net = CameraNetwork::deploy_clustered(&r, 60, 5, &[center], 150.0, 50.0);
+        let near = net
+            .cameras()
+            .filter(|c| c.position().distance(center) <= 450.0)
+            .count();
+        // The boosted disc holds far more than its area share (~15%).
+        assert!(near >= 15, "only {near}/60 cameras near the hotspot");
+    }
+
+    #[test]
+    fn duplicate_ids_panic() {
+        let cams = vec![
+            Camera::new(CameraId(0), Point::new(0.0, 0.0), 0.0, 1.0, 10.0),
+            Camera::new(CameraId(0), Point::new(50.0, 0.0), 0.0, 1.0, 10.0),
+        ];
+        assert!(std::panic::catch_unwind(|| CameraNetwork::new(cams, 100.0)).is_err());
+    }
+
+    #[test]
+    fn coverage_fraction_sane() {
+        let r = roads();
+        let sparse = CameraNetwork::deploy_on_roads(&r, 5, 6).coverage_fraction(40);
+        let dense = CameraNetwork::deploy_on_roads(&r, 100, 6).coverage_fraction(40);
+        assert!(dense > sparse);
+        assert!((0.0..=1.0).contains(&sparse));
+    }
+
+    #[test]
+    fn transition_windows_scale_with_distance_and_class() {
+        let r = roads();
+        let net = CameraNetwork::deploy_on_roads(&r, 80, 7);
+        let model = TransitionModel::from_network(&net, &r);
+        assert!(model.pair_count() > 0, "no adjacent pairs in a dense deployment");
+        let (&(a, b), &d) = model.distances.iter().next().unwrap();
+        assert!(d > 0.0);
+        let (car_min, car_max) = model.window(a, b, EntityClass::Car).unwrap();
+        let (ped_min, ped_max) = model.window(a, b, EntityClass::Pedestrian).unwrap();
+        assert!(car_min < car_max);
+        // Pedestrians are slower: their window is later/longer.
+        assert!(ped_min >= car_min);
+        assert!(ped_max >= car_max);
+        // Plausibility gate.
+        assert!(model.plausible(a, b, EntityClass::Car, car_min));
+        assert!(!model.plausible(a, b, EntityClass::Car, car_max + Duration::from_secs(1000)));
+        // Non-adjacent pair rejected.
+        let far = CameraId(9999);
+        assert_eq!(model.window(a, far, EntityClass::Car), None);
+    }
+}

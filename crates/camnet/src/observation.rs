@@ -1,0 +1,107 @@
+//! Observations: the tuples the framework ingests.
+
+use std::fmt;
+
+use stcam_geo::{Point, Timestamp};
+use stcam_world::{EntityClass, EntityId};
+
+use crate::camera::CameraId;
+use crate::signature::Signature;
+
+/// Globally unique identifier of an observation, assigned at detection
+/// time (camera id in the high bits, per-camera sequence in the low bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObservationId(pub u64);
+
+impl ObservationId {
+    /// Composes an id from a camera and its local sequence number.
+    pub fn compose(camera: CameraId, seq: u64) -> Self {
+        debug_assert!(seq < (1 << 40), "per-camera sequence overflow");
+        ObservationId(((camera.0 as u64) << 40) | seq)
+    }
+
+    /// The camera that produced this observation.
+    pub fn camera(self) -> CameraId {
+        CameraId((self.0 >> 40) as u32)
+    }
+
+    /// The per-camera sequence number.
+    pub fn seq(self) -> u64 {
+        self.0 & ((1 << 40) - 1)
+    }
+}
+
+impl fmt::Display for ObservationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obs{}:{}", self.camera().0, self.seq())
+    }
+}
+
+/// One geo-located detection reported by a camera.
+///
+/// This is the unit of ingestion for the whole framework: cameras stream
+/// observations, workers index them, and every query operates over them.
+/// `truth` carries the ground-truth entity id (or `None` for a false
+/// positive) **for evaluation only** — the framework never reads it; the
+/// stitching layer must recover identity from position, time and
+/// signature alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Unique id.
+    pub id: ObservationId,
+    /// Producing camera.
+    pub camera: CameraId,
+    /// Detection time.
+    pub time: Timestamp,
+    /// Geo-located position (true position + localisation noise).
+    pub position: Point,
+    /// Classified entity class.
+    pub class: EntityClass,
+    /// Observed appearance signature.
+    pub signature: Signature,
+    /// Ground truth for scoring; `None` for false positives.
+    pub truth: Option<EntityId>,
+}
+
+impl Observation {
+    /// `true` when this observation is a detector false positive.
+    pub fn is_false_positive(&self) -> bool {
+        self.truth.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_composition_round_trips() {
+        let id = ObservationId::compose(CameraId(123), 456_789);
+        assert_eq!(id.camera(), CameraId(123));
+        assert_eq!(id.seq(), 456_789);
+        assert_eq!(id.to_string(), "obs123:456789");
+    }
+
+    #[test]
+    fn ids_are_unique_across_cameras_and_sequences() {
+        let a = ObservationId::compose(CameraId(1), 5);
+        let b = ObservationId::compose(CameraId(2), 5);
+        let c = ObservationId::compose(CameraId(1), 6);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn false_positive_flag() {
+        let obs = Observation {
+            id: ObservationId::compose(CameraId(0), 0),
+            camera: CameraId(0),
+            time: Timestamp::ZERO,
+            position: Point::new(0.0, 0.0),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(0),
+            truth: None,
+        };
+        assert!(obs.is_false_positive());
+    }
+}

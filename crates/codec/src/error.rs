@@ -1,0 +1,100 @@
+//! Decoding errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error encountered while decoding wire data.
+///
+/// Encoding is infallible by construction (every in-memory value has a wire
+/// form); decoding validates its input and reports the first violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEnd {
+        /// What was being decoded when input ran out.
+        context: &'static str,
+    },
+    /// A varint ran past its maximum width (corrupt or adversarial input).
+    VarintOverflow,
+    /// A length prefix exceeded the configured maximum.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+        /// The maximum permitted.
+        max: u64,
+    },
+    /// String data was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum discriminant had no corresponding variant.
+    InvalidDiscriminant {
+        /// The type whose discriminant was invalid.
+        type_name: &'static str,
+        /// The offending discriminant value.
+        value: u64,
+    },
+    /// A frame checksum did not match its payload.
+    ChecksumMismatch,
+    /// A frame did not start with the expected magic bytes.
+    BadMagic,
+    /// A decoded value violated a domain invariant (e.g. a reversed
+    /// time interval).
+    InvalidValue {
+        /// Description of the violated invariant.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd { context } => {
+                write!(f, "input ended while decoding {context}")
+            }
+            DecodeError::VarintOverflow => write!(f, "varint exceeded maximum width"),
+            DecodeError::LengthOverflow { declared, max } => {
+                write!(f, "declared length {declared} exceeds maximum {max}")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "string data was not valid utf-8"),
+            DecodeError::InvalidDiscriminant { type_name, value } => {
+                write!(f, "invalid discriminant {value} for {type_name}")
+            }
+            DecodeError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            DecodeError::BadMagic => write!(f, "frame did not start with magic bytes"),
+            DecodeError::InvalidValue { reason } => write!(f, "invalid value: {reason}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            DecodeError::UnexpectedEnd { context: "u64" },
+            DecodeError::VarintOverflow,
+            DecodeError::LengthOverflow { declared: 10, max: 5 },
+            DecodeError::InvalidUtf8,
+            DecodeError::InvalidDiscriminant { type_name: "Foo", value: 9 },
+            DecodeError::ChecksumMismatch,
+            DecodeError::BadMagic,
+            DecodeError::InvalidValue { reason: "reversed interval" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DecodeError>();
+    }
+}

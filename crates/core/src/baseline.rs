@@ -1,0 +1,152 @@
+//! The centralized baseline: one node, no network.
+//!
+//! The evaluation compares the distributed framework against a single
+//! server holding all observations. Two backends are provided: the same
+//! time-sliced grid index the workers use (the fair "centralized-indexed"
+//! baseline) and a flat scan (the naive lower bound).
+
+use stcam_camnet::Observation;
+use stcam_geo::{BBox, GridSpec, Point, TimeInterval, Timestamp};
+use stcam_index::{FlatIndex, IndexConfig, StIndex};
+
+#[derive(Debug)]
+enum Backend {
+    Indexed(StIndex),
+    Flat(FlatIndex),
+}
+
+/// A single-node observation store with the same query surface as
+/// [`Cluster`](crate::Cluster).
+///
+/// # Example
+///
+/// ```
+/// use stcam::CentralizedStore;
+/// use stcam_geo::{BBox, Duration, Point, TimeInterval, Timestamp};
+/// use stcam_index::IndexConfig;
+///
+/// let extent = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+/// let config = IndexConfig::new(extent, 50.0, Duration::from_secs(10));
+/// let store = CentralizedStore::indexed(config);
+/// let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(60));
+/// assert!(store.range_query(extent, window).is_empty());
+/// ```
+#[derive(Debug)]
+pub struct CentralizedStore {
+    backend: Backend,
+}
+
+impl CentralizedStore {
+    /// A centralized store backed by the time-sliced grid index.
+    pub fn indexed(config: IndexConfig) -> Self {
+        CentralizedStore { backend: Backend::Indexed(StIndex::new(config)) }
+    }
+
+    /// A centralized store backed by a flat scan (naive baseline).
+    pub fn flat() -> Self {
+        CentralizedStore { backend: Backend::Flat(FlatIndex::new()) }
+    }
+
+    /// Stores a batch.
+    pub fn ingest(&mut self, batch: Vec<Observation>) {
+        match &mut self.backend {
+            Backend::Indexed(index) => index.insert_batch(batch),
+            Backend::Flat(index) => index.extend(batch),
+        }
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        match &self.backend {
+            Backend::Indexed(index) => index.len(),
+            Backend::Flat(index) => index.len(),
+        }
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spatio-temporal range query (sorted by id).
+    pub fn range_query(&self, region: BBox, window: TimeInterval) -> Vec<Observation> {
+        match &self.backend {
+            Backend::Indexed(index) => {
+                index.range(region, window).into_iter().cloned().collect()
+            }
+            Backend::Flat(index) => index.range(region, window).into_iter().cloned().collect(),
+        }
+    }
+
+    /// k-nearest-neighbour query (distance order).
+    pub fn knn_query(&self, at: Point, window: TimeInterval, k: usize) -> Vec<Observation> {
+        match &self.backend {
+            Backend::Indexed(index) => index.knn(at, window, k).into_iter().cloned().collect(),
+            Backend::Flat(index) => index.knn(at, window, k).into_iter().cloned().collect(),
+        }
+    }
+
+    /// Aggregate heat-map query.
+    pub fn heatmap(&self, buckets: &GridSpec, window: TimeInterval) -> Vec<u64> {
+        match &self.backend {
+            Backend::Indexed(index) => index.heatmap(buckets, window),
+            Backend::Flat(index) => index.heatmap(buckets, window),
+        }
+    }
+
+    /// Ages out old observations.
+    pub fn evict_before(&mut self, cutoff: Timestamp) {
+        match &mut self.backend {
+            Backend::Indexed(index) => index.evict_before(cutoff),
+            Backend::Flat(index) => index.evict_before(cutoff),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_camnet::{CameraId, ObservationId, Signature};
+    use stcam_geo::Duration;
+    use stcam_world::{EntityClass, EntityId};
+
+    fn obs(seq: u64, x: f64, y: f64) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(0), seq),
+            camera: CameraId(0),
+            time: Timestamp::from_secs(1),
+            position: Point::new(x, y),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(seq),
+            truth: Some(EntityId(seq)),
+        }
+    }
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0))
+    }
+
+    #[test]
+    fn both_backends_agree() {
+        let config = IndexConfig::new(extent(), 50.0, Duration::from_secs(10));
+        let mut indexed = CentralizedStore::indexed(config);
+        let mut flat = CentralizedStore::flat();
+        let batch: Vec<Observation> = (0..200)
+            .map(|i| obs(i, (i as f64 * 37.0) % 1000.0, (i as f64 * 53.0) % 1000.0))
+            .collect();
+        indexed.ingest(batch.clone());
+        flat.ingest(batch);
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(60));
+        let region = BBox::new(Point::new(100.0, 100.0), Point::new(700.0, 700.0));
+        assert_eq!(indexed.range_query(region, window), flat.range_query(region, window));
+        let at = Point::new(500.0, 500.0);
+        let a: Vec<_> = indexed.knn_query(at, window, 7).iter().map(|o| o.id).collect();
+        let b: Vec<_> = flat.knn_query(at, window, 7).iter().map(|o| o.id).collect();
+        assert_eq!(a, b);
+        let buckets = GridSpec::covering(extent(), 250.0);
+        assert_eq!(indexed.heatmap(&buckets, window), flat.heatmap(&buckets, window));
+        assert_eq!(indexed.len(), 200);
+        indexed.evict_before(Timestamp::from_secs(100));
+        assert!(indexed.is_empty());
+    }
+}

@@ -1,0 +1,656 @@
+//! The embeddable cluster facade.
+
+use std::time::Duration as StdDuration;
+
+use parking_lot::Mutex;
+use stcam_camnet::Observation;
+use stcam_geo::{BBox, Duration, GridSpec, Point, TimeInterval, Timestamp};
+use stcam_index::IndexConfig;
+use stcam_net::{Fabric, FabricStats, LinkModel, NodeId};
+
+use crate::continuous::{ContinuousQueryId, Notification, Predicate};
+use crate::coordinator::{ClusterStats, Coordinator, RebalanceReport};
+use crate::error::StcamError;
+use crate::ingest::Ingestor;
+use crate::partition::{PartitionMap, PartitionPolicy};
+use crate::worker::{Worker, WorkerConfig, WorkerHandle};
+
+/// Configuration of a whole cluster, with builder-style adjustment.
+///
+/// # Example
+///
+/// ```
+/// use stcam::{ClusterConfig, PartitionPolicy};
+/// use stcam_geo::{BBox, Point};
+///
+/// let extent = BBox::new(Point::new(0.0, 0.0), Point::new(4000.0, 4000.0));
+/// let config = ClusterConfig::new(extent, 8)
+///     .with_replication(2)
+///     .with_partition_policy(PartitionPolicy::UniformHash);
+/// assert_eq!(config.workers, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Deployment extent.
+    pub extent: BBox,
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Replicas per shard (excluding the primary); 0 disables replication.
+    pub replication: usize,
+    /// Cell-to-worker assignment policy.
+    pub partition_policy: PartitionPolicy,
+    /// Macro (partitioning) cell size, metres.
+    pub macro_cell_size: f64,
+    /// Worker-local index cell size, metres.
+    pub index_cell_size: f64,
+    /// Worker-local index slice length.
+    pub slice_len: Duration,
+    /// Per-worker retention budget in observations (0 = unbounded).
+    pub max_observations_per_worker: usize,
+    /// Link model of the simulated network.
+    pub link: LinkModel,
+    /// RPC timeout for coordinator → worker calls.
+    pub rpc_timeout: StdDuration,
+    /// Per-macro-cell load estimates for
+    /// [`PartitionPolicy::LoadAware`] (row-major over the macro grid).
+    pub load_profile: Option<Vec<u64>>,
+}
+
+impl ClusterConfig {
+    /// A sensible default deployment over `extent` with `workers` nodes:
+    /// replication 1, uniform partitioning, macro cells 1/16 of the
+    /// extent's width, index cells 1/80, 10-second slices, LAN links.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `extent` is empty or `workers` is zero.
+    pub fn new(extent: BBox, workers: usize) -> Self {
+        assert!(!extent.is_empty(), "extent must be non-empty");
+        assert!(workers > 0, "need at least one worker");
+        let width = extent.width().max(extent.height());
+        ClusterConfig {
+            extent,
+            workers,
+            replication: 1,
+            partition_policy: PartitionPolicy::UniformHash,
+            macro_cell_size: width / 16.0,
+            index_cell_size: width / 80.0,
+            slice_len: Duration::from_secs(10),
+            max_observations_per_worker: 0,
+            link: LinkModel::lan(),
+            rpc_timeout: StdDuration::from_secs(5),
+            load_profile: None,
+        }
+    }
+
+    /// Replaces the replication factor.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Replaces the partition policy.
+    pub fn with_partition_policy(mut self, policy: PartitionPolicy) -> Self {
+        self.partition_policy = policy;
+        self
+    }
+
+    /// Supplies the per-macro-cell load profile for load-aware
+    /// partitioning.
+    pub fn with_load_profile(mut self, loads: Vec<u64>) -> Self {
+        self.load_profile = Some(loads);
+        self
+    }
+
+    /// Replaces the link model.
+    pub fn with_link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Replaces the macro cell size.
+    pub fn with_macro_cell_size(mut self, size: f64) -> Self {
+        self.macro_cell_size = size;
+        self
+    }
+
+    /// Replaces the per-worker retention budget.
+    pub fn with_max_observations_per_worker(mut self, max: usize) -> Self {
+        self.max_observations_per_worker = max;
+        self
+    }
+
+    /// The macro grid this configuration induces (useful for building a
+    /// load profile).
+    pub fn macro_grid(&self) -> GridSpec {
+        GridSpec::covering(self.extent, self.macro_cell_size)
+    }
+}
+
+/// A running cluster: a fabric, `N` worker threads and a coordinator,
+/// behind plain method calls.
+///
+/// All methods are `&self` (internally synchronised), so a `Cluster` can
+/// be shared across client threads.
+#[derive(Debug)]
+pub struct Cluster {
+    fabric: Fabric,
+    coordinator: std::sync::Arc<Mutex<Coordinator>>,
+    workers: Mutex<Option<Vec<WorkerHandle>>>,
+    config: ClusterConfig,
+    next_ingestor: std::sync::atomic::AtomicU32,
+    monitor: Mutex<Option<MonitorHandle>>,
+    retention: Mutex<Option<MonitorHandle>>,
+}
+
+#[derive(Debug)]
+struct MonitorHandle {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    join: std::thread::JoinHandle<()>,
+}
+
+impl Cluster {
+    /// Boots a cluster per `config`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (all setup is local); the
+    /// `Result` reserves room for resource limits.
+    pub fn launch(config: ClusterConfig) -> Result<Self, StcamError> {
+        let fabric = Fabric::new(config.link);
+        let worker_ids: Vec<NodeId> = (1..=config.workers as u32).map(NodeId).collect();
+        let partition = PartitionMap::build(
+            config.partition_policy,
+            config.extent,
+            config.macro_cell_size,
+            worker_ids.clone(),
+            config.load_profile.as_deref(),
+        );
+        let index_config = IndexConfig::new(config.extent, config.index_cell_size, config.slice_len)
+            .with_max_observations(config.max_observations_per_worker);
+        let mut handles = Vec::with_capacity(config.workers);
+        for &id in &worker_ids {
+            let endpoint = fabric.register(id);
+            let replicas = partition.successors(id, config.replication);
+            handles.push(Worker::spawn(
+                endpoint,
+                WorkerConfig { index: index_config.clone(), replicas },
+            ));
+        }
+        let coordinator_endpoint = fabric.register(NodeId(0));
+        let coordinator = Coordinator::new(
+            coordinator_endpoint,
+            partition,
+            config.replication,
+            config.rpc_timeout,
+        );
+        Ok(Cluster {
+            fabric,
+            coordinator: std::sync::Arc::new(Mutex::new(coordinator)),
+            workers: Mutex::new(Some(handles)),
+            config,
+            next_ingestor: std::sync::atomic::AtomicU32::new(10_000),
+            monitor: Mutex::new(None),
+            retention: Mutex::new(None),
+        })
+    }
+
+    /// The configuration this cluster was launched with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Routes observations to their owning workers (fire-and-forget).
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::ingest`].
+    pub fn ingest(&self, batch: Vec<Observation>) -> Result<usize, StcamError> {
+        self.coordinator.lock().ingest(batch)
+    }
+
+    /// Barrier: returns once all previously ingested traffic is indexed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::flush`].
+    pub fn flush(&self) -> Result<(), StcamError> {
+        self.coordinator.lock().flush()
+    }
+
+    /// Creates a direct-ingest handle with its own fabric endpoint (see
+    /// [`Ingestor`]); many may ingest concurrently. The handle snapshots
+    /// the current partition map — recreate ingestors after a recovery.
+    pub fn create_ingestor(&self) -> Ingestor {
+        let id = NodeId(
+            self.next_ingestor
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
+        let endpoint = self.fabric.register(id);
+        let partition = self.coordinator.lock().partition().clone();
+        Ingestor::new(endpoint, partition, self.config.rpc_timeout)
+    }
+
+    /// Spatio-temporal range query.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::range_query`].
+    pub fn range_query(
+        &self,
+        region: BBox,
+        window: TimeInterval,
+    ) -> Result<Vec<Observation>, StcamError> {
+        self.coordinator.lock().range_query(region, window)
+    }
+
+    /// Two-phase pruned k-nearest-neighbour query.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::knn_query`].
+    pub fn knn_query(
+        &self,
+        at: Point,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Vec<Observation>, StcamError> {
+        self.coordinator.lock().knn_query(at, window, k)
+    }
+
+    /// Naive broadcast kNN (evaluation baseline).
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::knn_broadcast`].
+    pub fn knn_broadcast(
+        &self,
+        at: Point,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Vec<Observation>, StcamError> {
+        self.coordinator.lock().knn_broadcast(at, window, k)
+    }
+
+    /// Aggregate heat-map with worker-side partial aggregation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::heatmap`].
+    pub fn heatmap(&self, buckets: &GridSpec, window: TimeInterval) -> Result<Vec<u64>, StcamError> {
+        self.coordinator.lock().heatmap(buckets, window)
+    }
+
+    /// Ship-all aggregate baseline.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::heatmap_ship_all`].
+    pub fn heatmap_ship_all(
+        &self,
+        buckets: &GridSpec,
+        window: TimeInterval,
+    ) -> Result<Vec<u64>, StcamError> {
+        self.coordinator.lock().heatmap_ship_all(buckets, window)
+    }
+
+    /// Registers a standing continuous query.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::register_continuous`].
+    pub fn register_continuous(&self, predicate: Predicate) -> Result<ContinuousQueryId, StcamError> {
+        self.coordinator.lock().register_continuous(predicate)
+    }
+
+    /// Unregisters a standing query.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::unregister_continuous`].
+    pub fn unregister_continuous(&self, id: ContinuousQueryId) -> Result<(), StcamError> {
+        self.coordinator.lock().unregister_continuous(id)
+    }
+
+    /// Drains pending continuous-query notifications, waiting up to
+    /// `timeout` for the first.
+    pub fn poll_notifications(&self, timeout: StdDuration) -> Vec<Notification> {
+        self.coordinator.lock().poll_notifications(timeout)
+    }
+
+    /// Ages out observations older than `cutoff`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::evict_before`].
+    pub fn evict_before(&self, cutoff: Timestamp) -> Result<(), StcamError> {
+        self.coordinator.lock().evict_before(cutoff)
+    }
+
+    /// Cluster-wide statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::stats`].
+    pub fn stats(&self) -> Result<ClusterStats, StcamError> {
+        self.coordinator.lock().stats()
+    }
+
+    /// Simulated network traffic counters.
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.fabric.stats()
+    }
+
+    /// A snapshot of the partition map.
+    pub fn partition(&self) -> PartitionMap {
+        self.coordinator.lock().partition().clone()
+    }
+
+    /// As [`range_query`](Self::range_query) with an entity-class filter
+    /// pushed down to the workers.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::range_query_filtered`].
+    pub fn range_query_filtered(
+        &self,
+        region: BBox,
+        window: TimeInterval,
+        class: stcam_world::EntityClass,
+    ) -> Result<Vec<Observation>, StcamError> {
+        self.coordinator.lock().range_query_filtered(region, window, class)
+    }
+
+    /// Re-partitions by measured load and migrates the moved shards (see
+    /// [`Coordinator::rebalance`]). Recreate any [`Ingestor`]s afterwards.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::rebalance`].
+    pub fn rebalance(&self) -> Result<RebalanceReport, StcamError> {
+        self.coordinator.lock().rebalance()
+    }
+
+    /// Failure injection: crashes `worker` at the fabric level. Pair with
+    /// [`check_and_recover`](Self::check_and_recover).
+    pub fn kill_worker(&self, worker: NodeId) {
+        self.fabric.crash(worker);
+    }
+
+    /// Detects failed workers and fails their shards over to replicas.
+    /// Returns the failures handled.
+    pub fn check_and_recover(&self) -> Vec<NodeId> {
+        self.coordinator.lock().check_and_recover()
+    }
+
+    /// Starts a background liveness monitor that runs
+    /// [`check_and_recover`](Self::check_and_recover) every `interval`
+    /// until shutdown. Calling it again replaces the previous monitor.
+    pub fn enable_auto_recovery(&self, interval: StdDuration) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let stop_thread = std::sync::Arc::clone(&stop);
+        let coordinator = std::sync::Arc::clone(&self.coordinator);
+        let join = std::thread::Builder::new()
+            .name("stcam-recovery-monitor".into())
+            .spawn(move || {
+                while !stop_thread.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if stop_thread.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let _ = coordinator.lock().check_and_recover();
+                }
+            })
+            .expect("spawn recovery monitor");
+        let previous = self.monitor.lock().replace(MonitorHandle { stop, join });
+        if let Some(prev) = previous {
+            prev.stop.store(true, Ordering::Relaxed);
+            let _ = prev.join.join();
+        }
+    }
+
+    /// Starts a background retention sweeper: every `interval` it reads
+    /// the newest stored timestamp across the cluster and evicts
+    /// everything older than `horizon` before it. Calling it again
+    /// replaces the previous sweeper.
+    pub fn enable_retention(&self, horizon: Duration, interval: StdDuration) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let stop_thread = std::sync::Arc::clone(&stop);
+        let coordinator = std::sync::Arc::clone(&self.coordinator);
+        let join = std::thread::Builder::new()
+            .name("stcam-retention-sweeper".into())
+            .spawn(move || {
+                while !stop_thread.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if stop_thread.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let coordinator = coordinator.lock();
+                    let Ok(stats) = coordinator.stats() else { continue };
+                    let newest = stats
+                        .workers
+                        .iter()
+                        .filter_map(|(_, s)| s.newest_ms)
+                        .max();
+                    if let Some(newest_ms) = newest {
+                        let cutoff =
+                            Timestamp::from_millis(newest_ms).saturating_sub(horizon);
+                        let _ = coordinator.evict_before(cutoff);
+                    }
+                }
+            })
+            .expect("spawn retention sweeper");
+        let previous = self.retention.lock().replace(MonitorHandle { stop, join });
+        if let Some(prev) = previous {
+            prev.stop.store(true, Ordering::Relaxed);
+            let _ = prev.join.join();
+        }
+    }
+
+    /// Failure injection: splits the fabric into isolated groups (nodes
+    /// not listed stay in the default group, including the coordinator
+    /// and ingestors). Messages across groups are silently dropped until
+    /// [`heal_network`](Self::heal_network).
+    pub fn partition_network(&self, groups: &[&[NodeId]]) {
+        self.fabric.partition(groups);
+    }
+
+    /// Removes all injected network partitions.
+    pub fn heal_network(&self) {
+        self.fabric.heal_partition();
+    }
+
+    /// Stops all worker threads. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        for slot in [&self.monitor, &self.retention] {
+            if let Some(monitor) = slot.lock().take() {
+                monitor.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                let _ = monitor.join.join();
+            }
+        }
+        if let Some(handles) = self.workers.lock().take() {
+            for handle in handles {
+                handle.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_camnet::{CameraId, ObservationId, Signature};
+    use stcam_world::{EntityClass, EntityId};
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1600.0, 1600.0))
+    }
+
+    fn test_config(workers: usize) -> ClusterConfig {
+        ClusterConfig::new(extent(), workers)
+            .with_link(LinkModel::instant())
+    }
+
+    fn obs(seq: u64, t_ms: u64, x: f64, y: f64) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(0), seq),
+            camera: CameraId(0),
+            time: Timestamp::from_millis(t_ms),
+            position: Point::new(x, y),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(seq),
+            truth: Some(EntityId(seq)),
+        }
+    }
+
+    fn window_all() -> TimeInterval {
+        TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(10_000))
+    }
+
+    #[test]
+    fn ingest_flush_query_round_trip() {
+        let cluster = Cluster::launch(test_config(4)).unwrap();
+        let batch: Vec<Observation> = (0..200)
+            .map(|i| obs(i, i * 100, (i as f64 * 37.0) % 1600.0, (i as f64 * 53.0) % 1600.0))
+            .collect();
+        cluster.ingest(batch.clone()).unwrap();
+        cluster.flush().unwrap();
+        let all = cluster.range_query(extent(), window_all()).unwrap();
+        assert_eq!(all.len(), 200);
+        // Data is actually distributed.
+        let stats = cluster.stats().unwrap();
+        let populated = stats
+            .workers
+            .iter()
+            .filter(|(_, s)| s.primary_observations > 0)
+            .count();
+        assert!(populated >= 3, "only {populated} workers hold data");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn knn_agrees_with_broadcast() {
+        let cluster = Cluster::launch(test_config(4)).unwrap();
+        let batch: Vec<Observation> = (0..300)
+            .map(|i| obs(i, 0, (i as f64 * 41.0) % 1600.0, (i as f64 * 29.0) % 1600.0))
+            .collect();
+        cluster.ingest(batch).unwrap();
+        cluster.flush().unwrap();
+        for (x, y, k) in [(800.0, 800.0, 10), (10.0, 10.0, 5), (1590.0, 900.0, 25)] {
+            let at = Point::new(x, y);
+            let fast = cluster.knn_query(at, window_all(), k).unwrap();
+            let slow = cluster.knn_broadcast(at, window_all(), k).unwrap();
+            let fast_ids: Vec<_> = fast.iter().map(|o| o.id).collect();
+            let slow_ids: Vec<_> = slow.iter().map(|o| o.id).collect();
+            assert_eq!(fast_ids, slow_ids, "knn mismatch at {at} k={k}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn heatmap_partial_equals_ship_all() {
+        let cluster = Cluster::launch(test_config(3)).unwrap();
+        let batch: Vec<Observation> = (0..400)
+            .map(|i| obs(i, 0, (i as f64 * 13.0) % 1600.0, (i as f64 * 7.0) % 1600.0))
+            .collect();
+        cluster.ingest(batch).unwrap();
+        cluster.flush().unwrap();
+        let buckets = GridSpec::covering(extent(), 200.0);
+        let fast = cluster.heatmap(&buckets, window_all()).unwrap();
+        let slow = cluster.heatmap_ship_all(&buckets, window_all()).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.iter().sum::<u64>(), 400);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn continuous_query_end_to_end() {
+        let cluster = Cluster::launch(test_config(4)).unwrap();
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(400.0, 400.0));
+        let id = cluster
+            .register_continuous(Predicate { region, class: None })
+            .unwrap();
+        cluster
+            .ingest(vec![obs(0, 0, 100.0, 100.0), obs(1, 0, 1000.0, 1000.0)])
+            .unwrap();
+        let notifications = cluster.poll_notifications(StdDuration::from_secs(5));
+        let matches: usize = notifications
+            .iter()
+            .filter(|n| n.query == id)
+            .map(|n| n.matches.len())
+            .sum();
+        assert_eq!(matches, 1);
+        cluster.unregister_continuous(id).unwrap();
+        cluster.ingest(vec![obs(2, 0, 100.0, 100.0)]).unwrap();
+        assert!(cluster.poll_notifications(StdDuration::from_millis(100)).is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failover_preserves_data_with_replication() {
+        let cluster = Cluster::launch(test_config(4).with_replication(1)).unwrap();
+        let batch: Vec<Observation> = (0..500)
+            .map(|i| obs(i, 0, (i as f64 * 11.0) % 1600.0, (i as f64 * 17.0) % 1600.0))
+            .collect();
+        cluster.ingest(batch).unwrap();
+        cluster.flush().unwrap();
+        let before = cluster.range_query(extent(), window_all()).unwrap().len();
+        assert_eq!(before, 500);
+        // Kill a worker holding data, recover, recount.
+        cluster.kill_worker(NodeId(2));
+        let failed = cluster.check_and_recover();
+        assert_eq!(failed, vec![NodeId(2)]);
+        let after = cluster.range_query(extent(), window_all()).unwrap().len();
+        assert_eq!(after, 500, "lost {} observations despite replication", 500 - after);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failover_without_replication_loses_only_dead_shard() {
+        let cluster = Cluster::launch(test_config(4).with_replication(0)).unwrap();
+        let batch: Vec<Observation> = (0..400)
+            .map(|i| obs(i, 0, (i as f64 * 19.0) % 1600.0, (i as f64 * 23.0) % 1600.0))
+            .collect();
+        cluster.ingest(batch).unwrap();
+        cluster.flush().unwrap();
+        let stats = cluster.stats().unwrap();
+        let dead_share = stats
+            .workers
+            .iter()
+            .find(|(w, _)| *w == NodeId(3))
+            .map(|(_, s)| s.primary_observations)
+            .unwrap();
+        cluster.kill_worker(NodeId(3));
+        cluster.check_and_recover();
+        let after = cluster.range_query(extent(), window_all()).unwrap().len();
+        assert_eq!(after as u64, 400 - dead_share);
+        // Ingest keeps working: the dead worker's cells have a new owner.
+        cluster.ingest(vec![obs(9_999, 0, 800.0, 800.0)]).unwrap();
+        cluster.flush().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn single_worker_cluster_works() {
+        let cluster = Cluster::launch(test_config(1)).unwrap();
+        cluster.ingest(vec![obs(0, 0, 800.0, 800.0)]).unwrap();
+        cluster.flush().unwrap();
+        assert_eq!(cluster.range_query(extent(), window_all()).unwrap().len(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let cluster = Cluster::launch(test_config(2)).unwrap();
+        cluster.shutdown();
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,152 @@
+//! Continuous (standing) queries.
+//!
+//! A continuous query registers a [`Predicate`] with every worker whose
+//! shard overlaps the predicate's region. At ingest time each worker
+//! matches new observations against its registered predicates and streams
+//! [`Notification`]s to the subscribing node — incremental positive
+//! updates, never re-evaluation of the whole query.
+
+use bytes::{Buf, BufMut};
+use stcam_camnet::Observation;
+use stcam_codec::{DecodeError, Wire};
+use stcam_geo::BBox;
+use stcam_world::EntityClass;
+
+/// Cluster-unique identifier of a standing query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContinuousQueryId(pub u64);
+
+impl std::fmt::Display for ContinuousQueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cq{}", self.0)
+    }
+}
+
+/// The match condition of a continuous query: a spatial region and an
+/// optional entity-class filter. (Time is implicit — continuous queries
+/// match *new* observations as they arrive.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predicate {
+    /// Observations must lie inside this region.
+    pub region: BBox,
+    /// When set, observations must carry this class.
+    pub class: Option<EntityClass>,
+}
+
+impl Predicate {
+    /// `true` when `obs` satisfies this predicate.
+    pub fn matches(&self, obs: &Observation) -> bool {
+        if !self.region.contains(obs.position) {
+            return false;
+        }
+        match self.class {
+            Some(class) => obs.class == class,
+            None => true,
+        }
+    }
+}
+
+impl Wire for Predicate {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.region.encode(buf);
+        self.class.map(EntityClass::as_u8).encode(buf);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        let region = BBox::decode(buf)?;
+        let class = match Option::<u8>::decode(buf)? {
+            None => None,
+            Some(byte) => Some(EntityClass::from_u8(byte).ok_or(
+                DecodeError::InvalidDiscriminant { type_name: "EntityClass", value: byte as u64 },
+            )?),
+        };
+        Ok(Predicate { region, class })
+    }
+}
+
+/// A batch of matches delivered to a subscriber.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// The standing query that matched.
+    pub query: ContinuousQueryId,
+    /// The matching observations (from one ingest batch at one worker).
+    pub matches: Vec<Observation>,
+}
+
+impl Wire for Notification {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.query.0.encode(buf);
+        self.matches.encode(buf);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(Notification {
+            query: ContinuousQueryId(u64::decode(buf)?),
+            matches: Vec::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_camnet::{CameraId, ObservationId, Signature};
+    use stcam_codec::{decode_from_slice, encode_to_vec};
+    use stcam_geo::{Point, Timestamp};
+    use stcam_world::EntityId;
+
+    fn obs(x: f64, y: f64, class: EntityClass) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(0), 0),
+            camera: CameraId(0),
+            time: Timestamp::ZERO,
+            position: Point::new(x, y),
+            class,
+            signature: Signature::latent_for_entity(1),
+            truth: Some(EntityId(1)),
+        }
+    }
+
+    #[test]
+    fn predicate_matching() {
+        let p = Predicate {
+            region: BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            class: Some(EntityClass::Truck),
+        };
+        assert!(p.matches(&obs(5.0, 5.0, EntityClass::Truck)));
+        assert!(!p.matches(&obs(5.0, 5.0, EntityClass::Car)));
+        assert!(!p.matches(&obs(15.0, 5.0, EntityClass::Truck)));
+        let any_class = Predicate { class: None, ..p };
+        assert!(any_class.matches(&obs(5.0, 5.0, EntityClass::Car)));
+    }
+
+    #[test]
+    fn predicate_and_notification_round_trip() {
+        let p = Predicate {
+            region: BBox::new(Point::new(1.0, 2.0), Point::new(3.0, 4.0)),
+            class: Some(EntityClass::Bicycle),
+        };
+        let bytes = encode_to_vec(&p);
+        assert_eq!(decode_from_slice::<Predicate>(&bytes).unwrap(), p);
+
+        let n = Notification {
+            query: ContinuousQueryId(42),
+            matches: vec![obs(1.5, 2.5, EntityClass::Bicycle)],
+        };
+        let bytes = encode_to_vec(&n);
+        assert_eq!(decode_from_slice::<Notification>(&bytes).unwrap(), n);
+    }
+
+    #[test]
+    fn bad_class_byte_rejected() {
+        let p = Predicate {
+            region: BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            class: Some(EntityClass::Car),
+        };
+        let mut bytes = encode_to_vec(&p);
+        let last = bytes.len() - 1;
+        bytes[last] = 77;
+        assert!(matches!(
+            decode_from_slice::<Predicate>(&bytes),
+            Err(DecodeError::InvalidDiscriminant { .. })
+        ));
+    }
+}

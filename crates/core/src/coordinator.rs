@@ -1,0 +1,835 @@
+//! The coordinator: routing, scatter/gather, membership, failover.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration as StdDuration;
+
+use stcam_camnet::Observation;
+use stcam_codec::{decode_from_slice, encode_to_vec};
+use stcam_geo::{BBox, GridSpec, Point, TimeInterval, Timestamp};
+use stcam_net::{Endpoint, NodeId};
+
+use crate::continuous::{ContinuousQueryId, Notification, Predicate};
+use crate::error::StcamError;
+use crate::partition::PartitionMap;
+use crate::protocol::{GridSpecMsg, Request, Response, WorkerStatsMsg};
+
+/// Aggregated statistics across the cluster.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Per-worker statistics (alive workers only).
+    pub workers: Vec<(NodeId, WorkerStatsMsg)>,
+}
+
+impl ClusterStats {
+    /// Total observations held in primary shards.
+    pub fn total_primary(&self) -> u64 {
+        self.workers.iter().map(|(_, s)| s.primary_observations).sum()
+    }
+
+    /// Max ÷ mean of per-worker primary observation counts (1.0 = perfect
+    /// balance). Returns 1.0 for an empty cluster.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_primary();
+        if total == 0 || self.workers.is_empty() {
+            return 1.0;
+        }
+        let max = self
+            .workers
+            .iter()
+            .map(|(_, s)| s.primary_observations)
+            .max()
+            .unwrap_or(0);
+        max as f64 / (total as f64 / self.workers.len() as f64)
+    }
+}
+
+/// Outcome of an online rebalance (see [`Coordinator::rebalance`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceReport {
+    /// Macro-cells whose owner changed.
+    pub cells_moved: usize,
+    /// Observations migrated between workers.
+    pub observations_moved: usize,
+    /// Imbalance factor under the old map (max/mean of measured load).
+    pub imbalance_before: f64,
+    /// Imbalance factor of the same load under the new map.
+    pub imbalance_after: f64,
+}
+
+/// The cluster's control plane and query router.
+///
+/// The coordinator is driven synchronously by the client thread: ingest
+/// routing, query scatter/gather and failure recovery are all plain method
+/// calls. Query fan-out happens on scoped threads so sub-queries execute
+/// in parallel across workers.
+#[derive(Debug)]
+pub struct Coordinator {
+    endpoint: Endpoint,
+    partition: PartitionMap,
+    replication: usize,
+    alive: HashSet<NodeId>,
+    rpc_timeout: StdDuration,
+    probe_timeout: StdDuration,
+    next_query_id: u64,
+    /// Standing queries, kept for re-registration on failover.
+    registrations: HashMap<ContinuousQueryId, Predicate>,
+}
+
+impl Coordinator {
+    /// Creates a coordinator over an already-partitioned cluster.
+    pub fn new(
+        endpoint: Endpoint,
+        partition: PartitionMap,
+        replication: usize,
+        rpc_timeout: StdDuration,
+    ) -> Self {
+        let alive = partition.workers().iter().copied().collect();
+        Coordinator {
+            endpoint,
+            partition,
+            replication,
+            alive,
+            rpc_timeout,
+            probe_timeout: rpc_timeout.min(StdDuration::from_millis(250)),
+            next_query_id: 1,
+            registrations: HashMap::new(),
+        }
+    }
+
+    /// The current partition map.
+    pub fn partition(&self) -> &PartitionMap {
+        &self.partition
+    }
+
+    /// Replication factor (replica count per shard, excluding the
+    /// primary).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Overrides the liveness-probe timeout used by
+    /// [`check_and_recover`](Self::check_and_recover) (default: the lesser
+    /// of the RPC timeout and 250 ms). Shorter probes detect failures
+    /// faster at the cost of more false positives under load.
+    pub fn set_probe_timeout(&mut self, timeout: StdDuration) {
+        self.probe_timeout = timeout;
+    }
+
+    /// The workers currently believed alive.
+    pub fn alive_workers(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.alive.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest path
+    // ------------------------------------------------------------------
+
+    /// Routes a batch of observations to their owning workers
+    /// (fire-and-forget; pair with [`flush`](Self::flush) for a barrier).
+    /// Returns the number of observations routed.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on transport-level problems; observations routed to a
+    /// worker that died mid-flight are counted as routed (their fate is
+    /// governed by the replication factor).
+    pub fn ingest(&mut self, batch: Vec<Observation>) -> Result<usize, StcamError> {
+        let n = batch.len();
+        let mut groups: HashMap<NodeId, Vec<Observation>> = HashMap::new();
+        for obs in batch {
+            let owner = self.route(obs.position)?;
+            groups.entry(owner).or_default().push(obs);
+        }
+        for (owner, group) in groups {
+            self.endpoint
+                .send(owner, encode_to_vec(&Request::Ingest(group)))?;
+        }
+        Ok(n)
+    }
+
+    /// The worker that owns `position`, falling back along the ring when
+    /// the owner is marked dead.
+    fn route(&self, position: Point) -> Result<NodeId, StcamError> {
+        let owner = self.partition.owner_of(position);
+        if self.alive.contains(&owner) {
+            return Ok(owner);
+        }
+        // The partition map should have been repaired by recovery; as a
+        // late-race fallback, route to the first alive successor.
+        self.partition
+            .successors(owner, self.partition.workers().len() - 1)
+            .into_iter()
+            .find(|w| self.alive.contains(w))
+            .ok_or(StcamError::NoQuorum)
+    }
+
+    /// Barrier: confirms every alive worker has drained all previously
+    /// sent ingest traffic (per-link FIFO + a Ping round trip).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a worker believed alive does not answer in time.
+    pub fn flush(&self) -> Result<(), StcamError> {
+        let targets = self.alive_workers();
+        for (_, result) in self.scatter(&targets, |_| Request::Ping) {
+            expect_ack(result?)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// All observations in `region` × `window`, merged across shards and
+    /// sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-query failures (e.g. a worker crashing mid-query).
+    pub fn range_query(
+        &self,
+        region: BBox,
+        window: TimeInterval,
+    ) -> Result<Vec<Observation>, StcamError> {
+        let targets: Vec<NodeId> = self
+            .partition
+            .workers_for_region(region)
+            .into_iter()
+            .filter(|w| self.alive.contains(w))
+            .collect();
+        let mut merged = Vec::new();
+        for (_, result) in self.scatter(&targets, |_| Request::Range { region, window }) {
+            merged.extend(expect_observations(result?)?);
+        }
+        merged.sort_by_key(|o| o.id);
+        Ok(merged)
+    }
+
+    /// The `k` observations nearest to `at` within `window`, via two-phase
+    /// pruned search: the owner of `at`'s cell answers first, its k-th
+    /// distance bounds the disk that phase two scatters to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-query failures.
+    pub fn knn_query(
+        &self,
+        at: Point,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Vec<Observation>, StcamError> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let first = self.route(at)?;
+        let phase1 = expect_observations(self.call(
+            first,
+            Request::Knn { at, window, k: k as u32, max_distance: None },
+        )?)?;
+        let bound = if phase1.len() >= k {
+            phase1.last().map(|o| at.distance(o.position))
+        } else {
+            None
+        };
+        let targets: Vec<NodeId> = match bound {
+            Some(radius) => self
+                .partition
+                .workers_for_region(BBox::around(at, radius))
+                .into_iter()
+                .filter(|w| *w != first && self.alive.contains(w))
+                .collect(),
+            None => self
+                .alive_workers()
+                .into_iter()
+                .filter(|w| *w != first)
+                .collect(),
+        };
+        let mut merged = phase1;
+        for (_, result) in self.scatter(&targets, |_| Request::Knn {
+            at,
+            window,
+            k: k as u32,
+            max_distance: bound,
+        }) {
+            merged.extend(expect_observations(result?)?);
+        }
+        sort_knn(&mut merged, at);
+        merged.truncate(k);
+        Ok(merged)
+    }
+
+    /// The naive kNN evaluation — broadcast to every worker with no
+    /// pruning bound. Baseline for the kNN experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-query failures.
+    pub fn knn_broadcast(
+        &self,
+        at: Point,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Vec<Observation>, StcamError> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let targets = self.alive_workers();
+        let mut merged = Vec::new();
+        for (_, result) in self.scatter(&targets, |_| Request::Knn {
+            at,
+            window,
+            k: k as u32,
+            max_distance: None,
+        }) {
+            merged.extend(expect_observations(result?)?);
+        }
+        sort_knn(&mut merged, at);
+        merged.truncate(k);
+        Ok(merged)
+    }
+
+    /// Per-bucket observation counts with worker-side partial aggregation:
+    /// each worker reduces its shard to a counts vector, the coordinator
+    /// sums vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-query failures.
+    pub fn heatmap(
+        &self,
+        buckets: &GridSpec,
+        window: TimeInterval,
+    ) -> Result<Vec<u64>, StcamError> {
+        let targets: Vec<NodeId> = self
+            .partition
+            .workers_for_region(buckets.extent())
+            .into_iter()
+            .filter(|w| self.alive.contains(w))
+            .collect();
+        let mut total = vec![0u64; buckets.cell_count() as usize];
+        let msg = GridSpecMsg::from(*buckets);
+        for (_, result) in self.scatter(&targets, |_| Request::Heatmap { buckets: msg, window }) {
+            let counts = expect_counts(result?)?;
+            if counts.len() != total.len() {
+                return Err(StcamError::Remote("bucket count mismatch".into()));
+            }
+            for (t, c) in total.iter_mut().zip(counts) {
+                *t += c;
+            }
+        }
+        Ok(total)
+    }
+
+    /// The ship-all aggregate baseline: fetch every matching observation
+    /// and bucket at the coordinator. Same result, far more bytes moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-query failures.
+    pub fn heatmap_ship_all(
+        &self,
+        buckets: &GridSpec,
+        window: TimeInterval,
+    ) -> Result<Vec<u64>, StcamError> {
+        let hits = self.range_query(buckets.extent(), window)?;
+        let mut total = vec![0u64; buckets.cell_count() as usize];
+        for obs in hits {
+            if let Some(cell) = buckets.cell_of(obs.position) {
+                total[cell.row as usize * buckets.cols() as usize + cell.col as usize] += 1;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Ages out observations older than `cutoff` everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker failures.
+    pub fn evict_before(&self, cutoff: Timestamp) -> Result<(), StcamError> {
+        let targets = self.alive_workers();
+        for (_, result) in self.scatter(&targets, |_| Request::EvictBefore(cutoff)) {
+            expect_ack(result?)?;
+        }
+        Ok(())
+    }
+
+    /// As [`range_query`](Self::range_query) with an entity-class filter
+    /// pushed down to the workers ("trucks inside A").
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-query failures.
+    pub fn range_query_filtered(
+        &self,
+        region: BBox,
+        window: TimeInterval,
+        class: stcam_world::EntityClass,
+    ) -> Result<Vec<Observation>, StcamError> {
+        let targets: Vec<NodeId> = self
+            .partition
+            .workers_for_region(region)
+            .into_iter()
+            .filter(|w| self.alive.contains(w))
+            .collect();
+        let mut merged = Vec::new();
+        for (_, result) in self.scatter(&targets, |_| Request::RangeFiltered {
+            region,
+            window,
+            class: class.as_u8(),
+        }) {
+            merged.extend(expect_observations(result?)?);
+        }
+        merged.sort_by_key(|o| o.id);
+        Ok(merged)
+    }
+
+    // ------------------------------------------------------------------
+    // Online rebalancing
+    // ------------------------------------------------------------------
+
+    /// Re-partitions the cluster by *measured* per-cell load and migrates
+    /// the affected shards: each moved macro-cell's contents are extracted
+    /// from the old owner and adopted by the new one. Queries issued after
+    /// this call observe the full data set under the new map.
+    ///
+    /// Intended for rebalance epochs when traffic has drifted from the
+    /// distribution the current map was built for (see the load-balance
+    /// and rebalance experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StcamError::Unsupported`] when replication is enabled
+    /// (replica logs are keyed by primary and are not rewritten by this
+    /// version of migration), and propagates worker failures.
+    ///
+    /// # Caveats
+    ///
+    /// External [`Ingestor`](crate::Ingestor) handles hold partition-map
+    /// snapshots; recreate them after a rebalance or their traffic will
+    /// land on (and be served from) the old owners.
+    pub fn rebalance(&mut self) -> Result<RebalanceReport, StcamError> {
+        if self.replication > 0 {
+            return Err(StcamError::Unsupported(
+                "online rebalance requires replication factor 0",
+            ));
+        }
+        // 1. Measure the load profile: all-time per-macro-cell counts.
+        let grid = *self.partition.grid();
+        let loads = self.heatmap(&grid, TimeInterval::ALL)?;
+        let imbalance_before = self.partition.imbalance(&loads);
+        // 2. Build the target map over the alive ring.
+        let alive_ring: Vec<NodeId> = self
+            .partition
+            .workers()
+            .iter()
+            .copied()
+            .filter(|w| self.alive.contains(w))
+            .collect();
+        if alive_ring.is_empty() {
+            return Err(StcamError::NoQuorum);
+        }
+        let target = PartitionMap::load_aware(
+            grid.extent(),
+            grid.cell_size(),
+            alive_ring,
+            &loads,
+        );
+        // 3. Diff and migrate, batched per (old, new) owner pair.
+        let mut moves: HashMap<(NodeId, NodeId), Vec<stcam_geo::CellId>> = HashMap::new();
+        for cell in grid.all_cells() {
+            let old = self.partition.owner_of_cell(cell);
+            let new = target.owner_of_cell(cell);
+            if old != new && self.alive.contains(&old) {
+                moves.entry((old, new)).or_default().push(cell);
+            }
+        }
+        let mut cells_moved = 0usize;
+        let mut observations_moved = 0usize;
+        for ((old, new), cells) in moves {
+            let mut batch = Vec::new();
+            for cell in cells {
+                let region = self.partition.cell_routing_region(cell);
+                let extracted =
+                    expect_observations(self.call(old, Request::ExtractRegion { region })?)?;
+                batch.extend(extracted);
+                cells_moved += 1;
+            }
+            observations_moved += batch.len();
+            if !batch.is_empty() {
+                expect_ack(self.call(new, Request::Adopt(batch))?)?;
+            }
+        }
+        // 4. Swap in the new map and make standing queries present at
+        // their (possibly new) overlapping workers.
+        self.partition = target;
+        let notify = self.endpoint.id();
+        let registrations: Vec<(ContinuousQueryId, Predicate)> =
+            self.registrations.iter().map(|(&id, &p)| (id, p)).collect();
+        for (id, predicate) in registrations {
+            let targets: Vec<NodeId> = self
+                .partition
+                .workers_for_region(predicate.region)
+                .into_iter()
+                .filter(|w| self.alive.contains(w))
+                .collect();
+            for (_, result) in self.scatter(&targets, |_| Request::RegisterContinuous {
+                id,
+                predicate,
+                notify,
+            }) {
+                expect_ack(result?)?;
+            }
+        }
+        let imbalance_after = self.partition.imbalance(&loads);
+        Ok(RebalanceReport {
+            cells_moved,
+            observations_moved,
+            imbalance_before,
+            imbalance_after,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Continuous queries
+    // ------------------------------------------------------------------
+
+    /// Registers a standing query; matches will arrive via
+    /// [`poll_notifications`](Self::poll_notifications).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a shard worker cannot be reached.
+    pub fn register_continuous(
+        &mut self,
+        predicate: Predicate,
+    ) -> Result<ContinuousQueryId, StcamError> {
+        let id = ContinuousQueryId(self.next_query_id);
+        self.next_query_id += 1;
+        let notify = self.endpoint.id();
+        let targets: Vec<NodeId> = self
+            .partition
+            .workers_for_region(predicate.region)
+            .into_iter()
+            .filter(|w| self.alive.contains(w))
+            .collect();
+        for (_, result) in self.scatter(&targets, |_| Request::RegisterContinuous {
+            id,
+            predicate,
+            notify,
+        }) {
+            expect_ack(result?)?;
+        }
+        self.registrations.insert(id, predicate);
+        Ok(id)
+    }
+
+    /// Removes a standing query everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a shard worker cannot be reached.
+    pub fn unregister_continuous(&mut self, id: ContinuousQueryId) -> Result<(), StcamError> {
+        self.registrations.remove(&id);
+        let targets = self.alive_workers();
+        for (_, result) in self.scatter(&targets, |_| Request::UnregisterContinuous(id)) {
+            expect_ack(result?)?;
+        }
+        Ok(())
+    }
+
+    /// Drains match notifications that have arrived since the last poll,
+    /// waiting up to `timeout` for the first one.
+    pub fn poll_notifications(&self, timeout: StdDuration) -> Vec<Notification> {
+        let mut out = Vec::new();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let Some(envelope) = self.endpoint.recv_timeout(remaining) else {
+                break;
+            };
+            if let Ok(notification) = decode_from_slice::<Notification>(&envelope.payload) {
+                out.push(notification);
+            }
+            if !out.is_empty() {
+                // Drain whatever else is already queued, then return.
+                while let Some(envelope) = self.endpoint.try_recv() {
+                    if let Ok(n) = decode_from_slice::<Notification>(&envelope.payload) {
+                        out.push(n);
+                    }
+                }
+                break;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Membership and recovery
+    // ------------------------------------------------------------------
+
+    /// Probes every worker believed alive; for each failure, fails its
+    /// shard over to the first alive ring successor (which holds the
+    /// replica when the replication factor covers it), repairs the
+    /// partition map, and re-registers standing queries there. Returns the
+    /// failed workers.
+    pub fn check_and_recover(&mut self) -> Vec<NodeId> {
+        let targets = self.alive_workers();
+        let mut failed = Vec::new();
+        for (worker, result) in self.scatter_timeout(&targets, |_| Request::Ping, self.probe_timeout) {
+            if result.is_err() {
+                failed.push(worker);
+            }
+        }
+        for &worker in &failed {
+            self.alive.remove(&worker);
+        }
+        for &worker in &failed {
+            self.fail_over(worker);
+        }
+        failed
+    }
+
+    fn fail_over(&mut self, failed: NodeId) {
+        let chain = self
+            .partition
+            .successors(failed, self.partition.workers().len() - 1);
+        let Some(successor) = chain.into_iter().find(|w| self.alive.contains(w)) else {
+            return; // no quorum: nothing to repair onto
+        };
+        self.partition.reassign(failed, successor);
+        if self.replication > 0 {
+            // Absorb the replica log; data loss is bounded by in-flight
+            // replication traffic at crash time.
+            let _ = self
+                .call(successor, Request::Promote { failed })
+                .and_then(expect_ack);
+        }
+        // Standing queries whose region now overlaps the successor's
+        // enlarged shard must be present there.
+        let notify = self.endpoint.id();
+        let registrations: Vec<(ContinuousQueryId, Predicate)> = self
+            .registrations
+            .iter()
+            .map(|(&id, &p)| (id, p))
+            .collect();
+        for (id, predicate) in registrations {
+            if self
+                .partition
+                .workers_for_region(predicate.region)
+                .contains(&successor)
+            {
+                let _ = self.call(successor, Request::RegisterContinuous { id, predicate, notify });
+            }
+        }
+    }
+
+    /// Collects statistics from every alive worker.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a worker believed alive does not answer.
+    pub fn stats(&self) -> Result<ClusterStats, StcamError> {
+        let targets = self.alive_workers();
+        let mut workers = Vec::new();
+        for (worker, result) in self.scatter(&targets, |_| Request::Stats) {
+            match result? {
+                Response::Stats(s) => workers.push((worker, s)),
+                Response::Error(msg) => return Err(StcamError::Remote(msg)),
+                _ => return Err(StcamError::Remote("unexpected stats response".into())),
+            }
+        }
+        workers.sort_by_key(|(w, _)| *w);
+        Ok(ClusterStats { workers })
+    }
+
+    // ------------------------------------------------------------------
+    // RPC plumbing
+    // ------------------------------------------------------------------
+
+    fn call(&self, to: NodeId, request: Request) -> Result<Response, StcamError> {
+        let bytes = self.endpoint.call(to, encode_to_vec(&request), self.rpc_timeout)?;
+        Ok(decode_from_slice::<Response>(&bytes)?)
+    }
+
+    /// Issues `request_for(worker)` to every target in parallel and
+    /// collects `(worker, result)` pairs in target order.
+    fn scatter<F>(
+        &self,
+        targets: &[NodeId],
+        request_for: F,
+    ) -> Vec<(NodeId, Result<Response, StcamError>)>
+    where
+        F: Fn(NodeId) -> Request + Sync,
+    {
+        self.scatter_timeout(targets, request_for, self.rpc_timeout)
+    }
+
+    /// As [`scatter`](Self::scatter) with an explicit per-call timeout.
+    fn scatter_timeout<F>(
+        &self,
+        targets: &[NodeId],
+        request_for: F,
+        timeout: StdDuration,
+    ) -> Vec<(NodeId, Result<Response, StcamError>)>
+    where
+        F: Fn(NodeId) -> Request + Sync,
+    {
+        if targets.is_empty() {
+            return Vec::new();
+        }
+        if targets.len() == 1 {
+            let w = targets[0];
+            let result = self
+                .endpoint
+                .call(w, encode_to_vec(&request_for(w)), timeout)
+                .map_err(StcamError::from)
+                .and_then(|bytes| {
+                    decode_from_slice::<Response>(&bytes).map_err(StcamError::from)
+                });
+            return vec![(w, result)];
+        }
+        let endpoint = &self.endpoint;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = targets
+                .iter()
+                .map(|&worker| {
+                    let request = request_for(worker);
+                    scope.spawn(move || {
+                        let result = endpoint
+                            .call(worker, encode_to_vec(&request), timeout)
+                            .map_err(StcamError::from)
+                            .and_then(|bytes| {
+                                decode_from_slice::<Response>(&bytes).map_err(StcamError::from)
+                            });
+                        (worker, result)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter thread panicked"))
+                .collect()
+        })
+    }
+}
+
+fn sort_knn(observations: &mut [Observation], at: Point) {
+    observations.sort_by(|a, b| {
+        let da = at.distance_sq(a.position);
+        let db = at.distance_sq(b.position);
+        da.partial_cmp(&db)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+fn expect_observations(resp: Response) -> Result<Vec<Observation>, StcamError> {
+    match resp {
+        Response::Observations(obs) => Ok(obs),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!("expected observations, got {other:?}"))),
+    }
+}
+
+fn expect_counts(resp: Response) -> Result<Vec<u64>, StcamError> {
+    match resp {
+        Response::Counts(counts) => Ok(counts),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!("expected counts, got {other:?}"))),
+    }
+}
+
+fn expect_ack(resp: Response) -> Result<(), StcamError> {
+    match resp {
+        Response::Ack => Ok(()),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!("expected ack, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(counts: &[u64]) -> ClusterStats {
+        ClusterStats {
+            workers: counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    (
+                        NodeId(i as u32 + 1),
+                        WorkerStatsMsg { primary_observations: c, ..Default::default() },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn cluster_stats_totals_and_imbalance() {
+        let s = stats_with(&[100, 100, 100, 100]);
+        assert_eq!(s.total_primary(), 400);
+        assert!((s.imbalance() - 1.0).abs() < 1e-12);
+        let skewed = stats_with(&[400, 0, 0, 0]);
+        assert!((skewed.imbalance() - 4.0).abs() < 1e-12);
+        // Degenerate cases fall back to 1.0.
+        assert_eq!(stats_with(&[]).imbalance(), 1.0);
+        assert_eq!(stats_with(&[0, 0]).imbalance(), 1.0);
+    }
+
+    #[test]
+    fn rebalance_report_is_plain_data() {
+        let r = RebalanceReport {
+            cells_moved: 3,
+            observations_moved: 42,
+            imbalance_before: 2.5,
+            imbalance_after: 1.1,
+        };
+        let s = format!("{r:?}");
+        assert!(s.contains("cells_moved: 3"));
+        assert!(r.imbalance_after < r.imbalance_before);
+    }
+
+    #[test]
+    fn expect_helpers_map_remote_errors() {
+        assert!(matches!(
+            expect_ack(Response::Error("boom".into())),
+            Err(StcamError::Remote(_))
+        ));
+        assert!(matches!(
+            expect_observations(Response::Ack),
+            Err(StcamError::Remote(_))
+        ));
+        assert!(matches!(
+            expect_counts(Response::Ack),
+            Err(StcamError::Remote(_))
+        ));
+        assert!(expect_ack(Response::Ack).is_ok());
+        assert_eq!(expect_counts(Response::Counts(vec![1, 2])).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn sort_knn_orders_by_distance_then_id() {
+        use stcam_camnet::{CameraId, ObservationId, Signature};
+        use stcam_geo::Timestamp;
+        use stcam_world::{EntityClass, EntityId};
+        let mk = |seq: u64, x: f64| Observation {
+            id: ObservationId::compose(CameraId(0), seq),
+            camera: CameraId(0),
+            time: Timestamp::ZERO,
+            position: Point::new(x, 0.0),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(seq),
+            truth: Some(EntityId(seq)),
+        };
+        let mut v = vec![mk(2, 5.0), mk(0, 10.0), mk(1, 5.0)];
+        sort_knn(&mut v, Point::new(0.0, 0.0));
+        let seqs: Vec<u64> = v.iter().map(|o| o.id.seq()).collect();
+        assert_eq!(seqs, vec![1, 2, 0]);
+    }
+}

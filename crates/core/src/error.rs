@@ -1,0 +1,82 @@
+//! Framework-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+use stcam_codec::DecodeError;
+use stcam_net::NetError;
+
+/// An error surfaced by the distributed framework's public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StcamError {
+    /// The underlying transport failed (timeout, down node, shutdown).
+    Net(NetError),
+    /// A peer's message could not be decoded (corruption or version skew).
+    Codec(DecodeError),
+    /// A peer answered with an application-level error.
+    Remote(String),
+    /// A request addressed data outside the deployment extent.
+    OutOfExtent,
+    /// The cluster has no alive worker able to serve the request.
+    NoQuorum,
+    /// The cluster facade has been shut down.
+    Shutdown,
+    /// The operation is not supported under the current configuration.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for StcamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StcamError::Net(e) => write!(f, "transport error: {e}"),
+            StcamError::Codec(e) => write!(f, "codec error: {e}"),
+            StcamError::Remote(msg) => write!(f, "remote error: {msg}"),
+            StcamError::OutOfExtent => write!(f, "request outside the deployment extent"),
+            StcamError::NoQuorum => write!(f, "no alive worker can serve the request"),
+            StcamError::Shutdown => write!(f, "cluster has been shut down"),
+            StcamError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl Error for StcamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StcamError::Net(e) => Some(e),
+            StcamError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for StcamError {
+    fn from(e: NetError) -> Self {
+        StcamError::Net(e)
+    }
+}
+
+impl From<DecodeError> for StcamError {
+    fn from(e: DecodeError) -> Self {
+        StcamError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StcamError::from(NetError::Timeout);
+        assert!(e.to_string().contains("timed out"));
+        assert!(e.source().is_some());
+        assert!(StcamError::NoQuorum.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<StcamError>();
+    }
+}

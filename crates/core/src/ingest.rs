@@ -1,0 +1,158 @@
+//! Direct edge ingestion.
+//!
+//! Routing every observation through the coordinator would make it the
+//! ingest bottleneck. In a deployment, camera aggregation points hold a
+//! copy of the partition map and stream straight to the owning workers;
+//! the coordinator only manages membership and queries. An [`Ingestor`]
+//! is that aggregation-point handle: it has its own fabric endpoint and a
+//! snapshot of the partition map, and many of them can ingest in
+//! parallel.
+//!
+//! An ingestor's map snapshot goes stale when the cluster recovers from a
+//! failure; recreate ingestors (via
+//! [`Cluster::create_ingestor`](crate::Cluster::create_ingestor)) after
+//! [`check_and_recover`](crate::Cluster::check_and_recover) reports
+//! failures.
+
+use std::collections::HashMap;
+use std::time::Duration as StdDuration;
+
+use stcam_camnet::Observation;
+use stcam_codec::encode_to_vec;
+use stcam_net::{Endpoint, NodeId};
+
+use crate::error::StcamError;
+use crate::partition::PartitionMap;
+use crate::protocol::Request;
+
+/// A parallel ingest handle with its own network endpoint; see the
+/// module documentation above for the routing model and staleness
+/// caveat.
+#[derive(Debug)]
+pub struct Ingestor {
+    endpoint: Endpoint,
+    partition: PartitionMap,
+    rpc_timeout: StdDuration,
+}
+
+impl Ingestor {
+    pub(crate) fn new(
+        endpoint: Endpoint,
+        partition: PartitionMap,
+        rpc_timeout: StdDuration,
+    ) -> Self {
+        Ingestor { endpoint, partition, rpc_timeout }
+    }
+
+    /// This ingestor's node id on the fabric.
+    pub fn id(&self) -> NodeId {
+        self.endpoint.id()
+    }
+
+    /// Routes a batch directly to the owning workers (fire-and-forget).
+    /// Returns the number of observations routed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport problems (e.g. fabric shutdown). Messages to
+    /// workers that crashed after this ingestor's partition snapshot was
+    /// taken are silently dropped by the fabric — recreate the ingestor
+    /// after recovery.
+    pub fn ingest(&self, batch: Vec<Observation>) -> Result<usize, StcamError> {
+        let n = batch.len();
+        let mut groups: HashMap<NodeId, Vec<Observation>> = HashMap::new();
+        for obs in batch {
+            groups
+                .entry(self.partition.owner_of(obs.position))
+                .or_default()
+                .push(obs);
+        }
+        for (owner, group) in groups {
+            self.endpoint
+                .send(owner, encode_to_vec(&Request::Ingest(group)))?;
+        }
+        Ok(n)
+    }
+
+    /// Barrier: confirms every worker has drained this ingestor's
+    /// previously sent traffic (per-link FIFO + a ping round trip).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a worker does not answer within the RPC timeout.
+    pub fn flush(&self) -> Result<(), StcamError> {
+        for &worker in self.partition.workers() {
+            let bytes = self
+                .endpoint
+                .call(worker, encode_to_vec(&Request::Ping), self.rpc_timeout)?;
+            let _ = stcam_codec::decode_from_slice::<crate::protocol::Response>(&bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterConfig};
+    use stcam_camnet::{CameraId, ObservationId, Signature};
+    use stcam_geo::{BBox, Point, TimeInterval, Timestamp};
+    use stcam_net::LinkModel;
+    use stcam_world::{EntityClass, EntityId};
+
+    fn obs(seq: u64, x: f64, y: f64) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(0), seq),
+            camera: CameraId(0),
+            time: Timestamp::from_secs(1),
+            position: Point::new(x, y),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(seq),
+            truth: Some(EntityId(seq)),
+        }
+    }
+
+    #[test]
+    fn parallel_ingestors_deliver_everything() {
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        let cluster = Cluster::launch(
+            ClusterConfig::new(extent, 4)
+                .with_replication(0)
+                .with_link(LinkModel::instant()),
+        )
+        .unwrap();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let ingestor = cluster.create_ingestor();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        let seq = t * 250 + i;
+                        ingestor
+                            .ingest(vec![obs(seq, (seq as f64 * 7.0) % 1000.0, (seq as f64 * 13.0) % 1000.0)])
+                            .unwrap();
+                    }
+                    ingestor.flush().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(100));
+        assert_eq!(cluster.range_query(extent, window).unwrap().len(), 1000);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn ingestor_ids_are_distinct() {
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        let cluster = Cluster::launch(
+            ClusterConfig::new(extent, 2).with_link(LinkModel::instant()),
+        )
+        .unwrap();
+        let a = cluster.create_ingestor();
+        let b = cluster.create_ingestor();
+        assert_ne!(a.id(), b.id());
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,74 @@
+//! `stcam` — a distributed framework for spatio-temporal analysis on
+//! large-scale camera networks.
+//!
+//! This crate is the system's core: it shards the observation stream of a
+//! metropolitan camera network across a cluster of worker nodes by space,
+//! executes spatio-temporal queries by scatter/gather over the shards, and
+//! layers trajectory analysis (cross-camera track stitching) and standing
+//! continuous queries on top.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  cameras ──observations──▶ Coordinator ──route by cell──▶ Worker 1..N
+//!                               │   ▲                        │ StIndex
+//!      range / kNN / heatmap ───┘   └──── partial results ───┘ replicas
+//! ```
+//!
+//! * [`PartitionMap`] — space is cut into macro-cells on a Z-order curve;
+//!   contiguous curve runs are assigned to workers (uniform) or packed by
+//!   measured load (load-aware).
+//! * [`Worker`] — owns the `stcam-index` shard for its cells, answers
+//!   sub-queries, evaluates continuous-query predicates at ingest, and
+//!   forwards replicas to its ring successors.
+//! * [`Coordinator`] — routes ingest batches, scatters queries to exactly
+//!   the owning workers, merges partial results (top-k merge for kNN,
+//!   bucket-sum for heat maps), monitors liveness, and fails shards over
+//!   to replicas.
+//! * [`stitch`] — converts per-camera observations into tracklets and
+//!   associates them across adjacent cameras using appearance distance
+//!   gated by learned transition-time windows.
+//! * [`Cluster`] — the embeddable facade: spins up a fabric, N worker
+//!   threads and a coordinator, and exposes the whole system behind plain
+//!   method calls.
+//!
+//! # Example
+//!
+//! ```
+//! use stcam::{Cluster, ClusterConfig};
+//! use stcam_geo::{BBox, Point, TimeInterval, Timestamp};
+//!
+//! let extent = BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0));
+//! let cluster = Cluster::launch(ClusterConfig::new(extent, 4))?;
+//! // No data ingested yet: queries come back empty.
+//! let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(60));
+//! let hits = cluster.range_query(BBox::around(Point::new(1000.0, 1000.0), 200.0), window)?;
+//! assert!(hits.is_empty());
+//! cluster.shutdown();
+//! # Ok::<(), stcam::StcamError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baseline;
+mod cluster;
+mod continuous;
+mod coordinator;
+mod error;
+mod ingest;
+mod partition;
+mod protocol;
+pub mod snapshot;
+pub mod stitch;
+mod worker;
+
+pub use baseline::CentralizedStore;
+pub use cluster::{Cluster, ClusterConfig};
+pub use continuous::{ContinuousQueryId, Notification, Predicate};
+pub use coordinator::{ClusterStats, Coordinator, RebalanceReport};
+pub use error::StcamError;
+pub use ingest::Ingestor;
+pub use partition::{PartitionMap, PartitionPolicy};
+pub use protocol::{Request, Response, WorkerStatsMsg};
+pub use worker::{Worker, WorkerConfig, WorkerHandle};

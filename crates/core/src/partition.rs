@@ -1,0 +1,432 @@
+//! Space partitioning: macro-cells on a Z-order curve, assigned to workers.
+
+use stcam_geo::{BBox, CellId, GridSpec, Point};
+use stcam_net::NodeId;
+
+/// How macro-cells are assigned to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Split the Z-order curve into runs of equal *cell count*. Cheap and
+    /// oblivious; degrades under spatial load skew.
+    UniformHash,
+    /// Split the Z-order curve into runs of equal *measured load*
+    /// (observations per cell over a recent window). Adapts to hotspots
+    /// while preserving spatial locality of each shard.
+    LoadAware,
+}
+
+impl std::fmt::Display for PartitionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionPolicy::UniformHash => f.write_str("uniform-hash"),
+            PartitionPolicy::LoadAware => f.write_str("load-aware"),
+        }
+    }
+}
+
+/// The assignment of every macro-cell to an owning worker.
+///
+/// Cells are ordered on the Z-order curve and each worker owns one
+/// contiguous curve run, so shards stay spatially compact and a region
+/// query touches few workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionMap {
+    grid: GridSpec,
+    workers: Vec<NodeId>,
+    /// Per cell (row-major slot), the index into `workers` of its owner.
+    assignment: Vec<u32>,
+}
+
+impl PartitionMap {
+    /// Builds a uniform (cell-count-balanced) partition of `extent` into
+    /// macro-cells of `cell_size` over `workers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is empty or the geometry is degenerate.
+    pub fn uniform(extent: BBox, cell_size: f64, workers: Vec<NodeId>) -> Self {
+        let grid = GridSpec::covering(extent, cell_size);
+        let cell_count = grid.cell_count() as usize;
+        let loads = vec![1u64; cell_count];
+        Self::from_loads(grid, workers, &loads)
+    }
+
+    /// Builds a load-aware partition: each worker's curve run carries
+    /// approximately equal total `loads` (one entry per cell, row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is empty or `loads.len()` does not match the
+    /// cell count of the macro grid.
+    pub fn load_aware(extent: BBox, cell_size: f64, workers: Vec<NodeId>, loads: &[u64]) -> Self {
+        let grid = GridSpec::covering(extent, cell_size);
+        assert_eq!(
+            loads.len(),
+            grid.cell_count() as usize,
+            "loads length must equal macro cell count"
+        );
+        // All-zero load degenerates to uniform.
+        if loads.iter().all(|&l| l == 0) {
+            let ones = vec![1u64; loads.len()];
+            return Self::from_loads(grid, workers, &ones);
+        }
+        Self::from_loads(grid, workers, loads)
+    }
+
+    /// Builds by the given policy; `loads` is required (and only used) by
+    /// [`PartitionPolicy::LoadAware`].
+    pub fn build(
+        policy: PartitionPolicy,
+        extent: BBox,
+        cell_size: f64,
+        workers: Vec<NodeId>,
+        loads: Option<&[u64]>,
+    ) -> Self {
+        match policy {
+            PartitionPolicy::UniformHash => Self::uniform(extent, cell_size, workers),
+            PartitionPolicy::LoadAware => Self::load_aware(
+                extent,
+                cell_size,
+                workers,
+                loads.expect("load-aware partitioning requires per-cell loads"),
+            ),
+        }
+    }
+
+    fn from_loads(grid: GridSpec, workers: Vec<NodeId>, loads: &[u64]) -> Self {
+        assert!(!workers.is_empty(), "need at least one worker");
+        let n_workers = workers.len();
+        // Cells in Z-order.
+        let mut cells: Vec<CellId> = grid.all_cells().collect();
+        cells.sort_by_key(|c| c.zorder());
+        let total: u64 = loads.iter().sum::<u64>().max(1);
+        let mut assignment = vec![0u32; grid.cell_count() as usize];
+        // Walk the curve, cutting a new run when the current worker has
+        // its fair share AND enough workers remain for the leftover cells.
+        let mut worker = 0usize;
+        let mut acc = 0u64;
+        let mut cells_in_run = 0usize;
+        let target = total.div_ceil(n_workers as u64);
+        for (i, cell) in cells.iter().enumerate() {
+            let slot = cell.row as usize * grid.cols() as usize + cell.col as usize;
+            let remaining_cells = cells.len() - i;
+            let remaining_workers = n_workers - worker;
+            // Cut a new run when adding this cell would overshoot the
+            // current worker's share by more than stopping short would
+            // undershoot it (classic 1-D linear partitioning), or when
+            // exactly one cell per remaining worker is left (so that
+            // extreme skew cannot starve trailing workers of cells).
+            let forced = cells_in_run > 0 && remaining_cells == remaining_workers;
+            let with_cell = acc + loads[slot];
+            let sated = cells_in_run > 0
+                && with_cell > target
+                && (with_cell - target) > (target - acc.min(target))
+                && remaining_cells >= remaining_workers;
+            if remaining_workers > 1 && (forced || sated) {
+                worker += 1;
+                acc = 0;
+                cells_in_run = 0;
+            }
+            assignment[slot] = worker as u32;
+            acc += loads[slot];
+            cells_in_run += 1;
+        }
+        PartitionMap { grid, workers, assignment }
+    }
+
+    /// The macro grid.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// All workers in ring order.
+    pub fn workers(&self) -> &[NodeId] {
+        &self.workers
+    }
+
+    /// The worker owning the macro-cell containing `p` (clamped to the
+    /// extent, so noisy boundary observations route deterministically).
+    pub fn owner_of(&self, p: Point) -> NodeId {
+        self.owner_of_cell(self.grid.cell_of_clamped(p))
+    }
+
+    /// The worker owning `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cell` is outside the macro grid.
+    pub fn owner_of_cell(&self, cell: CellId) -> NodeId {
+        assert!(self.grid.contains_cell(cell), "cell outside macro grid");
+        let slot = cell.row as usize * self.grid.cols() as usize + cell.col as usize;
+        self.workers[self.assignment[slot] as usize]
+    }
+
+    /// The distinct workers whose shards overlap `region`, in ring order.
+    pub fn workers_for_region(&self, region: BBox) -> Vec<NodeId> {
+        let mut present = vec![false; self.workers.len()];
+        for cell in self.grid.cells_overlapping(region) {
+            let slot = cell.row as usize * self.grid.cols() as usize + cell.col as usize;
+            present[self.assignment[slot] as usize] = true;
+        }
+        self.workers
+            .iter()
+            .zip(&present)
+            .filter(|(_, &p)| p)
+            .map(|(&w, _)| w)
+            .collect()
+    }
+
+    /// The macro-cells owned by `worker`.
+    pub fn cells_of(&self, worker: NodeId) -> Vec<CellId> {
+        let Some(widx) = self.workers.iter().position(|&w| w == worker) else {
+            return Vec::new();
+        };
+        self.grid
+            .all_cells()
+            .filter(|c| {
+                let slot = c.row as usize * self.grid.cols() as usize + c.col as usize;
+                self.assignment[slot] == widx as u32
+            })
+            .collect()
+    }
+
+    /// The `r` ring successors of `worker` (replica holders), skipping
+    /// `worker` itself. Fewer are returned when the cluster is small.
+    pub fn successors(&self, worker: NodeId, r: usize) -> Vec<NodeId> {
+        let Some(widx) = self.workers.iter().position(|&w| w == worker) else {
+            return Vec::new();
+        };
+        (1..=r.min(self.workers.len() - 1))
+            .map(|i| self.workers[(widx + i) % self.workers.len()])
+            .collect()
+    }
+
+    /// Reassigns every cell owned by `from` to `to` (failover). `to` must
+    /// already be a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either node is not a member.
+    pub fn reassign(&mut self, from: NodeId, to: NodeId) {
+        let fidx = self.workers.iter().position(|&w| w == from).expect("from is a member") as u32;
+        let tidx = self.workers.iter().position(|&w| w == to).expect("to is a member") as u32;
+        for a in &mut self.assignment {
+            if *a == fidx {
+                *a = tidx;
+            }
+        }
+    }
+
+    /// The region of positions that *route* to `cell` under
+    /// [`owner_of`](Self::owner_of): the cell's half-open box, extended
+    /// unboundedly outward on grid-border sides (clamping maps outside
+    /// positions to border cells). Used by shard migration so that the
+    /// set of observations extracted from a cell is exactly the set that
+    /// routes to it.
+    pub fn cell_routing_region(&self, cell: CellId) -> BBox {
+        const FAR: f64 = 1e12;
+        let bb = self.grid.cell_bbox(cell);
+        let min = Point::new(
+            if cell.col == 0 { -FAR } else { bb.min.x },
+            if cell.row == 0 { -FAR } else { bb.min.y },
+        );
+        let max = Point::new(
+            if cell.col == self.grid.cols() - 1 { FAR } else { bb.max.x.next_down() },
+            if cell.row == self.grid.rows() - 1 { FAR } else { bb.max.y.next_down() },
+        );
+        BBox::new(min, max)
+    }
+
+    /// Per-worker totals of `loads` (one entry per cell, row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loads.len()` does not match the cell count.
+    pub fn worker_loads(&self, loads: &[u64]) -> Vec<(NodeId, u64)> {
+        assert_eq!(loads.len(), self.assignment.len());
+        let mut totals = vec![0u64; self.workers.len()];
+        for (slot, &load) in loads.iter().enumerate() {
+            totals[self.assignment[slot] as usize] += load;
+        }
+        self.workers.iter().copied().zip(totals).collect()
+    }
+
+    /// Load imbalance factor: max worker load ÷ mean worker load (1.0 is
+    /// perfect balance). Returns 1.0 when the total load is zero.
+    pub fn imbalance(&self, loads: &[u64]) -> f64 {
+        let totals = self.worker_loads(loads);
+        let sum: u64 = totals.iter().map(|(_, l)| l).sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        let max = totals.iter().map(|(_, l)| *l).max().unwrap_or(0);
+        max as f64 / (sum as f64 / totals.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1600.0, 1600.0))
+    }
+
+    fn workers(n: u32) -> Vec<NodeId> {
+        (1..=n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn uniform_assigns_every_cell_and_balances_counts() {
+        let m = PartitionMap::uniform(extent(), 200.0, workers(4));
+        assert_eq!(m.grid().cell_count(), 64);
+        let loads = vec![1u64; 64];
+        let per_worker = m.worker_loads(&loads);
+        for (w, count) in &per_worker {
+            assert_eq!(*count, 16, "worker {w} owns {count} cells");
+        }
+        assert!((m.imbalance(&loads) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn owner_is_total_and_consistent() {
+        let m = PartitionMap::uniform(extent(), 200.0, workers(5));
+        for cell in m.grid().all_cells() {
+            let owner = m.owner_of_cell(cell);
+            assert!(m.workers().contains(&owner));
+            let center = m.grid().cell_bbox(cell).center();
+            assert_eq!(m.owner_of(center), owner);
+        }
+        // Points outside the extent clamp to border cells.
+        let o = m.owner_of(Point::new(-500.0, -500.0));
+        assert_eq!(o, m.owner_of_cell(CellId::new(0, 0)));
+    }
+
+    #[test]
+    fn shards_are_spatially_compact() {
+        // Each worker's cells should form few connected clumps thanks to
+        // the Z-order runs; verify the bounding box of each shard is much
+        // smaller than the whole extent for a 16-worker split.
+        let m = PartitionMap::uniform(extent(), 100.0, workers(16));
+        for &w in m.workers() {
+            let cells = m.cells_of(w);
+            let bb = BBox::covering(cells.iter().map(|&c| m.grid().cell_center(c)));
+            assert!(bb.area() <= extent().area() / 2.0, "shard of {w} too spread");
+        }
+    }
+
+    #[test]
+    fn workers_for_region_exactly_covers_owners() {
+        let m = PartitionMap::uniform(extent(), 200.0, workers(4));
+        let region = BBox::new(Point::new(50.0, 50.0), Point::new(350.0, 350.0));
+        let listed = m.workers_for_region(region);
+        let mut expected: Vec<NodeId> = m
+            .grid()
+            .cells_overlapping(region)
+            .map(|c| m.owner_of_cell(c))
+            .collect();
+        expected.sort();
+        expected.dedup();
+        let mut got = listed.clone();
+        got.sort();
+        assert_eq!(got, expected);
+        // Full-extent query touches everyone.
+        assert_eq!(m.workers_for_region(extent()).len(), 4);
+    }
+
+    #[test]
+    fn load_aware_beats_uniform_under_hotspot() {
+        // Load concentrated in one corner.
+        let grid = GridSpec::covering(extent(), 200.0);
+        let mut loads = vec![1u64; grid.cell_count() as usize];
+        for cell in grid.cells_overlapping(BBox::new(Point::new(0.0, 0.0), Point::new(400.0, 400.0))) {
+            let slot = cell.row as usize * grid.cols() as usize + cell.col as usize;
+            loads[slot] = 500;
+        }
+        let uniform = PartitionMap::uniform(extent(), 200.0, workers(8));
+        let aware = PartitionMap::load_aware(extent(), 200.0, workers(8), &loads);
+        let iu = uniform.imbalance(&loads);
+        let ia = aware.imbalance(&loads);
+        assert!(ia < iu, "load-aware {ia} not better than uniform {iu}");
+        assert!(ia < 2.0, "load-aware imbalance still {ia}");
+    }
+
+    #[test]
+    fn load_aware_all_zero_falls_back_to_uniform() {
+        let grid = GridSpec::covering(extent(), 200.0);
+        let zeros = vec![0u64; grid.cell_count() as usize];
+        let m = PartitionMap::load_aware(extent(), 200.0, workers(4), &zeros);
+        let ones = vec![1u64; zeros.len()];
+        let per_worker = m.worker_loads(&ones);
+        for (_, count) in per_worker {
+            assert_eq!(count, 16);
+        }
+    }
+
+    #[test]
+    fn every_worker_gets_at_least_one_cell() {
+        // Extreme skew: all load in one cell must not starve workers.
+        let grid = GridSpec::covering(extent(), 200.0);
+        let mut loads = vec![0u64; grid.cell_count() as usize];
+        loads[0] = 1_000_000;
+        let m = PartitionMap::load_aware(extent(), 200.0, workers(8), &loads);
+        for &w in m.workers() {
+            assert!(!m.cells_of(w).is_empty(), "worker {w} owns nothing");
+        }
+    }
+
+    #[test]
+    fn successors_ring() {
+        let m = PartitionMap::uniform(extent(), 400.0, workers(4));
+        assert_eq!(m.successors(NodeId(1), 2), vec![NodeId(2), NodeId(3)]);
+        assert_eq!(m.successors(NodeId(4), 2), vec![NodeId(1), NodeId(2)]);
+        // r capped by cluster size.
+        assert_eq!(m.successors(NodeId(1), 10).len(), 3);
+        // Unknown worker.
+        assert!(m.successors(NodeId(99), 1).is_empty());
+    }
+
+    #[test]
+    fn reassign_moves_all_cells() {
+        let mut m = PartitionMap::uniform(extent(), 400.0, workers(4));
+        let before = m.cells_of(NodeId(2)).len();
+        assert!(before > 0);
+        let target_before = m.cells_of(NodeId(3)).len();
+        m.reassign(NodeId(2), NodeId(3));
+        assert!(m.cells_of(NodeId(2)).is_empty());
+        assert_eq!(m.cells_of(NodeId(3)).len(), target_before + before);
+    }
+
+    #[test]
+    fn routing_region_matches_owner_routing() {
+        let m = PartitionMap::uniform(extent(), 200.0, workers(4));
+        // Probe a lattice of positions, including cell edges and points
+        // outside the extent: each position must fall in exactly the
+        // routing region of the cell that owns it.
+        let mut probes = Vec::new();
+        for i in -2..=18 {
+            for j in -2..=18 {
+                probes.push(Point::new(i as f64 * 100.0, j as f64 * 100.0));
+                probes.push(Point::new(i as f64 * 100.0 + 37.5, j as f64 * 100.0 + 62.5));
+            }
+        }
+        for p in probes {
+            let owning_cell = m.grid().cell_of_clamped(p);
+            let mut containing = 0;
+            for cell in m.grid().all_cells() {
+                if m.cell_routing_region(cell).contains(p) {
+                    containing += 1;
+                    assert_eq!(cell, owning_cell, "{p} routes to {owning_cell} but region of {cell} contains it");
+                }
+            }
+            assert_eq!(containing, 1, "{p} contained by {containing} routing regions");
+        }
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let m = PartitionMap::uniform(extent(), 400.0, workers(1));
+        assert_eq!(m.cells_of(NodeId(1)).len(), m.grid().cell_count() as usize);
+        assert!(m.successors(NodeId(1), 2).is_empty());
+    }
+}

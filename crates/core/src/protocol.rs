@@ -1,0 +1,528 @@
+//! The coordinator ↔ worker wire protocol.
+//!
+//! Every message is a [`Request`] or [`Response`] encoded with
+//! `stcam-codec`. Discriminants are explicit single bytes so the format is
+//! stable and the communication-cost experiment's byte counts are
+//! meaningful.
+
+use bytes::{Buf, BufMut};
+use stcam_camnet::Observation;
+use stcam_codec::{DecodeError, Wire};
+use stcam_geo::{BBox, GridSpec, Point, TimeInterval};
+use stcam_net::NodeId;
+
+use crate::continuous::{ContinuousQueryId, Predicate};
+
+/// A wire-encodable stand-in for [`GridSpec`] (which keeps its fields
+/// private in `stcam-geo`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpecMsg {
+    /// Grid origin.
+    pub origin: Point,
+    /// Cell side, metres.
+    pub cell_size: f64,
+    /// Columns.
+    pub cols: u32,
+    /// Rows.
+    pub rows: u32,
+}
+
+impl From<GridSpec> for GridSpecMsg {
+    fn from(g: GridSpec) -> Self {
+        GridSpecMsg {
+            origin: g.origin(),
+            cell_size: g.cell_size(),
+            cols: g.cols(),
+            rows: g.rows(),
+        }
+    }
+}
+
+impl GridSpecMsg {
+    /// Reconstructs the grid.
+    pub fn to_grid(self) -> GridSpec {
+        GridSpec::new(self.origin, self.cell_size, self.cols, self.rows)
+    }
+}
+
+impl Wire for GridSpecMsg {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.origin.encode(buf);
+        self.cell_size.encode(buf);
+        self.cols.encode(buf);
+        self.rows.encode(buf);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        let origin = Point::decode(buf)?;
+        let cell_size = f64::decode(buf)?;
+        let cols = u32::decode(buf)?;
+        let rows = u32::decode(buf)?;
+        if cell_size <= 0.0 || !cell_size.is_finite() || cols == 0 || rows == 0 {
+            return Err(DecodeError::InvalidValue { reason: "degenerate grid spec" });
+        }
+        Ok(GridSpecMsg { origin, cell_size, cols, rows })
+    }
+}
+
+/// A request sent to a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Store these observations as shard primary (and replicate them).
+    Ingest(Vec<Observation>),
+    /// Store these observations as a replica for primary `primary`.
+    Replicate {
+        /// The worker whose shard these observations belong to.
+        primary: NodeId,
+        /// The replicated observations.
+        batch: Vec<Observation>,
+    },
+    /// Return observations in `region` × `window` from the local shard.
+    Range {
+        /// Spatial predicate.
+        region: BBox,
+        /// Temporal predicate.
+        window: TimeInterval,
+    },
+    /// Return the local k nearest observations to `at` within `window`,
+    /// optionally only those within `max_distance` of `at`.
+    Knn {
+        /// Query point.
+        at: Point,
+        /// Temporal predicate.
+        window: TimeInterval,
+        /// Result size bound.
+        k: u32,
+        /// Prune radius from a previous phase, if any.
+        max_distance: Option<f64>,
+    },
+    /// Return per-bucket counts over the local shard.
+    Heatmap {
+        /// Aggregation buckets.
+        buckets: GridSpecMsg,
+        /// Temporal predicate.
+        window: TimeInterval,
+    },
+    /// Register a standing continuous query; matches stream to `notify`.
+    RegisterContinuous {
+        /// Query id (cluster-unique).
+        id: ContinuousQueryId,
+        /// Match predicate.
+        predicate: Predicate,
+        /// Node to notify on match.
+        notify: NodeId,
+    },
+    /// Remove a standing query.
+    UnregisterContinuous(ContinuousQueryId),
+    /// Return every observation this worker holds as primary (failover
+    /// export) — the answering worker is the *replica*, `of` the failed
+    /// primary.
+    SnapshotReplica {
+        /// The failed primary whose replicated data is requested.
+        of: NodeId,
+    },
+    /// Adopt these observations into the local primary shard (failover
+    /// import). Unlike `Ingest` this does not re-replicate.
+    Adopt(Vec<Observation>),
+    /// Report local statistics.
+    Stats,
+    /// Drop observations older than the timestamp (retention sweep).
+    EvictBefore(stcam_geo::Timestamp),
+    /// Failover: absorb the local replica log held for `failed` into the
+    /// primary shard and re-replicate it onward. The reply is `Ack`.
+    Promote {
+        /// The failed worker being taken over.
+        failed: NodeId,
+    },
+    /// Shard migration: remove and return every observation positioned in
+    /// `region` (all retained time). The coordinator ships the result to
+    /// the region's new owner via `Adopt` during online rebalancing.
+    ExtractRegion {
+        /// The spatial region being migrated away.
+        region: BBox,
+    },
+    /// As `Range` with an additional entity-class filter — predicate
+    /// pushdown for typed queries ("trucks inside A").
+    RangeFiltered {
+        /// Spatial predicate.
+        region: BBox,
+        /// Temporal predicate.
+        window: TimeInterval,
+        /// Required class, as `EntityClass::as_u8`.
+        class: u8,
+    },
+}
+
+/// Statistics reported by a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStatsMsg {
+    /// Observations in the primary shard index.
+    pub primary_observations: u64,
+    /// Observations held as replicas for other workers.
+    pub replica_observations: u64,
+    /// Total observations ever ingested as primary.
+    pub ingested_total: u64,
+    /// Continuous-query notifications sent.
+    pub notifications_sent: u64,
+    /// Standing continuous queries registered.
+    pub continuous_queries: u64,
+    /// Cumulative microseconds this worker has spent executing requests
+    /// (its "busy time"). On a single-core host, wall-clock numbers do
+    /// not show parallel speedup; the evaluation instead reports the
+    /// critical path — the busiest shard's busy time — which is what a
+    /// multi-machine deployment's latency would track.
+    pub busy_micros: u64,
+    /// End of the newest retained index slice, in milliseconds, if any
+    /// data is held. Drives cluster-wide retention sweeps.
+    pub newest_ms: Option<u64>,
+}
+
+impl Wire for WorkerStatsMsg {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.primary_observations.encode(buf);
+        self.replica_observations.encode(buf);
+        self.ingested_total.encode(buf);
+        self.notifications_sent.encode(buf);
+        self.continuous_queries.encode(buf);
+        self.busy_micros.encode(buf);
+        self.newest_ms.encode(buf);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(WorkerStatsMsg {
+            primary_observations: u64::decode(buf)?,
+            replica_observations: u64::decode(buf)?,
+            ingested_total: u64::decode(buf)?,
+            notifications_sent: u64::decode(buf)?,
+            continuous_queries: u64::decode(buf)?,
+            busy_micros: u64::decode(buf)?,
+            newest_ms: Option::decode(buf)?,
+        })
+    }
+}
+
+/// A worker's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success without data.
+    Ack,
+    /// Matching observations.
+    Observations(Vec<Observation>),
+    /// Dense per-bucket counts.
+    Counts(Vec<u64>),
+    /// Worker statistics.
+    Stats(WorkerStatsMsg),
+    /// Application-level failure.
+    Error(String),
+}
+
+const REQ_PING: u8 = 0;
+const REQ_INGEST: u8 = 1;
+const REQ_REPLICATE: u8 = 2;
+const REQ_RANGE: u8 = 3;
+const REQ_KNN: u8 = 4;
+const REQ_HEATMAP: u8 = 5;
+const REQ_REGISTER: u8 = 6;
+const REQ_UNREGISTER: u8 = 7;
+const REQ_SNAPSHOT: u8 = 8;
+const REQ_ADOPT: u8 = 9;
+const REQ_STATS: u8 = 10;
+const REQ_EVICT: u8 = 11;
+const REQ_PROMOTE: u8 = 12;
+const REQ_EXTRACT: u8 = 13;
+const REQ_RANGE_FILTERED: u8 = 14;
+
+impl Wire for Request {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            Request::Ping => buf.put_u8(REQ_PING),
+            Request::Ingest(batch) => {
+                buf.put_u8(REQ_INGEST);
+                batch.encode(buf);
+            }
+            Request::Replicate { primary, batch } => {
+                buf.put_u8(REQ_REPLICATE);
+                primary.0.encode(buf);
+                batch.encode(buf);
+            }
+            Request::Range { region, window } => {
+                buf.put_u8(REQ_RANGE);
+                region.encode(buf);
+                window.encode(buf);
+            }
+            Request::Knn { at, window, k, max_distance } => {
+                buf.put_u8(REQ_KNN);
+                at.encode(buf);
+                window.encode(buf);
+                k.encode(buf);
+                max_distance.encode(buf);
+            }
+            Request::Heatmap { buckets, window } => {
+                buf.put_u8(REQ_HEATMAP);
+                buckets.encode(buf);
+                window.encode(buf);
+            }
+            Request::RegisterContinuous { id, predicate, notify } => {
+                buf.put_u8(REQ_REGISTER);
+                id.0.encode(buf);
+                predicate.encode(buf);
+                notify.0.encode(buf);
+            }
+            Request::UnregisterContinuous(id) => {
+                buf.put_u8(REQ_UNREGISTER);
+                id.0.encode(buf);
+            }
+            Request::SnapshotReplica { of } => {
+                buf.put_u8(REQ_SNAPSHOT);
+                of.0.encode(buf);
+            }
+            Request::Adopt(batch) => {
+                buf.put_u8(REQ_ADOPT);
+                batch.encode(buf);
+            }
+            Request::Stats => buf.put_u8(REQ_STATS),
+            Request::EvictBefore(t) => {
+                buf.put_u8(REQ_EVICT);
+                t.encode(buf);
+            }
+            Request::Promote { failed } => {
+                buf.put_u8(REQ_PROMOTE);
+                failed.0.encode(buf);
+            }
+            Request::ExtractRegion { region } => {
+                buf.put_u8(REQ_EXTRACT);
+                region.encode(buf);
+            }
+            Request::RangeFiltered { region, window, class } => {
+                buf.put_u8(REQ_RANGE_FILTERED);
+                region.encode(buf);
+                window.encode(buf);
+                class.encode(buf);
+            }
+        }
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            REQ_PING => Request::Ping,
+            REQ_INGEST => Request::Ingest(Vec::decode(buf)?),
+            REQ_REPLICATE => Request::Replicate {
+                primary: NodeId(u32::decode(buf)?),
+                batch: Vec::decode(buf)?,
+            },
+            REQ_RANGE => Request::Range {
+                region: BBox::decode(buf)?,
+                window: TimeInterval::decode(buf)?,
+            },
+            REQ_KNN => Request::Knn {
+                at: Point::decode(buf)?,
+                window: TimeInterval::decode(buf)?,
+                k: u32::decode(buf)?,
+                max_distance: Option::decode(buf)?,
+            },
+            REQ_HEATMAP => Request::Heatmap {
+                buckets: GridSpecMsg::decode(buf)?,
+                window: TimeInterval::decode(buf)?,
+            },
+            REQ_REGISTER => Request::RegisterContinuous {
+                id: ContinuousQueryId(u64::decode(buf)?),
+                predicate: Predicate::decode(buf)?,
+                notify: NodeId(u32::decode(buf)?),
+            },
+            REQ_UNREGISTER => Request::UnregisterContinuous(ContinuousQueryId(u64::decode(buf)?)),
+            REQ_SNAPSHOT => Request::SnapshotReplica { of: NodeId(u32::decode(buf)?) },
+            REQ_ADOPT => Request::Adopt(Vec::decode(buf)?),
+            REQ_STATS => Request::Stats,
+            REQ_EVICT => Request::EvictBefore(stcam_geo::Timestamp::decode(buf)?),
+            REQ_PROMOTE => Request::Promote { failed: NodeId(u32::decode(buf)?) },
+            REQ_EXTRACT => Request::ExtractRegion { region: BBox::decode(buf)? },
+            REQ_RANGE_FILTERED => Request::RangeFiltered {
+                region: BBox::decode(buf)?,
+                window: TimeInterval::decode(buf)?,
+                class: u8::decode(buf)?,
+            },
+            other => {
+                return Err(DecodeError::InvalidDiscriminant {
+                    type_name: "Request",
+                    value: other as u64,
+                })
+            }
+        })
+    }
+}
+
+const RESP_ACK: u8 = 0;
+const RESP_OBSERVATIONS: u8 = 1;
+const RESP_COUNTS: u8 = 2;
+const RESP_STATS: u8 = 3;
+const RESP_ERROR: u8 = 4;
+
+impl Wire for Response {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            Response::Ack => buf.put_u8(RESP_ACK),
+            Response::Observations(obs) => {
+                buf.put_u8(RESP_OBSERVATIONS);
+                obs.encode(buf);
+            }
+            Response::Counts(counts) => {
+                buf.put_u8(RESP_COUNTS);
+                counts.encode(buf);
+            }
+            Response::Stats(stats) => {
+                buf.put_u8(RESP_STATS);
+                stats.encode(buf);
+            }
+            Response::Error(msg) => {
+                buf.put_u8(RESP_ERROR);
+                msg.encode(buf);
+            }
+        }
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            RESP_ACK => Response::Ack,
+            RESP_OBSERVATIONS => Response::Observations(Vec::decode(buf)?),
+            RESP_COUNTS => Response::Counts(Vec::decode(buf)?),
+            RESP_STATS => Response::Stats(WorkerStatsMsg::decode(buf)?),
+            RESP_ERROR => Response::Error(String::decode(buf)?),
+            other => {
+                return Err(DecodeError::InvalidDiscriminant {
+                    type_name: "Response",
+                    value: other as u64,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_camnet::{CameraId, ObservationId, Signature};
+    use stcam_codec::{decode_from_slice, encode_to_vec};
+    use stcam_geo::Timestamp;
+    use stcam_world::{EntityClass, EntityId};
+
+    fn obs() -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(1), 7),
+            camera: CameraId(1),
+            time: Timestamp::from_secs(3),
+            position: Point::new(10.0, 20.0),
+            class: EntityClass::Pedestrian,
+            signature: Signature::latent_for_entity(5),
+            truth: Some(EntityId(5)),
+        }
+    }
+
+    fn round_trip_req(r: Request) {
+        let bytes = encode_to_vec(&r);
+        assert_eq!(decode_from_slice::<Request>(&bytes).unwrap(), r);
+    }
+
+    fn round_trip_resp(r: Response) {
+        let bytes = encode_to_vec(&r);
+        assert_eq!(decode_from_slice::<Response>(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn all_requests_round_trip() {
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(10));
+        round_trip_req(Request::Ping);
+        round_trip_req(Request::Ingest(vec![obs(), obs()]));
+        round_trip_req(Request::Replicate { primary: NodeId(3), batch: vec![obs()] });
+        round_trip_req(Request::Range {
+            region: BBox::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0)),
+            window,
+        });
+        round_trip_req(Request::Knn {
+            at: Point::new(1.0, 2.0),
+            window,
+            k: 16,
+            max_distance: Some(120.5),
+        });
+        round_trip_req(Request::Knn { at: Point::new(1.0, 2.0), window, k: 1, max_distance: None });
+        round_trip_req(Request::Heatmap {
+            buckets: GridSpecMsg {
+                origin: Point::new(0.0, 0.0),
+                cell_size: 100.0,
+                cols: 8,
+                rows: 8,
+            },
+            window,
+        });
+        round_trip_req(Request::RegisterContinuous {
+            id: ContinuousQueryId(9),
+            predicate: Predicate {
+                region: BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+                class: Some(EntityClass::Truck),
+            },
+            notify: NodeId(0),
+        });
+        round_trip_req(Request::UnregisterContinuous(ContinuousQueryId(9)));
+        round_trip_req(Request::SnapshotReplica { of: NodeId(2) });
+        round_trip_req(Request::Adopt(vec![obs()]));
+        round_trip_req(Request::Stats);
+        round_trip_req(Request::EvictBefore(Timestamp::from_secs(100)));
+        round_trip_req(Request::Promote { failed: NodeId(7) });
+        round_trip_req(Request::ExtractRegion {
+            region: BBox::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0)),
+        });
+        round_trip_req(Request::RangeFiltered {
+            region: BBox::new(Point::new(0.0, 0.0), Point::new(9.0, 9.0)),
+            window,
+            class: 3,
+        });
+    }
+
+    #[test]
+    fn all_responses_round_trip() {
+        round_trip_resp(Response::Ack);
+        round_trip_resp(Response::Observations(vec![obs()]));
+        round_trip_resp(Response::Counts(vec![0, 5, 17]));
+        round_trip_resp(Response::Stats(WorkerStatsMsg {
+            primary_observations: 10,
+            replica_observations: 3,
+            ingested_total: 100,
+            notifications_sent: 4,
+            continuous_queries: 1,
+            busy_micros: 1234,
+            newest_ms: Some(99_000),
+        }));
+        round_trip_resp(Response::Error("shard unavailable".into()));
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(matches!(
+            decode_from_slice::<Request>(&[200]),
+            Err(DecodeError::InvalidDiscriminant { .. })
+        ));
+        assert!(matches!(
+            decode_from_slice::<Response>(&[200]),
+            Err(DecodeError::InvalidDiscriminant { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_spec_msg_round_trips_through_grid() {
+        let g = GridSpec::new(Point::new(5.0, 5.0), 25.0, 4, 8);
+        let msg = GridSpecMsg::from(g);
+        let g2 = msg.to_grid();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn degenerate_grid_rejected() {
+        let bad = GridSpecMsg { origin: Point::ORIGIN, cell_size: 0.0, cols: 4, rows: 4 };
+        let bytes = encode_to_vec(&bad);
+        assert!(matches!(
+            decode_from_slice::<GridSpecMsg>(&bytes),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+    }
+}

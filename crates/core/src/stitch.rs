@@ -1,0 +1,594 @@
+//! Trajectory analysis: tracklet formation and cross-camera stitching.
+//!
+//! Cameras produce anonymous observations; recovering *who went where*
+//! requires two steps:
+//!
+//! 1. **Tracklet formation** ([`build_tracklets`]) — within one camera,
+//!    consecutive observations are linked into short tracks by temporal
+//!    proximity, motion plausibility and appearance similarity.
+//! 2. **Hand-off association** ([`stitch_handoff`]) — tracklets are linked
+//!    *across* cameras. A link from tracklet A (ending at camera X) to
+//!    tracklet B (starting at camera Y) is admissible when X and Y are
+//!    adjacent in the camera graph, the gap matches the learned
+//!    transition-time window for B's class, and the mean appearance
+//!    signatures are close. Admissible links are taken greedily by
+//!    appearance distance, each tracklet used at most once as predecessor
+//!    and once as successor; chains of links form [`GlobalTrack`]s.
+//!
+//! [`stitch_greedy`] is the evaluation baseline: appearance-nearest
+//! association with only a coarse time gap, no camera topology and no
+//! transition gating. The accuracy experiment (Fig 9) sweeps signature
+//! noise and compares the two.
+
+use std::collections::HashMap;
+
+use stcam_camnet::{
+    CameraId, CameraNetwork, Observation, ObservationId, Signature, TransitionModel,
+    SIGNATURE_DIM,
+};
+use stcam_geo::{BBox, Duration, TimeInterval, Timestamp};
+use stcam_world::{EntityClass, EntityId};
+
+use crate::cluster::Cluster;
+use crate::error::StcamError;
+
+/// Tunables for tracklet formation and stitching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StitchConfig {
+    /// Maximum time between consecutive observations of one tracklet.
+    pub max_frame_gap: Duration,
+    /// Maximum plausible speed (m/s) when linking within a camera.
+    pub max_speed: f64,
+    /// Appearance gate for within-camera linking. Deliberately loose:
+    /// two observations of one entity differ by ≈ σ·√(2·16) in signature
+    /// space, so within a camera the spatial gate does the heavy lifting
+    /// and appearance only breaks ties (the *nearest* signature wins).
+    pub sig_threshold: f32,
+    /// Appearance gate for cross-camera hand-off, applied to tracklet
+    /// *mean* signatures (averaging divides the noise by √length).
+    pub handoff_sig_threshold: f32,
+    /// Maximum gap for a same-camera re-entry link.
+    pub max_reentry_gap: Duration,
+    /// Minimum observations a tracklet needs to participate in hand-off
+    /// association; singleton tracklets are overwhelmingly detector
+    /// clutter and may neither start nor extend a chain.
+    pub min_support: usize,
+}
+
+impl Default for StitchConfig {
+    fn default() -> Self {
+        StitchConfig {
+            max_frame_gap: Duration::from_millis(1_500),
+            max_speed: 25.0,
+            sig_threshold: 2.5,
+            handoff_sig_threshold: 0.7,
+            max_reentry_gap: Duration::from_secs(20),
+            min_support: 2,
+        }
+    }
+}
+
+/// A contiguous single-camera track fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tracklet {
+    /// The producing camera.
+    pub camera: CameraId,
+    /// Member observations, time-ordered.
+    pub observations: Vec<Observation>,
+}
+
+impl Tracklet {
+    /// First observation time.
+    pub fn start(&self) -> Timestamp {
+        self.observations.first().expect("tracklets are non-empty").time
+    }
+
+    /// Last observation time.
+    pub fn end(&self) -> Timestamp {
+        self.observations.last().expect("tracklets are non-empty").time
+    }
+
+    /// Component-wise mean of the member signatures.
+    pub fn mean_signature(&self) -> Signature {
+        let mut acc = [0f32; SIGNATURE_DIM];
+        for obs in &self.observations {
+            for (a, v) in acc.iter_mut().zip(obs.signature.values()) {
+                *a += v;
+            }
+        }
+        let n = self.observations.len() as f32;
+        for a in &mut acc {
+            *a /= n;
+        }
+        Signature::new(acc)
+    }
+
+    /// Majority class of the member observations.
+    pub fn class(&self) -> EntityClass {
+        let mut counts = [0usize; 4];
+        for obs in &self.observations {
+            counts[obs.class.as_u8() as usize] += 1;
+        }
+        let best = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i as u8)
+            .expect("four classes");
+        EntityClass::from_u8(best).expect("class in range")
+    }
+
+    /// Majority ground-truth entity, or `None` when most members are
+    /// false positives. Evaluation only.
+    pub fn majority_truth(&self) -> Option<EntityId> {
+        let mut counts: HashMap<Option<EntityId>, usize> = HashMap::new();
+        for obs in &self.observations {
+            *counts.entry(obs.truth).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(truth, c)| (c, truth.map(|e| e.0)))
+            .and_then(|(truth, _)| truth)
+    }
+}
+
+/// A chain of tracklets believed to be one real-world entity, produced by
+/// a stitcher. Indices refer into the tracklet slice passed to the
+/// stitcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalTrack {
+    /// Member tracklet indices, time-ordered.
+    pub tracklets: Vec<usize>,
+}
+
+/// Groups observations into per-camera tracklets.
+///
+/// Observations are processed in time order per camera. Each observation
+/// joins the open tracklet whose last member is (a) recent enough, (b)
+/// reachable at `max_speed`, and (c) closest in appearance within
+/// `sig_threshold`; otherwise it opens a new tracklet.
+pub fn build_tracklets(observations: &[Observation], config: &StitchConfig) -> Vec<Tracklet> {
+    let mut by_camera: HashMap<CameraId, Vec<&Observation>> = HashMap::new();
+    for obs in observations {
+        by_camera.entry(obs.camera).or_default().push(obs);
+    }
+    let mut cameras: Vec<CameraId> = by_camera.keys().copied().collect();
+    cameras.sort(); // deterministic output order
+    let mut tracklets: Vec<Tracklet> = Vec::new();
+    for camera in cameras {
+        let mut stream = by_camera.remove(&camera).expect("present");
+        stream.sort_by_key(|o| (o.time, o.id));
+        // Open tracklets for this camera: index into `tracklets`.
+        let mut open: Vec<usize> = Vec::new();
+        for obs in stream {
+            // Close stale tracklets.
+            open.retain(|&t| {
+                obs.time.abs_diff(tracklets[t].end()) <= config.max_frame_gap
+            });
+            let mut best: Option<(f32, usize)> = None;
+            for &t in &open {
+                let tracklet: &Tracklet = &tracklets[t];
+                let last = tracklet.observations.last().expect("non-empty");
+                let dt = obs.time.abs_diff(last.time).as_secs_f64();
+                let reach = config.max_speed * dt + 3.0; // slack for noise
+                if obs.position.distance(last.position) > reach {
+                    continue;
+                }
+                let sig_d = obs.signature.distance(&last.signature);
+                if sig_d > config.sig_threshold {
+                    continue;
+                }
+                if best.is_none_or(|(d, _)| sig_d < d) {
+                    best = Some((sig_d, t));
+                }
+            }
+            match best {
+                Some((_, t)) => tracklets[t].observations.push(obs.clone()),
+                None => {
+                    tracklets.push(Tracklet { camera, observations: vec![obs.clone()] });
+                    open.push(tracklets.len() - 1);
+                }
+            }
+        }
+    }
+    tracklets
+}
+
+/// Candidate link between two tracklets.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    from: usize,
+    to: usize,
+    score: f32,
+}
+
+/// Stitches tracklets across cameras using the adjacency graph and the
+/// transition-time model (the framework's method).
+pub fn stitch_handoff(
+    tracklets: &[Tracklet],
+    network: &CameraNetwork,
+    transitions: &TransitionModel,
+    config: &StitchConfig,
+) -> Vec<GlobalTrack> {
+    let sigs: Vec<Signature> = tracklets.iter().map(Tracklet::mean_signature).collect();
+    let classes: Vec<EntityClass> = tracklets.iter().map(Tracklet::class).collect();
+    let mut links = Vec::new();
+    for (i, a) in tracklets.iter().enumerate() {
+        if a.observations.len() < config.min_support {
+            continue;
+        }
+        for (j, b) in tracklets.iter().enumerate() {
+            if i == j || b.start() < a.end() || b.observations.len() < config.min_support {
+                continue;
+            }
+            let dt = b.start() - a.end();
+            let admissible = if a.camera == b.camera {
+                dt <= config.max_reentry_gap
+            } else if network.adjacent(a.camera).contains(&b.camera) {
+                transitions.plausible(a.camera, b.camera, classes[j], dt)
+            } else {
+                false
+            };
+            if !admissible || classes[i] != classes[j] {
+                continue;
+            }
+            let score = sigs[i].distance(&sigs[j]);
+            if score <= config.handoff_sig_threshold {
+                links.push(Link { from: i, to: j, score });
+            }
+        }
+    }
+    assemble(tracklets.len(), links)
+}
+
+/// The appearance-only baseline: links any pair of tracklets whose gap is
+/// below `max_gap`, nearest appearance first, ignoring camera topology and
+/// transition times.
+pub fn stitch_greedy(
+    tracklets: &[Tracklet],
+    config: &StitchConfig,
+    max_gap: Duration,
+) -> Vec<GlobalTrack> {
+    let sigs: Vec<Signature> = tracklets.iter().map(Tracklet::mean_signature).collect();
+    let mut links = Vec::new();
+    for (i, a) in tracklets.iter().enumerate() {
+        if a.observations.len() < config.min_support {
+            continue;
+        }
+        for (j, b) in tracklets.iter().enumerate() {
+            if i == j || b.start() < a.end() || b.observations.len() < config.min_support {
+                continue;
+            }
+            if b.start() - a.end() > max_gap {
+                continue;
+            }
+            let score = sigs[i].distance(&sigs[j]);
+            if score <= config.handoff_sig_threshold {
+                links.push(Link { from: i, to: j, score });
+            }
+        }
+    }
+    assemble(tracklets.len(), links)
+}
+
+/// Greedy minimum-score matching followed by chain assembly.
+fn assemble(n: usize, mut links: Vec<Link>) -> Vec<GlobalTrack> {
+    links.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.from.cmp(&b.from))
+            .then(a.to.cmp(&b.to))
+    });
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    let mut has_pred = vec![false; n];
+    for link in links {
+        if next[link.from].is_some() || has_pred[link.to] {
+            continue;
+        }
+        // Avoid creating a cycle (can only happen via chains; check by
+        // walking from `to`).
+        let mut cur = link.to;
+        let mut cycles = false;
+        while let Some(nxt) = next[cur] {
+            if nxt == link.from {
+                cycles = true;
+                break;
+            }
+            cur = nxt;
+        }
+        if cycles {
+            continue;
+        }
+        next[link.from] = Some(link.to);
+        has_pred[link.to] = true;
+    }
+    let mut tracks = Vec::new();
+    for (start, &pred) in has_pred.iter().enumerate() {
+        if pred {
+            continue;
+        }
+        let mut chain = vec![start];
+        let mut cur = start;
+        while let Some(nxt) = next[cur] {
+            chain.push(nxt);
+            cur = nxt;
+        }
+        tracks.push(GlobalTrack { tracklets: chain });
+    }
+    tracks
+}
+
+/// The output of a distributed trajectory reconstruction (see
+/// [`reconstruct`]).
+#[derive(Debug)]
+pub struct Reconstruction {
+    /// The per-camera tracklets formed from the fetched observations.
+    pub tracklets: Vec<Tracklet>,
+    /// The stitched cross-camera tracks (indices into `tracklets`).
+    pub tracks: Vec<GlobalTrack>,
+}
+
+impl Reconstruction {
+    /// The global track containing the observation `seed`, if any —
+    /// "follow this detection": the operator clicks one sighting and gets
+    /// the whole journey.
+    pub fn track_containing(&self, seed: ObservationId) -> Option<&GlobalTrack> {
+        let tracklet_idx = self
+            .tracklets
+            .iter()
+            .position(|t| t.observations.iter().any(|o| o.id == seed))?;
+        self.tracks
+            .iter()
+            .find(|track| track.tracklets.contains(&tracklet_idx))
+    }
+
+    /// The time-ordered observations of `track`, flattened across its
+    /// tracklets.
+    pub fn observations_of<'a>(&'a self, track: &'a GlobalTrack) -> Vec<&'a Observation> {
+        track
+            .tracklets
+            .iter()
+            .flat_map(|&i| self.tracklets[i].observations.iter())
+            .collect()
+    }
+}
+
+/// Distributed trajectory reconstruction: fetches the observations of
+/// `region` × `window` from the cluster, forms tracklets, and stitches
+/// them across cameras with the topology-gated associator.
+///
+/// This is the framework's "where did everyone go" operation; use
+/// [`Reconstruction::track_containing`] to read off a single target.
+///
+/// # Errors
+///
+/// Propagates query failures from the cluster.
+pub fn reconstruct(
+    cluster: &Cluster,
+    region: BBox,
+    window: TimeInterval,
+    network: &CameraNetwork,
+    transitions: &TransitionModel,
+    config: &StitchConfig,
+) -> Result<Reconstruction, StcamError> {
+    let observations = cluster.range_query(region, window)?;
+    let tracklets = build_tracklets(&observations, config);
+    let tracks = stitch_handoff(&tracklets, network, transitions, config);
+    Ok(Reconstruction { tracklets, tracks })
+}
+
+/// Link-level accuracy of a stitching result against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StitchScore {
+    /// Predicted links that join two tracklets of the same true entity.
+    pub correct_links: usize,
+    /// Total predicted links.
+    pub predicted_links: usize,
+    /// Ground-truth links (consecutive same-entity tracklet pairs).
+    pub true_links: usize,
+}
+
+impl StitchScore {
+    /// Fraction of predicted links that are correct.
+    pub fn precision(&self) -> f64 {
+        if self.predicted_links == 0 {
+            1.0
+        } else {
+            self.correct_links as f64 / self.predicted_links as f64
+        }
+    }
+
+    /// Fraction of true links that were predicted (as a correct link).
+    pub fn recall(&self) -> f64 {
+        if self.true_links == 0 {
+            1.0
+        } else {
+            self.correct_links as f64 / self.true_links as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Scores predicted global tracks against the ground-truth entity labels
+/// carried by the observations.
+pub fn score_links(tracklets: &[Tracklet], tracks: &[GlobalTrack]) -> StitchScore {
+    let truths: Vec<Option<EntityId>> = tracklets.iter().map(Tracklet::majority_truth).collect();
+    // Ground truth: per entity, time-ordered tracklets; consecutive pairs
+    // are the links a perfect stitcher would predict.
+    let mut by_entity: HashMap<EntityId, Vec<usize>> = HashMap::new();
+    for (i, truth) in truths.iter().enumerate() {
+        if let Some(e) = truth {
+            by_entity.entry(*e).or_default().push(i);
+        }
+    }
+    let mut true_links = 0;
+    for members in by_entity.values_mut() {
+        members.sort_by_key(|&i| (tracklets[i].start(), i));
+        true_links += members.len().saturating_sub(1);
+    }
+    let mut predicted_links = 0;
+    let mut correct_links = 0;
+    for track in tracks {
+        for pair in track.tracklets.windows(2) {
+            predicted_links += 1;
+            match (truths[pair[0]], truths[pair[1]]) {
+                (Some(a), Some(b)) if a == b => correct_links += 1,
+                _ => {}
+            }
+        }
+    }
+    StitchScore { correct_links, predicted_links, true_links }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_camnet::ObservationId;
+    use stcam_geo::Point;
+
+    fn obs(camera: u32, seq: u64, t_ms: u64, x: f64, entity: u64) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(camera), seq),
+            camera: CameraId(camera),
+            time: Timestamp::from_millis(t_ms),
+            position: Point::new(x, 0.0),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(entity),
+            truth: Some(EntityId(entity)),
+        }
+    }
+
+    #[test]
+    fn single_entity_single_camera_one_tracklet() {
+        let stream = vec![
+            obs(0, 0, 0, 0.0, 1),
+            obs(0, 1, 500, 5.0, 1),
+            obs(0, 2, 1000, 10.0, 1),
+        ];
+        let tracklets = build_tracklets(&stream, &StitchConfig::default());
+        assert_eq!(tracklets.len(), 1);
+        assert_eq!(tracklets[0].observations.len(), 3);
+        assert_eq!(tracklets[0].start(), Timestamp::ZERO);
+        assert_eq!(tracklets[0].end(), Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn two_entities_same_camera_two_tracklets() {
+        let stream = vec![
+            obs(0, 0, 0, 0.0, 1),
+            obs(0, 1, 0, 100.0, 2),
+            obs(0, 2, 500, 5.0, 1),
+            obs(0, 3, 500, 95.0, 2),
+        ];
+        let tracklets = build_tracklets(&stream, &StitchConfig::default());
+        assert_eq!(tracklets.len(), 2);
+        for t in &tracklets {
+            assert_eq!(t.observations.len(), 2);
+            let truth = t.observations[0].truth;
+            assert!(t.observations.iter().all(|o| o.truth == truth), "mixed tracklet");
+        }
+    }
+
+    #[test]
+    fn time_gap_splits_tracklets() {
+        let stream = vec![obs(0, 0, 0, 0.0, 1), obs(0, 1, 10_000, 5.0, 1)];
+        let tracklets = build_tracklets(&stream, &StitchConfig::default());
+        assert_eq!(tracklets.len(), 2);
+    }
+
+    #[test]
+    fn implausible_speed_splits_tracklets() {
+        // 500 m in 0.5 s = 1000 m/s: cannot be one object.
+        let stream = vec![obs(0, 0, 0, 0.0, 1), obs(0, 1, 500, 500.0, 1)];
+        let tracklets = build_tracklets(&stream, &StitchConfig::default());
+        assert_eq!(tracklets.len(), 2);
+    }
+
+    #[test]
+    fn mean_signature_and_majority() {
+        let mut o1 = obs(0, 0, 0, 0.0, 1);
+        let mut o2 = obs(0, 1, 500, 1.0, 1);
+        o1.signature = Signature::new([0.0; SIGNATURE_DIM]);
+        o2.signature = Signature::new([1.0; SIGNATURE_DIM]);
+        o2.class = EntityClass::Truck;
+        let t = Tracklet { camera: CameraId(0), observations: vec![o1, o2.clone(), o2] };
+        assert!((t.mean_signature().values()[0] - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.class(), EntityClass::Truck);
+        assert_eq!(t.majority_truth(), Some(EntityId(1)));
+    }
+
+    #[test]
+    fn assemble_builds_chains_without_cycles() {
+        let links = vec![
+            Link { from: 0, to: 1, score: 0.1 },
+            Link { from: 1, to: 2, score: 0.2 },
+            Link { from: 2, to: 0, score: 0.05 }, // would close a cycle
+        ];
+        let tracks = assemble(3, links);
+        // The cycle-closing link is cheapest and taken first (2→0), so the
+        // final chain is 1 path plus whatever remains acyclic.
+        let total: usize = tracks.iter().map(|t| t.tracklets.len()).sum();
+        assert_eq!(total, 3, "every tracklet appears exactly once");
+        for t in &tracks {
+            // No repeated tracklet inside a chain.
+            let mut seen = std::collections::HashSet::new();
+            assert!(t.tracklets.iter().all(|&i| seen.insert(i)));
+        }
+    }
+
+    #[test]
+    fn greedy_baseline_links_same_signature() {
+        let stream = vec![
+            obs(0, 0, 0, 0.0, 1),
+            obs(0, 1, 500, 5.0, 1),
+            obs(1, 0, 10_000, 200.0, 1),
+            obs(1, 1, 10_500, 205.0, 1),
+        ];
+        let config = StitchConfig::default();
+        let tracklets = build_tracklets(&stream, &config);
+        assert_eq!(tracklets.len(), 2);
+        let tracks = stitch_greedy(&tracklets, &config, Duration::from_secs(60));
+        assert_eq!(tracks.len(), 1, "both tracklets join one global track");
+        let score = score_links(&tracklets, &tracks);
+        assert_eq!(score.correct_links, 1);
+        assert_eq!(score.true_links, 1);
+        assert_eq!(score.f1(), 1.0);
+    }
+
+    #[test]
+    fn score_counts_wrong_links() {
+        let stream = vec![
+            obs(0, 0, 0, 0.0, 1),
+            obs(1, 0, 5_000, 10.0, 2),
+        ];
+        let config = StitchConfig::default();
+        let tracklets = build_tracklets(&stream, &config);
+        // Force-link the two different entities.
+        let tracks = vec![GlobalTrack { tracklets: vec![0, 1] }];
+        let score = score_links(&tracklets, &tracks);
+        assert_eq!(score.predicted_links, 1);
+        assert_eq!(score.correct_links, 0);
+        assert_eq!(score.true_links, 0);
+        assert_eq!(score.precision(), 0.0);
+        assert_eq!(score.recall(), 1.0);
+    }
+
+    #[test]
+    fn perfect_score_is_one() {
+        let s = StitchScore { correct_links: 5, predicted_links: 5, true_links: 5 };
+        assert_eq!(s.f1(), 1.0);
+        let empty = StitchScore { correct_links: 0, predicted_links: 0, true_links: 0 };
+        assert_eq!(empty.f1(), 1.0);
+    }
+}

@@ -1,0 +1,575 @@
+//! Worker nodes: shard storage and sub-query serving.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+use stcam_camnet::Observation;
+use stcam_codec::{decode_from_slice, encode_to_vec};
+use stcam_index::{IndexConfig, StIndex};
+use stcam_net::{Endpoint, Envelope, MessageKind, NodeId};
+
+use crate::continuous::{ContinuousQueryId, Notification, Predicate};
+use crate::protocol::{Request, Response, WorkerStatsMsg};
+
+/// Static configuration of one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Configuration of the local shard index.
+    pub index: IndexConfig,
+    /// Ring successors that receive replicas of this worker's ingest
+    /// (empty disables replication).
+    pub replicas: Vec<NodeId>,
+}
+
+/// A worker node: owns the local shard, answers sub-queries from the
+/// coordinator, evaluates continuous-query predicates at ingest time, and
+/// forwards replicas to its ring successors.
+///
+/// Normally driven via [`Worker::spawn`], which runs the serving loop on a
+/// dedicated thread until [`WorkerHandle::shutdown`] (or fabric crash).
+/// [`Worker::handle_request`] is public for deterministic single-threaded
+/// tests.
+#[derive(Debug)]
+pub struct Worker {
+    endpoint: Endpoint,
+    config: WorkerConfig,
+    index: StIndex,
+    /// Append-only replica logs, one per primary this worker backs up.
+    replica_logs: HashMap<NodeId, Vec<Observation>>,
+    continuous: HashMap<ContinuousQueryId, (Predicate, NodeId)>,
+    ingested_total: u64,
+    notifications_sent: u64,
+    busy: std::time::Duration,
+}
+
+impl Worker {
+    /// Creates a worker serving on `endpoint`.
+    pub fn new(endpoint: Endpoint, config: WorkerConfig) -> Self {
+        let index = StIndex::new(config.index.clone());
+        Worker {
+            endpoint,
+            config,
+            index,
+            replica_logs: HashMap::new(),
+            continuous: HashMap::new(),
+            ingested_total: 0,
+            notifications_sent: 0,
+            busy: std::time::Duration::ZERO,
+        }
+    }
+
+    /// This worker's node id.
+    pub fn id(&self) -> NodeId {
+        self.endpoint.id()
+    }
+
+    /// Spawns the serving loop on a new thread.
+    pub fn spawn(endpoint: Endpoint, config: WorkerConfig) -> WorkerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_clone = Arc::clone(&stop);
+        let id = endpoint.id();
+        let join = std::thread::Builder::new()
+            .name(format!("stcam-worker-{}", id.0))
+            .spawn(move || {
+                let mut worker = Worker::new(endpoint, config);
+                worker.run(&stop_clone);
+            })
+            .expect("spawn worker thread");
+        WorkerHandle { stop, join: Some(join) }
+    }
+
+    /// Serves requests until `stop` is set.
+    pub fn run(&mut self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Relaxed) {
+            let Some(envelope) = self.endpoint.recv_timeout(StdDuration::from_millis(20)) else {
+                continue;
+            };
+            self.dispatch(envelope);
+        }
+    }
+
+    fn dispatch(&mut self, envelope: Envelope) {
+        let request = match decode_from_slice::<Request>(&envelope.payload) {
+            Ok(r) => r,
+            Err(e) => {
+                if envelope.kind == MessageKind::Request {
+                    let resp = Response::Error(format!("bad request: {e}"));
+                    let _ = self.endpoint.reply(&envelope, encode_to_vec(&resp));
+                }
+                return;
+            }
+        };
+        let started = std::time::Instant::now();
+        let response = self.handle_request(request);
+        self.busy += started.elapsed();
+        if envelope.kind == MessageKind::Request {
+            let _ = self.endpoint.reply(&envelope, encode_to_vec(&response));
+        }
+    }
+
+    /// Executes one request against local state and produces the response.
+    ///
+    /// Side-effecting requests (`Ingest`, `Promote`, `Adopt`) also emit
+    /// replica and notification traffic through the endpoint.
+    pub fn handle_request(&mut self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Ack,
+            Request::Ingest(batch) => {
+                self.ingest(batch);
+                Response::Ack
+            }
+            Request::Replicate { primary, batch } => {
+                self.replica_logs.entry(primary).or_default().extend(batch);
+                Response::Ack
+            }
+            Request::Range { region, window } => {
+                let hits = self.index.range(region, window).into_iter().cloned().collect();
+                Response::Observations(hits)
+            }
+            Request::Knn { at, window, k, max_distance } => {
+                let mut hits: Vec<Observation> = self
+                    .index
+                    .knn(at, window, k as usize)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                if let Some(limit) = max_distance {
+                    hits.retain(|o| at.distance(o.position) <= limit);
+                }
+                Response::Observations(hits)
+            }
+            Request::Heatmap { buckets, window } => {
+                Response::Counts(self.index.heatmap(&buckets.to_grid(), window))
+            }
+            Request::RegisterContinuous { id, predicate, notify } => {
+                self.continuous.insert(id, (predicate, notify));
+                Response::Ack
+            }
+            Request::UnregisterContinuous(id) => {
+                self.continuous.remove(&id);
+                Response::Ack
+            }
+            Request::SnapshotReplica { of } => Response::Observations(
+                self.replica_logs.get(&of).cloned().unwrap_or_default(),
+            ),
+            Request::Adopt(batch) => {
+                self.index.insert_batch(batch);
+                Response::Ack
+            }
+            Request::Promote { failed } => {
+                let log = self.replica_logs.remove(&failed).unwrap_or_default();
+                self.replicate(&log);
+                self.index.insert_batch(log);
+                Response::Ack
+            }
+            Request::ExtractRegion { region } => {
+                Response::Observations(self.index.extract_range(region))
+            }
+            Request::RangeFiltered { region, window, class } => {
+                match stcam_world::EntityClass::from_u8(class) {
+                    Some(class) => Response::Observations(
+                        self.index
+                            .range(region, window)
+                            .into_iter()
+                            .filter(|o| o.class == class)
+                            .cloned()
+                            .collect(),
+                    ),
+                    None => Response::Error(format!("invalid class {class}")),
+                }
+            }
+            Request::Stats => Response::Stats(self.stats()),
+            Request::EvictBefore(cutoff) => {
+                self.index.evict_before(cutoff);
+                for log in self.replica_logs.values_mut() {
+                    log.retain(|o| o.time >= cutoff);
+                }
+                Response::Ack
+            }
+        }
+    }
+
+    fn ingest(&mut self, batch: Vec<Observation>) {
+        self.ingested_total += batch.len() as u64;
+        self.notify_continuous(&batch);
+        self.replicate(&batch);
+        self.index.insert_batch(batch);
+    }
+
+    /// Forwards a copy of `batch` to every replica successor (one-way:
+    /// ingest latency is not serialized behind replica acknowledgements;
+    /// the window of loss this leaves open is measured by the recovery
+    /// experiment).
+    fn replicate(&mut self, batch: &[Observation]) {
+        if batch.is_empty() || self.config.replicas.is_empty() {
+            return;
+        }
+        let message = encode_to_vec(&Request::Replicate {
+            primary: self.endpoint.id(),
+            batch: batch.to_vec(),
+        });
+        for &replica in &self.config.replicas {
+            let _ = self.endpoint.send(replica, message.clone());
+        }
+    }
+
+    fn notify_continuous(&mut self, batch: &[Observation]) {
+        if self.continuous.is_empty() {
+            return;
+        }
+        // Group matches per query so each ingest batch costs at most one
+        // notification message per matching query.
+        let mut outgoing: Vec<(NodeId, Notification)> = Vec::new();
+        for (&id, (predicate, notify)) in &self.continuous {
+            let matches: Vec<Observation> = batch
+                .iter()
+                .filter(|o| predicate.matches(o))
+                .cloned()
+                .collect();
+            if !matches.is_empty() {
+                outgoing.push((*notify, Notification { query: id, matches }));
+            }
+        }
+        for (notify, notification) in outgoing {
+            if self.endpoint.send(notify, encode_to_vec(&notification)).is_ok() {
+                self.notifications_sent += 1;
+            }
+        }
+    }
+
+    /// Local statistics.
+    pub fn stats(&self) -> WorkerStatsMsg {
+        WorkerStatsMsg {
+            primary_observations: self.index.len() as u64,
+            replica_observations: self.replica_logs.values().map(|v| v.len() as u64).sum(),
+            ingested_total: self.ingested_total,
+            notifications_sent: self.notifications_sent,
+            continuous_queries: self.continuous.len() as u64,
+            busy_micros: self.busy.as_micros() as u64,
+            newest_ms: self.index.stats().newest.map(|t| t.as_millis()),
+        }
+    }
+
+    /// Read access to the shard index (tests and embedded use).
+    pub fn index(&self) -> &StIndex {
+        &self.index
+    }
+}
+
+/// Owner handle of a spawned worker thread.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Stops the serving loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_camnet::{CameraId, ObservationId, Signature};
+    use stcam_geo::{BBox, Duration, Point, TimeInterval, Timestamp};
+    use stcam_net::{Fabric, LinkModel};
+    use stcam_world::{EntityClass, EntityId};
+
+    fn obs(seq: u64, t_ms: u64, x: f64, y: f64) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(0), seq),
+            camera: CameraId(0),
+            time: Timestamp::from_millis(t_ms),
+            position: Point::new(x, y),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(seq),
+            truth: Some(EntityId(seq)),
+        }
+    }
+
+    fn index_config() -> IndexConfig {
+        IndexConfig::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)),
+            50.0,
+            Duration::from_secs(10),
+        )
+    }
+
+    fn lone_worker() -> (Fabric, Worker) {
+        let fabric = Fabric::new(LinkModel::instant());
+        let endpoint = fabric.register(NodeId(1));
+        let worker = Worker::new(endpoint, WorkerConfig { index: index_config(), replicas: vec![] });
+        (fabric, worker)
+    }
+
+    fn window_all() -> TimeInterval {
+        TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(1_000))
+    }
+
+    #[test]
+    fn ingest_then_range() {
+        let (_fabric, mut worker) = lone_worker();
+        assert_eq!(worker.handle_request(Request::Ingest(vec![obs(0, 500, 10.0, 10.0)])), Response::Ack);
+        let resp = worker.handle_request(Request::Range {
+            region: BBox::around(Point::new(10.0, 10.0), 5.0),
+            window: window_all(),
+        });
+        match resp {
+            Response::Observations(hits) => assert_eq!(hits.len(), 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn knn_respects_max_distance() {
+        let (_fabric, mut worker) = lone_worker();
+        worker.handle_request(Request::Ingest(vec![
+            obs(0, 0, 10.0, 0.0),
+            obs(1, 0, 100.0, 0.0),
+        ]));
+        let resp = worker.handle_request(Request::Knn {
+            at: Point::new(0.0, 0.0),
+            window: window_all(),
+            k: 5,
+            max_distance: Some(50.0),
+        });
+        match resp {
+            Response::Observations(hits) => {
+                assert_eq!(hits.len(), 1);
+                assert_eq!(hits[0].id.seq(), 0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replication_reaches_successors() {
+        let fabric = Fabric::new(LinkModel::instant());
+        let primary_ep = fabric.register(NodeId(1));
+        let replica_ep = fabric.register(NodeId(2));
+        let mut primary = Worker::new(
+            primary_ep,
+            WorkerConfig { index: index_config(), replicas: vec![NodeId(2)] },
+        );
+        let mut replica = Worker::new(
+            replica_ep,
+            WorkerConfig { index: index_config(), replicas: vec![] },
+        );
+        primary.handle_request(Request::Ingest(vec![obs(0, 0, 1.0, 1.0), obs(1, 0, 2.0, 2.0)]));
+        // Deliver the replicate message by hand.
+        let env = replica.endpoint.recv_timeout(StdDuration::from_secs(1)).unwrap();
+        replica.dispatch(env);
+        let stats = replica.stats();
+        assert_eq!(stats.replica_observations, 2);
+        assert_eq!(stats.primary_observations, 0);
+        // Snapshot exports exactly the replica log.
+        match replica.handle_request(Request::SnapshotReplica { of: NodeId(1) }) {
+            Response::Observations(log) => assert_eq!(log.len(), 2),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn promote_moves_replica_log_into_index() {
+        let fabric = Fabric::new(LinkModel::instant());
+        let ep = fabric.register(NodeId(2));
+        let _other = fabric.register(NodeId(3));
+        let mut worker = Worker::new(
+            ep,
+            WorkerConfig { index: index_config(), replicas: vec![NodeId(3)] },
+        );
+        worker.handle_request(Request::Replicate {
+            primary: NodeId(1),
+            batch: vec![obs(0, 0, 5.0, 5.0)],
+        });
+        assert_eq!(worker.handle_request(Request::Promote { failed: NodeId(1) }), Response::Ack);
+        let stats = worker.stats();
+        assert_eq!(stats.primary_observations, 1);
+        assert_eq!(stats.replica_observations, 0);
+        // Promoting an unknown primary is a harmless no-op.
+        assert_eq!(worker.handle_request(Request::Promote { failed: NodeId(9) }), Response::Ack);
+    }
+
+    #[test]
+    fn continuous_query_notifies_on_match() {
+        let fabric = Fabric::new(LinkModel::instant());
+        let worker_ep = fabric.register(NodeId(1));
+        let client = fabric.register(NodeId(0));
+        let mut worker = Worker::new(
+            worker_ep,
+            WorkerConfig { index: index_config(), replicas: vec![] },
+        );
+        worker.handle_request(Request::RegisterContinuous {
+            id: ContinuousQueryId(7),
+            predicate: Predicate {
+                region: BBox::new(Point::new(0.0, 0.0), Point::new(50.0, 50.0)),
+                class: Some(EntityClass::Car),
+            },
+            notify: NodeId(0),
+        });
+        worker.handle_request(Request::Ingest(vec![
+            obs(0, 0, 10.0, 10.0),  // match
+            obs(1, 0, 500.0, 500.0), // outside region
+        ]));
+        let env = client.recv_timeout(StdDuration::from_secs(1)).unwrap();
+        let notification: Notification = decode_from_slice(&env.payload).unwrap();
+        assert_eq!(notification.query, ContinuousQueryId(7));
+        assert_eq!(notification.matches.len(), 1);
+        assert_eq!(notification.matches[0].id.seq(), 0);
+        // Unregister stops the stream.
+        worker.handle_request(Request::UnregisterContinuous(ContinuousQueryId(7)));
+        worker.handle_request(Request::Ingest(vec![obs(2, 0, 10.0, 10.0)]));
+        assert!(client.recv_timeout(StdDuration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn eviction_trims_index_and_replica_logs() {
+        let (_fabric, mut worker) = lone_worker();
+        worker.handle_request(Request::Ingest(vec![obs(0, 1_000, 1.0, 1.0)]));
+        worker.handle_request(Request::Replicate {
+            primary: NodeId(9),
+            batch: vec![obs(1, 1_000, 2.0, 2.0), obs(2, 90_000, 2.0, 2.0)],
+        });
+        worker.handle_request(Request::EvictBefore(Timestamp::from_secs(60)));
+        let stats = worker.stats();
+        assert_eq!(stats.primary_observations, 0);
+        assert_eq!(stats.replica_observations, 1);
+    }
+
+    #[test]
+    fn extract_region_removes_and_returns() {
+        let (_fabric, mut worker) = lone_worker();
+        worker.handle_request(Request::Ingest(vec![
+            obs(0, 0, 100.0, 100.0),
+            obs(1, 0, 900.0, 900.0),
+        ]));
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(500.0, 500.0));
+        match worker.handle_request(Request::ExtractRegion { region }) {
+            Response::Observations(moved) => {
+                assert_eq!(moved.len(), 1);
+                assert_eq!(moved[0].id.seq(), 0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(worker.stats().primary_observations, 1);
+        // Idempotent on an already-empty region.
+        match worker.handle_request(Request::ExtractRegion { region }) {
+            Response::Observations(moved) => assert!(moved.is_empty()),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_filtered_applies_class_predicate() {
+        let (_fabric, mut worker) = lone_worker();
+        let mut truck = obs(0, 0, 100.0, 100.0);
+        truck.class = EntityClass::Truck;
+        worker.handle_request(Request::Ingest(vec![truck, obs(1, 0, 110.0, 110.0)]));
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(500.0, 500.0));
+        match worker.handle_request(Request::RangeFiltered {
+            region,
+            window: window_all(),
+            class: EntityClass::Truck.as_u8(),
+        }) {
+            Response::Observations(hits) => {
+                assert_eq!(hits.len(), 1);
+                assert_eq!(hits[0].class, EntityClass::Truck);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Invalid class byte → application error, not a panic.
+        match worker.handle_request(Request::RangeFiltered {
+            region,
+            window: window_all(),
+            class: 200,
+        }) {
+            Response::Error(msg) => assert!(msg.contains("invalid class")),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let fabric = Fabric::new(LinkModel::instant());
+        let worker_ep = fabric.register(NodeId(1));
+        let client = fabric.register(NodeId(0));
+        let handle = Worker::spawn(
+            worker_ep,
+            WorkerConfig { index: index_config(), replicas: vec![] },
+        );
+        let big: Vec<Observation> = (0..5_000u64)
+            .map(|i| obs(i, (i % 60) * 1000, (i as f64 * 7.0) % 1000.0, (i as f64 * 13.0) % 1000.0))
+            .collect();
+        let resp = client
+            .call(
+                NodeId(1),
+                encode_to_vec(&Request::Ingest(big)),
+                StdDuration::from_secs(10),
+            )
+            .unwrap();
+        assert_eq!(decode_from_slice::<Response>(&resp).unwrap(), Response::Ack);
+        let stats_bytes = client
+            .call(NodeId(1), encode_to_vec(&Request::Stats), StdDuration::from_secs(5))
+            .unwrap();
+        match decode_from_slice::<Response>(&stats_bytes).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.primary_observations, 5_000);
+                assert!(s.busy_micros > 0, "busy time not recorded");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn spawned_worker_answers_rpc() {
+        let fabric = Fabric::new(LinkModel::instant());
+        let worker_ep = fabric.register(NodeId(1));
+        let client = fabric.register(NodeId(0));
+        let handle = Worker::spawn(
+            worker_ep,
+            WorkerConfig { index: index_config(), replicas: vec![] },
+        );
+        let resp_bytes = client
+            .call(NodeId(1), encode_to_vec(&Request::Ping), StdDuration::from_secs(5))
+            .unwrap();
+        assert_eq!(decode_from_slice::<Response>(&resp_bytes).unwrap(), Response::Ack);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_yields_error_response() {
+        let fabric = Fabric::new(LinkModel::instant());
+        let worker_ep = fabric.register(NodeId(1));
+        let client = fabric.register(NodeId(0));
+        let handle = Worker::spawn(
+            worker_ep,
+            WorkerConfig { index: index_config(), replicas: vec![] },
+        );
+        let resp_bytes = client
+            .call(NodeId(1), vec![250, 1, 2], StdDuration::from_secs(5))
+            .unwrap();
+        match decode_from_slice::<Response>(&resp_bytes).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("bad request")),
+            other => panic!("unexpected response {other:?}"),
+        }
+        handle.shutdown();
+    }
+}

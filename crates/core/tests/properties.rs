@@ -1,0 +1,171 @@
+//! Property-based tests for the framework's pure components: the wire
+//! protocol never panics on hostile bytes and round-trips every message;
+//! the partition map upholds its invariants for arbitrary geometry, ring
+//! sizes and load profiles.
+
+use proptest::prelude::*;
+use stcam::{PartitionMap, Predicate, Request, Response};
+use stcam_codec::{decode_from_slice, encode_to_vec};
+use stcam_geo::{BBox, Point, TimeInterval, Timestamp};
+use stcam_net::NodeId;
+use stcam_world::EntityClass;
+
+fn arb_region() -> impl Strategy<Value = BBox> {
+    (0.0..4000.0f64, 0.0..4000.0f64, 1.0..2000.0f64, 1.0..2000.0f64)
+        .prop_map(|(x, y, w, h)| BBox::new(Point::new(x, y), Point::new(x + w, y + h)))
+}
+
+fn arb_window() -> impl Strategy<Value = TimeInterval> {
+    (0u64..100_000, 0u64..100_000).prop_map(|(a, d)| {
+        TimeInterval::new(Timestamp::from_millis(a), Timestamp::from_millis(a + d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn protocol_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_from_slice::<Request>(&bytes);
+        let _ = decode_from_slice::<Response>(&bytes);
+        let _ = decode_from_slice::<stcam::Notification>(&bytes);
+    }
+
+    #[test]
+    fn protocol_truncation_never_panics(region in arb_region(), window in arb_window(), cut in any::<prop::sample::Index>()) {
+        // Every prefix of a valid message either fails cleanly or (never)
+        // succeeds as a different value; it must not panic.
+        let bytes = encode_to_vec(&Request::Range { region, window });
+        let cut = cut.index(bytes.len() + 1).min(bytes.len());
+        let _ = decode_from_slice::<Request>(&bytes[..cut]);
+    }
+
+    #[test]
+    fn requests_round_trip(
+        region in arb_region(),
+        window in arb_window(),
+        k in 0u32..1000,
+        class in 0u8..4,
+        node in 0u32..100,
+        max_distance in proptest::option::of(0.0..10_000.0f64),
+    ) {
+        let class_enum = EntityClass::from_u8(class).expect("class");
+        let requests = [
+            Request::Ping,
+            Request::Range { region, window },
+            Request::RangeFiltered { region, window, class },
+            Request::Knn { at: region.center(), window, k, max_distance },
+            Request::ExtractRegion { region },
+            Request::SnapshotReplica { of: NodeId(node) },
+            Request::Promote { failed: NodeId(node) },
+            Request::RegisterContinuous {
+                id: stcam::ContinuousQueryId(k as u64),
+                predicate: Predicate { region, class: Some(class_enum) },
+                notify: NodeId(node),
+            },
+        ];
+        for request in requests {
+            let bytes = encode_to_vec(&request);
+            prop_assert_eq!(decode_from_slice::<Request>(&bytes).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn partition_ownership_is_total_and_consistent(
+        side in 400.0..10_000.0f64,
+        cell in 50.0..2_000.0f64,
+        n_workers in 1usize..24,
+        px in -2_000.0..12_000.0f64,
+        py in -2_000.0..12_000.0f64,
+    ) {
+        prop_assume!(side / cell >= 1.0);
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(side, side));
+        let workers: Vec<NodeId> = (1..=n_workers as u32).map(NodeId).collect();
+        let map = PartitionMap::uniform(extent, cell, workers.clone());
+        // Every point (even far outside) routes to a member.
+        let owner = map.owner_of(Point::new(px, py));
+        prop_assert!(workers.contains(&owner));
+        // Cells partition exactly: each cell owned once, union = all.
+        let total: usize = workers.iter().map(|&w| map.cells_of(w).len()).sum();
+        prop_assert_eq!(total as u64, map.grid().cell_count());
+    }
+
+    #[test]
+    fn partition_load_aware_never_starves_and_beats_worst_case(
+        n_workers in 2usize..12,
+        loads in prop::collection::vec(0u64..10_000, 64),
+    ) {
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(800.0, 800.0));
+        let workers: Vec<NodeId> = (1..=n_workers as u32).map(NodeId).collect();
+        let map = PartitionMap::load_aware(extent, 100.0, workers.clone(), &loads);
+        for &w in &workers {
+            prop_assert!(!map.cells_of(w).is_empty(), "worker {} starved", w);
+        }
+        // The imbalance can never be worse than "all load on one worker".
+        let imbalance = map.imbalance(&loads);
+        prop_assert!(imbalance <= n_workers as f64 + 1e-9);
+        prop_assert!(imbalance >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn partition_region_fanout_is_minimal_and_sufficient(
+        region in arb_region(),
+        n_workers in 1usize..16,
+    ) {
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(8_000.0, 8_000.0));
+        let workers: Vec<NodeId> = (1..=n_workers as u32).map(NodeId).collect();
+        let map = PartitionMap::uniform(extent, 500.0, workers);
+        let fanout = map.workers_for_region(region);
+        // Sufficient: the owner of every overlapping cell is contacted.
+        for c in map.grid().cells_overlapping(region) {
+            prop_assert!(fanout.contains(&map.owner_of_cell(c)));
+        }
+        // Minimal: every contacted worker owns at least one overlapping cell.
+        for &w in &fanout {
+            let touches = map
+                .cells_of(w)
+                .iter()
+                .any(|&c| map.grid().cell_bbox(c).intersects(&region));
+            prop_assert!(touches, "{} contacted needlessly", w);
+        }
+    }
+
+    #[test]
+    fn partition_successors_are_distinct_members(
+        n_workers in 1usize..16,
+        r in 0usize..20,
+        idx in any::<prop::sample::Index>(),
+    ) {
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        let workers: Vec<NodeId> = (1..=n_workers as u32).map(NodeId).collect();
+        let map = PartitionMap::uniform(extent, 250.0, workers.clone());
+        let me = workers[idx.index(workers.len())];
+        let succ = map.successors(me, r);
+        prop_assert!(succ.len() <= r.min(n_workers - 1));
+        let mut seen = std::collections::HashSet::new();
+        for s in &succ {
+            prop_assert!(*s != me, "successor equals self");
+            prop_assert!(workers.contains(s));
+            prop_assert!(seen.insert(*s), "duplicate successor");
+        }
+    }
+
+    #[test]
+    fn routing_regions_tile_the_plane(
+        n_workers in 1usize..8,
+        px in -500.0..1500.0f64,
+        py in -500.0..1500.0f64,
+    ) {
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        let workers: Vec<NodeId> = (1..=n_workers as u32).map(NodeId).collect();
+        let map = PartitionMap::uniform(extent, 250.0, workers);
+        let p = Point::new(px, py);
+        let containing: Vec<_> = map
+            .grid()
+            .all_cells()
+            .filter(|&c| map.cell_routing_region(c).contains(p))
+            .collect();
+        prop_assert_eq!(containing.len(), 1, "point {} in {} regions", p, containing.len());
+        prop_assert_eq!(containing[0], map.grid().cell_of_clamped(p));
+    }
+}

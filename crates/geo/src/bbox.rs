@@ -1,0 +1,295 @@
+//! Axis-aligned bounding rectangles.
+
+use std::fmt;
+
+use crate::Point;
+
+/// An axis-aligned bounding rectangle in the local planar frame.
+///
+/// A `BBox` is *closed* on its minimum edge and *closed* on its maximum edge
+/// for containment tests ([`contains`](Self::contains)); overlap tests
+/// ([`intersects`](Self::intersects)) treat touching boxes as intersecting.
+/// An *empty* box (any max < min) contains nothing and intersects nothing.
+///
+/// # Example
+///
+/// ```
+/// use stcam_geo::{BBox, Point};
+/// let b = BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0));
+/// assert!(b.contains(Point::new(10.0, 5.0)));
+/// assert_eq!(b.area(), 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Minimum corner (south-west).
+    pub min: Point,
+    /// Maximum corner (north-east).
+    pub max: Point,
+}
+
+impl BBox {
+    /// An empty box: intersects nothing, contains nothing, and acts as the
+    /// identity for [`union`](Self::union).
+    pub const EMPTY: BBox = BBox {
+        min: Point { x: f64::INFINITY, y: f64::INFINITY },
+        max: Point { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY },
+    };
+
+    /// Creates the box with corners `min` and `max`.
+    ///
+    /// The corners are *not* reordered; use [`from_corners`](Self::from_corners)
+    /// for unordered input.
+    #[inline]
+    pub const fn new(min: Point, max: Point) -> Self {
+        BBox { min, max }
+    }
+
+    /// Creates the smallest box covering two arbitrary corner points.
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        BBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates the square box of side `2 * radius` centred on `center`.
+    pub fn around(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0);
+        BBox {
+            min: Point::new(center.x - radius, center.y - radius),
+            max: Point::new(center.x + radius, center.y + radius),
+        }
+    }
+
+    /// The smallest box covering every point in `points`, or
+    /// [`BBox::EMPTY`] when the iterator is empty.
+    pub fn covering<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        points.into_iter().fold(BBox::EMPTY, |b, p| b.expanded_to(p))
+    }
+
+    /// `true` when this box covers no area (including [`BBox::EMPTY`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.max.x < self.min.x || self.max.y < self.min.y
+    }
+
+    /// Width (east-west extent) in metres; 0 for empty boxes.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height (north-south extent) in metres; 0 for empty boxes.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Area in square metres; 0 for empty boxes.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// The centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// `true` when `other` lies entirely within this box.
+    pub fn contains_bbox(&self, other: &BBox) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        !self.is_empty()
+            && other.min.x >= self.min.x
+            && other.max.x <= self.max.x
+            && other.min.y >= self.min.y
+            && other.max.y <= self.max.y
+    }
+
+    /// `true` when the two boxes share at least a boundary point.
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The overlapping region, or `None` when the boxes are disjoint.
+    pub fn intersection(&self, other: &BBox) -> Option<BBox> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(BBox {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// The smallest box covering both inputs.
+    pub fn union(&self, other: &BBox) -> BBox {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        BBox {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// The smallest box covering this box and the point `p`.
+    pub fn expanded_to(&self, p: Point) -> BBox {
+        if self.is_empty() {
+            return BBox { min: p, max: p };
+        }
+        BBox {
+            min: Point::new(self.min.x.min(p.x), self.min.y.min(p.y)),
+            max: Point::new(self.max.x.max(p.x), self.max.y.max(p.y)),
+        }
+    }
+
+    /// This box grown outward by `margin` metres on every side.
+    ///
+    /// A negative margin shrinks the box and may make it empty.
+    pub fn inflated(&self, margin: f64) -> BBox {
+        if self.is_empty() {
+            return *self;
+        }
+        BBox {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    /// Minimum Euclidean distance from `p` to this box (0 when inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        if self.is_empty() {
+            return f64::INFINITY;
+        }
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Maximum Euclidean distance from `p` to any point of this box.
+    pub fn max_distance_to_point(&self, p: Point) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let dx = (p.x - self.min.x).abs().max((p.x - self.max.x).abs());
+        let dy = (p.y - self.min.y).abs().max((p.y - self.max.y).abs());
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The four corner points, counter-clockwise starting at `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} — {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x0: f64, y0: f64, x1: f64, y1: f64) -> BBox {
+        BBox::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let bb = b(0.0, 0.0, 10.0, 10.0);
+        assert!(bb.contains(Point::new(0.0, 0.0)));
+        assert!(bb.contains(Point::new(10.0, 10.0)));
+        assert!(bb.contains(Point::new(5.0, 10.0)));
+        assert!(!bb.contains(Point::new(10.0001, 5.0)));
+    }
+
+    #[test]
+    fn empty_box_semantics() {
+        let e = BBox::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert!(!e.contains(Point::ORIGIN));
+        assert!(!e.intersects(&b(0.0, 0.0, 1.0, 1.0)));
+        assert_eq!(e.union(&b(1.0, 1.0, 2.0, 2.0)), b(1.0, 1.0, 2.0, 2.0));
+        assert!(b(0.0, 0.0, 5.0, 5.0).contains_bbox(&e));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = b(0.0, 0.0, 10.0, 10.0);
+        let c = b(5.0, 5.0, 15.0, 15.0);
+        assert_eq!(a.intersection(&c), Some(b(5.0, 5.0, 10.0, 10.0)));
+        assert_eq!(a.union(&c), b(0.0, 0.0, 15.0, 15.0));
+        let d = b(20.0, 20.0, 30.0, 30.0);
+        assert_eq!(a.intersection(&d), None);
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = b(0.0, 0.0, 10.0, 10.0);
+        let c = b(10.0, 0.0, 20.0, 10.0);
+        assert!(a.intersects(&c));
+        let i = a.intersection(&c).unwrap();
+        assert_eq!(i.area(), 0.0);
+    }
+
+    #[test]
+    fn covering_points() {
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(4.0, -1.0)];
+        let bb = BBox::covering(pts);
+        assert_eq!(bb, b(-2.0, -1.0, 4.0, 5.0));
+        assert!(BBox::covering(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn around_and_inflate() {
+        let bb = BBox::around(Point::new(5.0, 5.0), 2.0);
+        assert_eq!(bb, b(3.0, 3.0, 7.0, 7.0));
+        assert_eq!(bb.inflated(1.0), b(2.0, 2.0, 8.0, 8.0));
+        assert!(bb.inflated(-3.0).is_empty());
+    }
+
+    #[test]
+    fn point_distances() {
+        let bb = b(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(bb.distance_to_point(Point::new(5.0, 5.0)), 0.0);
+        assert_eq!(bb.distance_to_point(Point::new(13.0, 14.0)), 5.0);
+        assert_eq!(bb.max_distance_to_point(Point::new(0.0, 0.0)), 200f64.sqrt());
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let bb = b(0.0, 0.0, 2.0, 1.0);
+        let c = bb.corners();
+        assert_eq!(c[0], Point::new(0.0, 0.0));
+        assert_eq!(c[1], Point::new(2.0, 0.0));
+        assert_eq!(c[2], Point::new(2.0, 1.0));
+        assert_eq!(c[3], Point::new(0.0, 1.0));
+    }
+}

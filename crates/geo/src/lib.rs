@@ -1,0 +1,46 @@
+//! Geometric and temporal primitives for the `stcam` framework.
+//!
+//! Every other crate in the workspace builds on the types defined here:
+//!
+//! * [`Point`] — a position in a local planar (east/north, metres) frame.
+//! * [`GeoPoint`] — a WGS-84 latitude/longitude pair, with great-circle
+//!   distance and projection into a local planar frame.
+//! * [`BBox`] — an axis-aligned bounding rectangle.
+//! * [`Polygon`] — a simple polygon with point-in-polygon tests, used for
+//!   camera fields of view.
+//! * [`GridSpec`] / [`CellId`] — a uniform grid over the covered region,
+//!   the unit of space partitioning in the distributed framework.
+//! * [`zorder`] — Morton (Z-order) encoding of grid cells, used to place
+//!   cells on a locality-preserving one-dimensional curve.
+//! * [`Timestamp`] / [`TimeInterval`] — millisecond timestamps and
+//!   half-open time windows.
+//!
+//! The crate is dependency-free and entirely deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use stcam_geo::{BBox, GridSpec, Point};
+//!
+//! let grid = GridSpec::new(Point::new(0.0, 0.0), 100.0, 80, 80);
+//! let cell = grid.cell_of(Point::new(250.0, 460.0)).unwrap();
+//! assert!(grid.cell_bbox(cell).contains(Point::new(250.0, 460.0)));
+//! let query = BBox::new(Point::new(150.0, 150.0), Point::new(350.0, 350.0));
+//! assert_eq!(grid.cells_overlapping(query).count(), 9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bbox;
+mod grid;
+mod point;
+mod polygon;
+mod time;
+pub mod zorder;
+
+pub use bbox::BBox;
+pub use grid::{CellId, CellIter, GridSpec};
+pub use point::{GeoPoint, Point, EARTH_RADIUS_M};
+pub use polygon::Polygon;
+pub use time::{Duration, TimeInterval, Timestamp};

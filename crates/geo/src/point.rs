@@ -1,0 +1,314 @@
+//! Planar and geographic points.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Mean Earth radius in metres, used for great-circle distances.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A position in a local planar frame (east/north offsets in metres from a
+/// deployment-specific origin).
+///
+/// The distributed framework operates on planar coordinates throughout;
+/// geographic input is projected once at the edge via
+/// [`GeoPoint::to_local`].
+///
+/// # Example
+///
+/// ```
+/// use stcam_geo::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// East offset from the frame origin, metres.
+    pub x: f64,
+    /// North offset from the frame origin, metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// The frame origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point at `(x, y)` metres.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`; cheaper than
+    /// [`distance`](Self::distance) when only comparisons are needed.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Length of this point interpreted as a vector from the origin.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Dot product with `other` (both interpreted as vectors).
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z component of the cross product with `other` (both interpreted as
+    /// vectors); positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Linear interpolation: the point `t` of the way from `self` to `to`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `to`; values outside `[0, 1]`
+    /// extrapolate.
+    #[inline]
+    pub fn lerp(self, to: Point, t: f64) -> Point {
+        Point::new(self.x + (to.x - self.x) * t, self.y + (to.y - self.y) * t)
+    }
+
+    /// Returns this vector scaled to unit length, or `None` if it is (near)
+    /// zero-length.
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The heading of this vector in radians, measured counter-clockwise
+    /// from the +x (east) axis, in `(-π, π]`.
+    #[inline]
+    pub fn heading(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// A unit vector pointing along `angle` radians (counter-clockwise from
+    /// east).
+    #[inline]
+    pub fn from_heading(angle: f64) -> Point {
+        Point::new(angle.cos(), angle.sin())
+    }
+
+    /// `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// A WGS-84 geographic coordinate (degrees).
+///
+/// Used only at the system boundary: camera deployments are specified in
+/// latitude/longitude and projected into the local planar frame with
+/// [`GeoPoint::to_local`] (equirectangular projection around a reference
+/// point, accurate to well under 0.1% over a metropolitan extent).
+///
+/// # Example
+///
+/// ```
+/// use stcam_geo::GeoPoint;
+/// let atlanta = GeoPoint::new(33.749, -84.388);
+/// let decatur = GeoPoint::new(33.774, -84.296);
+/// let d = atlanta.haversine_distance(decatur);
+/// assert!((d - 8900.0).abs() < 200.0, "distance was {d}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a geographic point.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the latitude is outside `[-90, 90]`.
+    #[inline]
+    pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!((-90.0..=90.0).contains(&lat), "latitude out of range");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in metres (haversine formula).
+    pub fn haversine_distance(self, other: GeoPoint) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Projects this point into the local planar frame anchored at
+    /// `reference` (equirectangular projection).
+    pub fn to_local(self, reference: GeoPoint) -> Point {
+        let lat0 = reference.lat.to_radians();
+        let x = (self.lon - reference.lon).to_radians() * lat0.cos() * EARTH_RADIUS_M;
+        let y = (self.lat - reference.lat).to_radians() * EARTH_RADIUS_M;
+        Point::new(x, y)
+    }
+
+    /// Inverse of [`to_local`](Self::to_local): lifts a planar point back to
+    /// geographic coordinates around `reference`.
+    pub fn from_local(p: Point, reference: GeoPoint) -> GeoPoint {
+        let lat0 = reference.lat.to_radians();
+        let lat = reference.lat + (p.y / EARTH_RADIUS_M).to_degrees();
+        let lon = reference.lon + (p.x / (EARTH_RADIUS_M * lat0.cos())).to_degrees();
+        GeoPoint { lat, lon }
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.5}°, {:.5}°)", self.lat, self.lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-3.0, 4.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+        assert_eq!(a.dot(b), 1.0);
+        assert_eq!(a.cross(b), -7.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -10.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, -5.0));
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Point::new(3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!(Point::new(0.0, 0.0).normalized().is_none());
+    }
+
+    #[test]
+    fn heading_round_trip() {
+        for deg in [-179, -90, -45, 0, 30, 90, 120, 180] {
+            let a = (deg as f64).to_radians();
+            let h = Point::from_heading(a).heading();
+            let diff = (h - a).rem_euclid(std::f64::consts::TAU);
+            assert!(!(1e-9..=std::f64::consts::TAU - 1e-9).contains(&diff));
+        }
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // London to Paris, ~343.5 km.
+        let london = GeoPoint::new(51.5074, -0.1278);
+        let paris = GeoPoint::new(48.8566, 2.3522);
+        let d = london.haversine_distance(paris);
+        assert!((d - 343_500.0).abs() < 2_000.0, "got {d}");
+    }
+
+    #[test]
+    fn local_projection_round_trip() {
+        let reference = GeoPoint::new(33.749, -84.388);
+        let p = GeoPoint::new(33.80, -84.30);
+        let local = p.to_local(reference);
+        let back = GeoPoint::from_local(local, reference);
+        assert!((back.lat - p.lat).abs() < 1e-9);
+        assert!((back.lon - p.lon).abs() < 1e-9);
+        // Planar distance approximates great-circle distance at city scale.
+        let planar = local.norm();
+        let sphere = reference.haversine_distance(p);
+        assert!((planar - sphere).abs() / sphere < 1e-3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.00, 2.50)");
+        assert_eq!(GeoPoint::new(1.0, 2.0).to_string(), "(1.00000°, 2.00000°)");
+    }
+}

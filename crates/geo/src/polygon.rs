@@ -1,0 +1,323 @@
+//! Simple polygons, used to model camera fields of view.
+
+use std::fmt;
+
+use crate::{BBox, Point};
+
+/// A simple (non-self-intersecting) polygon in the local planar frame.
+///
+/// Used throughout the camera-network layer to model fields of view and
+/// coverage regions. Vertex order may be clockwise or counter-clockwise;
+/// containment uses the even-odd rule and treats boundary points as inside
+/// within floating-point tolerance.
+///
+/// # Example
+///
+/// ```
+/// use stcam_geo::{Point, Polygon};
+/// let tri = Polygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(0.0, 10.0),
+/// ]).unwrap();
+/// assert!(tri.contains(Point::new(2.0, 2.0)));
+/// assert!(!tri.contains(Point::new(8.0, 8.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+    bbox: BBox,
+}
+
+impl Polygon {
+    /// Creates a polygon from at least three vertices.
+    ///
+    /// Returns `None` when fewer than three vertices are supplied or any
+    /// coordinate is non-finite.
+    pub fn new(vertices: Vec<Point>) -> Option<Self> {
+        if vertices.len() < 3 || vertices.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let bbox = BBox::covering(vertices.iter().copied());
+        Some(Polygon { vertices, bbox })
+    }
+
+    /// A regular approximation of a circular disc with `segments` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments < 3` or `radius <= 0`.
+    pub fn circle(center: Point, radius: f64, segments: usize) -> Self {
+        assert!(segments >= 3, "a polygon needs at least 3 vertices");
+        assert!(radius > 0.0, "radius must be positive");
+        let vertices = (0..segments)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / segments as f64;
+                center + Point::from_heading(a) * radius
+            })
+            .collect();
+        Polygon::new(vertices).expect("circle vertices are valid")
+    }
+
+    /// A camera-style viewing sector: apex at `apex`, central direction
+    /// `heading` (radians CCW from east), angular width `fov` (radians),
+    /// and maximum viewing distance `range` (metres). The arc is
+    /// approximated with `arc_segments + 1` rim vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fov` is not in `(0, 2π)` or `range <= 0`.
+    pub fn sector(apex: Point, heading: f64, fov: f64, range: f64, arc_segments: usize) -> Self {
+        assert!(fov > 0.0 && fov < std::f64::consts::TAU, "fov out of range");
+        assert!(range > 0.0, "range must be positive");
+        let segs = arc_segments.max(2);
+        let mut vertices = Vec::with_capacity(segs + 2);
+        vertices.push(apex);
+        for i in 0..=segs {
+            let a = heading - fov / 2.0 + fov * i as f64 / segs as f64;
+            vertices.push(apex + Point::from_heading(a) * range);
+        }
+        Polygon::new(vertices).expect("sector vertices are valid")
+    }
+
+    /// The polygon's vertices in definition order.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// The precomputed axis-aligned bounding box.
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Signed area: positive for counter-clockwise vertex order.
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.cross(b);
+        }
+        acc / 2.0
+    }
+
+    /// Absolute enclosed area in square metres.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// The arithmetic mean of the vertices (adequate as a representative
+    /// interior point for convex polygons such as sectors).
+    pub fn vertex_centroid(&self) -> Point {
+        let mut acc = Point::ORIGIN;
+        for v in &self.vertices {
+            acc = acc + *v;
+        }
+        acc / self.vertices.len() as f64
+    }
+
+    /// Even-odd point-in-polygon test; boundary points count as inside.
+    pub fn contains(&self, p: Point) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        let n = self.vertices.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[j];
+            // Boundary: p on segment a-b.
+            let ab = b - a;
+            let ap = p - a;
+            let cross = ab.cross(ap);
+            if cross.abs() < 1e-9 {
+                let dot = ap.dot(ab);
+                if dot >= -1e-9 && dot <= ab.dot(ab) + 1e-9 {
+                    return true;
+                }
+            }
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_at {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Conservative polygon/box overlap test.
+    ///
+    /// Exact for convex polygons (which covers all field-of-view sectors and
+    /// discs built by this crate); for concave polygons it may return `true`
+    /// for some non-overlapping pairs, never `false` for overlapping ones.
+    pub fn intersects_bbox(&self, bb: &BBox) -> bool {
+        if !self.bbox.intersects(bb) {
+            return false;
+        }
+        // Any polygon vertex inside the box?
+        if self.vertices.iter().any(|v| bb.contains(*v)) {
+            return true;
+        }
+        // Any box corner inside the polygon?
+        if bb.corners().iter().any(|c| self.contains(*c)) {
+            return true;
+        }
+        // Any edge pair crossing?
+        let n = self.vertices.len();
+        let bc = bb.corners();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            for k in 0..4 {
+                if segments_intersect(a, b, bc[k], bc[(k + 1) % 4]) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polygon[{} vertices, area {:.1} m²]", self.vertices.len(), self.area())
+    }
+}
+
+/// Proper or touching intersection test for segments `a1-a2` and `b1-b2`.
+fn segments_intersect(a1: Point, a2: Point, b1: Point, b2: Point) -> bool {
+    fn orient(a: Point, b: Point, c: Point) -> f64 {
+        (b - a).cross(c - a)
+    }
+    fn on_segment(a: Point, b: Point, p: Point) -> bool {
+        p.x >= a.x.min(b.x) - 1e-9
+            && p.x <= a.x.max(b.x) + 1e-9
+            && p.y >= a.y.min(b.y) - 1e-9
+            && p.y <= a.y.max(b.y) + 1e-9
+    }
+    let d1 = orient(b1, b2, a1);
+    let d2 = orient(b1, b2, a2);
+    let d3 = orient(a1, a2, b1);
+    let d4 = orient(a1, a2, b2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1.abs() < 1e-9 && on_segment(b1, b2, a1))
+        || (d2.abs() < 1e-9 && on_segment(b1, b2, a2))
+        || (d3.abs() < 1e-9 && on_segment(a1, a2, b1))
+        || (d4.abs() < 1e-9 && on_segment(a1, a2, b2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(Polygon::new(vec![]).is_none());
+        assert!(Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 1.0)]).is_none());
+        assert!(Polygon::new(vec![
+            Point::ORIGIN,
+            Point::new(f64::NAN, 0.0),
+            Point::new(1.0, 1.0)
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn square_area_and_containment() {
+        let sq = unit_square();
+        assert!((sq.area() - 1.0).abs() < 1e-12);
+        assert!(sq.signed_area() > 0.0); // CCW
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+        assert!(sq.contains(Point::new(0.0, 0.5))); // boundary
+        assert!(sq.contains(Point::new(1.0, 1.0))); // corner
+        assert!(!sq.contains(Point::new(1.5, 0.5)));
+    }
+
+    #[test]
+    fn clockwise_square_negative_signed_area() {
+        let sq = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ])
+        .unwrap();
+        assert!(sq.signed_area() < 0.0);
+        assert!((sq.area() - 1.0).abs() < 1e-12);
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn circle_area_approaches_pi_r2() {
+        let c = Polygon::circle(Point::new(3.0, 4.0), 10.0, 256);
+        let exact = std::f64::consts::PI * 100.0;
+        assert!((c.area() - exact).abs() / exact < 1e-3);
+        assert!(c.contains(Point::new(3.0, 4.0)));
+        assert!(!c.contains(Point::new(14.0, 4.0)));
+    }
+
+    #[test]
+    fn sector_geometry() {
+        // 90° sector looking east with range 10.
+        let s = Polygon::sector(Point::ORIGIN, 0.0, std::f64::consts::FRAC_PI_2, 10.0, 16);
+        assert!(s.contains(Point::new(5.0, 0.0)));
+        assert!(s.contains(Point::new(4.0, 3.0)));
+        assert!(!s.contains(Point::new(-1.0, 0.0))); // behind apex
+        assert!(!s.contains(Point::new(0.0, 5.0))); // outside 45° edge
+        assert!(!s.contains(Point::new(11.0, 0.0))); // beyond range
+        // Area of a quarter disc of radius 10 ≈ 78.5.
+        assert!((s.area() - 78.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn bbox_is_tight() {
+        let s = unit_square();
+        assert_eq!(s.bbox(), BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn bbox_intersection_cases() {
+        let sq = unit_square();
+        // Disjoint.
+        assert!(!sq.intersects_bbox(&BBox::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0))));
+        // Box inside polygon.
+        assert!(sq.intersects_bbox(&BBox::new(Point::new(0.4, 0.4), Point::new(0.6, 0.6))));
+        // Polygon inside box.
+        assert!(sq.intersects_bbox(&BBox::new(Point::new(-1.0, -1.0), Point::new(2.0, 2.0))));
+        // Edge crossing with no contained vertices: thin box slicing the square.
+        assert!(sq.intersects_bbox(&BBox::new(Point::new(-1.0, 0.4), Point::new(2.0, 0.6))));
+    }
+
+    #[test]
+    fn segment_intersection_helper() {
+        let o = Point::ORIGIN;
+        assert!(segments_intersect(o, Point::new(2.0, 2.0), Point::new(0.0, 2.0), Point::new(2.0, 0.0)));
+        assert!(!segments_intersect(o, Point::new(1.0, 0.0), Point::new(0.0, 1.0), Point::new(1.0, 1.0)));
+        // Collinear touching.
+        assert!(segments_intersect(o, Point::new(1.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)));
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let c = unit_square().vertex_centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+}

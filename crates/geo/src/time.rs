@@ -1,0 +1,339 @@
+//! Timestamps and time windows.
+//!
+//! The framework uses a single simulated clock domain: milliseconds since
+//! the start of the deployment, represented as [`Timestamp`]. Durations are
+//! [`Duration`] (also milliseconds). Query windows are half-open
+//! [`TimeInterval`]s `[start, end)`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time: milliseconds since deployment start.
+///
+/// # Example
+///
+/// ```
+/// use stcam_geo::{Duration, Timestamp};
+/// let t = Timestamp::from_secs(10) + Duration::from_millis(500);
+/// assert_eq!(t.as_millis(), 10_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// Deployment start (t = 0).
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The largest representable instant.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Creates a timestamp from milliseconds since deployment start.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Creates a timestamp from whole seconds since deployment start.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1000)
+    }
+
+    /// Milliseconds since deployment start.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since deployment start.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Absolute difference between two instants.
+    #[inline]
+    pub fn abs_diff(self, other: Timestamp) -> Duration {
+        Duration(self.0.abs_diff(other.0))
+    }
+
+    /// Saturating subtraction of a duration (clamps at t = 0).
+    #[inline]
+    pub fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    /// Elapsed time from `rhs` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "negative duration");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulated time in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1000)
+    }
+
+    /// Length in milliseconds.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Length in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// This duration scaled by `factor`, rounding to the nearest
+    /// millisecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `factor` is negative or non-finite.
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        debug_assert!(factor.is_finite() && factor >= 0.0);
+        Duration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1000 {
+            write!(f, "{} ms", self.0)
+        } else {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        }
+    }
+}
+
+/// A half-open time window `[start, end)`.
+///
+/// The empty interval (`start == end`) contains no instants; construction
+/// enforces `start <= end`.
+///
+/// # Example
+///
+/// ```
+/// use stcam_geo::{TimeInterval, Timestamp};
+/// let w = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(2));
+/// assert!(w.contains(Timestamp::from_millis(1500)));
+/// assert!(!w.contains(Timestamp::from_secs(2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeInterval {
+    start: Timestamp,
+    end: Timestamp,
+}
+
+impl TimeInterval {
+    /// The interval containing every instant.
+    pub const ALL: TimeInterval = TimeInterval { start: Timestamp::ZERO, end: Timestamp::MAX };
+
+    /// Creates `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(start <= end, "interval start after end");
+        TimeInterval { start, end }
+    }
+
+    /// The window of length `len` ending at `end` (clamped at t = 0).
+    pub fn ending_at(end: Timestamp, len: Duration) -> Self {
+        TimeInterval { start: end.saturating_sub(len), end }
+    }
+
+    /// Inclusive start instant.
+    #[inline]
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Exclusive end instant.
+    #[inline]
+    pub fn end(&self) -> Timestamp {
+        self.end
+    }
+
+    /// Window length.
+    #[inline]
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// `true` when the window contains no instants.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` when `t` lies inside the half-open window.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// `true` when the two windows share at least one instant.
+    ///
+    /// Empty windows overlap nothing, including themselves.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// The shared sub-window, or `None` when disjoint or empty.
+    pub fn intersection(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(TimeInterval { start, end })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(2);
+        assert_eq!(t + Duration::from_millis(250), Timestamp::from_millis(2250));
+        assert_eq!(Timestamp::from_secs(5) - Timestamp::from_secs(2), Duration::from_secs(3));
+        assert_eq!(Timestamp::from_secs(1).saturating_sub(Duration::from_secs(5)), Timestamp::ZERO);
+        assert_eq!(Timestamp::from_secs(1).abs_diff(Timestamp::from_secs(3)), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_secs(1);
+        assert_eq!(d + Duration::from_millis(500), Duration::from_millis(1500));
+        assert_eq!(d - Duration::from_millis(300), Duration::from_millis(700));
+        // Saturating subtraction.
+        assert_eq!(Duration::from_millis(100) - Duration::from_secs(1), Duration::ZERO);
+        assert_eq!(d.mul_f64(2.5), Duration::from_millis(2500));
+    }
+
+    #[test]
+    fn interval_half_open_semantics() {
+        let w = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(2));
+        assert!(w.contains(Timestamp::from_secs(1)));
+        assert!(!w.contains(Timestamp::from_secs(2)));
+        assert!(!w.contains(Timestamp::from_millis(999)));
+        assert_eq!(w.duration(), Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval start after end")]
+    fn interval_rejects_reversed() {
+        let _ = TimeInterval::new(Timestamp::from_secs(2), Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn interval_overlap_and_intersection() {
+        let a = TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(10));
+        let b = TimeInterval::new(Timestamp::from_secs(5), Timestamp::from_secs(15));
+        let c = TimeInterval::new(Timestamp::from_secs(10), Timestamp::from_secs(20));
+        assert!(a.overlaps(&b));
+        // Half-open: touching intervals do not overlap.
+        assert!(!a.overlaps(&c));
+        assert_eq!(
+            a.intersection(&b),
+            Some(TimeInterval::new(Timestamp::from_secs(5), Timestamp::from_secs(10)))
+        );
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn empty_interval() {
+        let e = TimeInterval::new(Timestamp::from_secs(3), Timestamp::from_secs(3));
+        assert!(e.is_empty());
+        assert!(!e.contains(Timestamp::from_secs(3)));
+        assert!(!e.overlaps(&TimeInterval::ALL));
+    }
+
+    #[test]
+    fn ending_at_clamps() {
+        let w = TimeInterval::ending_at(Timestamp::from_secs(1), Duration::from_secs(10));
+        assert_eq!(w.start(), Timestamp::ZERO);
+        assert_eq!(w.end(), Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Duration::from_millis(42).to_string(), "42 ms");
+        assert_eq!(Duration::from_millis(1500).to_string(), "1.500 s");
+        assert_eq!(Timestamp::from_millis(1500).to_string(), "t+1.500s");
+    }
+}

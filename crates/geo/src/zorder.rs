@@ -1,0 +1,102 @@
+//! Morton (Z-order) curve encoding.
+//!
+//! The partitioner places grid cells on the Z-order curve so that
+//! consecutive curve positions are usually spatial neighbours; splitting
+//! the curve into contiguous runs then yields spatially compact worker
+//! shards. This module provides the 32-bit × 32-bit → 64-bit interleaving
+//! and its inverse.
+
+/// Spreads the bits of `v` so that bit *i* of the input lands at bit *2i*
+/// of the output.
+#[inline]
+fn spread(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread`]: collects every second bit.
+#[inline]
+fn squash(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Interleaves `x` and `y` into a single Morton code; `x` occupies the even
+/// bits, `y` the odd bits.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(stcam_geo::zorder::encode(0b11, 0b00), 0b0101);
+/// assert_eq!(stcam_geo::zorder::encode(0b00, 0b11), 0b1010);
+/// ```
+#[inline]
+pub fn encode(x: u32, y: u32) -> u64 {
+    spread(x) | (spread(y) << 1)
+}
+
+/// Inverse of [`encode`]: recovers `(x, y)`.
+#[inline]
+pub fn decode(code: u64) -> (u32, u32) {
+    (squash(code), squash(code >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_codes() {
+        assert_eq!(encode(0, 0), 0);
+        assert_eq!(encode(1, 0), 1);
+        assert_eq!(encode(0, 1), 2);
+        assert_eq!(encode(1, 1), 3);
+        assert_eq!(encode(2, 0), 4);
+        assert_eq!(encode(u32::MAX, u32::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn round_trip_exhaustive_small() {
+        for x in 0..64u32 {
+            for y in 0..64u32 {
+                assert_eq!(decode(encode(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_each_coordinate() {
+        // Fixing y, increasing x strictly increases the code.
+        let mut prev = encode(0, 7);
+        for x in 1..100 {
+            let c = encode(x, 7);
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn locality_better_than_row_major_on_average() {
+        // Neighbouring codes decode to nearby cells: average Chebyshev
+        // distance between consecutive curve positions stays small.
+        let n = 1u64 << 12; // 64×64 block
+        let mut total = 0u64;
+        for code in 1..n {
+            let (x0, y0) = decode(code - 1);
+            let (x1, y1) = decode(code);
+            total += x0.abs_diff(x1).max(y0.abs_diff(y1)) as u64;
+        }
+        let avg = total as f64 / (n - 1) as f64;
+        assert!(avg < 2.0, "average jump {avg} too large");
+    }
+}

@@ -1,0 +1,707 @@
+//! The time-sliced grid index.
+
+use std::collections::BTreeMap;
+
+use stcam_camnet::Observation;
+use stcam_geo::{BBox, Duration, GridSpec, Point, TimeInterval, Timestamp};
+
+use crate::slice::{slice_number, Slice};
+
+/// Configuration of a [`StIndex`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexConfig {
+    /// Region this index is responsible for. Observations slightly outside
+    /// (localisation noise at shard borders) are clamped into the border
+    /// cells.
+    pub extent: BBox,
+    /// Spatial cell size, metres.
+    pub cell_size: f64,
+    /// Temporal slice length.
+    pub slice_len: Duration,
+    /// Retention budget in observations; `0` means unbounded. When
+    /// exceeded, whole oldest slices are evicted (the open slice is never
+    /// evicted).
+    pub max_observations: usize,
+}
+
+impl IndexConfig {
+    /// Creates an unbounded config.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `extent` is empty, `cell_size <= 0`, or `slice_len` is
+    /// zero.
+    pub fn new(extent: BBox, cell_size: f64, slice_len: Duration) -> Self {
+        assert!(!extent.is_empty(), "extent must be non-empty");
+        assert!(cell_size > 0.0, "cell_size must be positive");
+        assert!(slice_len > Duration::ZERO, "slice_len must be positive");
+        IndexConfig { extent, cell_size, slice_len, max_observations: 0 }
+    }
+
+    /// Replaces the retention budget.
+    pub fn with_max_observations(mut self, max: usize) -> Self {
+        self.max_observations = max;
+        self
+    }
+}
+
+/// Point-in-time statistics of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Stored observations.
+    pub observations: usize,
+    /// Live time slices.
+    pub slices: usize,
+    /// Start of the oldest retained slice, if any.
+    pub oldest: Option<Timestamp>,
+    /// End of the newest retained slice, if any.
+    pub newest: Option<Timestamp>,
+}
+
+/// The time-sliced grid index over observations (see the
+/// [crate docs](crate) for the design rationale).
+#[derive(Debug)]
+pub struct StIndex {
+    config: IndexConfig,
+    grid: GridSpec,
+    slices: BTreeMap<u64, Slice>,
+    len: usize,
+}
+
+impl StIndex {
+    /// Creates an empty index.
+    pub fn new(config: IndexConfig) -> Self {
+        let grid = GridSpec::covering(config.extent, config.cell_size);
+        StIndex { config, grid, slices: BTreeMap::new(), len: 0 }
+    }
+
+    /// Rebuilds an index from a previously exported snapshot (see
+    /// [`iter`](Self::iter)); used when a replica takes over a failed
+    /// worker's shard.
+    pub fn from_observations<I>(config: IndexConfig, observations: I) -> Self
+    where
+        I: IntoIterator<Item = Observation>,
+    {
+        let mut index = StIndex::new(config);
+        for obs in observations {
+            index.insert(obs);
+        }
+        index
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The spatial grid used for bucketing.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            observations: self.len,
+            slices: self.slices.len(),
+            oldest: self.slices.values().next().map(|s| s.window().start()),
+            newest: self.slices.values().next_back().map(|s| s.window().end()),
+        }
+    }
+
+    /// Inserts one observation. Out-of-order arrival within the retained
+    /// horizon is supported (the slice is located by timestamp, not by
+    /// arrival order).
+    pub fn insert(&mut self, obs: Observation) {
+        let number = slice_number(obs.time, self.config.slice_len);
+        let cell = self.grid.cell_of_clamped(obs.position);
+        let slice = self
+            .slices
+            .entry(number)
+            .or_insert_with(|| Slice::new(number, self.config.slice_len, &self.grid));
+        slice.insert(&self.grid, cell, obs);
+        self.len += 1;
+        self.enforce_budget();
+    }
+
+    /// Bulk insertion.
+    pub fn insert_batch<I: IntoIterator<Item = Observation>>(&mut self, batch: I) {
+        for obs in batch {
+            self.insert(obs);
+        }
+    }
+
+    fn enforce_budget(&mut self) {
+        if self.config.max_observations == 0 {
+            return;
+        }
+        while self.len > self.config.max_observations && self.slices.len() > 1 {
+            let oldest = *self.slices.keys().next().expect("non-empty");
+            let removed = self.slices.remove(&oldest).expect("present");
+            self.len -= removed.len();
+        }
+    }
+
+    /// All observations with `region.contains(position)` and
+    /// `window.contains(time)`, sorted by id.
+    pub fn range(&self, region: BBox, window: TimeInterval) -> Vec<&Observation> {
+        let mut out = Vec::new();
+        for slice in self.slices_overlapping(window) {
+            slice.scan_cells(
+                &self.grid,
+                self.grid.cells_overlapping(region),
+                &region,
+                &window,
+                &mut out,
+            );
+        }
+        out.sort_by_key(|o| o.id);
+        out
+    }
+
+    /// Count of matches without materialising them.
+    pub fn range_count(&self, region: BBox, window: TimeInterval) -> usize {
+        // Reuses the scan; the allocation of references is cheap relative
+        // to the scan itself.
+        let mut out = Vec::new();
+        for slice in self.slices_overlapping(window) {
+            slice.scan_cells(
+                &self.grid,
+                self.grid.cells_overlapping(region),
+                &region,
+                &window,
+                &mut out,
+            );
+        }
+        out.len()
+    }
+
+    /// The `k` observations within `window` nearest to `at`, ordered by
+    /// (distance, id).
+    ///
+    /// Expands square cell rings outward from the query point; a ring at
+    /// Chebyshev cell distance `r` can hold nothing closer than
+    /// `(r−1) × cell_size`, so expansion stops as soon as that lower bound
+    /// exceeds the current k-th best distance.
+    pub fn knn(&self, at: Point, window: TimeInterval, k: usize) -> Vec<&Observation> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let slices: Vec<&Slice> = self.slices_overlapping(window).collect();
+        if slices.is_empty() {
+            return Vec::new();
+        }
+        let center = self.grid.cell_of_clamped(at);
+        let max_radius = self.grid.cols().max(self.grid.rows());
+        // (distance_sq, id) max-heap of current best k.
+        let mut best: Vec<(f64, &Observation)> = Vec::with_capacity(k + 8);
+        for radius in 0..=max_radius {
+            if best.len() >= k {
+                let bound = self.grid.ring_min_distance(radius);
+                let kth = best.last().expect("k >= 1").0.sqrt();
+                if bound > kth {
+                    break;
+                }
+            }
+            let ring = self.grid.ring(center, radius);
+            if ring.is_empty() && radius > 0 {
+                // The clamped center can make early rings partially empty
+                // at borders, but a fully empty ring means we've left the
+                // grid entirely.
+                break;
+            }
+            for cell in ring {
+                for slice in &slices {
+                    for obs in slice.cell_contents(&self.grid, cell) {
+                        if !window.contains(obs.time) {
+                            continue;
+                        }
+                        let d = at.distance_sq(obs.position);
+                        best.push((d, obs));
+                    }
+                }
+            }
+            // Keep only the best k, ordered.
+            best.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.id.cmp(&b.1.id))
+            });
+            best.truncate(k);
+        }
+        best.into_iter().map(|(_, o)| o).collect()
+    }
+
+    /// Observation counts per cell of `buckets` for matches in `window`,
+    /// as a dense row-major vector. `buckets` need not match the index's
+    /// own grid.
+    pub fn heatmap(&self, buckets: &GridSpec, window: TimeInterval) -> Vec<u64> {
+        let mut counts = vec![0u64; buckets.cell_count() as usize];
+        for slice in self.slices_overlapping(window) {
+            for obs in slice.iter() {
+                if !window.contains(obs.time) {
+                    continue;
+                }
+                if let Some(cell) = buckets.cell_of(obs.position) {
+                    counts[cell.row as usize * buckets.cols() as usize + cell.col as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Drops every slice that ends at or before `cutoff`. Retention is
+    /// slice-granular: observations newer than `cutoff` in a retained
+    /// slice are kept, and a slice containing both sides of the cutoff is
+    /// kept whole.
+    pub fn evict_before(&mut self, cutoff: Timestamp) {
+        let keep_from = self
+            .slices
+            .iter()
+            .find(|(_, s)| s.window().end() > cutoff)
+            .map(|(&n, _)| n);
+        let removed: Vec<u64> = match keep_from {
+            Some(n) => self.slices.range(..n).map(|(&k, _)| k).collect(),
+            None => self.slices.keys().copied().collect(),
+        };
+        for n in removed {
+            let slice = self.slices.remove(&n).expect("present");
+            self.len -= slice.len();
+        }
+    }
+
+    /// Removes and returns every observation whose position lies inside
+    /// `region` (all retained time). Used for shard migration during
+    /// online rebalancing: the old owner extracts the moving cells'
+    /// contents and ships them to the new owner.
+    ///
+    /// An observation clamped into a border cell from outside the extent
+    /// is extracted when its *true position* is inside `region`, matching
+    /// [`range`](Self::range) semantics.
+    pub fn extract_range(&mut self, region: BBox) -> Vec<Observation> {
+        let mut out = Vec::new();
+        for slice in self.slices.values_mut() {
+            slice.extract_cells(&self.grid, self.grid.cells_overlapping(region), &region, &mut out);
+        }
+        // Border cells may hold clamped observations whose true position
+        // is outside the grid extent yet inside `region`; sweep them when
+        // the region pokes outside the extent.
+        if !self.grid.extent().contains_bbox(&region) {
+            let border: Vec<_> = self
+                .grid
+                .all_cells()
+                .filter(|c| {
+                    c.col == 0
+                        || c.row == 0
+                        || c.col == self.grid.cols() - 1
+                        || c.row == self.grid.rows() - 1
+                })
+                .collect();
+            for slice in self.slices.values_mut() {
+                slice.extract_cells(&self.grid, border.iter().copied(), &region, &mut out);
+            }
+        }
+        self.len -= out.len();
+        out.sort_by_key(|o| o.id);
+        out
+    }
+
+    /// Iterates over all stored observations (slice order, then cell
+    /// order). Used to export a shard snapshot for replication.
+    pub fn iter(&self) -> impl Iterator<Item = &Observation> {
+        self.slices.values().flat_map(Slice::iter)
+    }
+
+    fn slices_overlapping(&self, window: TimeInterval) -> impl Iterator<Item = &Slice> {
+        let lo = slice_number(window.start(), self.config.slice_len);
+        // End is exclusive; a window ending exactly on a slice boundary
+        // does not touch that slice.
+        let hi_ts = if window.is_empty() {
+            window.end()
+        } else {
+            Timestamp::from_millis(window.end().as_millis().saturating_sub(1))
+        };
+        let hi = slice_number(hi_ts, self.config.slice_len);
+        let empty = window.is_empty();
+        self.slices
+            .range(lo..=hi)
+            .map(|(_, s)| s)
+            .filter(move |_| !empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use stcam_camnet::{CameraId, ObservationId, Signature};
+    use stcam_world::{EntityClass, EntityId};
+
+    fn obs(seq: u64, t_ms: u64, x: f64, y: f64) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(0), seq),
+            camera: CameraId(0),
+            time: Timestamp::from_millis(t_ms),
+            position: Point::new(x, y),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(seq),
+            truth: Some(EntityId(seq)),
+        }
+    }
+
+    fn config() -> IndexConfig {
+        IndexConfig::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)),
+            50.0,
+            Duration::from_secs(10),
+        )
+    }
+
+    fn window(a_ms: u64, b_ms: u64) -> TimeInterval {
+        TimeInterval::new(Timestamp::from_millis(a_ms), Timestamp::from_millis(b_ms))
+    }
+
+    fn random_workload(n: usize, seed: u64) -> Vec<Observation> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|i| {
+                obs(
+                    i,
+                    rng.gen_range(0..120_000),
+                    rng.gen_range(0.0..1000.0),
+                    rng.gen_range(0.0..1000.0),
+                )
+            })
+            .collect()
+    }
+
+    fn ids(v: &[&Observation]) -> Vec<ObservationId> {
+        v.iter().map(|o| o.id).collect()
+    }
+
+    #[test]
+    fn range_matches_oracle_on_random_workload() {
+        let workload = random_workload(2000, 1);
+        let mut index = StIndex::new(config());
+        let mut oracle = FlatIndex::new();
+        for o in &workload {
+            index.insert(o.clone());
+            oracle.insert(o.clone());
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let x = rng.gen_range(-100.0..1100.0);
+            let y = rng.gen_range(-100.0..1100.0);
+            let w = rng.gen_range(0.0..500.0);
+            let t0 = rng.gen_range(0..100_000u64);
+            let dt = rng.gen_range(0..60_000u64);
+            let region = BBox::new(Point::new(x, y), Point::new(x + w, y + w));
+            let tw = window(t0, t0 + dt);
+            assert_eq!(
+                ids(&index.range(region, tw)),
+                ids(&oracle.range(region, tw)),
+                "range mismatch for {region} {tw}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_matches_oracle_on_random_workload() {
+        let workload = random_workload(1500, 3);
+        let mut index = StIndex::new(config());
+        let mut oracle = FlatIndex::new();
+        for o in &workload {
+            index.insert(o.clone());
+            oracle.insert(o.clone());
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let at = Point::new(rng.gen_range(-50.0..1050.0), rng.gen_range(-50.0..1050.0));
+            let k = rng.gen_range(1..40usize);
+            let t0 = rng.gen_range(0..100_000u64);
+            let tw = window(t0, t0 + rng.gen_range(1_000..60_000u64));
+            assert_eq!(
+                ids(&index.knn(at, tw, k)),
+                ids(&oracle.knn(at, tw, k)),
+                "knn mismatch at {at} k={k} {tw}"
+            );
+        }
+    }
+
+    #[test]
+    fn heatmap_matches_oracle() {
+        let workload = random_workload(1000, 5);
+        let mut index = StIndex::new(config());
+        let mut oracle = FlatIndex::new();
+        for o in &workload {
+            index.insert(o.clone());
+            oracle.insert(o.clone());
+        }
+        let buckets = GridSpec::new(Point::new(0.0, 0.0), 125.0, 8, 8);
+        let tw = window(10_000, 70_000);
+        assert_eq!(index.heatmap(&buckets, tw), oracle.heatmap(&buckets, tw));
+    }
+
+    #[test]
+    fn knn_exact_corner_cases() {
+        let mut index = StIndex::new(config());
+        assert!(index.knn(Point::new(500.0, 500.0), window(0, 1000), 5).is_empty());
+        index.insert(obs(0, 500, 100.0, 100.0));
+        index.insert(obs(1, 500, 110.0, 100.0));
+        // k = 0 yields nothing.
+        assert!(index.knn(Point::new(100.0, 100.0), window(0, 1000), 0).is_empty());
+        // k exceeding population returns all, nearest first.
+        let got = index.knn(Point::new(100.0, 100.0), window(0, 1000), 10);
+        assert_eq!(ids(&got).len(), 2);
+        assert_eq!(got[0].id.seq(), 0);
+        // Query point far outside the extent still works.
+        let got = index.knn(Point::new(-5000.0, -5000.0), window(0, 1000), 1);
+        assert_eq!(got[0].id.seq(), 0);
+    }
+
+    #[test]
+    fn knn_ring_bound_does_not_miss_diagonal_neighbors() {
+        // An observation diagonally adjacent but in a farther ring must
+        // not be missed when a same-ring candidate exists.
+        let mut index = StIndex::new(config());
+        index.insert(obs(0, 0, 74.9, 25.0)); // next cell east, near edge
+        index.insert(obs(1, 0, 26.0, 26.0)); // same cell as query
+        let got = index.knn(Point::new(74.0, 25.0), window(0, 1000), 1);
+        assert_eq!(got[0].id.seq(), 0);
+    }
+
+    #[test]
+    fn out_of_order_insertion() {
+        let mut index = StIndex::new(config());
+        index.insert(obs(0, 50_000, 10.0, 10.0));
+        index.insert(obs(1, 1_000, 10.0, 10.0)); // older than previous
+        index.insert(obs(2, 25_000, 10.0, 10.0));
+        let all = index.range(
+            BBox::new(Point::new(0.0, 0.0), Point::new(20.0, 20.0)),
+            window(0, 60_000),
+        );
+        assert_eq!(all.len(), 3);
+        assert_eq!(index.stats().slices, 3);
+    }
+
+    #[test]
+    fn eviction_is_slice_granular() {
+        let mut index = StIndex::new(config());
+        index.insert(obs(0, 5_000, 10.0, 10.0)); // slice 0
+        index.insert(obs(1, 15_000, 10.0, 10.0)); // slice 1
+        index.insert(obs(2, 25_000, 10.0, 10.0)); // slice 2
+        index.evict_before(Timestamp::from_secs(10));
+        assert_eq!(index.len(), 2);
+        // Cutoff inside slice 1 keeps the whole slice.
+        index.evict_before(Timestamp::from_millis(16_000));
+        assert_eq!(index.len(), 2);
+        index.evict_before(Timestamp::from_secs(20));
+        assert_eq!(index.len(), 1);
+        index.evict_before(Timestamp::from_secs(1_000));
+        assert!(index.is_empty());
+        assert_eq!(index.stats().slices, 0);
+    }
+
+    #[test]
+    fn memory_budget_evicts_oldest_slices() {
+        let cfg = config().with_max_observations(100);
+        let mut index = StIndex::new(cfg);
+        for i in 0..300u64 {
+            index.insert(obs(i, i * 200, 500.0, 500.0)); // 50 obs per 10 s slice
+        }
+        assert!(index.len() <= 100, "len {}", index.len());
+        // Newest observations retained.
+        let newest = index
+            .range(
+                BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)),
+                window(0, 10_000_000),
+            )
+            .last()
+            .unwrap()
+            .id
+            .seq();
+        assert_eq!(newest, 299);
+    }
+
+    #[test]
+    fn budget_never_evicts_the_only_slice() {
+        let cfg = config().with_max_observations(10);
+        let mut index = StIndex::new(cfg);
+        for i in 0..50u64 {
+            index.insert(obs(i, 1_000, 500.0, 500.0)); // all in one slice
+        }
+        assert_eq!(index.len(), 50);
+    }
+
+    #[test]
+    fn positions_outside_extent_are_clamped_and_findable() {
+        let mut index = StIndex::new(config());
+        // Noise pushed this observation slightly out of the shard extent.
+        index.insert(obs(0, 500, -3.0, 500.0));
+        let hits = index.range(
+            BBox::new(Point::new(-10.0, 450.0), Point::new(50.0, 550.0)),
+            window(0, 1_000),
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn window_on_slice_boundary_excludes_next_slice() {
+        let mut index = StIndex::new(config());
+        index.insert(obs(0, 10_000, 10.0, 10.0)); // first instant of slice 1
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(20.0, 20.0));
+        assert!(index.range(region, window(0, 10_000)).is_empty());
+        assert_eq!(index.range(region, window(0, 10_001)).len(), 1);
+        // Empty window matches nothing.
+        assert!(index.range(region, window(10_000, 10_000)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let workload = random_workload(500, 8);
+        let mut index = StIndex::new(config());
+        for o in &workload {
+            index.insert(o.clone());
+        }
+        let snapshot: Vec<Observation> = index.iter().cloned().collect();
+        let rebuilt = StIndex::from_observations(config(), snapshot);
+        assert_eq!(rebuilt.len(), index.len());
+        let region = BBox::new(Point::new(200.0, 200.0), Point::new(800.0, 800.0));
+        let tw = window(0, 120_000);
+        assert_eq!(ids(&rebuilt.range(region, tw)), ids(&index.range(region, tw)));
+    }
+
+    #[test]
+    fn stats_report_span() {
+        let mut index = StIndex::new(config());
+        index.insert(obs(0, 5_000, 1.0, 1.0));
+        index.insert(obs(1, 35_000, 1.0, 1.0));
+        let s = index.stats();
+        assert_eq!(s.observations, 2);
+        assert_eq!(s.slices, 2);
+        assert_eq!(s.oldest, Some(Timestamp::ZERO));
+        assert_eq!(s.newest, Some(Timestamp::from_secs(40)));
+    }
+}
+
+#[cfg(test)]
+mod extract_tests {
+    use super::*;
+    use crate::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use stcam_camnet::{CameraId, ObservationId, Signature};
+    use stcam_world::{EntityClass, EntityId};
+
+    fn obs(seq: u64, t_ms: u64, x: f64, y: f64) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(0), seq),
+            camera: CameraId(0),
+            time: Timestamp::from_millis(t_ms),
+            position: Point::new(x, y),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(seq),
+            truth: Some(EntityId(seq)),
+        }
+    }
+
+    fn config() -> IndexConfig {
+        IndexConfig::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)),
+            50.0,
+            Duration::from_secs(10),
+        )
+    }
+
+    #[test]
+    fn extract_removes_exactly_the_region() {
+        let mut index = StIndex::new(config());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut inside = 0;
+        for i in 0..500u64 {
+            let x = rng.gen_range(0.0..1000.0);
+            let y = rng.gen_range(0.0..1000.0);
+            let region = BBox::new(Point::new(200.0, 200.0), Point::new(600.0, 600.0));
+            if region.contains(Point::new(x, y)) {
+                inside += 1;
+            }
+            index.insert(obs(i, rng.gen_range(0..60_000), x, y));
+        }
+        let region = BBox::new(Point::new(200.0, 200.0), Point::new(600.0, 600.0));
+        let extracted = index.extract_range(region);
+        assert_eq!(extracted.len(), inside);
+        assert_eq!(index.len(), 500 - inside);
+        // Nothing in the region remains; everything else untouched.
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(120));
+        assert!(index.range(region, window).is_empty());
+        assert_eq!(index.range(config().extent, window).len(), 500 - inside);
+        // Extracted observations are exactly the in-region ones.
+        assert!(extracted.iter().all(|o| region.contains(o.position)));
+    }
+
+    #[test]
+    fn extract_matches_oracle_and_is_sorted() {
+        let mut index = StIndex::new(config());
+        let mut oracle = FlatIndex::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..300u64 {
+            let o = obs(i, rng.gen_range(0..60_000), rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            index.insert(o.clone());
+            oracle.insert(o);
+        }
+        let region = BBox::new(Point::new(0.0, 500.0), Point::new(1000.0, 1000.0));
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(120));
+        let expected: Vec<_> = oracle.range(region, window).into_iter().map(|o| o.id).collect();
+        let extracted: Vec<_> = index.extract_range(region).into_iter().map(|o| o.id).collect();
+        assert_eq!(extracted, expected);
+    }
+
+    #[test]
+    fn extract_reaches_clamped_border_observations() {
+        let mut index = StIndex::new(config());
+        index.insert(obs(0, 100, -20.0, 500.0)); // clamped into col 0
+        index.insert(obs(1, 100, 500.0, 500.0));
+        let region = BBox::new(Point::new(-100.0, 0.0), Point::new(10.0, 1000.0));
+        let extracted = index.extract_range(region);
+        assert_eq!(extracted.len(), 1);
+        assert_eq!(extracted[0].id.seq(), 0);
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn extract_then_reinsert_round_trips() {
+        let mut index = StIndex::new(config());
+        for i in 0..100u64 {
+            index.insert(obs(i, i * 500, (i as f64 * 37.0) % 1000.0, (i as f64 * 53.0) % 1000.0));
+        }
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(500.0, 1000.0));
+        let moved = index.extract_range(region);
+        let moved_count = moved.len();
+        assert!(moved_count > 10);
+        index.insert_batch(moved);
+        assert_eq!(index.len(), 100);
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(120));
+        assert_eq!(index.range(config().extent, window).len(), 100);
+    }
+
+    #[test]
+    fn extract_empty_region_is_noop() {
+        let mut index = StIndex::new(config());
+        index.insert(obs(0, 100, 500.0, 500.0));
+        let off_grid = BBox::new(Point::new(5000.0, 5000.0), Point::new(6000.0, 6000.0));
+        assert!(index.extract_range(off_grid).is_empty());
+        assert_eq!(index.len(), 1);
+    }
+}

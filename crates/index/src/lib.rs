@@ -1,0 +1,50 @@
+//! Single-node spatio-temporal observation index.
+//!
+//! Each `stcam` worker stores its shard of the observation stream in a
+//! [`StIndex`]: a **time-sliced spatial grid**. Time is divided into
+//! fixed-length slices (a ring ordered by slice number); within a slice,
+//! observations are bucketed by grid cell. This layout matches the
+//! workload:
+//!
+//! * Inserts are appends into the open slice — O(1), no rebalancing, which
+//!   is what sustains camera-network ingest rates.
+//! * Range queries touch exactly the overlapping slices × overlapping
+//!   cells.
+//! * k-nearest-neighbour queries expand cell rings outward from the query
+//!   point until the ring lower bound exceeds the current k-th distance.
+//! * Aggregate (heat-map) queries reduce per cell without materialising
+//!   matches.
+//! * Retention is slice-granular eviction, so memory stays bounded under
+//!   unbounded streams.
+//!
+//! [`FlatIndex`] provides the same query semantics by linear scan. It is
+//! both the correctness oracle for tests and the naive baseline in the
+//! evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use stcam_geo::{BBox, Duration, Point, TimeInterval, Timestamp};
+//! use stcam_index::{IndexConfig, StIndex};
+//!
+//! let config = IndexConfig::new(
+//!     BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)),
+//!     50.0,                      // spatial cell size, metres
+//!     Duration::from_secs(10),   // slice length
+//! );
+//! let index = StIndex::new(config);
+//! assert_eq!(index.len(), 0);
+//! let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(60));
+//! assert!(index.range(BBox::around(Point::new(500.0, 500.0), 100.0), window).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod flat;
+mod index;
+mod slice;
+
+pub use flat::FlatIndex;
+pub use index::{IndexConfig, IndexStats, StIndex};
+pub use slice::slice_number;

@@ -1,0 +1,191 @@
+//! Time slices: the unit of temporal organisation and eviction.
+
+use stcam_camnet::Observation;
+use stcam_geo::{BBox, CellId, Duration, GridSpec, TimeInterval, Timestamp};
+
+/// The slice number containing `t` for slices of length `slice_len`.
+///
+/// # Panics
+///
+/// Panics in debug builds when `slice_len` is zero.
+pub fn slice_number(t: Timestamp, slice_len: Duration) -> u64 {
+    debug_assert!(slice_len > Duration::ZERO);
+    t.as_millis() / slice_len.as_millis()
+}
+
+/// One time slice: observations bucketed by spatial grid cell.
+#[derive(Debug)]
+pub(crate) struct Slice {
+    window: TimeInterval,
+    /// Dense cell buckets, indexed `row * cols + col`.
+    buckets: Vec<Vec<Observation>>,
+    len: usize,
+}
+
+impl Slice {
+    pub(crate) fn new(number: u64, slice_len: Duration, grid: &GridSpec) -> Self {
+        let start = Timestamp::from_millis(number * slice_len.as_millis());
+        Slice {
+            window: TimeInterval::new(start, start + slice_len),
+            buckets: vec![Vec::new(); grid.cell_count() as usize],
+            len: 0,
+        }
+    }
+
+    pub(crate) fn window(&self) -> TimeInterval {
+        self.window
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    fn slot(grid: &GridSpec, cell: CellId) -> usize {
+        cell.row as usize * grid.cols() as usize + cell.col as usize
+    }
+
+    /// Appends an observation (position already clamped to the grid by the
+    /// caller via `cell`).
+    pub(crate) fn insert(&mut self, grid: &GridSpec, cell: CellId, obs: Observation) {
+        debug_assert!(self.window.contains(obs.time), "observation outside slice window");
+        self.buckets[Self::slot(grid, cell)].push(obs);
+        self.len += 1;
+    }
+
+    /// Visits every observation matching `region` and `window` in the
+    /// given cells.
+    pub(crate) fn scan_cells<'a>(
+        &'a self,
+        grid: &GridSpec,
+        cells: impl Iterator<Item = CellId>,
+        region: &BBox,
+        window: &TimeInterval,
+        out: &mut Vec<&'a Observation>,
+    ) {
+        for cell in cells {
+            for obs in &self.buckets[Self::slot(grid, cell)] {
+                if window.contains(obs.time) && region.contains(obs.position) {
+                    out.push(obs);
+                }
+            }
+        }
+    }
+
+    /// The observations of a single cell (time-unfiltered).
+    pub(crate) fn cell_contents(&self, grid: &GridSpec, cell: CellId) -> &[Observation] {
+        &self.buckets[Self::slot(grid, cell)]
+    }
+
+    /// Removes and returns every observation in the given cells whose
+    /// position lies inside `region` (any time).
+    pub(crate) fn extract_cells(
+        &mut self,
+        grid: &GridSpec,
+        cells: impl Iterator<Item = CellId>,
+        region: &BBox,
+        out: &mut Vec<Observation>,
+    ) {
+        for cell in cells {
+            let bucket = &mut self.buckets[Self::slot(grid, cell)];
+            let before = bucket.len();
+            let mut kept = Vec::with_capacity(before);
+            for obs in bucket.drain(..) {
+                if region.contains(obs.position) {
+                    out.push(obs);
+                } else {
+                    kept.push(obs);
+                }
+            }
+            *bucket = kept;
+            self.len -= before - bucket.len();
+        }
+    }
+
+    /// Iterates over all observations in the slice.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Observation> {
+        self.buckets.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_camnet::{CameraId, ObservationId, Signature};
+    use stcam_geo::Point;
+    use stcam_world::{EntityClass, EntityId};
+
+    fn obs(t_ms: u64, x: f64, y: f64) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(0), t_ms),
+            camera: CameraId(0),
+            time: Timestamp::from_millis(t_ms),
+            position: Point::new(x, y),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(1),
+            truth: Some(EntityId(1)),
+        }
+    }
+
+    fn grid() -> GridSpec {
+        GridSpec::new(Point::new(0.0, 0.0), 10.0, 10, 10)
+    }
+
+    #[test]
+    fn slice_number_boundaries() {
+        let len = Duration::from_secs(10);
+        assert_eq!(slice_number(Timestamp::ZERO, len), 0);
+        assert_eq!(slice_number(Timestamp::from_millis(9_999), len), 0);
+        assert_eq!(slice_number(Timestamp::from_secs(10), len), 1);
+        assert_eq!(slice_number(Timestamp::from_secs(25), len), 2);
+    }
+
+    #[test]
+    fn window_matches_number() {
+        let g = grid();
+        let s = Slice::new(3, Duration::from_secs(10), &g);
+        assert_eq!(s.window().start(), Timestamp::from_secs(30));
+        assert_eq!(s.window().end(), Timestamp::from_secs(40));
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let g = grid();
+        let mut s = Slice::new(0, Duration::from_secs(10), &g);
+        let o1 = obs(1_000, 15.0, 15.0);
+        let o2 = obs(2_000, 85.0, 85.0);
+        s.insert(&g, g.cell_of(o1.position).unwrap(), o1.clone());
+        s.insert(&g, g.cell_of(o2.position).unwrap(), o2.clone());
+        assert_eq!(s.len(), 2);
+
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(50.0, 50.0));
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(10));
+        let mut hits = Vec::new();
+        s.scan_cells(&g, g.cells_overlapping(region), &region, &window, &mut hits);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, o1.id);
+    }
+
+    #[test]
+    fn scan_filters_by_time_within_slice() {
+        let g = grid();
+        let mut s = Slice::new(0, Duration::from_secs(10), &g);
+        let o = obs(8_000, 5.0, 5.0);
+        s.insert(&g, g.cell_of(o.position).unwrap(), o);
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let early = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(5));
+        let mut hits = Vec::new();
+        s.scan_cells(&g, g.cells_overlapping(region), &region, &early, &mut hits);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let g = grid();
+        let mut s = Slice::new(0, Duration::from_secs(10), &g);
+        for i in 0..20 {
+            let o = obs(i * 100, (i % 10) as f64 * 9.0, (i / 10) as f64 * 9.0);
+            s.insert(&g, g.cell_of(o.position).unwrap(), o);
+        }
+        assert_eq!(s.iter().count(), 20);
+    }
+}

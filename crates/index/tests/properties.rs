@@ -1,0 +1,159 @@
+//! Property-based equivalence: `StIndex` answers every query exactly like
+//! the flat-scan oracle, across arbitrary workloads, eviction points and
+//! query shapes.
+
+use proptest::prelude::*;
+use stcam_camnet::{CameraId, Observation, ObservationId, Signature};
+use stcam_geo::{BBox, Duration, Point, TimeInterval, Timestamp};
+use stcam_index::{FlatIndex, IndexConfig, StIndex};
+use stcam_world::{EntityClass, EntityId};
+
+const EXTENT: f64 = 500.0;
+const SLICE_MS: u64 = 5_000;
+
+fn config() -> IndexConfig {
+    IndexConfig::new(
+        BBox::new(Point::new(0.0, 0.0), Point::new(EXTENT, EXTENT)),
+        37.0, // deliberately not a divisor of the extent
+        Duration::from_millis(SLICE_MS),
+    )
+}
+
+#[derive(Debug, Clone)]
+struct RawObs {
+    t_ms: u64,
+    x: f64,
+    y: f64,
+}
+
+fn raw_obs() -> impl Strategy<Value = RawObs> {
+    (0u64..60_000, 0.0..EXTENT, 0.0..EXTENT).prop_map(|(t_ms, x, y)| RawObs { t_ms, x, y })
+}
+
+fn materialize(raw: &[RawObs]) -> Vec<Observation> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, r)| Observation {
+            id: ObservationId::compose(CameraId(0), i as u64),
+            camera: CameraId(0),
+            time: Timestamp::from_millis(r.t_ms),
+            position: Point::new(r.x, r.y),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(i as u64),
+            truth: Some(EntityId(i as u64)),
+        })
+        .collect()
+}
+
+fn build_both(raw: &[RawObs]) -> (StIndex, FlatIndex) {
+    let obs = materialize(raw);
+    let mut index = StIndex::new(config());
+    let mut oracle = FlatIndex::new();
+    for o in obs {
+        index.insert(o.clone());
+        oracle.insert(o);
+    }
+    (index, oracle)
+}
+
+fn ids(v: &[&Observation]) -> Vec<ObservationId> {
+    v.iter().map(|o| o.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn range_equivalence(
+        raw in prop::collection::vec(raw_obs(), 0..300),
+        qx in -100.0..600.0f64, qy in -100.0..600.0f64,
+        qw in 0.0..400.0f64, qh in 0.0..400.0f64,
+        t0 in 0u64..70_000, dt in 0u64..40_000,
+    ) {
+        let (index, oracle) = build_both(&raw);
+        let region = BBox::new(Point::new(qx, qy), Point::new(qx + qw, qy + qh));
+        let window = TimeInterval::new(Timestamp::from_millis(t0), Timestamp::from_millis(t0 + dt));
+        prop_assert_eq!(ids(&index.range(region, window)), ids(&oracle.range(region, window)));
+        prop_assert_eq!(index.range_count(region, window), oracle.range(region, window).len());
+    }
+
+    #[test]
+    fn knn_equivalence(
+        raw in prop::collection::vec(raw_obs(), 0..300),
+        qx in -100.0..600.0f64, qy in -100.0..600.0f64,
+        k in 0usize..30,
+        t0 in 0u64..70_000, dt in 1u64..40_000,
+    ) {
+        let (index, oracle) = build_both(&raw);
+        let at = Point::new(qx, qy);
+        let window = TimeInterval::new(Timestamp::from_millis(t0), Timestamp::from_millis(t0 + dt));
+        prop_assert_eq!(ids(&index.knn(at, window, k)), ids(&oracle.knn(at, window, k)));
+    }
+
+    #[test]
+    fn heatmap_equivalence(
+        raw in prop::collection::vec(raw_obs(), 0..300),
+        t0 in 0u64..70_000, dt in 0u64..40_000,
+        bucket_size in 40.0..200.0f64,
+    ) {
+        let (index, oracle) = build_both(&raw);
+        let buckets = stcam_geo::GridSpec::covering(
+            BBox::new(Point::new(0.0, 0.0), Point::new(EXTENT, EXTENT)),
+            bucket_size,
+        );
+        let window = TimeInterval::new(Timestamp::from_millis(t0), Timestamp::from_millis(t0 + dt));
+        prop_assert_eq!(index.heatmap(&buckets, window), oracle.heatmap(&buckets, window));
+    }
+
+    #[test]
+    fn eviction_equivalence_on_slice_boundaries(
+        raw in prop::collection::vec(raw_obs(), 0..300),
+        cut_slices in 0u64..14,
+    ) {
+        // FlatIndex eviction is exact; StIndex is slice-granular, so they
+        // agree exactly when the cutoff lies on a slice boundary.
+        let (mut index, mut oracle) = build_both(&raw);
+        let cutoff = Timestamp::from_millis(cut_slices * SLICE_MS);
+        index.evict_before(cutoff);
+        oracle.evict_before(cutoff);
+        prop_assert_eq!(index.len(), oracle.len());
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(EXTENT, EXTENT));
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_millis(100_000));
+        prop_assert_eq!(ids(&index.range(region, window)), ids(&oracle.range(region, window)));
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter(
+        raw in prop::collection::vec(raw_obs(), 1..150),
+        qx in 0.0..EXTENT, qy in 0.0..EXTENT, qr in 10.0..250.0f64,
+    ) {
+        let obs = materialize(&raw);
+        let mut forward = StIndex::new(config());
+        let mut backward = StIndex::new(config());
+        for o in &obs {
+            forward.insert(o.clone());
+        }
+        for o in obs.iter().rev() {
+            backward.insert(o.clone());
+        }
+        let region = BBox::around(Point::new(qx, qy), qr);
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_millis(100_000));
+        prop_assert_eq!(ids(&forward.range(region, window)), ids(&backward.range(region, window)));
+    }
+
+    #[test]
+    fn len_tracks_inserts_and_evictions(
+        raw in prop::collection::vec(raw_obs(), 0..200),
+        cut_ms in 0u64..80_000,
+    ) {
+        let (mut index, _) = build_both(&raw);
+        prop_assert_eq!(index.len(), raw.len());
+        index.evict_before(Timestamp::from_millis(cut_ms));
+        let stats = index.stats();
+        prop_assert_eq!(stats.observations, index.len());
+        // Everything still present is in a slice ending after the cutoff.
+        if let Some(oldest) = stats.oldest {
+            prop_assert!(oldest.as_millis() + SLICE_MS > cut_ms || index.is_empty());
+        }
+    }
+}

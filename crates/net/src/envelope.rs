@@ -1,0 +1,57 @@
+//! Message envelopes carried by the fabric.
+
+use crate::NodeId;
+
+/// How a message participates in the request/response protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// Fire-and-forget; delivered to the receiver's inbox.
+    OneWay,
+    /// An RPC request; delivered to the receiver's inbox, carrying a
+    /// correlation id the receiver must echo in its reply.
+    Request,
+    /// An RPC response; routed directly to the caller blocked in
+    /// [`Endpoint::call`](crate::Endpoint::call) rather than the inbox.
+    Response,
+}
+
+/// A message as delivered to a receiving endpoint.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Protocol role of this message.
+    pub kind: MessageKind,
+    /// Correlation id; zero for one-way messages.
+    pub correlation: u64,
+    /// Opaque payload bytes (typically a `stcam-codec` encoded value).
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Total accounted wire size of this message: payload plus the fixed
+    /// per-message envelope overhead a real transport would add (we charge
+    /// 16 bytes: src, dst, kind, correlation).
+    pub fn wire_size(&self) -> u64 {
+        self.payload.len() as u64 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let e = Envelope {
+            src: NodeId(1),
+            dst: NodeId(2),
+            kind: MessageKind::OneWay,
+            correlation: 0,
+            payload: vec![0u8; 100],
+        };
+        assert_eq!(e.wire_size(), 116);
+    }
+}

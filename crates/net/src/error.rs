@@ -1,0 +1,59 @@
+//! Transport errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// An error raised by the simulated transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The destination node is not registered with the fabric.
+    UnknownNode(NodeId),
+    /// The destination (or source) node has been crashed by failure
+    /// injection.
+    NodeDown(NodeId),
+    /// An RPC did not receive a response within its deadline (the request
+    /// or the response may have been dropped, the peer may be down, or the
+    /// link may be partitioned).
+    Timeout,
+    /// The fabric has been shut down.
+    Shutdown,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "node {n} is not registered"),
+            NetError::NodeDown(n) => write!(f, "node {n} is down"),
+            NetError::Timeout => write!(f, "rpc timed out"),
+            NetError::Shutdown => write!(f, "fabric has shut down"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            NetError::UnknownNode(NodeId(3)),
+            NetError::NodeDown(NodeId(1)),
+            NetError::Timeout,
+            NetError::Shutdown,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NetError>();
+    }
+}

@@ -1,0 +1,180 @@
+//! Link models: latency, jitter, and loss.
+
+use std::time::Duration;
+
+/// Parameters of every link in the fabric.
+///
+/// Delivery time of a message of `n` payload bytes is
+/// `base_latency + n / bandwidth ± jitter`, and the message is dropped
+/// outright with probability `drop_probability` (decided by a deterministic
+/// per-fabric RNG so that runs are reproducible).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Fixed per-message latency.
+    pub base_latency: Duration,
+    /// Link bandwidth in bytes per second; `f64::INFINITY` disables the
+    /// size-proportional component.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Maximum absolute jitter added to (or subtracted from) the latency.
+    pub jitter: Duration,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_probability: f64,
+}
+
+impl LinkModel {
+    /// A perfect link: zero latency, infinite bandwidth, no loss. Used by
+    /// unit tests and by experiments that want to isolate CPU costs.
+    pub fn instant() -> Self {
+        LinkModel {
+            base_latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            jitter: Duration::ZERO,
+            drop_probability: 0.0,
+        }
+    }
+
+    /// A datacenter-style LAN: 100 µs base latency, 1 GB/s, 20 µs jitter,
+    /// no loss. The default for the evaluation experiments.
+    pub fn lan() -> Self {
+        LinkModel {
+            base_latency: Duration::from_micros(100),
+            bandwidth_bytes_per_sec: 1e9,
+            jitter: Duration::from_micros(20),
+            drop_probability: 0.0,
+        }
+    }
+
+    /// A metro-area network between camera aggregation sites: 2 ms base
+    /// latency, 100 MB/s, 200 µs jitter.
+    pub fn metro() -> Self {
+        LinkModel {
+            base_latency: Duration::from_millis(2),
+            bandwidth_bytes_per_sec: 1e8,
+            jitter: Duration::from_micros(200),
+            drop_probability: 0.0,
+        }
+    }
+
+    /// Returns a copy with the drop probability replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_probability = p;
+        self
+    }
+
+    /// Latency for a message of `payload_bytes`, given a jitter draw
+    /// `u ∈ [0, 1)`.
+    pub fn latency_for(&self, payload_bytes: usize, u: f64) -> Duration {
+        let transfer = if self.bandwidth_bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(payload_bytes as f64 / self.bandwidth_bytes_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        let jitter_signed = (u * 2.0 - 1.0) * self.jitter.as_secs_f64();
+        let total = self.base_latency.as_secs_f64() + transfer.as_secs_f64() + jitter_signed;
+        Duration::from_secs_f64(total.max(0.0))
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::lan()
+    }
+}
+
+/// A small, fast, deterministic RNG (xorshift64*) for loss and jitter
+/// decisions. Not cryptographic; reproducibility is the goal.
+#[derive(Debug, Clone)]
+pub(crate) struct DetRng(u64);
+
+impl DetRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        DetRng(seed.max(1))
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A draw in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_link_is_zero() {
+        let l = LinkModel::instant();
+        assert_eq!(l.latency_for(1_000_000, 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_scales_with_size() {
+        let l = LinkModel {
+            base_latency: Duration::from_millis(1),
+            bandwidth_bytes_per_sec: 1e6, // 1 MB/s
+            jitter: Duration::ZERO,
+            drop_probability: 0.0,
+        };
+        // 1000 bytes at 1 MB/s = 1 ms transfer.
+        assert_eq!(l.latency_for(1000, 0.5), Duration::from_millis(2));
+        assert!(l.latency_for(10_000, 0.5) > l.latency_for(1000, 0.5));
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let l = LinkModel {
+            base_latency: Duration::from_millis(10),
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            jitter: Duration::from_millis(2),
+            drop_probability: 0.0,
+        };
+        let lo = l.latency_for(0, 0.0);
+        let hi = l.latency_for(0, 0.9999999);
+        assert!(lo >= Duration::from_millis(8));
+        assert!(hi <= Duration::from_millis(12));
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn latency_never_negative() {
+        let l = LinkModel {
+            base_latency: Duration::from_micros(1),
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            jitter: Duration::from_millis(5),
+            drop_probability: 0.0,
+        };
+        assert_eq!(l.latency_for(0, 0.0), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_drop_probability_panics() {
+        let _ = LinkModel::lan().with_drop_probability(1.5);
+    }
+
+    #[test]
+    fn det_rng_is_deterministic_and_uniformish() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::new(7);
+        let mean: f64 = (0..10_000).map(|_| c.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

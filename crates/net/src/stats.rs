@@ -1,0 +1,134 @@
+//! Message and byte accounting.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::NodeId;
+
+/// Monotonic counters for one node's traffic.
+#[derive(Debug, Default)]
+pub struct NodeCounters {
+    pub(crate) msgs_sent: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) msgs_received: AtomicU64,
+    pub(crate) bytes_received: AtomicU64,
+    pub(crate) msgs_dropped: AtomicU64,
+}
+
+/// A point-in-time snapshot of one node's traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStats {
+    /// Messages this node has sent (whether or not delivered).
+    pub msgs_sent: u64,
+    /// Wire bytes this node has sent.
+    pub bytes_sent: u64,
+    /// Messages delivered to this node.
+    pub msgs_received: u64,
+    /// Wire bytes delivered to this node.
+    pub bytes_received: u64,
+    /// Messages addressed to or from this node that the fabric dropped
+    /// (loss model, partitions, or crashed peers).
+    pub msgs_dropped: u64,
+}
+
+impl NodeCounters {
+    pub(crate) fn snapshot(&self) -> NodeStats {
+        NodeStats {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            msgs_dropped: self.msgs_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of the whole fabric's traffic.
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    /// Total messages accepted for delivery.
+    pub total_msgs: u64,
+    /// Total wire bytes accepted for delivery.
+    pub total_bytes: u64,
+    /// Total messages dropped by loss, partition, or crash.
+    pub total_dropped: u64,
+    /// Per-node counter snapshots.
+    pub per_node: HashMap<NodeId, NodeStats>,
+}
+
+impl FabricStats {
+    /// Difference against an earlier snapshot: traffic that occurred in
+    /// between. Per-node entries present only in `self` are kept as-is.
+    pub fn since(&self, earlier: &FabricStats) -> FabricStats {
+        let mut per_node = HashMap::new();
+        for (node, now) in &self.per_node {
+            let then = earlier.per_node.get(node).copied().unwrap_or_default();
+            per_node.insert(
+                *node,
+                NodeStats {
+                    msgs_sent: now.msgs_sent - then.msgs_sent,
+                    bytes_sent: now.bytes_sent - then.bytes_sent,
+                    msgs_received: now.msgs_received - then.msgs_received,
+                    bytes_received: now.bytes_received - then.bytes_received,
+                    msgs_dropped: now.msgs_dropped - then.msgs_dropped,
+                },
+            );
+        }
+        FabricStats {
+            total_msgs: self.total_msgs - earlier.total_msgs,
+            total_bytes: self.total_bytes - earlier.total_bytes,
+            total_dropped: self.total_dropped - earlier.total_dropped,
+            per_node,
+        }
+    }
+}
+
+/// Shared registry of all node counters plus fabric-level totals.
+#[derive(Debug, Default)]
+pub(crate) struct StatsRegistry {
+    pub(crate) total_msgs: AtomicU64,
+    pub(crate) total_bytes: AtomicU64,
+    pub(crate) total_dropped: AtomicU64,
+    pub(crate) nodes: RwLock<HashMap<NodeId, std::sync::Arc<NodeCounters>>>,
+}
+
+impl StatsRegistry {
+    pub(crate) fn snapshot(&self) -> FabricStats {
+        FabricStats {
+            total_msgs: self.total_msgs.load(Ordering::Relaxed),
+            total_bytes: self.total_bytes.load(Ordering::Relaxed),
+            total_dropped: self.total_dropped.load(Ordering::Relaxed),
+            per_node: self
+                .nodes
+                .read()
+                .iter()
+                .map(|(id, c)| (*id, c.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let mut a = FabricStats {
+            total_msgs: 10,
+            total_bytes: 1000,
+            ..Default::default()
+        };
+        a.per_node.insert(NodeId(1), NodeStats { msgs_sent: 4, ..Default::default() });
+        let mut b = a.clone();
+        b.total_msgs = 25;
+        b.total_bytes = 2500;
+        b.per_node.get_mut(&NodeId(1)).unwrap().msgs_sent = 9;
+        let d = b.since(&a);
+        assert_eq!(d.total_msgs, 15);
+        assert_eq!(d.total_bytes, 1500);
+        assert_eq!(d.per_node[&NodeId(1)].msgs_sent, 5);
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic city and mobility simulator.
+//!
+//! The original evaluation observed real traffic through a deployed camera
+//! network. This crate substitutes a **synthetic ground truth**: a
+//! Manhattan-style road grid ([`RoadNetwork`]) populated with moving
+//! entities ([`Entity`]) following configurable mobility models
+//! ([`MobilityModel`]). The simulator advances in fixed time steps and
+//! records every entity's true trajectory ([`TrajectoryStore`]), which the
+//! evaluation uses both to generate camera detections (via `stcam-camnet`)
+//! and to score trajectory-analysis accuracy against ground truth.
+//!
+//! Everything is seeded and deterministic: the same [`WorldConfig`] always
+//! produces the same world history.
+//!
+//! # Example
+//!
+//! ```
+//! use stcam_world::{World, WorldConfig};
+//! use stcam_geo::Duration;
+//!
+//! let mut world = World::new(WorldConfig::small_town().with_seed(7));
+//! for _ in 0..10 {
+//!     world.step(Duration::from_millis(500));
+//! }
+//! assert!(world.now() == stcam_geo::Timestamp::from_secs(5));
+//! let e = world.entities().next().unwrap();
+//! assert!(world.extent().contains(e.position));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod entity;
+mod mobility;
+mod roads;
+mod trajectory;
+mod world;
+
+pub use entity::{Entity, EntityClass, EntityId};
+pub use mobility::MobilityModel;
+pub use roads::RoadNetwork;
+pub use trajectory::{TrajectoryStore, TrackPoint};
+pub use world::{Placement, World, WorldConfig};

@@ -1,0 +1,221 @@
+//! A Manhattan-style road grid.
+
+use stcam_geo::{BBox, Point};
+
+/// A rectangular grid of roads: streets run east–west and north–south at
+/// a fixed spacing, meeting at intersections. Entities using the
+/// grid-walk mobility model travel only along roads, which concentrates
+/// traffic the way real camera deployments see it (cameras watch roads,
+/// not building interiors).
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    extent: BBox,
+    spacing: f64,
+    cols: u32,
+    rows: u32,
+}
+
+impl RoadNetwork {
+    /// Lays a road grid with intersections every `spacing` metres over
+    /// `extent` (anchored at `extent.min`; the last road may fall inside
+    /// the extent boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extent` is empty or `spacing` is not positive and smaller
+    /// than both extent dimensions.
+    pub fn grid(extent: BBox, spacing: f64) -> Self {
+        assert!(!extent.is_empty(), "extent must be non-empty");
+        assert!(spacing > 0.0, "spacing must be positive");
+        let cols = (extent.width() / spacing).floor() as u32 + 1;
+        let rows = (extent.height() / spacing).floor() as u32 + 1;
+        assert!(cols >= 2 && rows >= 2, "extent too small for road spacing");
+        RoadNetwork { extent, spacing, cols, rows }
+    }
+
+    /// The covered region.
+    pub fn extent(&self) -> BBox {
+        self.extent
+    }
+
+    /// Distance between adjacent parallel roads.
+    pub fn spacing(&self) -> f64 {
+        self.spacing
+    }
+
+    /// Number of north–south roads.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of east–west roads.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Total number of intersections.
+    pub fn intersection_count(&self) -> u64 {
+        self.cols as u64 * self.rows as u64
+    }
+
+    /// The position of intersection `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when out of range.
+    pub fn intersection(&self, col: u32, row: u32) -> Point {
+        debug_assert!(col < self.cols && row < self.rows);
+        Point::new(
+            self.extent.min.x + col as f64 * self.spacing,
+            self.extent.min.y + row as f64 * self.spacing,
+        )
+    }
+
+    /// The `(col, row)` of the intersection nearest to `p` (clamped to the
+    /// grid).
+    pub fn nearest_intersection(&self, p: Point) -> (u32, u32) {
+        let col = ((p.x - self.extent.min.x) / self.spacing).round().max(0.0) as u32;
+        let row = ((p.y - self.extent.min.y) / self.spacing).round().max(0.0) as u32;
+        (col.min(self.cols - 1), row.min(self.rows - 1))
+    }
+
+    /// The intersections adjacent to `(col, row)` along roads (up to four).
+    pub fn neighbors(&self, col: u32, row: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(4);
+        if col > 0 {
+            out.push((col - 1, row));
+        }
+        if col + 1 < self.cols {
+            out.push((col + 1, row));
+        }
+        if row > 0 {
+            out.push((col, row - 1));
+        }
+        if row + 1 < self.rows {
+            out.push((col, row + 1));
+        }
+        out
+    }
+
+    /// An L-shaped route along roads from the intersection nearest `from`
+    /// to the intersection nearest `to`: first east–west, then
+    /// north–south. Returns the sequence of intersection positions
+    /// including both endpoints.
+    pub fn route(&self, from: Point, to: Point) -> Vec<Point> {
+        let (c0, r0) = self.nearest_intersection(from);
+        let (c1, r1) = self.nearest_intersection(to);
+        let mut path = Vec::new();
+        let mut c = c0;
+        path.push(self.intersection(c, r0));
+        while c != c1 {
+            c = if c1 > c { c + 1 } else { c - 1 };
+            path.push(self.intersection(c, r0));
+        }
+        let mut r = r0;
+        while r != r1 {
+            r = if r1 > r { r + 1 } else { r - 1 };
+            path.push(self.intersection(c, r));
+        }
+        path
+    }
+
+    /// Total length of `route` produced by [`route`](Self::route).
+    pub fn route_length(route: &[Point]) -> f64 {
+        route.windows(2).map(|w| w[0].distance(w[1])).sum()
+    }
+
+    /// `true` when `p` lies within `tolerance` metres of some road.
+    pub fn on_road(&self, p: Point, tolerance: f64) -> bool {
+        if !self.extent.inflated(tolerance).contains(p) {
+            return false;
+        }
+        let fx = (p.x - self.extent.min.x) / self.spacing;
+        let fy = (p.y - self.extent.min.y) / self.spacing;
+        let off_x = (fx - fx.round()).abs() * self.spacing;
+        let off_y = (fy - fy.round()).abs() * self.spacing;
+        // Near a north-south road (x close to a road line, any y) or an
+        // east-west road, provided the nearest road line actually exists.
+        let near_ns = off_x <= tolerance && fx.round() >= 0.0 && (fx.round() as u32) < self.cols;
+        let near_ew = off_y <= tolerance && fy.round() >= 0.0 && (fy.round() as u32) < self.rows;
+        near_ns || near_ew
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> RoadNetwork {
+        RoadNetwork::grid(
+            BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 800.0)),
+            100.0,
+        )
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let n = net();
+        assert_eq!(n.cols(), 11);
+        assert_eq!(n.rows(), 9);
+        assert_eq!(n.intersection_count(), 99);
+        assert_eq!(n.intersection(0, 0), Point::new(0.0, 0.0));
+        assert_eq!(n.intersection(10, 8), Point::new(1000.0, 800.0));
+    }
+
+    #[test]
+    fn nearest_intersection_rounds_and_clamps() {
+        let n = net();
+        assert_eq!(n.nearest_intersection(Point::new(149.0, 251.0)), (1, 3));
+        assert_eq!(n.nearest_intersection(Point::new(151.0, 249.0)), (2, 2));
+        assert_eq!(n.nearest_intersection(Point::new(-500.0, 9999.0)), (0, 8));
+    }
+
+    #[test]
+    fn neighbors_at_corner_and_center() {
+        let n = net();
+        assert_eq!(n.neighbors(0, 0).len(), 2);
+        assert_eq!(n.neighbors(5, 4).len(), 4);
+        assert_eq!(n.neighbors(10, 4).len(), 3);
+    }
+
+    #[test]
+    fn route_is_connected_and_rectilinear() {
+        let n = net();
+        let route = n.route(Point::new(20.0, 30.0), Point::new(940.0, 720.0));
+        assert!(route.len() >= 2);
+        for w in route.windows(2) {
+            let d = w[0].distance(w[1]);
+            assert!((d - 100.0).abs() < 1e-9, "hop length {d}");
+            // Rectilinear: exactly one coordinate changes.
+            assert!((w[0].x == w[1].x) ^ (w[0].y == w[1].y));
+        }
+        // Manhattan length matches |Δc| + |Δr| hops.
+        assert_eq!(route.len(), 1 + 9 + 7);
+        assert!((RoadNetwork::route_length(&route) - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_same_point_single_node() {
+        let n = net();
+        let route = n.route(Point::new(10.0, 10.0), Point::new(10.0, 10.0));
+        assert_eq!(route.len(), 1);
+    }
+
+    #[test]
+    fn on_road_detects_roads() {
+        let n = net();
+        assert!(n.on_road(Point::new(100.0, 57.0), 1.0)); // on a NS road
+        assert!(n.on_road(Point::new(57.0, 300.0), 1.0)); // on an EW road
+        assert!(!n.on_road(Point::new(50.0, 50.0), 1.0)); // mid-block
+        assert!(!n.on_road(Point::new(5000.0, 100.0), 1.0)); // off-extent
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_extent_panics() {
+        let _ = RoadNetwork::grid(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            100.0,
+        );
+    }
+}

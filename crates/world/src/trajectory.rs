@@ -1,0 +1,171 @@
+//! Ground-truth trajectory recording.
+
+use std::collections::HashMap;
+
+use stcam_geo::{Point, TimeInterval, Timestamp};
+
+use crate::entity::EntityId;
+
+/// One recorded sample of an entity's true position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackPoint {
+    /// Sample time.
+    pub time: Timestamp,
+    /// True position at `time`.
+    pub position: Point,
+}
+
+/// The ground-truth archive of every entity's motion, sampled at the
+/// simulator's recording interval.
+///
+/// The evaluation scores trajectory-analysis output against this store;
+/// the framework under test never reads it.
+#[derive(Debug, Default)]
+pub struct TrajectoryStore {
+    tracks: HashMap<EntityId, Vec<TrackPoint>>,
+}
+
+impl TrajectoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TrajectoryStore::default()
+    }
+
+    /// Appends a sample for `entity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when samples for an entity are appended out
+    /// of time order.
+    pub fn record(&mut self, entity: EntityId, time: Timestamp, position: Point) {
+        let track = self.tracks.entry(entity).or_default();
+        debug_assert!(
+            track.last().is_none_or(|last| last.time <= time),
+            "samples must be appended in time order"
+        );
+        track.push(TrackPoint { time, position });
+    }
+
+    /// Number of entities with at least one sample.
+    pub fn entity_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Total number of recorded samples.
+    pub fn sample_count(&self) -> usize {
+        self.tracks.values().map(Vec::len).sum()
+    }
+
+    /// The recorded samples for `entity`, in time order.
+    pub fn track(&self, entity: EntityId) -> &[TrackPoint] {
+        self.tracks.get(&entity).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all `(entity, track)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, &[TrackPoint])> {
+        self.tracks.iter().map(|(id, t)| (*id, t.as_slice()))
+    }
+
+    /// The entity's interpolated true position at `t`, or `None` when `t`
+    /// is outside the recorded span.
+    pub fn position_at(&self, entity: EntityId, t: Timestamp) -> Option<Point> {
+        let track = self.tracks.get(&entity)?;
+        if track.is_empty() {
+            return None;
+        }
+        let idx = track.partition_point(|s| s.time <= t);
+        if idx == 0 {
+            return (track[0].time == t).then_some(track[0].position);
+        }
+        let before = track[idx - 1];
+        if before.time == t || idx == track.len() {
+            return (before.time == t || idx < track.len()).then_some(before.position);
+        }
+        let after = track[idx];
+        let span = (after.time - before.time).as_millis() as f64;
+        if span == 0.0 {
+            return Some(before.position);
+        }
+        let frac = (t - before.time).as_millis() as f64 / span;
+        Some(before.position.lerp(after.position, frac))
+    }
+
+    /// The set of entities whose recorded track intersects both `region`
+    /// (any sample inside) and `window`. Used as the oracle for
+    /// range-query correctness tests.
+    pub fn entities_in(
+        &self,
+        region: stcam_geo::BBox,
+        window: TimeInterval,
+    ) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = self
+            .tracks
+            .iter()
+            .filter(|(_, track)| {
+                track
+                    .iter()
+                    .any(|s| window.contains(s.time) && region.contains(s.position))
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_geo::BBox;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut store = TrajectoryStore::new();
+        store.record(EntityId(1), Timestamp::from_secs(0), Point::new(0.0, 0.0));
+        store.record(EntityId(1), Timestamp::from_secs(1), Point::new(10.0, 0.0));
+        store.record(EntityId(2), Timestamp::from_secs(0), Point::new(5.0, 5.0));
+        assert_eq!(store.entity_count(), 2);
+        assert_eq!(store.sample_count(), 3);
+        assert_eq!(store.track(EntityId(1)).len(), 2);
+        assert_eq!(store.track(EntityId(9)).len(), 0);
+    }
+
+    #[test]
+    fn position_interpolates_linearly() {
+        let mut store = TrajectoryStore::new();
+        store.record(EntityId(1), Timestamp::from_secs(0), Point::new(0.0, 0.0));
+        store.record(EntityId(1), Timestamp::from_secs(2), Point::new(20.0, 0.0));
+        let p = store.position_at(EntityId(1), Timestamp::from_secs(1)).unwrap();
+        assert!((p.x - 10.0).abs() < 1e-9);
+        // Exact sample times.
+        assert_eq!(
+            store.position_at(EntityId(1), Timestamp::from_secs(0)),
+            Some(Point::new(0.0, 0.0))
+        );
+        assert_eq!(
+            store.position_at(EntityId(1), Timestamp::from_secs(2)),
+            Some(Point::new(20.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn position_outside_span_is_none() {
+        let mut store = TrajectoryStore::new();
+        store.record(EntityId(1), Timestamp::from_secs(1), Point::new(0.0, 0.0));
+        store.record(EntityId(1), Timestamp::from_secs(2), Point::new(1.0, 0.0));
+        assert_eq!(store.position_at(EntityId(1), Timestamp::from_millis(500)), None);
+        assert_eq!(store.position_at(EntityId(1), Timestamp::from_secs(3)), None);
+        assert_eq!(store.position_at(EntityId(5), Timestamp::from_secs(1)), None);
+    }
+
+    #[test]
+    fn entities_in_region_window() {
+        let mut store = TrajectoryStore::new();
+        store.record(EntityId(1), Timestamp::from_secs(1), Point::new(5.0, 5.0));
+        store.record(EntityId(2), Timestamp::from_secs(1), Point::new(50.0, 50.0));
+        store.record(EntityId(3), Timestamp::from_secs(10), Point::new(5.0, 5.0));
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let window = TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(5));
+        assert_eq!(store.entities_in(region, window), vec![EntityId(1)]);
+    }
+}

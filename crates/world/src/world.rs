@@ -1,0 +1,495 @@
+//! The simulated world: configuration and stepping.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stcam_geo::{BBox, Duration, Point, Timestamp};
+
+use crate::entity::{Entity, EntityClass, EntityId};
+use crate::mobility::MobilityModel;
+use crate::roads::RoadNetwork;
+use crate::trajectory::TrajectoryStore;
+
+/// Initial spatial distribution of entities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// Uniform over the world extent.
+    Uniform,
+    /// A fraction of entities clusters around hotspot centres (Gaussian
+    /// with the given standard deviation in metres); the rest are uniform.
+    /// This models downtown rush-hour skew and drives the load-balancing
+    /// experiment.
+    Hotspot {
+        /// Hotspot centres.
+        centers: Vec<Point>,
+        /// Standard deviation of each cluster, metres.
+        sigma: f64,
+        /// Fraction of entities placed in hotspots, `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// Configuration of a simulated world. Construct with a preset
+/// ([`small_town`](WorldConfig::small_town), [`city`](WorldConfig::city))
+/// or field-by-field, then adjust with the `with_*` builders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Covered region.
+    pub extent: BBox,
+    /// Road spacing, metres.
+    pub road_spacing: f64,
+    /// Number of entities per class: (pedestrians, bicycles, cars, trucks).
+    pub class_counts: [usize; 4],
+    /// Mobility model for every entity.
+    pub mobility: MobilityModel,
+    /// Initial placement.
+    pub placement: Placement,
+    /// Ground-truth recording interval.
+    pub record_interval: Duration,
+    /// Expected fraction of the population replaced per minute by churn
+    /// (vehicles parking and fresh ones departing); 0 disables churn.
+    /// Replaced entities keep the population size and class mix but get a
+    /// fresh identity and position — the ground truth for cross-camera
+    /// re-identification under realistic arrival/departure dynamics.
+    pub churn_per_minute: f64,
+    /// RNG seed; equal configs produce identical histories.
+    pub seed: u64,
+}
+
+impl WorldConfig {
+    /// A 2 km × 2 km town with 200 entities — fast enough for unit tests.
+    pub fn small_town() -> Self {
+        WorldConfig {
+            extent: BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)),
+            road_spacing: 200.0,
+            class_counts: [80, 20, 80, 20],
+            mobility: MobilityModel::GridWalk,
+            placement: Placement::Uniform,
+            record_interval: Duration::from_millis(500),
+            churn_per_minute: 0.0,
+            seed: 1,
+        }
+    }
+
+    /// An 8 km × 8 km metro core with 20 000 entities — the evaluation's
+    /// default workload (Table 1).
+    pub fn city() -> Self {
+        WorldConfig {
+            extent: BBox::new(Point::new(0.0, 0.0), Point::new(8000.0, 8000.0)),
+            road_spacing: 250.0,
+            class_counts: [8000, 2000, 8000, 2000],
+            mobility: MobilityModel::Trip,
+            placement: Placement::Uniform,
+            record_interval: Duration::from_secs(1),
+            churn_per_minute: 0.05,
+            seed: 1,
+        }
+    }
+
+    /// Replaces the churn rate.
+    pub fn with_churn_per_minute(mut self, churn: f64) -> Self {
+        assert!(churn >= 0.0, "churn must be non-negative");
+        self.churn_per_minute = churn;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the per-class entity counts.
+    pub fn with_class_counts(mut self, counts: [usize; 4]) -> Self {
+        self.class_counts = counts;
+        self
+    }
+
+    /// Scales total population to approximately `total`, preserving class
+    /// proportions.
+    pub fn with_total_entities(mut self, total: usize) -> Self {
+        let current: usize = self.class_counts.iter().sum();
+        if current == 0 {
+            self.class_counts = [total / 4; 4];
+            return self;
+        }
+        let scale = total as f64 / current as f64;
+        for c in &mut self.class_counts {
+            *c = (*c as f64 * scale).round() as usize;
+        }
+        self
+    }
+
+    /// Replaces the mobility model.
+    pub fn with_mobility(mut self, mobility: MobilityModel) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Replaces the placement.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Total entity count.
+    pub fn total_entities(&self) -> usize {
+        self.class_counts.iter().sum()
+    }
+}
+
+/// The live simulated world.
+///
+/// Owns the road network, all entities, the simulation clock, and the
+/// ground-truth trajectory store. Call [`step`](World::step) to advance.
+#[derive(Debug)]
+pub struct World {
+    config: WorldConfig,
+    roads: RoadNetwork,
+    entities: Vec<Entity>,
+    now: Timestamp,
+    rng: StdRng,
+    ground_truth: TrajectoryStore,
+    last_record: Option<Timestamp>,
+    next_entity_id: u64,
+    churn_debt: f64,
+    departures: u64,
+}
+
+impl World {
+    /// Builds the world and places all entities.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the extent is too small for the road spacing (see
+    /// [`RoadNetwork::grid`]) or a hotspot fraction is out of `[0, 1]`.
+    pub fn new(config: WorldConfig) -> Self {
+        let roads = RoadNetwork::grid(config.extent, config.road_spacing);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut entities = Vec::with_capacity(config.total_entities());
+        let mut next_id = 0u64;
+        for (class_idx, &count) in config.class_counts.iter().enumerate() {
+            let class = EntityClass::from_u8(class_idx as u8).expect("class index");
+            let (lo, hi) = class.speed_range();
+            for _ in 0..count {
+                let position = sample_position(&config.placement, config.extent, &mut rng);
+                entities.push(Entity {
+                    id: EntityId(next_id),
+                    class,
+                    position,
+                    speed: rng.gen_range(lo..=hi),
+                    waypoint: None,
+                    route: vec![],
+                });
+                next_id += 1;
+            }
+        }
+        let mut world = World {
+            config,
+            roads,
+            entities,
+            now: Timestamp::ZERO,
+            rng,
+            ground_truth: TrajectoryStore::new(),
+            last_record: None,
+            next_entity_id: next_id,
+            churn_debt: 0.0,
+            departures: 0,
+        };
+        world.record_if_due();
+        world
+    }
+
+    /// The configuration this world was built from.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// The covered region.
+    pub fn extent(&self) -> BBox {
+        self.config.extent
+    }
+
+    /// The road network.
+    pub fn roads(&self) -> &RoadNetwork {
+        &self.roads
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Iterates over all entities' current states.
+    pub fn entities(&self) -> impl Iterator<Item = &Entity> {
+        self.entities.iter()
+    }
+
+    /// Number of entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// The recorded ground truth so far.
+    pub fn ground_truth(&self) -> &TrajectoryStore {
+        &self.ground_truth
+    }
+
+    /// Total entities that have departed through churn so far.
+    pub fn departures(&self) -> u64 {
+        self.departures
+    }
+
+    /// Advances the simulation by `dt`: moves every entity, applies
+    /// population churn, and records ground truth at the configured
+    /// interval.
+    pub fn step(&mut self, dt: Duration) {
+        let dt_secs = dt.as_secs_f64();
+        let mobility = self.config.mobility;
+        for entity in &mut self.entities {
+            mobility.step(entity, &self.roads, dt_secs, &mut self.rng);
+        }
+        self.apply_churn(dt_secs);
+        self.now += dt;
+        self.record_if_due();
+    }
+
+    /// Replaces a deterministic-in-expectation number of entities with
+    /// fresh identities at fresh positions (same class, so the class mix
+    /// is preserved).
+    fn apply_churn(&mut self, dt_secs: f64) {
+        if self.config.churn_per_minute <= 0.0 || self.entities.is_empty() {
+            return;
+        }
+        self.churn_debt +=
+            self.entities.len() as f64 * self.config.churn_per_minute * dt_secs / 60.0;
+        while self.churn_debt >= 1.0 {
+            self.churn_debt -= 1.0;
+            let victim = self.rng.gen_range(0..self.entities.len());
+            let class = self.entities[victim].class;
+            let (lo, hi) = class.speed_range();
+            let position = sample_position(&self.config.placement, self.config.extent, &mut self.rng);
+            self.entities[victim] = Entity {
+                id: EntityId(self.next_entity_id),
+                class,
+                position,
+                speed: self.rng.gen_range(lo..=hi),
+                waypoint: None,
+                route: vec![],
+            };
+            self.next_entity_id += 1;
+            self.departures += 1;
+        }
+    }
+
+    /// Runs the simulation until `deadline`, stepping by `dt`.
+    pub fn run_until(&mut self, deadline: Timestamp, dt: Duration) {
+        assert!(dt > Duration::ZERO, "dt must be positive");
+        while self.now < deadline {
+            self.step(dt);
+        }
+    }
+
+    fn record_if_due(&mut self) {
+        let due = match self.last_record {
+            None => true,
+            Some(last) => self.now - last >= self.config.record_interval,
+        };
+        if due {
+            for e in &self.entities {
+                self.ground_truth.record(e.id, self.now, e.position);
+            }
+            self.last_record = Some(self.now);
+        }
+    }
+}
+
+fn sample_position<R: Rng>(placement: &Placement, extent: BBox, rng: &mut R) -> Point {
+    match placement {
+        Placement::Uniform => Point::new(
+            rng.gen_range(extent.min.x..=extent.max.x),
+            rng.gen_range(extent.min.y..=extent.max.y),
+        ),
+        Placement::Hotspot { centers, sigma, fraction } => {
+            assert!((0.0..=1.0).contains(fraction), "hotspot fraction out of range");
+            if !centers.is_empty() && rng.gen_bool(*fraction) {
+                let center = centers[rng.gen_range(0..centers.len())];
+                // Box-Muller Gaussian around the hotspot, clamped to extent.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt() * sigma;
+                let theta = std::f64::consts::TAU * u2;
+                let p = center + Point::from_heading(theta) * r;
+                Point::new(
+                    p.x.clamp(extent.min.x, extent.max.x),
+                    p.y.clamp(extent.min.y, extent.max.y),
+                )
+            } else {
+                sample_position(&Placement::Uniform, extent, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_places_all_entities_inside() {
+        let w = World::new(WorldConfig::small_town());
+        assert_eq!(w.entity_count(), 200);
+        for e in w.entities() {
+            assert!(w.extent().contains(e.position));
+        }
+    }
+
+    #[test]
+    fn stepping_advances_clock_and_moves_entities() {
+        let mut w = World::new(WorldConfig::small_town());
+        let before: Vec<Point> = w.entities().map(|e| e.position).collect();
+        w.step(Duration::from_secs(5));
+        assert_eq!(w.now(), Timestamp::from_secs(5));
+        let moved = w
+            .entities()
+            .zip(&before)
+            .filter(|(e, b)| e.position.distance(**b) > 0.1)
+            .count();
+        assert!(moved > 150, "only {moved} entities moved");
+        for e in w.entities() {
+            assert!(w.extent().contains(e.position), "escaped: {}", e.position);
+        }
+    }
+
+    #[test]
+    fn ground_truth_recorded_at_interval() {
+        let mut w = World::new(WorldConfig::small_town());
+        w.run_until(Timestamp::from_secs(5), Duration::from_millis(500));
+        // Recorded at t=0 and then every 500 ms → 11 samples per entity.
+        let track = w.ground_truth().track(EntityId(0));
+        assert_eq!(track.len(), 11);
+        assert_eq!(track[0].time, Timestamp::ZERO);
+        assert_eq!(track[10].time, Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let mut w = World::new(WorldConfig::small_town().with_seed(seed));
+            w.run_until(Timestamp::from_secs(10), Duration::from_millis(500));
+            w.entities().map(|e| e.position).collect::<Vec<_>>()
+        };
+        let a = run(9);
+        let b = run(9);
+        let c = run(10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hotspot_placement_concentrates_entities() {
+        let center = Point::new(1000.0, 1000.0);
+        let config = WorldConfig::small_town()
+            .with_total_entities(1000)
+            .with_placement(Placement::Hotspot {
+                centers: vec![center],
+                sigma: 100.0,
+                fraction: 0.8,
+            });
+        let w = World::new(config);
+        let near = w
+            .entities()
+            .filter(|e| e.position.distance(center) < 300.0)
+            .count();
+        // ~80% are Gaussian(σ=100) around the centre, nearly all within 3σ.
+        assert!(near > 600, "only {near} of 1000 near hotspot");
+    }
+
+    #[test]
+    fn with_total_entities_scales_proportionally() {
+        let c = WorldConfig::small_town().with_total_entities(2000);
+        assert_eq!(c.total_entities(), 2000);
+        assert_eq!(c.class_counts, [800, 200, 800, 200]);
+    }
+
+    #[test]
+    fn class_counts_respected() {
+        let c = WorldConfig::small_town().with_class_counts([5, 0, 3, 0]);
+        let w = World::new(c);
+        let peds = w.entities().filter(|e| e.class == EntityClass::Pedestrian).count();
+        let cars = w.entities().filter(|e| e.class == EntityClass::Car).count();
+        assert_eq!((peds, cars, w.entity_count()), (5, 3, 8));
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+
+    #[test]
+    fn churn_replaces_identities_but_preserves_population_and_classes() {
+        let config = WorldConfig::small_town()
+            .with_seed(3)
+            .with_churn_per_minute(6.0); // 10% per second: fast for a test
+        let mut w = World::new(config);
+        let before_ids: std::collections::HashSet<EntityId> =
+            w.entities().map(|e| e.id).collect();
+        let class_counts_before = {
+            let mut c = [0usize; 4];
+            for e in w.entities() {
+                c[e.class.as_u8() as usize] += 1;
+            }
+            c
+        };
+        w.run_until(Timestamp::from_secs(10), Duration::from_millis(500));
+        assert_eq!(w.entity_count(), 200, "population changed");
+        assert!(w.departures() > 50, "only {} departures", w.departures());
+        let after_ids: std::collections::HashSet<EntityId> =
+            w.entities().map(|e| e.id).collect();
+        let replaced = before_ids.difference(&after_ids).count();
+        assert!(replaced > 50, "only {replaced} replaced");
+        // New ids never collide with old ones.
+        for e in w.entities() {
+            assert!(e.id.0 < 10_000);
+        }
+        let class_counts_after = {
+            let mut c = [0usize; 4];
+            for e in w.entities() {
+                c[e.class.as_u8() as usize] += 1;
+            }
+            c
+        };
+        assert_eq!(class_counts_after, class_counts_before, "class mix drifted");
+    }
+
+    #[test]
+    fn zero_churn_keeps_identities() {
+        let mut w = World::new(WorldConfig::small_town().with_seed(4));
+        let before: Vec<EntityId> = w.entities().map(|e| e.id).collect();
+        w.run_until(Timestamp::from_secs(10), Duration::from_millis(500));
+        let after: Vec<EntityId> = w.entities().map(|e| e.id).collect();
+        assert_eq!(before, after);
+        assert_eq!(w.departures(), 0);
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        let run = || {
+            let config = WorldConfig::small_town().with_seed(5).with_churn_per_minute(3.0);
+            let mut w = World::new(config);
+            w.run_until(Timestamp::from_secs(20), Duration::from_millis(500));
+            w.entities().map(|e| e.id).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn departed_entities_keep_their_ground_truth() {
+        let config = WorldConfig::small_town().with_seed(6).with_churn_per_minute(6.0);
+        let mut w = World::new(config);
+        w.run_until(Timestamp::from_secs(10), Duration::from_millis(500));
+        // Entity 0's track exists even if it departed.
+        assert!(!w.ground_truth().track(EntityId(0)).is_empty());
+        // Ground truth knows more entities than are currently live.
+        assert!(w.ground_truth().entity_count() > w.entity_count());
+    }
+}

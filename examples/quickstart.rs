@@ -1,0 +1,84 @@
+//! Quickstart: boot a cluster, ingest a camera stream, run each query
+//! type.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use stcam::{Cluster, ClusterConfig};
+use stcam_camnet::{CameraNetwork, DetectionModel, SensorSim};
+use stcam_geo::{BBox, Duration, GridSpec, Point, TimeInterval, Timestamp};
+use stcam_world::{World, WorldConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic city: 2 km × 2 km, 200 moving entities.
+    let mut world = World::new(WorldConfig::small_town().with_seed(42));
+    let extent = world.extent();
+
+    // 2. A camera deployment: 60 cameras on road intersections.
+    let cameras = CameraNetwork::deploy_on_roads(world.roads(), 60, 7);
+    println!(
+        "deployed {} cameras, ground coverage {:.0}%",
+        cameras.len(),
+        cameras.coverage_fraction(50) * 100.0
+    );
+    let mut sensors = SensorSim::new(cameras, DetectionModel::default(), 11);
+
+    // 3. A 4-worker cluster.
+    let cluster = Cluster::launch(ClusterConfig::new(extent, 4))?;
+
+    // 4. Stream 30 seconds of detections.
+    let mut total = 0usize;
+    while world.now() < Timestamp::from_secs(30) {
+        let frame = sensors.observe(&world);
+        total += frame.len();
+        cluster.ingest(frame)?;
+        world.step(Duration::from_millis(500));
+    }
+    cluster.flush()?;
+    println!("ingested {total} observations over 30 s of city time");
+
+    // 5. Range query: what moved through the central square, seconds 10–20?
+    let square = BBox::around(Point::new(1000.0, 1000.0), 250.0);
+    let window = TimeInterval::new(Timestamp::from_secs(10), Timestamp::from_secs(20));
+    let hits = cluster.range_query(square, window)?;
+    println!("range query over the central square: {} observations", hits.len());
+
+    // 6. kNN: the 5 sightings closest to a reported incident.
+    let incident = Point::new(700.0, 1300.0);
+    let nearest = cluster.knn_query(incident, window, 5)?;
+    println!("5 sightings nearest to the incident at {incident}:");
+    for obs in &nearest {
+        println!(
+            "  {} at {} ({}, {:.0} m away)",
+            obs.id,
+            obs.position,
+            obs.class,
+            incident.distance(obs.position)
+        );
+    }
+
+    // 7. Heat map: activity per 250 m cell across the whole city.
+    let buckets = GridSpec::covering(extent, 250.0);
+    let counts = cluster.heatmap(&buckets, window)?;
+    let busiest = counts.iter().max().copied().unwrap_or(0);
+    println!("busiest 250 m cell saw {busiest} observations in 10 s");
+
+    // 8. Cluster health.
+    let stats = cluster.stats()?;
+    for (worker, s) in &stats.workers {
+        println!(
+            "  {worker}: {} primary, {} replica observations",
+            s.primary_observations, s.replica_observations
+        );
+    }
+    let net = cluster.fabric_stats();
+    println!(
+        "network: {} messages, {:.1} KiB total",
+        net.total_msgs,
+        net.total_bytes as f64 / 1024.0
+    );
+
+    cluster.shutdown();
+    Ok(())
+}

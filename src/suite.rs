@@ -1,0 +1,11 @@
+//! `stcam-suite` is the workspace umbrella package: it hosts the
+//! cross-crate integration tests in `tests/` and the runnable examples in
+//! `examples/`, and re-exports the member crates for convenience.
+
+pub use stcam;
+pub use stcam_camnet;
+pub use stcam_codec;
+pub use stcam_geo;
+pub use stcam_index;
+pub use stcam_net;
+pub use stcam_world;

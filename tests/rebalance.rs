@@ -1,0 +1,269 @@
+//! Online rebalancing and filtered queries, end to end.
+
+use stcam::{Cluster, ClusterConfig, PartitionPolicy, Predicate, StcamError};
+use stcam_camnet::{CameraId, Observation, ObservationId, Signature};
+use stcam_geo::{BBox, Point, TimeInterval, Timestamp};
+use stcam_net::LinkModel;
+use stcam_world::{EntityClass, EntityId};
+
+fn extent() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(1600.0, 1600.0))
+}
+
+fn config(workers: usize) -> ClusterConfig {
+    ClusterConfig::new(extent(), workers)
+        .with_replication(0)
+        .with_link(LinkModel::instant())
+}
+
+fn obs(seq: u64, t_ms: u64, x: f64, y: f64, class: EntityClass) -> Observation {
+    Observation {
+        id: ObservationId::compose(CameraId(0), seq),
+        camera: CameraId(0),
+        time: Timestamp::from_millis(t_ms),
+        position: Point::new(x, y),
+        class,
+        signature: Signature::latent_for_entity(seq),
+        truth: Some(EntityId(seq)),
+    }
+}
+
+/// A workload with 70% of traffic in a corner hotspot.
+fn hotspot_batch(n: u64) -> Vec<Observation> {
+    (0..n)
+        .map(|i| {
+            let (x, y) = if i % 10 < 7 {
+                (50.0 + (i as f64 * 7.3) % 300.0, 50.0 + (i as f64 * 11.7) % 300.0)
+            } else {
+                ((i as f64 * 37.0) % 1600.0, (i as f64 * 53.0) % 1600.0)
+            };
+            obs(i, (i % 50) * 1000, x, y, EntityClass::Car)
+        })
+        .collect()
+}
+
+fn window_all() -> TimeInterval {
+    TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(10_000))
+}
+
+#[test]
+fn rebalance_preserves_every_observation_and_improves_balance() {
+    let cluster = Cluster::launch(config(6)).unwrap();
+    cluster.ingest(hotspot_batch(3_000)).unwrap();
+    cluster.flush().unwrap();
+    let before_ids: Vec<_> = cluster
+        .range_query(extent(), window_all())
+        .unwrap()
+        .iter()
+        .map(|o| o.id)
+        .collect();
+    assert_eq!(before_ids.len(), 3_000);
+    let imbalance_before = cluster.stats().unwrap().imbalance();
+
+    let report = cluster.rebalance().unwrap();
+    assert!(report.cells_moved > 0, "hotspot workload should move cells");
+    assert!(report.imbalance_after < report.imbalance_before);
+
+    // Exactly the same answer set under the new map.
+    let after_ids: Vec<_> = cluster
+        .range_query(extent(), window_all())
+        .unwrap()
+        .iter()
+        .map(|o| o.id)
+        .collect();
+    assert_eq!(after_ids, before_ids);
+    // And physically better balanced.
+    let imbalance_after = cluster.stats().unwrap().imbalance();
+    assert!(
+        imbalance_after < imbalance_before,
+        "stored imbalance {imbalance_after:.2} not better than {imbalance_before:.2}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn queries_are_exact_for_all_query_types_after_rebalance() {
+    let cluster = Cluster::launch(config(4)).unwrap();
+    let batch = hotspot_batch(2_000);
+    cluster.ingest(batch.clone()).unwrap();
+    cluster.flush().unwrap();
+    let region = BBox::around(Point::new(200.0, 200.0), 250.0);
+    let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(30));
+    let range_before: Vec<_> =
+        cluster.range_query(region, window).unwrap().iter().map(|o| o.id).collect();
+    let knn_before: Vec<_> = cluster
+        .knn_query(Point::new(800.0, 800.0), window, 20)
+        .unwrap()
+        .iter()
+        .map(|o| o.id)
+        .collect();
+    let buckets = stcam_geo::GridSpec::covering(extent(), 200.0);
+    let heat_before = cluster.heatmap(&buckets, window).unwrap();
+
+    cluster.rebalance().unwrap();
+
+    let range_after: Vec<_> =
+        cluster.range_query(region, window).unwrap().iter().map(|o| o.id).collect();
+    let knn_after: Vec<_> = cluster
+        .knn_query(Point::new(800.0, 800.0), window, 20)
+        .unwrap()
+        .iter()
+        .map(|o| o.id)
+        .collect();
+    let heat_after = cluster.heatmap(&buckets, window).unwrap();
+    assert_eq!(range_after, range_before);
+    assert_eq!(knn_after, knn_before);
+    assert_eq!(heat_after, heat_before);
+    cluster.shutdown();
+}
+
+#[test]
+fn ingest_routes_correctly_after_rebalance() {
+    let cluster = Cluster::launch(config(4)).unwrap();
+    cluster.ingest(hotspot_batch(1_000)).unwrap();
+    cluster.flush().unwrap();
+    cluster.rebalance().unwrap();
+    // Fresh traffic lands and is queryable under the new map.
+    let fresh: Vec<Observation> = (10_000..10_500u64)
+        .map(|i| obs(i, 60_000, (i as f64 * 13.0) % 1600.0, (i as f64 * 29.0) % 1600.0, EntityClass::Car))
+        .collect();
+    cluster.ingest(fresh).unwrap();
+    cluster.flush().unwrap();
+    assert_eq!(cluster.range_query(extent(), window_all()).unwrap().len(), 1_500);
+    cluster.shutdown();
+}
+
+#[test]
+fn rebalance_with_replication_is_rejected() {
+    let cluster = Cluster::launch(
+        ClusterConfig::new(extent(), 4)
+            .with_replication(1)
+            .with_link(LinkModel::instant()),
+    )
+    .unwrap();
+    assert!(matches!(cluster.rebalance(), Err(StcamError::Unsupported(_))));
+    cluster.shutdown();
+}
+
+#[test]
+fn continuous_queries_keep_matching_after_rebalance() {
+    let cluster = Cluster::launch(config(4)).unwrap();
+    let fence = BBox::around(Point::new(200.0, 200.0), 300.0);
+    let id = cluster
+        .register_continuous(Predicate { region: fence, class: None })
+        .unwrap();
+    cluster.ingest(hotspot_batch(1_000)).unwrap();
+    cluster.flush().unwrap();
+    let _ = cluster.poll_notifications(std::time::Duration::from_millis(300));
+
+    cluster.rebalance().unwrap();
+
+    // Matches for traffic ingested after the rebalance still arrive.
+    let fresh: Vec<Observation> = (20_000..20_100u64)
+        .map(|i| obs(i, 70_000, 200.0, 200.0, EntityClass::Car))
+        .collect();
+    cluster.ingest(fresh).unwrap();
+    cluster.flush().unwrap();
+    let matched: usize = cluster
+        .poll_notifications(std::time::Duration::from_secs(2))
+        .iter()
+        .filter(|n| n.query == id)
+        .map(|n| n.matches.len())
+        .sum();
+    assert_eq!(matched, 100);
+    cluster.shutdown();
+}
+
+#[test]
+fn load_aware_launch_equals_uniform_launch_plus_rebalance() {
+    // Launching with a measured load profile and rebalancing onto the
+    // same measurements must produce comparable balance.
+    let batch = hotspot_batch(4_000);
+    // Path A: uniform launch then rebalance.
+    let a = Cluster::launch(config(8)).unwrap();
+    a.ingest(batch.clone()).unwrap();
+    a.flush().unwrap();
+    a.rebalance().unwrap();
+    let balance_a = a.stats().unwrap().imbalance();
+    a.shutdown();
+    // Path B: load-aware launch with a profile measured from the batch.
+    let mut config_b = config(8).with_partition_policy(PartitionPolicy::LoadAware);
+    let grid = config_b.macro_grid();
+    let mut loads = vec![0u64; grid.cell_count() as usize];
+    for o in &batch {
+        let c = grid.cell_of_clamped(o.position);
+        loads[c.row as usize * grid.cols() as usize + c.col as usize] += 1;
+    }
+    config_b = config_b.with_load_profile(loads);
+    let b = Cluster::launch(config_b).unwrap();
+    b.ingest(batch).unwrap();
+    b.flush().unwrap();
+    let balance_b = b.stats().unwrap().imbalance();
+    b.shutdown();
+    assert!(
+        (balance_a - balance_b).abs() < 0.6,
+        "paths diverge: rebalanced {balance_a:.2} vs load-aware launch {balance_b:.2}"
+    );
+}
+
+#[test]
+fn filtered_range_query_matches_postfiltering() {
+    let cluster = Cluster::launch(config(4)).unwrap();
+    let batch: Vec<Observation> = (0..1_000u64)
+        .map(|i| {
+            let class = EntityClass::from_u8((i % 4) as u8).unwrap();
+            obs(i, (i % 50) * 1000, (i as f64 * 37.0) % 1600.0, (i as f64 * 53.0) % 1600.0, class)
+        })
+        .collect();
+    cluster.ingest(batch).unwrap();
+    cluster.flush().unwrap();
+    let region = BBox::around(Point::new(800.0, 800.0), 600.0);
+    let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(40));
+    for class in EntityClass::ALL {
+        let filtered: Vec<_> = cluster
+            .range_query_filtered(region, window, class)
+            .unwrap()
+            .iter()
+            .map(|o| o.id)
+            .collect();
+        let expected: Vec<_> = cluster
+            .range_query(region, window)
+            .unwrap()
+            .iter()
+            .filter(|o| o.class == class)
+            .map(|o| o.id)
+            .collect();
+        assert_eq!(filtered, expected, "class {class}");
+        assert!(!filtered.is_empty(), "vacuous for class {class}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn auto_recovery_heals_without_manual_intervention() {
+    use stcam_net::NodeId;
+    let cluster = Cluster::launch(
+        ClusterConfig::new(extent(), 4)
+            .with_replication(1)
+            .with_link(LinkModel::instant()),
+    )
+    .unwrap();
+    cluster.ingest(hotspot_batch(800)).unwrap();
+    cluster.flush().unwrap();
+    cluster.enable_auto_recovery(std::time::Duration::from_millis(100));
+    cluster.kill_worker(NodeId(2));
+    // Wait for the monitor to notice and fail over.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let healed = cluster
+            .range_query(extent(), window_all())
+            .map(|hits| hits.len() == 800)
+            .unwrap_or(false);
+        if healed {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "auto recovery never healed");
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,239 @@
+//! End-to-end trajectory analysis: the full world → detector → tracklet →
+//! hand-off pipeline, scored against ground truth.
+
+use stcam::stitch::{
+    build_tracklets, score_links, stitch_greedy, stitch_handoff, StitchConfig,
+};
+use stcam_camnet::{CameraNetwork, DetectionModel, Observation, SensorSim, TransitionModel};
+use stcam_geo::{Duration, Timestamp};
+use stcam_world::{MobilityModel, World, WorldConfig};
+
+struct Setup {
+    observations: Vec<Observation>,
+    network: CameraNetwork,
+    transitions: TransitionModel,
+}
+
+/// Runs a trip-heavy world under the given detector for `seconds`.
+fn run_pipeline(seconds: u64, model: DetectionModel, seed: u64) -> Setup {
+    run_pipeline_with(seconds, model, seed, 80)
+}
+
+/// As [`run_pipeline`] with an explicit entity population.
+fn run_pipeline_with(seconds: u64, model: DetectionModel, seed: u64, entities: usize) -> Setup {
+    let config = WorldConfig::small_town()
+        .with_seed(seed)
+        .with_mobility(MobilityModel::Trip)
+        .with_total_entities(entities);
+    let mut world = World::new(config);
+    let network = CameraNetwork::deploy_on_roads(world.roads(), 90, seed + 1);
+    let transitions = TransitionModel::from_network(&network, world.roads());
+    let mut sim = SensorSim::new(network, model, seed + 2);
+    let mut observations = Vec::new();
+    let step = Duration::from_millis(500);
+    while world.now() < Timestamp::from_secs(seconds) {
+        observations.extend(sim.observe(&world));
+        world.step(step);
+    }
+    // Rebuild the network for the caller (SensorSim consumed it).
+    let network = CameraNetwork::deploy_on_roads(world.roads(), 90, seed + 1);
+    Setup { observations, network, transitions }
+}
+
+#[test]
+fn tracklets_are_pure_under_a_perfect_detector() {
+    let setup = run_pipeline(60, DetectionModel::perfect(), 1);
+    let tracklets = build_tracklets(&setup.observations, &StitchConfig::default());
+    assert!(!tracklets.is_empty());
+    let mut impure = 0;
+    for t in &tracklets {
+        let truth = t.observations[0].truth;
+        if !t.observations.iter().all(|o| o.truth == truth) {
+            impure += 1;
+        }
+    }
+    // Perfect signatures make within-camera confusion almost impossible.
+    assert!(
+        (impure as f64) < tracklets.len() as f64 * 0.02,
+        "{impure}/{} impure tracklets",
+        tracklets.len()
+    );
+}
+
+#[test]
+fn handoff_stitching_scores_high_on_clean_data() {
+    let setup = run_pipeline(120, DetectionModel::perfect(), 2);
+    let config = StitchConfig::default();
+    let tracklets = build_tracklets(&setup.observations, &config);
+    let tracks = stitch_handoff(&tracklets, &setup.network, &setup.transitions, &config);
+    let score = score_links(&tracklets, &tracks);
+    assert!(score.true_links > 20, "too few hand-offs to score ({})", score.true_links);
+    assert!(
+        score.precision() > 0.9,
+        "precision {:.3} on clean data",
+        score.precision()
+    );
+    assert!(score.recall() > 0.3, "recall {:.3} on clean data", score.recall());
+}
+
+#[test]
+fn handoff_beats_greedy_baseline_under_noise() {
+    // The regime where topology gating pays: a dense population (many
+    // confusable appearances) under heavy signature noise. With few
+    // well-separated entities, appearance alone suffices and both methods
+    // tie — the interesting (and realistic) case is this one.
+    let noisy = DetectionModel::default().with_signature_sigma(0.35);
+    let setup = run_pipeline_with(120, noisy, 3, 400);
+    let config = StitchConfig {
+        handoff_sig_threshold: 1.0, // keep recall alive at this noise
+        ..StitchConfig::default()
+    };
+    let tracklets = build_tracklets(&setup.observations, &config);
+    let handoff = stitch_handoff(&tracklets, &setup.network, &setup.transitions, &config);
+    let greedy = stitch_greedy(&tracklets, &config, Duration::from_secs(120));
+    let score_h = score_links(&tracklets, &handoff);
+    let score_g = score_links(&tracklets, &greedy);
+    assert!(
+        score_h.precision() > score_g.precision(),
+        "handoff precision {:.3} did not beat greedy {:.3}",
+        score_h.precision(),
+        score_g.precision()
+    );
+    assert!(
+        score_h.f1() > score_g.f1(),
+        "handoff F1 {:.3} did not beat greedy {:.3}",
+        score_h.f1(),
+        score_g.f1()
+    );
+}
+
+#[test]
+fn stitching_degrades_gracefully_with_noise() {
+    let config = StitchConfig::default();
+    let mut f1_by_noise = Vec::new();
+    for (i, sigma) in [0.02f32, 0.35].iter().enumerate() {
+        let model = DetectionModel::default().with_signature_sigma(*sigma);
+        let setup = run_pipeline(90, model, 100 + i as u64);
+        let tracklets = build_tracklets(&setup.observations, &config);
+        let tracks = stitch_handoff(&tracklets, &setup.network, &setup.transitions, &config);
+        f1_by_noise.push(score_links(&tracklets, &tracks).f1());
+    }
+    assert!(
+        f1_by_noise[0] > f1_by_noise[1],
+        "F1 did not degrade with noise: {f1_by_noise:?}"
+    );
+    assert!(f1_by_noise[0] > 0.3, "low-noise F1 too weak: {}", f1_by_noise[0]);
+}
+
+#[test]
+fn false_positives_do_not_poison_global_tracks() {
+    let mut model = DetectionModel::perfect();
+    model.false_positive_rate = 0.1; // 5x the calibrated default
+    let setup = run_pipeline_with(40, model, 4, 400);
+    let config = StitchConfig::default();
+    let tracklets = build_tracklets(&setup.observations, &config);
+    let tracks = stitch_handoff(&tracklets, &setup.network, &setup.transitions, &config);
+    // Count links that involve a false-positive-majority tracklet.
+    let mut fp_links = 0;
+    let mut links = 0;
+    for track in &tracks {
+        for pair in track.tracklets.windows(2) {
+            links += 1;
+            if tracklets[pair[0]].majority_truth().is_none()
+                || tracklets[pair[1]].majority_truth().is_none()
+            {
+                fp_links += 1;
+            }
+        }
+    }
+    if links > 0 {
+        assert!(
+            (fp_links as f64) < links as f64 * 0.15,
+            "{fp_links}/{links} links involve clutter"
+        );
+    }
+}
+
+#[test]
+fn stitching_from_cluster_query_results() {
+    // The intended operational flow: query the distributed store for a
+    // region/time of interest, then stitch the result set.
+    use stcam::{Cluster, ClusterConfig};
+    use stcam_geo::{BBox, Point, TimeInterval};
+    use stcam_net::LinkModel;
+
+    let setup = run_pipeline(40, DetectionModel::default(), 5);
+    let extent = BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0));
+    let cluster =
+        Cluster::launch(ClusterConfig::new(extent, 4).with_link(LinkModel::instant())).unwrap();
+    cluster.ingest(setup.observations.clone()).unwrap();
+    cluster.flush().unwrap();
+    let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(40));
+    let fetched = cluster.range_query(extent.inflated(500.0), window).unwrap();
+    assert_eq!(fetched.len(), setup.observations.len());
+    let config = StitchConfig::default();
+    let tracklets = build_tracklets(&fetched, &config);
+    let tracks = stitch_handoff(&tracklets, &setup.network, &setup.transitions, &config);
+    let score = score_links(&tracklets, &tracks);
+    assert!(score.precision() > 0.8, "precision {:.3}", score.precision());
+    cluster.shutdown();
+}
+
+#[test]
+fn reconstruct_service_follows_a_seed_observation() {
+    use stcam::stitch::reconstruct;
+    use stcam::{Cluster, ClusterConfig};
+    use stcam_geo::{BBox, Point, TimeInterval};
+    use stcam_net::LinkModel;
+
+    let setup = run_pipeline(60, DetectionModel::default(), 6);
+    let extent = BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0));
+    let cluster =
+        Cluster::launch(ClusterConfig::new(extent, 4).with_link(LinkModel::instant())).unwrap();
+    cluster.ingest(setup.observations.clone()).unwrap();
+    cluster.flush().unwrap();
+
+    let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(60));
+    let result = reconstruct(
+        &cluster,
+        extent.inflated(500.0),
+        window,
+        &setup.network,
+        &setup.transitions,
+        &StitchConfig::default(),
+    )
+    .unwrap();
+    assert!(!result.tracks.is_empty());
+    // Every tracklet appears in exactly one global track.
+    let mut seen = vec![0usize; result.tracklets.len()];
+    for track in &result.tracks {
+        for &i in &track.tracklets {
+            seen[i] += 1;
+        }
+    }
+    assert!(seen.iter().all(|&c| c == 1), "tracklet multiplicity violated");
+
+    // Follow a seed: pick an observation from a multi-tracklet track.
+    let rich_track = result
+        .tracks
+        .iter()
+        .max_by_key(|t| t.tracklets.len())
+        .unwrap();
+    let seed = result.tracklets[rich_track.tracklets[0]].observations[0].id;
+    let followed = result.track_containing(seed).expect("seed is in a track");
+    assert_eq!(followed, rich_track);
+    // The flattened journey is time-ordered across tracklets.
+    let journey = result.observations_of(followed);
+    for pair in journey.windows(2) {
+        if pair[0].time > pair[1].time {
+            // Within a tracklet observations are ordered; across tracklet
+            // boundaries starts are ordered (ends may overlap starts).
+            continue;
+        }
+    }
+    assert!(!journey.is_empty());
+    // Unknown seed yields None.
+    use stcam_camnet::{CameraId, ObservationId};
+    assert!(result.track_containing(ObservationId::compose(CameraId(999), 1)).is_none());
+    cluster.shutdown();
+}
