@@ -141,7 +141,7 @@ impl SensorSim {
                 let class = if self.model.class_error_rate > 0.0
                     && self.rng.gen_bool(self.model.class_error_rate)
                 {
-                    let wrong = (entity.class.as_u8() + self.rng.gen_range(1..4)) % 4;
+                    let wrong = (entity.class.as_u8() + self.rng.gen_range(1u8..4)) % 4;
                     stcam_world::EntityClass::from_u8(wrong).expect("class in range")
                 } else {
                     entity.class

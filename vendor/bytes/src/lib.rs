@@ -1,0 +1,291 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! crates.io mirror, so the workspace vendors API-compatible subsets of its
+//! external dependencies (wired up through `[patch.crates-io]`). This crate
+//! provides exactly the `Buf` / `BufMut` / `BytesMut` surface `stcam-codec`
+//! and friends use; semantics match the real crate for that subset
+//! (including panics on buffer overruns).
+
+/// Read access to a contiguous byte buffer that is consumed from the front.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `cnt` bytes from the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// `true` while at least one byte is unread.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer is empty.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than four bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut bytes = [0u8; 4];
+        self.copy_to_slice(&mut bytes);
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than four bytes remain.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut bytes = [0u8; 4];
+        self.copy_to_slice(&mut bytes);
+        f32::from_le_bytes(bytes)
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than eight bytes remain.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut bytes = [0u8; 8];
+        self.copy_to_slice(&mut bytes);
+        f64::from_le_bytes(bytes)
+    }
+
+    /// Fills `dst` from the front of the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt);
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends `src`.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+/// A growable byte buffer that is written at the back and consumed from the
+/// front.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    head: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity), head: 0 }
+    }
+
+    /// Unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// `true` when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserves room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Appends `src`.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` unread bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to past end of buffer");
+        let front = self.data[self.head..self.head + at].to_vec();
+        self.head += at;
+        BytesMut { data: front, head: 0 }
+    }
+
+    /// Copies the unread bytes into a fresh `Vec`.
+    #[allow(clippy::wrong_self_convention)]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.head..].to_vec()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { data: src.to_vec(), head: 0 }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let head = self.head;
+        &mut self.data[head..]
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.head += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_buf_consumes_from_front() {
+        let mut s: &[u8] = &[1, 2, 3, 4, 5, 6];
+        assert_eq!(s.get_u8(), 1);
+        assert_eq!(s.get_u32_le(), u32::from_le_bytes([2, 3, 4, 5]));
+        assert_eq!(s.remaining(), 1);
+        assert!(s.has_remaining());
+        s.advance(1);
+        assert!(!s.has_remaining());
+    }
+
+    #[test]
+    fn bytes_mut_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        let front = b.split_to(2);
+        assert_eq!(&front[..], &[1, 2]);
+        assert_eq!(b.to_vec(), vec![3]);
+        b.advance(1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn indexing_through_deref() {
+        let mut b = BytesMut::from(&[9u8, 8, 7][..]);
+        assert_eq!(b[0..2], [9, 8]);
+        b[1] = 0;
+        assert_eq!(b.to_vec(), vec![9, 0, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn overrun_panics() {
+        let mut s: &[u8] = &[1];
+        s.advance(2);
+    }
+}

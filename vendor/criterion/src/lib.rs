@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/API surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!` / `benchmark_group` /
+//! `bench_function` / `bench_with_input` / `Bencher::iter` / `black_box`)
+//! with a simple calibrated-timing loop instead of criterion's statistical
+//! machinery: each benchmark is auto-scaled to a target measurement window
+//! and its mean iteration time printed. Good enough to compare hot paths
+//! across commits; not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_WINDOW: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver; one per process, created by
+/// [`criterion_main!`].
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self }
+    }
+}
+
+/// A named set of benchmarks, closed with [`BenchmarkGroup::finish`].
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&id.into_benchmark_id());
+        self
+    }
+
+    /// Measures `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&id.into_benchmark_id());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A function name plus parameter, e.g. `knn_indexed/128`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Anything `bench_function` accepts as a benchmark label.
+pub trait IntoBenchmarkId {
+    /// Converts to a concrete id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self.to_string() }
+    }
+}
+
+/// Runs and times the benchmarked closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, auto-scaling the iteration count until the measurement
+    /// window is long enough to trust the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count filling the window.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_WINDOW || n >= 1 << 30 {
+                self.mean = Some(elapsed / n.max(1) as u32);
+                self.iters = n;
+                return;
+            }
+            // Aim straight for the window with a 2x safety factor.
+            let scale = TARGET_WINDOW.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64;
+            n = ((n as f64 * scale * 2.0) as u64).clamp(n + 1, 1 << 30);
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId) {
+        match self.mean {
+            Some(mean) => println!("  {:<40} {:>12.3?} /iter  ({} iters)", id.label, mean, self.iters),
+            None => println!("  {:<40} (no measurement)", id.label),
+        }
+    }
+}
+
+/// Declares a group-runner function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.mean.is_some());
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("sum", |b| b.iter(|| (0..10u64).product::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &k| {
+            b.iter(|| k * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` with the subset of semantics the network
+//! fabric relies on: multi-producer **multi-consumer** channels whose
+//! `Receiver` is `Sync` (unlike `std::sync::mpsc`), blocking/timeout/non-
+//! blocking receives, and disconnect detection when the last peer drops.
+
+pub mod channel;

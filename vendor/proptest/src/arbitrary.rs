@@ -1,0 +1,109 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The whole-domain strategy for `T`; build with [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("any::<_>()")
+    }
+}
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Reinterprets random bits, so infinities, NaNs, subnormals, and
+    /// astronomical magnitudes all occur — the adversarial distribution
+    /// bit-exact codec round-trips want.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($(($($t:ident),+))*) => {$(
+        impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($t::arbitrary(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_arbitrary! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_arbitrary_eventually_produces_specials() {
+        let mut rng = TestRng::from_name("f64_specials");
+        let mut saw_negative = false;
+        let mut saw_huge = false;
+        for _ in 0..10_000 {
+            let v = f64::arbitrary(&mut rng);
+            saw_negative |= v.is_sign_negative();
+            saw_huge |= v.abs() > 1e100;
+        }
+        assert!(saw_negative && saw_huge);
+    }
+
+    #[test]
+    fn tuple_any_compiles_and_runs() {
+        let mut rng = TestRng::from_name("tuple_any");
+        let _: (u32, u32) = Arbitrary::arbitrary(&mut rng);
+        let s = any::<(u8, bool, u64)>();
+        let _ = s.generate(&mut rng);
+    }
+}

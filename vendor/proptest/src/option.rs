@@ -1,0 +1,42 @@
+//! Option strategies: `option::of(inner)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `None` about a quarter of the time and
+/// `Some(inner)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() % 4 == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_produces_both_variants() {
+        let mut rng = TestRng::from_name("option_of");
+        let s = of(0u32..100);
+        let draws: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_none));
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().flatten().all(|&v| v < 100));
+    }
+}

@@ -1,0 +1,44 @@
+//! Sampling helpers: `sample::Index`, an arbitrary index scaled into any
+//! collection's bounds at use time.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A position drawn uniformly, resolved against a concrete length with
+/// [`Index::index`]. Generate with `any::<prop::sample::Index>()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// This index scaled into `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_stays_in_bounds_for_any_len() {
+        let mut rng = TestRng::from_name("sample_index");
+        for _ in 0..1000 {
+            let ix = Index::arbitrary(&mut rng);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(ix.index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The per-test driver: configuration, case errors, and the deterministic
+//! RNG that feeds every strategy.
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!`; it is retried with
+    /// fresh inputs and not counted.
+    Reject(String),
+    /// The property itself failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A property failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An input rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// The deterministic value source handed to [`crate::Strategy::generate`].
+///
+/// SplitMix64 seeded from the test's name, so every run of a given test
+/// binary generates the identical case sequence — a failure report's case
+/// number is always reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub(crate) fn from_name(name: &str) -> Self {
+        // FNV-1a folds the test name into the seed.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53-bit precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot pick below 0");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Runs `case` until `config.cases` successes accumulate.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first property failure,
+/// or when rejections outnumber successes beyond any plausible assumption
+/// density.
+pub fn run(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_name(name);
+    let max_rejects = (config.cases as u64).saturating_mul(64).max(1024);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest '{name}': too many rejected cases ({rejected}) — \
+                     assumptions are unsatisfiable"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {passed}: {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let mut c = TestRng::from_name("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn runner_counts_only_successes() {
+        let mut calls = 0u32;
+        run(
+            "runner_counts_only_successes",
+            &ProptestConfig::with_cases(10),
+            |_| {
+                calls += 1;
+                if calls % 2 == 0 {
+                    Err(TestCaseError::reject("every other"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(calls, 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case 3")]
+    fn runner_reports_failing_case() {
+        let mut calls = 0u32;
+        run("runner_reports_failing_case", &ProptestConfig::default(), |_| {
+            calls += 1;
+            if calls > 3 {
+                Err(TestCaseError::fail("boom"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+}
