@@ -13,7 +13,9 @@ use stcam_net::NodeId;
 
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
-    let obs = synthetic_stream(1, square_extent(1000.0), 60, 1).pop().unwrap();
+    let obs = synthetic_stream(1, square_extent(1000.0), 60, 1)
+        .pop()
+        .unwrap();
     let encoded = encode_to_vec(&obs);
     group.bench_function("encode_observation", |b| {
         b.iter(|| encode_to_vec(black_box(&obs)))
@@ -69,10 +71,18 @@ fn bench_index(c: &mut Criterion) {
     let region = BBox::around(Point::new(2000.0, 2000.0), 200.0);
 
     group.bench_function("range_indexed", |b| {
-        b.iter(|| black_box(&index).range(black_box(region), black_box(window)).len())
+        b.iter(|| {
+            black_box(&index)
+                .range(black_box(region), black_box(window))
+                .len()
+        })
     });
     group.bench_function("range_flat_scan", |b| {
-        b.iter(|| black_box(&flat).range(black_box(region), black_box(window)).len())
+        b.iter(|| {
+            black_box(&flat)
+                .range(black_box(region), black_box(window))
+                .len()
+        })
     });
     for k in [1usize, 16, 128] {
         group.bench_with_input(BenchmarkId::new("knn_indexed", k), &k, |b, &k| {
@@ -115,7 +125,9 @@ fn bench_partition(c: &mut Criterion) {
         let region = BBox::around(Point::new(4000.0, 4000.0), 1500.0);
         b.iter(|| map.workers_for_region(black_box(region)).len())
     });
-    let loads: Vec<u64> = (0..map.grid().cell_count()).map(|i| (i % 97) * 13).collect();
+    let loads: Vec<u64> = (0..map.grid().cell_count())
+        .map(|i| (i % 97) * 13)
+        .collect();
     group.bench_function("build_load_aware_16w", |b| {
         b.iter(|| {
             PartitionMap::build(

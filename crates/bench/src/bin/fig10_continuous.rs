@@ -16,10 +16,11 @@ use std::time::Duration as StdDuration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use stcam::{Cluster, ClusterConfig, Predicate};
-use stcam_bench::{fmt_count, square_extent, synthetic_stream, Table};
+use stcam::Predicate;
+use stcam_bench::{
+    fmt_count, ingest_chunked, lan_config, launch, square_extent, synthetic_stream, Table,
+};
 use stcam_geo::{BBox, Point};
-use stcam_net::LinkModel;
 
 const EXTENT_M: f64 = 8_000.0;
 const WORKERS: usize = 8;
@@ -43,18 +44,10 @@ fn main() {
     ]);
 
     for count in [0usize, 10, 100, 1_000, 5_000] {
-        let cluster = Cluster::launch(
-            ClusterConfig::new(extent, WORKERS)
-                .with_replication(0)
-                .with_link(LinkModel::lan()),
-        )
-        .expect("launch");
+        let cluster = launch(lan_config(extent, WORKERS, 0));
         let mut rng = StdRng::seed_from_u64(count as u64 + 1);
         for _ in 0..count {
-            let center = Point::new(
-                rng.gen_range(0.0..EXTENT_M),
-                rng.gen_range(0.0..EXTENT_M),
-            );
+            let center = Point::new(rng.gen_range(0.0..EXTENT_M), rng.gen_range(0.0..EXTENT_M));
             cluster
                 .register_continuous(Predicate {
                     region: BBox::around(center, FENCE_RADIUS),
@@ -66,7 +59,11 @@ fn main() {
         // workers whose shard overlaps the fence.
         let per_worker: f64 = {
             let stats = cluster.stats().expect("stats");
-            stats.workers.iter().map(|(_, s)| s.continuous_queries as f64).sum::<f64>()
+            stats
+                .workers
+                .iter()
+                .map(|(_, s)| s.continuous_queries as f64)
+                .sum::<f64>()
                 / stats.workers.len() as f64
         };
 
@@ -77,14 +74,14 @@ fn main() {
             .iter()
             .map(|(_, s)| s.busy_micros)
             .sum();
-        for chunk in stream.chunks(500) {
-            cluster.ingest(chunk.to_vec()).expect("ingest");
-        }
-        cluster.flush().expect("flush");
+        ingest_chunked(&cluster, &stream, 500);
         let stats = cluster.stats().expect("stats");
         let busy_after: u64 = stats.workers.iter().map(|(_, s)| s.busy_micros).sum();
-        let notifications_sent: u64 =
-            stats.workers.iter().map(|(_, s)| s.notifications_sent).sum();
+        let notifications_sent: u64 = stats
+            .workers
+            .iter()
+            .map(|(_, s)| s.notifications_sent)
+            .sum();
         let matches: usize = cluster
             .poll_notifications(StdDuration::from_millis(500))
             .iter()
@@ -92,7 +89,10 @@ fn main() {
             .sum();
         table.row(&[
             count.to_string(),
-            format!("{:.2}", (busy_after - busy_before) as f64 / STREAM_LEN as f64),
+            format!(
+                "{:.2}",
+                (busy_after - busy_before) as f64 / STREAM_LEN as f64
+            ),
             notifications_sent.to_string(),
             fmt_count(matches as f64),
             format!("{per_worker:.1}"),

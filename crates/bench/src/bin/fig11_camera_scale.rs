@@ -13,9 +13,9 @@
 //! cargo run -p stcam-bench --release --bin fig11_camera_scale
 //! ```
 
-use stcam::{Cluster, ClusterConfig};
-use stcam_bench::{city_stream, fmt_count, square_extent, Table};
-use stcam_net::LinkModel;
+use stcam_bench::{
+    city_stream, fmt_count, lan_config, launch, max_shard_busy_secs, square_extent, Table,
+};
 
 const WORKERS: usize = 8;
 const SECONDS: u64 = 20;
@@ -44,12 +44,7 @@ fn main() {
         let n = stream.observations.len();
         let generated_rate = n as f64 / SECONDS as f64;
 
-        let cluster = Cluster::launch(
-            ClusterConfig::new(square_extent(extent_m), WORKERS)
-                .with_replication(1)
-                .with_link(LinkModel::lan()),
-        )
-        .expect("launch");
+        let cluster = launch(lan_config(square_extent(extent_m), WORKERS, 1));
         let ingestor = cluster.create_ingestor();
         for chunk in stream.observations.chunks(1000) {
             ingestor.ingest(chunk.to_vec()).expect("ingest");
@@ -57,13 +52,7 @@ fn main() {
         ingestor.flush().expect("flush");
         let stats = cluster.stats().expect("stats");
         assert_eq!(stats.total_primary() as usize, n, "observations lost");
-        let max_busy_s = stats
-            .workers
-            .iter()
-            .map(|(_, s)| s.busy_micros)
-            .max()
-            .unwrap_or(0) as f64
-            / 1e6;
+        let max_busy_s = max_shard_busy_secs(&stats);
         let sustained_rate = n as f64 / max_busy_s.max(1e-9);
         table.row(&[
             cameras.to_string(),
@@ -76,7 +65,5 @@ fn main() {
         cluster.shutdown();
     }
     table.print();
-    println!(
-        "\n(headroom = sustained ÷ generated; the cluster saturates where it crosses 1x)"
-    );
+    println!("\n(headroom = sustained ÷ generated; the cluster saturates where it crosses 1x)");
 }

@@ -12,10 +12,11 @@
 //! cargo run -p stcam-bench --release --bin fig12_rebalance
 //! ```
 
-use stcam::{Cluster, ClusterConfig};
-use stcam_bench::{fmt_count, skewed_stream, square_extent, synthetic_stream, Table};
+use stcam_bench::{
+    fmt_count, ingest_chunked, lan_config, launch, skewed_stream, square_extent, synthetic_stream,
+    window_secs, Table,
+};
 use stcam_geo::Point;
-use stcam_net::LinkModel;
 
 const EXTENT_M: f64 = 8_000.0;
 const WORKERS: usize = 8;
@@ -31,28 +32,33 @@ fn main() {
         ("uniform", synthetic_stream(EPOCH_LEN, extent, 600, 71)),
         (
             "hotspot SW",
-            skewed_stream(EPOCH_LEN, extent, 600, 72, Point::new(1500.0, 1500.0), 400.0, 0.7),
+            skewed_stream(
+                EPOCH_LEN,
+                extent,
+                600,
+                72,
+                Point::new(1500.0, 1500.0),
+                400.0,
+                0.7,
+            ),
         ),
         (
             "hotspot NE",
-            skewed_stream(EPOCH_LEN, extent, 600, 73, Point::new(6500.0, 6500.0), 400.0, 0.7),
+            skewed_stream(
+                EPOCH_LEN,
+                extent,
+                600,
+                73,
+                Point::new(6500.0, 6500.0),
+                400.0,
+                0.7,
+            ),
         ),
     ];
 
     // Static cluster (never rebalances) for the ablation column.
-    let static_cluster = Cluster::launch(
-        ClusterConfig::new(extent, WORKERS)
-            .with_replication(0)
-            .with_link(LinkModel::lan()),
-    )
-    .expect("launch");
-    let adaptive = Cluster::launch(
-        ClusterConfig::new(extent, WORKERS)
-            .with_replication(0)
-            .with_macro_cell_size(EXTENT_M / 32.0)
-            .with_link(LinkModel::lan()),
-    )
-    .expect("launch");
+    let static_cluster = launch(lan_config(extent, WORKERS, 0));
+    let adaptive = launch(lan_config(extent, WORKERS, 0).with_macro_cell_size(EXTENT_M / 32.0));
 
     let mut table = Table::new(&[
         "epoch",
@@ -66,10 +72,7 @@ fn main() {
 
     for (label, stream) in &epochs {
         for cluster in [&static_cluster, &adaptive] {
-            for chunk in stream.chunks(2000) {
-                cluster.ingest(chunk.to_vec()).expect("ingest");
-            }
-            cluster.flush().expect("flush");
+            ingest_chunked(cluster, stream, 2000);
         }
         let static_imbalance = static_cluster.stats().expect("stats").imbalance();
         let traffic_before = adaptive.fabric_stats().total_bytes;
@@ -88,11 +91,10 @@ fn main() {
     }
     table.print();
     // Sanity: nothing lost across three epochs of migration.
-    let window = stcam_geo::TimeInterval::new(
-        stcam_geo::Timestamp::ZERO,
-        stcam_geo::Timestamp::from_secs(10_000),
-    );
-    let held = adaptive.range_query(extent, window).expect("audit").len();
+    let held = adaptive
+        .range_query(extent, window_secs(10_000))
+        .expect("audit")
+        .len();
     println!(
         "\naudit: adaptive cluster holds {held} of {} ingested observations",
         3 * EPOCH_LEN

@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use stcam_bench::{square_extent, synthetic_stream, timed, Table};
+use stcam_bench::{square_extent, synthetic_stream, timed, window_secs, Table};
 use stcam_geo::{BBox, Duration, Point, TimeInterval, Timestamp};
 use stcam_index::{IndexConfig, StIndex};
 
@@ -48,7 +48,7 @@ fn main() {
             let points: Vec<Point> = (0..QUERIES)
                 .map(|_| Point::new(rng.gen_range(0.0..EXTENT_M), rng.gen_range(0.0..EXTENT_M)))
                 .collect();
-            let full_window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(600));
+            let full_window = window_secs(600);
 
             let (_, range_s) = timed(|| {
                 let mut total = 0usize;
@@ -63,10 +63,8 @@ fn main() {
                 let mut total = 0usize;
                 for (i, &p) in points.iter().enumerate() {
                     let t0 = (i as u64 * 17) % 570;
-                    let window = TimeInterval::new(
-                        Timestamp::from_secs(t0),
-                        Timestamp::from_secs(t0 + 30),
-                    );
+                    let window =
+                        TimeInterval::new(Timestamp::from_secs(t0), Timestamp::from_secs(t0 + 30));
                     total += index.range_count(BBox::around(p, 1000.0), window);
                 }
                 total

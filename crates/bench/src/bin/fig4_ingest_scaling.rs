@@ -20,11 +20,13 @@
 //! cargo run -p stcam-bench --release --bin fig4_ingest_scaling
 //! ```
 
-use stcam::{CentralizedStore, Cluster, ClusterConfig};
-use stcam_bench::{fmt_count, square_extent, synthetic_stream, timed, Table};
+use stcam::CentralizedStore;
+use stcam_bench::{
+    fmt_count, lan_config, launch, max_shard_busy_secs, square_extent, synthetic_stream, timed,
+    Table,
+};
 use stcam_geo::Duration;
 use stcam_index::IndexConfig;
-use stcam_net::LinkModel;
 
 const STREAM_LEN: usize = 400_000;
 const BATCH: usize = 500;
@@ -72,12 +74,7 @@ fn main() {
         .collect();
 
     for workers in [1usize, 2, 4, 8, 16] {
-        let cluster = Cluster::launch(
-            ClusterConfig::new(extent, workers)
-                .with_replication(0)
-                .with_link(LinkModel::lan()),
-        )
-        .expect("launch");
+        let cluster = launch(lan_config(extent, workers, 0));
         let ingestors: Vec<_> = (0..SOURCES).map(|_| cluster.create_ingestor()).collect();
         let (_, wall) = timed(|| {
             std::thread::scope(|scope| {
@@ -92,14 +89,12 @@ fn main() {
             });
         });
         let stats = cluster.stats().expect("stats");
-        assert_eq!(stats.total_primary(), STREAM_LEN as u64, "observations lost");
-        let max_busy = stats
-            .workers
-            .iter()
-            .map(|(_, s)| s.busy_micros)
-            .max()
-            .unwrap_or(0) as f64
-            / 1e6;
+        assert_eq!(
+            stats.total_primary(),
+            STREAM_LEN as u64,
+            "observations lost"
+        );
+        let max_busy = max_shard_busy_secs(&stats);
         let critical_rate = STREAM_LEN as f64 / max_busy.max(1e-9);
         table.row(&[
             "distributed".into(),

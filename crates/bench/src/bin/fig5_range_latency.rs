@@ -10,7 +10,10 @@
 //! is a machine) wins on large regions through parallel shard scans but
 //! pays a constant scatter/gather overhead on tiny ones. Cluster
 //! wall-clock on a low-core host additionally pays result
-//! serialization.
+//! serialization. The executor's own telemetry splits that wall time
+//! into scatter (fan-out + worker + wire) and merge (coordinator-side
+//! combine) — merge grows with hit count, scatter dominates tiny
+//! queries.
 //!
 //! ```text
 //! cargo run -p stcam-bench --release --bin fig5_range_latency
@@ -18,11 +21,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use stcam::{CentralizedStore, Cluster, ClusterConfig};
-use stcam_bench::{fmt_count, square_extent, synthetic_stream, LatencyStats, Table};
-use stcam_geo::{BBox, Duration, Point, TimeInterval, Timestamp};
+use stcam::CentralizedStore;
+use stcam_bench::{
+    fmt_count, ingest_chunked, lan_config, launch, op_stats, square_extent, synthetic_stream,
+    window_secs, LatencyStats, Table,
+};
+use stcam_geo::{BBox, Duration, Point};
 use stcam_index::IndexConfig;
-use stcam_net::LinkModel;
 
 const ARCHIVE: usize = 1_000_000;
 const EXTENT_M: f64 = 8_000.0;
@@ -36,32 +41,22 @@ fn main() {
         fmt_count(ARCHIVE as f64)
     );
 
-    let cluster = Cluster::launch(
-        ClusterConfig::new(extent, 8)
-            .with_replication(0)
-            .with_link(LinkModel::lan()),
-    )
-    .expect("launch");
-    for chunk in stream.chunks(2000) {
-        cluster.ingest(chunk.to_vec()).expect("ingest");
-    }
-    cluster.flush().expect("flush");
+    let cluster = launch(lan_config(extent, 8, 0));
+    ingest_chunked(&cluster, &stream, 2000);
 
-    let mut indexed = CentralizedStore::indexed(IndexConfig::new(
-        extent,
-        100.0,
-        Duration::from_secs(10),
-    ));
+    let mut indexed =
+        CentralizedStore::indexed(IndexConfig::new(extent, 100.0, Duration::from_secs(10)));
     indexed.ingest(stream.clone());
     let mut flat = CentralizedStore::flat();
     flat.ingest(stream);
 
-    let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(600));
+    let window = window_secs(600);
     let mut table = Table::new(&[
         "area %",
         "side m",
         "hits",
         "cluster wall ms (m/p50/p95)",
+        "scatter/merge ms",
         "cluster crit-path ms",
         "central-idx ms",
         "flat-scan ms",
@@ -90,6 +85,7 @@ fn main() {
             .map(|(_, s)| s.busy_micros)
             .max()
             .unwrap_or(0);
+        let exec_before = op_stats(&cluster, "range");
         for region in &regions {
             let t0 = std::time::Instant::now();
             hits += cluster.range_query(*region, window).expect("query").len();
@@ -111,16 +107,30 @@ fn main() {
             .map(|(_, s)| s.busy_micros)
             .max()
             .unwrap_or(0);
-        let crit_path_ms =
-            (busy_after - busy_before) as f64 / 1e3 / regions.len() as f64;
+        let crit_path_ms = (busy_after - busy_before) as f64 / 1e3 / regions.len() as f64;
+        // The executor's latency split over the same queries: scatter
+        // (fan-out through gather) vs merge (combining the partials).
+        let exec = op_stats(&cluster, "range").since(&exec_before);
+        let q = regions.len() as f64;
         table.row(&[
             format!("{area_pct}"),
             format!("{side:.0}"),
             fmt_count(hits as f64 / regions.len() as f64),
             LatencyStats::from_samples(&samples_cluster).render_ms(),
+            format!(
+                "{:.2}/{:.2}",
+                exec.scatter_micros as f64 / 1e3 / q,
+                exec.merge_micros as f64 / 1e3 / q
+            ),
             format!("{crit_path_ms:.2}"),
-            format!("{:.2}", LatencyStats::from_samples(&samples_indexed).mean * 1e3),
-            format!("{:.2}", LatencyStats::from_samples(&samples_flat).mean * 1e3),
+            format!(
+                "{:.2}",
+                LatencyStats::from_samples(&samples_indexed).mean * 1e3
+            ),
+            format!(
+                "{:.2}",
+                LatencyStats::from_samples(&samples_flat).mean * 1e3
+            ),
         ]);
     }
     table.print();

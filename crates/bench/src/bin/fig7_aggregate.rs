@@ -10,10 +10,11 @@
 //! cargo run -p stcam-bench --release --bin fig7_aggregate
 //! ```
 
-use stcam::{Cluster, ClusterConfig};
-use stcam_bench::{fmt_count, square_extent, synthetic_stream, timed, Table};
-use stcam_geo::{GridSpec, TimeInterval, Timestamp};
-use stcam_net::LinkModel;
+use stcam_bench::{
+    fmt_count, ingest_chunked, lan_config, launch, square_extent, synthetic_stream, timed,
+    window_secs, Table,
+};
+use stcam_geo::GridSpec;
 
 const EXTENT_M: f64 = 8_000.0;
 const WORKERS: usize = 8;
@@ -21,9 +22,11 @@ const REPEATS: usize = 10;
 
 fn main() {
     let extent = square_extent(EXTENT_M);
-    println!("Figure 7: heat-map aggregation, partial vs ship-all ({WORKERS} workers, 64×64 buckets)\n");
+    println!(
+        "Figure 7: heat-map aggregation, partial vs ship-all ({WORKERS} workers, 64×64 buckets)\n"
+    );
     let buckets = GridSpec::covering(extent, EXTENT_M / 64.0);
-    let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(600));
+    let window = window_secs(600);
     let mut table = Table::new(&[
         "archive",
         "partial ms",
@@ -34,17 +37,9 @@ fn main() {
     ]);
 
     for archive in [100_000usize, 400_000, 1_600_000] {
-        let cluster = Cluster::launch(
-            ClusterConfig::new(extent, WORKERS)
-                .with_replication(0)
-                .with_link(LinkModel::lan()),
-        )
-        .expect("launch");
+        let cluster = launch(lan_config(extent, WORKERS, 0));
         let stream = synthetic_stream(archive, extent, 600, 17);
-        for chunk in stream.chunks(2000) {
-            cluster.ingest(chunk.to_vec()).expect("ingest");
-        }
-        cluster.flush().expect("flush");
+        ingest_chunked(&cluster, &stream, 2000);
 
         let before = cluster.fabric_stats();
         let (partial_result, partial_s) = timed(|| {

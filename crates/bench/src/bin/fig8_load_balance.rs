@@ -12,10 +12,9 @@
 //! cargo run -p stcam-bench --release --bin fig8_load_balance
 //! ```
 
-use stcam::{Cluster, ClusterConfig, PartitionPolicy};
-use stcam_bench::{skewed_stream, square_extent, Table};
+use stcam::PartitionPolicy;
+use stcam_bench::{ingest_chunked, lan_config, launch, skewed_stream, square_extent, Table};
 use stcam_geo::Point;
-use stcam_net::LinkModel;
 
 const EXTENT_M: f64 = 8_000.0;
 const WORKERS: usize = 8;
@@ -41,11 +40,9 @@ fn main() {
         let profile_len = STREAM_LEN / 10;
         let mut imbalances = Vec::new();
         for policy in [PartitionPolicy::UniformHash, PartitionPolicy::LoadAware] {
-            let mut config = ClusterConfig::new(extent, WORKERS)
-                .with_replication(0)
+            let mut config = lan_config(extent, WORKERS, 0)
                 .with_partition_policy(policy)
-                .with_macro_cell_size(EXTENT_M / 32.0)
-                .with_link(LinkModel::lan());
+                .with_macro_cell_size(EXTENT_M / 32.0);
             if policy == PartitionPolicy::LoadAware {
                 let grid = config.macro_grid();
                 let mut loads = vec![0u64; grid.cell_count() as usize];
@@ -55,11 +52,8 @@ fn main() {
                 }
                 config = config.with_load_profile(loads);
             }
-            let cluster = Cluster::launch(config).expect("launch");
-            for chunk in stream.chunks(2000) {
-                cluster.ingest(chunk.to_vec()).expect("ingest");
-            }
-            cluster.flush().expect("flush");
+            let cluster = launch(config);
+            ingest_chunked(&cluster, &stream, 2000);
             let stats = cluster.stats().expect("stats");
             assert_eq!(stats.total_primary() as usize, STREAM_LEN);
             imbalances.push(stats.imbalance());

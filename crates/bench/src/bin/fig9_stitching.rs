@@ -20,7 +20,9 @@ use stcam_camnet::TransitionModel;
 use stcam_geo::Duration;
 
 fn main() {
-    println!("Figure 9: stitching accuracy vs signature noise (400 entities, 120 s, 200 cameras)\n");
+    println!(
+        "Figure 9: stitching accuracy vs signature noise (400 entities, 120 s, 200 cameras)\n"
+    );
     let mut table = Table::new(&[
         "σ",
         "tracklets",
@@ -87,5 +89,9 @@ fn rebuild_with_sigma(sigma: f32) -> stcam_bench::CityStream {
         world.step(Duration::from_millis(500));
     }
     let network = CameraNetwork::deploy_on_roads(world.roads(), 200, 32);
-    stcam_bench::CityStream { observations, world, network }
+    stcam_bench::CityStream {
+        observations,
+        world,
+        network,
+    }
 }

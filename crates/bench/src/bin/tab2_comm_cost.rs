@@ -1,7 +1,10 @@
 //! Table 2 — communication cost per operation type.
 //!
-//! Exact wire accounting (every byte crosses the instrumented fabric) for
-//! each operation class, on a fixed 8-worker archive.
+//! Exact wire accounting for each operation class, on a fixed 8-worker
+//! archive, from two independent meters that must agree in shape: the
+//! instrumented fabric (every byte that crosses it) and the executor's
+//! per-operation telemetry, which additionally splits query traffic into
+//! request bytes up and result bytes down.
 //!
 //! ```text
 //! cargo run -p stcam-bench --release --bin tab2_comm_cost
@@ -9,15 +12,26 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use stcam::{Cluster, ClusterConfig, Predicate};
-use stcam_bench::{fmt_count, square_extent, synthetic_stream, Table};
-use stcam_geo::{BBox, GridSpec, Point, TimeInterval, Timestamp};
-use stcam_net::{FabricStats, LinkModel};
+use stcam::{Cluster, Predicate};
+use stcam_bench::{
+    fmt_count, lan_config, launch, op_stats, square_extent, synthetic_stream, window_secs, Table,
+};
+use stcam_geo::{BBox, GridSpec, Point};
+use stcam_net::FabricStats;
 
 const EXTENT_M: f64 = 8_000.0;
 const WORKERS: usize = 8;
 const ARCHIVE: usize = 200_000;
 const OPS: usize = 50;
+
+/// One measured operation class: fabric msgs/KB per op, and (for
+/// executor-mediated operations) request/result KB per op.
+struct Row {
+    label: String,
+    msgs: f64,
+    kb: f64,
+    exec_up_down: Option<(f64, f64)>,
+}
 
 fn main() {
     let extent = square_extent(EXTENT_M);
@@ -26,95 +40,178 @@ fn main() {
         fmt_count(ARCHIVE as f64)
     );
 
-    let run = |replication: usize| -> Vec<(String, f64, f64)> {
-        let cluster = Cluster::launch(
-            ClusterConfig::new(extent, WORKERS)
-                .with_replication(replication)
-                .with_link(LinkModel::lan()),
-        )
-        .expect("launch");
+    let run = |replication: usize| -> Vec<Row> {
+        let cluster = launch(lan_config(extent, WORKERS, replication));
         let stream = synthetic_stream(ARCHIVE, extent, 600, 47);
         let mut rows = Vec::new();
         let mut mark = cluster.fabric_stats();
-        let mut measure = |label: &str, cluster: &Cluster, ops: usize, f: &mut dyn FnMut()| {
-            f();
-            let now = cluster.fabric_stats();
-            let delta: FabricStats = now.since(&mark);
-            mark = now;
-            rows.push((
-                label.to_string(),
-                delta.total_msgs as f64 / ops as f64,
-                delta.total_bytes as f64 / 1024.0 / ops as f64,
-            ));
-        };
+        let mut measure =
+            |label: &str, cluster: &Cluster, exec_ops: &[&str], ops: usize, f: &mut dyn FnMut()| {
+                let exec_before: Vec<_> = exec_ops
+                    .iter()
+                    .map(|name| op_stats(cluster, name))
+                    .collect();
+                f();
+                let now = cluster.fabric_stats();
+                let delta: FabricStats = now.since(&mark);
+                mark = now;
+                let exec_up_down = (!exec_ops.is_empty()).then(|| {
+                    let (mut up, mut down) = (0u64, 0u64);
+                    for (name, before) in exec_ops.iter().zip(&exec_before) {
+                        let d = op_stats(cluster, name).since(before);
+                        up += d.bytes_sent;
+                        down += d.bytes_received;
+                    }
+                    (
+                        up as f64 / 1024.0 / ops as f64,
+                        down as f64 / 1024.0 / ops as f64,
+                    )
+                });
+                rows.push(Row {
+                    label: label.to_string(),
+                    msgs: delta.total_msgs as f64 / ops as f64,
+                    kb: delta.total_bytes as f64 / 1024.0 / ops as f64,
+                    exec_up_down,
+                });
+            };
 
-        measure("ingest (batch of 500)", &cluster, ARCHIVE / 500, &mut || {
-            for chunk in stream.chunks(500) {
-                cluster.ingest(chunk.to_vec()).expect("ingest");
-            }
-            cluster.flush().expect("flush");
-        });
+        // Ingest routes directly through the endpoint (not the executor),
+        // so it has fabric accounting only.
+        measure(
+            "ingest (batch of 500)",
+            &cluster,
+            &[],
+            ARCHIVE / 500,
+            &mut || {
+                for chunk in stream.chunks(500) {
+                    cluster.ingest(chunk.to_vec()).expect("ingest");
+                }
+                cluster.flush().expect("flush");
+            },
+        );
 
-        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(600));
+        let window = window_secs(600);
         let mut rng = StdRng::seed_from_u64(3);
         let mut points: Vec<Point> = Vec::new();
         for _ in 0..OPS {
-            points.push(Point::new(rng.gen_range(0.0..EXTENT_M), rng.gen_range(0.0..EXTENT_M)));
+            points.push(Point::new(
+                rng.gen_range(0.0..EXTENT_M),
+                rng.gen_range(0.0..EXTENT_M),
+            ));
         }
-        measure("range 500 m", &cluster, OPS, &mut || {
+        measure("range 500 m", &cluster, &["range"], OPS, &mut || {
             for &p in &points {
                 cluster
                     .range_query(BBox::around(p, 500.0), window)
                     .expect("range");
             }
         });
-        measure("kNN k=16 (pruned)", &cluster, OPS, &mut || {
-            for &p in &points {
-                cluster.knn_query(p, window, 16).expect("knn");
-            }
-        });
-        measure("kNN k=16 (broadcast)", &cluster, OPS, &mut || {
-            for &p in &points {
-                cluster.knn_broadcast(p, window, 16).expect("knn");
-            }
-        });
+        measure(
+            "kNN k=16 (pruned)",
+            &cluster,
+            &["knn_phase1", "knn_phase2"],
+            OPS,
+            &mut || {
+                for &p in &points {
+                    cluster.knn_query(p, window, 16).expect("knn");
+                }
+            },
+        );
+        measure(
+            "kNN k=16 (broadcast)",
+            &cluster,
+            &["knn_broadcast"],
+            OPS,
+            &mut || {
+                for &p in &points {
+                    cluster.knn_broadcast(p, window, 16).expect("knn");
+                }
+            },
+        );
         let buckets = GridSpec::covering(extent, EXTENT_M / 64.0);
-        measure("heatmap 64×64 (partial)", &cluster, OPS, &mut || {
-            for _ in 0..OPS {
-                cluster.heatmap(&buckets, window).expect("heatmap");
-            }
-        });
-        measure("heatmap 64×64 (ship-all)", &cluster, OPS, &mut || {
-            for _ in 0..OPS {
-                cluster.heatmap_ship_all(&buckets, window).expect("heatmap");
-            }
-        });
-        measure("register continuous", &cluster, OPS, &mut || {
-            for &p in &points {
-                cluster
-                    .register_continuous(Predicate {
-                        region: BBox::around(p, 250.0),
-                        class: None,
-                    })
-                    .expect("register");
-            }
-        });
+        measure(
+            "heatmap 64×64 (partial)",
+            &cluster,
+            &["heatmap"],
+            OPS,
+            &mut || {
+                for _ in 0..OPS {
+                    cluster.heatmap(&buckets, window).expect("heatmap");
+                }
+            },
+        );
+        // Ship-all is a plain range query plus coordinator-side
+        // bucketing, so its executor traffic books under "range".
+        measure(
+            "heatmap 64×64 (ship-all)",
+            &cluster,
+            &["range"],
+            OPS,
+            &mut || {
+                for _ in 0..OPS {
+                    cluster.heatmap_ship_all(&buckets, window).expect("heatmap");
+                }
+            },
+        );
+        measure(
+            "top-cells 64×64 k=16",
+            &cluster,
+            &["top_cells"],
+            OPS,
+            &mut || {
+                for _ in 0..OPS {
+                    cluster.top_cells(&buckets, window, 16).expect("top_cells");
+                }
+            },
+        );
+        measure(
+            "register continuous",
+            &cluster,
+            &["register_continuous"],
+            OPS,
+            &mut || {
+                for &p in &points {
+                    cluster
+                        .register_continuous(Predicate {
+                            region: BBox::around(p, 250.0),
+                            class: None,
+                        })
+                        .expect("register");
+                }
+            },
+        );
         cluster.shutdown();
         rows
     };
 
     let r0 = run(0);
     let r2 = run(2);
-    let mut table = Table::new(&["operation", "msgs (r=0)", "KB (r=0)", "msgs (r=2)", "KB (r=2)"]);
+    let mut table = Table::new(&[
+        "operation",
+        "msgs (r=0)",
+        "KB (r=0)",
+        "KB up/down (r=0)",
+        "msgs (r=2)",
+        "KB (r=2)",
+    ]);
+    let up_down = |row: &Row| match row.exec_up_down {
+        Some((up, down)) => format!("{up:.1}/{down:.1}"),
+        None => "—".to_string(),
+    };
     for (a, b) in r0.iter().zip(&r2) {
         table.row(&[
-            a.0.clone(),
-            format!("{:.1}", a.1),
-            format!("{:.1}", a.2),
-            format!("{:.1}", b.1),
-            format!("{:.1}", b.2),
+            a.label.clone(),
+            format!("{:.1}", a.msgs),
+            format!("{:.1}", a.kb),
+            up_down(a),
+            format!("{:.1}", b.msgs),
+            format!("{:.1}", b.kb),
         ]);
     }
     table.print();
-    println!("\n(r = replication factor; replication multiplies ingest traffic only)");
+    println!(
+        "\n(r = replication factor; replication multiplies ingest traffic only.\n\
+         KB up/down is the executor's request/result split — fabric totals also\n\
+         include ingest routing and replica forwarding, hence ship-all KB > up+down)"
+    );
 }

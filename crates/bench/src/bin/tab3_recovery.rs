@@ -7,16 +7,19 @@
 //! loses the whole dead shard (~1/N of the data); r = 1 survives one
 //! failure losing at most in-flight replication traffic; r = 2 survives
 //! two adjacent failures. Recovery time is dominated by replica-log
-//! promotion, proportional to the dead shard's size.
+//! promotion, proportional to the dead shard's size. Failure detection
+//! itself is visible in the executor's telemetry: each dead worker shows
+//! up as exactly one failed (deliberately non-retried) probe.
 //!
 //! ```text
 //! cargo run -p stcam-bench --release --bin tab3_recovery
 //! ```
 
-use stcam::{Cluster, ClusterConfig};
-use stcam_bench::{fmt_count, square_extent, synthetic_stream, timed, Table};
-use stcam_geo::{TimeInterval, Timestamp};
-use stcam_net::{LinkModel, NodeId};
+use stcam_bench::{
+    fmt_count, ingest_chunked, lan_config, launch, op_stats, square_extent, synthetic_stream,
+    timed, window_secs, Table,
+};
+use stcam_net::NodeId;
 
 const EXTENT_M: f64 = 8_000.0;
 const WORKERS: usize = 8;
@@ -31,6 +34,7 @@ fn main() {
     let mut table = Table::new(&[
         "r",
         "failures",
+        "probe fails",
         "survivors hold",
         "lost",
         "loss %",
@@ -43,38 +47,36 @@ fn main() {
 
     for replication in [0usize, 1, 2] {
         for victims in [vec![NodeId(3)], vec![NodeId(3), NodeId(4)]] {
-            let cluster = Cluster::launch(
-                ClusterConfig::new(extent, WORKERS)
-                    .with_replication(replication)
-                    .with_link(LinkModel::lan()),
-            )
-            .expect("launch");
+            let cluster = launch(lan_config(extent, WORKERS, replication));
             let stream = synthetic_stream(STREAM_LEN, extent, 600, 53);
-            for chunk in stream.chunks(1000) {
-                cluster.ingest(chunk.to_vec()).expect("ingest");
-            }
-            cluster.flush().expect("flush");
+            ingest_chunked(&cluster, &stream, 1000);
 
             for &victim in &victims {
                 cluster.kill_worker(victim);
             }
             let (failed, recovery_s) = timed(|| cluster.check_and_recover());
             assert_eq!(failed.len(), victims.len(), "missed a failure");
+            // The executor books each dead worker as one failed probe
+            // sub-query; probes never retry, so the count is exact.
+            let probe_fails = op_stats(&cluster, "probe").failures;
 
-            let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(10_000));
             let held = cluster
-                .range_query(extent.inflated(100.0), window)
+                .range_query(extent.inflated(100.0), window_secs(10_000))
                 .expect("audit")
                 .len();
             let lost = STREAM_LEN.saturating_sub(held);
             let overhead = if replication == 0 {
                 "1.00x".to_string()
             } else {
-                format!("{:.2}x", ingest_bytes(extent, replication) / base_ingest_bytes)
+                format!(
+                    "{:.2}x",
+                    ingest_bytes(extent, replication) / base_ingest_bytes
+                )
             };
             table.row(&[
                 replication.to_string(),
                 victims.len().to_string(),
+                probe_fails.to_string(),
                 fmt_count(held as f64),
                 lost.to_string(),
                 format!("{:.3}%", lost as f64 * 100.0 / STREAM_LEN as f64),
@@ -94,17 +96,9 @@ fn main() {
 /// Total fabric bytes to ingest a small reference stream at the given
 /// replication factor.
 fn ingest_bytes(extent: stcam_geo::BBox, replication: usize) -> f64 {
-    let cluster = Cluster::launch(
-        ClusterConfig::new(extent, WORKERS)
-            .with_replication(replication)
-            .with_link(LinkModel::lan()),
-    )
-    .expect("launch");
+    let cluster = launch(lan_config(extent, WORKERS, replication));
     let stream = synthetic_stream(20_000, extent, 600, 59);
-    for chunk in stream.chunks(1000) {
-        cluster.ingest(chunk.to_vec()).expect("ingest");
-    }
-    cluster.flush().expect("flush");
+    ingest_chunked(&cluster, &stream, 1000);
     let bytes = cluster.fabric_stats().total_bytes as f64;
     cluster.shutdown();
     bytes

@@ -42,7 +42,14 @@ impl Camera {
     /// [`Polygon::sector`]).
     pub fn new(id: CameraId, position: Point, heading: f64, fov: f64, range: f64) -> Self {
         let coverage = Polygon::sector(position, heading, fov, range, Self::ARC_SEGMENTS);
-        Camera { id, position, heading, fov, range, coverage }
+        Camera {
+            id,
+            position,
+            heading,
+            fov,
+            range,
+            coverage,
+        }
     }
 
     /// This camera's id.

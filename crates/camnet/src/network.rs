@@ -34,7 +34,10 @@ impl CameraNetwork {
     ///
     /// Panics if `cameras` is empty or contains duplicate ids.
     pub fn new(cameras: Vec<Camera>, adjacency_radius: f64) -> Self {
-        assert!(!cameras.is_empty(), "a camera network needs at least one camera");
+        assert!(
+            !cameras.is_empty(),
+            "a camera network needs at least one camera"
+        );
         let mut by_id = HashMap::with_capacity(cameras.len());
         for (idx, cam) in cameras.iter().enumerate() {
             assert!(
@@ -48,8 +51,7 @@ impl CameraNetwork {
         let extent = cameras
             .iter()
             .fold(BBox::EMPTY, |b, c| b.union(&c.coverage_bbox()));
-        let mean_range =
-            cameras.iter().map(Camera::range).sum::<f64>() / cameras.len() as f64;
+        let mean_range = cameras.iter().map(Camera::range).sum::<f64>() / cameras.len() as f64;
         let grid = GridSpec::covering(extent.inflated(1.0), mean_range.max(1.0));
         let mut buckets = vec![Vec::new(); grid.cell_count() as usize];
         for (idx, cam) in cameras.iter().enumerate() {
@@ -76,7 +78,13 @@ impl CameraNetwork {
                 }
             }
         }
-        CameraNetwork { cameras, by_id, grid, buckets, adjacency }
+        CameraNetwork {
+            cameras,
+            by_id,
+            grid,
+            buckets,
+            adjacency,
+        }
     }
 
     /// Deploys `n` cameras at distinct random intersections of `roads`,
@@ -125,7 +133,10 @@ impl CameraNetwork {
     {
         assert!(n > 0, "need at least one camera");
         let total = roads.intersection_count() as usize;
-        assert!(n <= total, "more cameras ({n}) than intersections ({total})");
+        assert!(
+            n <= total,
+            "more cameras ({n}) than intersections ({total})"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         // Weighted sampling without replacement over intersections.
         let mut candidates: Vec<(u32, u32, f64)> = (0..roads.cols())
@@ -221,10 +232,7 @@ impl CameraNetwork {
 
     /// The cameras adjacent to `id` in the hand-off graph.
     pub fn adjacent(&self, id: CameraId) -> &[CameraId] {
-        self.adjacency
-            .get(&id)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.adjacency.get(&id).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Fraction of probe points (on a uniform grid over the extent)
@@ -307,7 +315,12 @@ impl TransitionModel {
 
     /// The plausible transit window `(min, max)` for `class` between the
     /// pair, or `None` when the cameras are not adjacent.
-    pub fn window(&self, a: CameraId, b: CameraId, class: EntityClass) -> Option<(Duration, Duration)> {
+    pub fn window(
+        &self,
+        a: CameraId,
+        b: CameraId,
+        class: EntityClass,
+    ) -> Option<(Duration, Duration)> {
         let d = self.distance(a, b)?;
         let (v_lo, _v_hi) = class.speed_range();
         let max = Duration::from_millis((d / v_lo * 2.0 * 1000.0) as u64) + Duration::from_secs(5);
@@ -330,7 +343,10 @@ mod tests {
     use stcam_geo::BBox;
 
     fn roads() -> RoadNetwork {
-        RoadNetwork::grid(BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)), 200.0)
+        RoadNetwork::grid(
+            BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)),
+            200.0,
+        )
     }
 
     #[test]
@@ -375,9 +391,7 @@ mod tests {
         for cam in net.cameras() {
             for &other in net.adjacent(cam.id()) {
                 assert!(net.adjacent(other).contains(&cam.id()), "asymmetric edge");
-                let d = cam
-                    .position()
-                    .distance(net.get(other).unwrap().position());
+                let d = cam.position().distance(net.get(other).unwrap().position());
                 assert!(d <= 500.0 + 1e-9, "edge of length {d}");
             }
         }
@@ -419,7 +433,10 @@ mod tests {
         let r = roads();
         let net = CameraNetwork::deploy_on_roads(&r, 80, 7);
         let model = TransitionModel::from_network(&net, &r);
-        assert!(model.pair_count() > 0, "no adjacent pairs in a dense deployment");
+        assert!(
+            model.pair_count() > 0,
+            "no adjacent pairs in a dense deployment"
+        );
         let (&(a, b), &d) = model.distances.iter().next().unwrap();
         assert!(d > 0.0);
         let (car_min, car_max) = model.window(a, b, EntityClass::Car).unwrap();

@@ -64,7 +64,15 @@ impl Wire for Observation {
         })?;
         let signature = Signature::decode(buf)?;
         let truth = Option::<u64>::decode(buf)?.map(EntityId);
-        Ok(Observation { id, camera, time, position, class, signature, truth })
+        Ok(Observation {
+            id,
+            camera,
+            time,
+            position,
+            class,
+            signature,
+            truth,
+        })
     }
 }
 

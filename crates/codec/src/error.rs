@@ -77,12 +77,20 @@ mod tests {
         let errs = [
             DecodeError::UnexpectedEnd { context: "u64" },
             DecodeError::VarintOverflow,
-            DecodeError::LengthOverflow { declared: 10, max: 5 },
+            DecodeError::LengthOverflow {
+                declared: 10,
+                max: 5,
+            },
             DecodeError::InvalidUtf8,
-            DecodeError::InvalidDiscriminant { type_name: "Foo", value: 9 },
+            DecodeError::InvalidDiscriminant {
+                type_name: "Foo",
+                value: 9,
+            },
             DecodeError::ChecksumMismatch,
             DecodeError::BadMagic,
-            DecodeError::InvalidValue { reason: "reversed interval" },
+            DecodeError::InvalidValue {
+                reason: "reversed interval",
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -65,7 +65,11 @@ mod once_table {
                     let mut crc = i as u32;
                     let mut bit = 0;
                     while bit < 8 {
-                        crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+                        crc = if crc & 1 != 0 {
+                            (crc >> 1) ^ 0xEDB8_8320
+                        } else {
+                            crc >> 1
+                        };
                         bit += 1;
                     }
                     table[i] = crc;
@@ -83,7 +87,10 @@ mod once_table {
 ///
 /// Panics if `payload` exceeds [`MAX_FRAME_LEN`].
 pub fn write_frame(buf: &mut BytesMut, payload: &[u8]) {
-    assert!(payload.len() <= MAX_FRAME_LEN as usize, "payload exceeds MAX_FRAME_LEN");
+    assert!(
+        payload.len() <= MAX_FRAME_LEN as usize,
+        "payload exceeds MAX_FRAME_LEN"
+    );
     buf.reserve(HEADER_LEN + payload.len());
     buf.put_slice(&FRAME_MAGIC);
     buf.put_u32_le(payload.len() as u32);
@@ -113,7 +120,10 @@ pub fn read_frame(buf: &mut BytesMut) -> Result<Option<Vec<u8>>, DecodeError> {
     let len = header.get_u32_le();
     let crc = header.get_u32_le();
     if len > MAX_FRAME_LEN {
-        return Err(DecodeError::LengthOverflow { declared: len as u64, max: MAX_FRAME_LEN as u64 });
+        return Err(DecodeError::LengthOverflow {
+            declared: len as u64,
+            max: MAX_FRAME_LEN as u64,
+        });
     }
     let total = HEADER_LEN + len as usize;
     if buf.len() < total {
@@ -185,7 +195,10 @@ mod tests {
         buf.put_slice(&FRAME_MAGIC);
         buf.put_u32_le(u32::MAX);
         buf.put_u32_le(0);
-        assert!(matches!(read_frame(&mut buf), Err(DecodeError::LengthOverflow { .. })));
+        assert!(matches!(
+            read_frame(&mut buf),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
     }
 
     #[test]

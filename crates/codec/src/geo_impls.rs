@@ -28,7 +28,9 @@ impl Wire for GeoPoint {
         let lat = f64::decode(buf)?;
         let lon = f64::decode(buf)?;
         if !(-90.0..=90.0).contains(&lat) {
-            return Err(DecodeError::InvalidValue { reason: "latitude out of range" });
+            return Err(DecodeError::InvalidValue {
+                reason: "latitude out of range",
+            });
         }
         Ok(GeoPoint::new(lat, lon))
     }
@@ -81,7 +83,9 @@ impl Wire for TimeInterval {
         let start = Timestamp::decode(buf)?;
         let end = Timestamp::decode(buf)?;
         if start > end {
-            return Err(DecodeError::InvalidValue { reason: "time interval start after end" });
+            return Err(DecodeError::InvalidValue {
+                reason: "time interval start after end",
+            });
         }
         Ok(TimeInterval::new(start, end))
     }
@@ -105,7 +109,10 @@ mod tests {
         round_trip(CellId::new(17, 23));
         round_trip(Timestamp::from_millis(123_456));
         round_trip(Duration::from_secs(5));
-        round_trip(TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(2)));
+        round_trip(TimeInterval::new(
+            Timestamp::from_secs(1),
+            Timestamp::from_secs(2),
+        ));
     }
 
     #[test]

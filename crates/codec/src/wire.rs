@@ -56,7 +56,9 @@ pub fn decode_from_slice<T: Wire>(bytes: &[u8]) -> Result<T, DecodeError> {
     let mut slice = bytes;
     let value = T::decode(&mut slice)?;
     if !slice.is_empty() {
-        return Err(DecodeError::InvalidValue { reason: "trailing bytes after value" });
+        return Err(DecodeError::InvalidValue {
+            reason: "trailing bytes after value",
+        });
     }
     Ok(value)
 }
@@ -87,7 +89,10 @@ impl Wire for bool {
         match buf.get_u8() {
             0 => Ok(false),
             1 => Ok(true),
-            v => Err(DecodeError::InvalidDiscriminant { type_name: "bool", value: v as u64 }),
+            v => Err(DecodeError::InvalidDiscriminant {
+                type_name: "bool",
+                value: v as u64,
+            }),
         }
     }
 }
@@ -166,7 +171,10 @@ impl Wire for String {
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         let len = varint::read_u64(buf)?;
         if len > MAX_SEQ_LEN {
-            return Err(DecodeError::LengthOverflow { declared: len, max: MAX_SEQ_LEN });
+            return Err(DecodeError::LengthOverflow {
+                declared: len,
+                max: MAX_SEQ_LEN,
+            });
         }
         let len = len as usize;
         need(buf, len, "string bytes")?;
@@ -186,7 +194,10 @@ impl<T: Wire> Wire for Vec<T> {
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         let len = varint::read_u64(buf)?;
         if len > MAX_SEQ_LEN {
-            return Err(DecodeError::LengthOverflow { declared: len, max: MAX_SEQ_LEN });
+            return Err(DecodeError::LengthOverflow {
+                declared: len,
+                max: MAX_SEQ_LEN,
+            });
         }
         let mut out = Vec::with_capacity((len as usize).min(1024));
         for _ in 0..len {
@@ -211,7 +222,10 @@ impl<T: Wire> Wire for Option<T> {
         match buf.get_u8() {
             0 => Ok(None),
             1 => Ok(Some(T::decode(buf)?)),
-            v => Err(DecodeError::InvalidDiscriminant { type_name: "Option", value: v as u64 }),
+            v => Err(DecodeError::InvalidDiscriminant {
+                type_name: "Option",
+                value: v as u64,
+            }),
         }
     }
 }
@@ -246,8 +260,9 @@ impl<T: Wire, const N: usize> Wire for [T; N] {
         for _ in 0..N {
             out.push(T::decode(buf)?);
         }
-        out.try_into()
-            .map_err(|_| DecodeError::InvalidValue { reason: "array length mismatch" })
+        out.try_into().map_err(|_| DecodeError::InvalidValue {
+            reason: "array length mismatch",
+        })
     }
 }
 
@@ -364,7 +379,10 @@ mod tests {
         let mut bytes = Vec::new();
         varint::write_u64(&mut bytes, 2);
         bytes.extend_from_slice(&[0xFF, 0xFE]);
-        assert_eq!(decode_from_slice::<String>(&bytes), Err(DecodeError::InvalidUtf8));
+        assert_eq!(
+            decode_from_slice::<String>(&bytes),
+            Err(DecodeError::InvalidUtf8)
+        );
     }
 
     #[test]

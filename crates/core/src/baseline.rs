@@ -39,12 +39,16 @@ pub struct CentralizedStore {
 impl CentralizedStore {
     /// A centralized store backed by the time-sliced grid index.
     pub fn indexed(config: IndexConfig) -> Self {
-        CentralizedStore { backend: Backend::Indexed(StIndex::new(config)) }
+        CentralizedStore {
+            backend: Backend::Indexed(StIndex::new(config)),
+        }
     }
 
     /// A centralized store backed by a flat scan (naive baseline).
     pub fn flat() -> Self {
-        CentralizedStore { backend: Backend::Flat(FlatIndex::new()) }
+        CentralizedStore {
+            backend: Backend::Flat(FlatIndex::new()),
+        }
     }
 
     /// Stores a batch.
@@ -71,9 +75,7 @@ impl CentralizedStore {
     /// Spatio-temporal range query (sorted by id).
     pub fn range_query(&self, region: BBox, window: TimeInterval) -> Vec<Observation> {
         match &self.backend {
-            Backend::Indexed(index) => {
-                index.range(region, window).into_iter().cloned().collect()
-            }
+            Backend::Indexed(index) => index.range(region, window).into_iter().cloned().collect(),
             Backend::Flat(index) => index.range(region, window).into_iter().cloned().collect(),
         }
     }
@@ -138,13 +140,23 @@ mod tests {
         flat.ingest(batch);
         let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(60));
         let region = BBox::new(Point::new(100.0, 100.0), Point::new(700.0, 700.0));
-        assert_eq!(indexed.range_query(region, window), flat.range_query(region, window));
+        assert_eq!(
+            indexed.range_query(region, window),
+            flat.range_query(region, window)
+        );
         let at = Point::new(500.0, 500.0);
-        let a: Vec<_> = indexed.knn_query(at, window, 7).iter().map(|o| o.id).collect();
+        let a: Vec<_> = indexed
+            .knn_query(at, window, 7)
+            .iter()
+            .map(|o| o.id)
+            .collect();
         let b: Vec<_> = flat.knn_query(at, window, 7).iter().map(|o| o.id).collect();
         assert_eq!(a, b);
         let buckets = GridSpec::covering(extent(), 250.0);
-        assert_eq!(indexed.heatmap(&buckets, window), flat.heatmap(&buckets, window));
+        assert_eq!(
+            indexed.heatmap(&buckets, window),
+            flat.heatmap(&buckets, window)
+        );
         assert_eq!(indexed.len(), 200);
         indexed.evict_before(Timestamp::from_secs(100));
         assert!(indexed.is_empty());

@@ -166,15 +166,19 @@ impl Cluster {
             worker_ids.clone(),
             config.load_profile.as_deref(),
         );
-        let index_config = IndexConfig::new(config.extent, config.index_cell_size, config.slice_len)
-            .with_max_observations(config.max_observations_per_worker);
+        let index_config =
+            IndexConfig::new(config.extent, config.index_cell_size, config.slice_len)
+                .with_max_observations(config.max_observations_per_worker);
         let mut handles = Vec::with_capacity(config.workers);
         for &id in &worker_ids {
             let endpoint = fabric.register(id);
             let replicas = partition.successors(id, config.replication);
             handles.push(Worker::spawn(
                 endpoint,
-                WorkerConfig { index: index_config.clone(), replicas },
+                WorkerConfig {
+                    index: index_config.clone(),
+                    replicas,
+                },
             ));
         }
         let coordinator_endpoint = fabric.register(NodeId(0));
@@ -277,8 +281,27 @@ impl Cluster {
     /// # Errors
     ///
     /// See [`Coordinator::heatmap`].
-    pub fn heatmap(&self, buckets: &GridSpec, window: TimeInterval) -> Result<Vec<u64>, StcamError> {
+    pub fn heatmap(
+        &self,
+        buckets: &GridSpec,
+        window: TimeInterval,
+    ) -> Result<Vec<u64>, StcamError> {
         self.coordinator.lock().heatmap(buckets, window)
+    }
+
+    /// The `k` densest heat-map buckets, via sparse worker-side partial
+    /// aggregation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::top_cells`].
+    pub fn top_cells(
+        &self,
+        buckets: &GridSpec,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Vec<(stcam_geo::CellId, u64)>, StcamError> {
+        self.coordinator.lock().top_cells(buckets, window, k)
     }
 
     /// Ship-all aggregate baseline.
@@ -299,7 +322,10 @@ impl Cluster {
     /// # Errors
     ///
     /// See [`Coordinator::register_continuous`].
-    pub fn register_continuous(&self, predicate: Predicate) -> Result<ContinuousQueryId, StcamError> {
+    pub fn register_continuous(
+        &self,
+        predicate: Predicate,
+    ) -> Result<ContinuousQueryId, StcamError> {
         self.coordinator.lock().register_continuous(predicate)
     }
 
@@ -341,6 +367,18 @@ impl Cluster {
         self.fabric.stats()
     }
 
+    /// Per-operation executor telemetry (sub-queries, retries, wire
+    /// bytes, scatter/merge latency), sorted by operation name.
+    pub fn op_stats(&self) -> Vec<(&'static str, crate::exec::OpStats)> {
+        self.coordinator.lock().op_stats()
+    }
+
+    /// Installs a timeout/retry policy override for one operation class
+    /// (see [`crate::exec::OpPolicy`]).
+    pub fn set_op_policy(&self, op: &'static str, policy: crate::exec::OpPolicy) {
+        self.coordinator.lock().set_op_policy(op, policy);
+    }
+
     /// A snapshot of the partition map.
     pub fn partition(&self) -> PartitionMap {
         self.coordinator.lock().partition().clone()
@@ -358,7 +396,9 @@ impl Cluster {
         window: TimeInterval,
         class: stcam_world::EntityClass,
     ) -> Result<Vec<Observation>, StcamError> {
-        self.coordinator.lock().range_query_filtered(region, window, class)
+        self.coordinator
+            .lock()
+            .range_query_filtered(region, window, class)
     }
 
     /// Re-partitions by measured load and migrates the moved shards (see
@@ -428,15 +468,12 @@ impl Cluster {
                         break;
                     }
                     let coordinator = coordinator.lock();
-                    let Ok(stats) = coordinator.stats() else { continue };
-                    let newest = stats
-                        .workers
-                        .iter()
-                        .filter_map(|(_, s)| s.newest_ms)
-                        .max();
+                    let Ok(stats) = coordinator.stats() else {
+                        continue;
+                    };
+                    let newest = stats.workers.iter().filter_map(|(_, s)| s.newest_ms).max();
                     if let Some(newest_ms) = newest {
-                        let cutoff =
-                            Timestamp::from_millis(newest_ms).saturating_sub(horizon);
+                        let cutoff = Timestamp::from_millis(newest_ms).saturating_sub(horizon);
                         let _ = coordinator.evict_before(cutoff);
                     }
                 }
@@ -466,7 +503,9 @@ impl Cluster {
     pub fn shutdown(&self) {
         for slot in [&self.monitor, &self.retention] {
             if let Some(monitor) = slot.lock().take() {
-                monitor.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                monitor
+                    .stop
+                    .store(true, std::sync::atomic::Ordering::Relaxed);
                 let _ = monitor.join.join();
             }
         }
@@ -495,8 +534,7 @@ mod tests {
     }
 
     fn test_config(workers: usize) -> ClusterConfig {
-        ClusterConfig::new(extent(), workers)
-            .with_link(LinkModel::instant())
+        ClusterConfig::new(extent(), workers).with_link(LinkModel::instant())
     }
 
     fn obs(seq: u64, t_ms: u64, x: f64, y: f64) -> Observation {
@@ -519,7 +557,14 @@ mod tests {
     fn ingest_flush_query_round_trip() {
         let cluster = Cluster::launch(test_config(4)).unwrap();
         let batch: Vec<Observation> = (0..200)
-            .map(|i| obs(i, i * 100, (i as f64 * 37.0) % 1600.0, (i as f64 * 53.0) % 1600.0))
+            .map(|i| {
+                obs(
+                    i,
+                    i * 100,
+                    (i as f64 * 37.0) % 1600.0,
+                    (i as f64 * 53.0) % 1600.0,
+                )
+            })
             .collect();
         cluster.ingest(batch.clone()).unwrap();
         cluster.flush().unwrap();
@@ -576,7 +621,10 @@ mod tests {
         let cluster = Cluster::launch(test_config(4)).unwrap();
         let region = BBox::new(Point::new(0.0, 0.0), Point::new(400.0, 400.0));
         let id = cluster
-            .register_continuous(Predicate { region, class: None })
+            .register_continuous(Predicate {
+                region,
+                class: None,
+            })
             .unwrap();
         cluster
             .ingest(vec![obs(0, 0, 100.0, 100.0), obs(1, 0, 1000.0, 1000.0)])
@@ -590,7 +638,9 @@ mod tests {
         assert_eq!(matches, 1);
         cluster.unregister_continuous(id).unwrap();
         cluster.ingest(vec![obs(2, 0, 100.0, 100.0)]).unwrap();
-        assert!(cluster.poll_notifications(StdDuration::from_millis(100)).is_empty());
+        assert!(cluster
+            .poll_notifications(StdDuration::from_millis(100))
+            .is_empty());
         cluster.shutdown();
     }
 
@@ -609,7 +659,12 @@ mod tests {
         let failed = cluster.check_and_recover();
         assert_eq!(failed, vec![NodeId(2)]);
         let after = cluster.range_query(extent(), window_all()).unwrap().len();
-        assert_eq!(after, 500, "lost {} observations despite replication", 500 - after);
+        assert_eq!(
+            after,
+            500,
+            "lost {} observations despite replication",
+            500 - after
+        );
         cluster.shutdown();
     }
 
@@ -643,7 +698,10 @@ mod tests {
         let cluster = Cluster::launch(test_config(1)).unwrap();
         cluster.ingest(vec![obs(0, 0, 800.0, 800.0)]).unwrap();
         cluster.flush().unwrap();
-        assert_eq!(cluster.range_query(extent(), window_all()).unwrap().len(), 1);
+        assert_eq!(
+            cluster.range_query(extent(), window_all()).unwrap().len(),
+            1
+        );
         cluster.shutdown();
     }
 

@@ -56,7 +56,10 @@ impl Wire for Predicate {
         let class = match Option::<u8>::decode(buf)? {
             None => None,
             Some(byte) => Some(EntityClass::from_u8(byte).ok_or(
-                DecodeError::InvalidDiscriminant { type_name: "EntityClass", value: byte as u64 },
+                DecodeError::InvalidDiscriminant {
+                    type_name: "EntityClass",
+                    value: byte as u64,
+                },
             )?),
         };
         Ok(Predicate { region, class })

@@ -1,29 +1,45 @@
-//! The coordinator: routing, scatter/gather, membership, failover.
+//! The coordinator: routing, membership, failover, and thin wrappers
+//! over the [`exec`](crate::exec) scatter/gather layer.
+//!
+//! Every distributed operation is a [`DistributedOp`] value handed to the
+//! coordinator's [`Executor`]; this module contributes only what is not
+//! generic — ingest routing, the two-phase kNN composition, partition-map
+//! surgery during rebalance/failover, and continuous-query bookkeeping.
 
 use std::collections::{HashMap, HashSet};
 use std::time::Duration as StdDuration;
 
 use stcam_camnet::Observation;
 use stcam_codec::{decode_from_slice, encode_to_vec};
-use stcam_geo::{BBox, GridSpec, Point, TimeInterval, Timestamp};
+use stcam_geo::{BBox, CellId, GridSpec, Point, TimeInterval, Timestamp};
 use stcam_net::{Endpoint, NodeId};
 
 use crate::continuous::{ContinuousQueryId, Notification, Predicate};
 use crate::error::StcamError;
+use crate::exec::{
+    AdoptOp, EvictOp, Executor, ExtractRegionOp, FlushOp, HeatmapOp, KnnBroadcastOp, KnnPhase1Op,
+    KnnPhase2Op, OpPolicy, OpStats, ProbeOp, PromoteOp, RangeFilteredOp, RangeOp,
+    RegisterContinuousOp, StatsOp, TopCellsOp, UnregisterContinuousOp,
+};
 use crate::partition::PartitionMap;
-use crate::protocol::{GridSpecMsg, Request, Response, WorkerStatsMsg};
+use crate::protocol::{GridSpecMsg, Request, WorkerStatsMsg};
 
 /// Aggregated statistics across the cluster.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterStats {
     /// Per-worker statistics (alive workers only).
     pub workers: Vec<(NodeId, WorkerStatsMsg)>,
+    /// Per-operation executor telemetry, sorted by operation name.
+    pub ops: Vec<(&'static str, OpStats)>,
 }
 
 impl ClusterStats {
     /// Total observations held in primary shards.
     pub fn total_primary(&self) -> u64 {
-        self.workers.iter().map(|(_, s)| s.primary_observations).sum()
+        self.workers
+            .iter()
+            .map(|(_, s)| s.primary_observations)
+            .sum()
     }
 
     /// Max ÷ mean of per-worker primary observation counts (1.0 = perfect
@@ -40,6 +56,15 @@ impl ClusterStats {
             .max()
             .unwrap_or(0);
         max as f64 / (total as f64 / self.workers.len() as f64)
+    }
+
+    /// Executor telemetry of one operation (zeros when never invoked).
+    pub fn op(&self, name: &str) -> OpStats {
+        self.ops
+            .iter()
+            .find(|(op, _)| *op == name)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
     }
 }
 
@@ -60,16 +85,13 @@ pub struct RebalanceReport {
 ///
 /// The coordinator is driven synchronously by the client thread: ingest
 /// routing, query scatter/gather and failure recovery are all plain method
-/// calls. Query fan-out happens on scoped threads so sub-queries execute
-/// in parallel across workers.
+/// calls. Fan-out, retry, and telemetry live in the [`Executor`].
 #[derive(Debug)]
 pub struct Coordinator {
-    endpoint: Endpoint,
+    exec: Executor,
     partition: PartitionMap,
     replication: usize,
     alive: HashSet<NodeId>,
-    rpc_timeout: StdDuration,
-    probe_timeout: StdDuration,
     next_query_id: u64,
     /// Standing queries, kept for re-registration on failover.
     registrations: HashMap<ContinuousQueryId, Predicate>,
@@ -84,13 +106,17 @@ impl Coordinator {
         rpc_timeout: StdDuration,
     ) -> Self {
         let alive = partition.workers().iter().copied().collect();
+        let exec = Executor::new(endpoint, OpPolicy::new(rpc_timeout));
+        // Probes are single-attempt: a timeout *is* the liveness signal.
+        exec.set_policy(
+            "probe",
+            OpPolicy::no_retry(rpc_timeout.min(StdDuration::from_millis(250))),
+        );
         Coordinator {
-            endpoint,
+            exec,
             partition,
             replication,
             alive,
-            rpc_timeout,
-            probe_timeout: rpc_timeout.min(StdDuration::from_millis(250)),
             next_query_id: 1,
             registrations: HashMap::new(),
         }
@@ -112,7 +138,17 @@ impl Coordinator {
     /// of the RPC timeout and 250 ms). Shorter probes detect failures
     /// faster at the cost of more false positives under load.
     pub fn set_probe_timeout(&mut self, timeout: StdDuration) {
-        self.probe_timeout = timeout;
+        self.exec.set_policy("probe", OpPolicy::no_retry(timeout));
+    }
+
+    /// Installs a timeout/retry policy override for the named operation.
+    pub fn set_op_policy(&self, op: &'static str, policy: OpPolicy) {
+        self.exec.set_policy(op, policy);
+    }
+
+    /// Per-operation executor telemetry, sorted by operation name.
+    pub fn op_stats(&self) -> Vec<(&'static str, OpStats)> {
+        self.exec.op_stats()
     }
 
     /// The workers currently believed alive.
@@ -143,7 +179,8 @@ impl Coordinator {
             groups.entry(owner).or_default().push(obs);
         }
         for (owner, group) in groups {
-            self.endpoint
+            self.exec
+                .endpoint()
                 .send(owner, encode_to_vec(&Request::Ingest(group)))?;
         }
         Ok(n)
@@ -172,11 +209,7 @@ impl Coordinator {
     ///
     /// Fails when a worker believed alive does not answer in time.
     pub fn flush(&self) -> Result<(), StcamError> {
-        let targets = self.alive_workers();
-        for (_, result) in self.scatter(&targets, |_| Request::Ping) {
-            expect_ack(result?)?;
-        }
-        Ok(())
+        self.exec.execute(FlushOp, &self.partition, &self.alive)
     }
 
     // ------------------------------------------------------------------
@@ -194,23 +227,14 @@ impl Coordinator {
         region: BBox,
         window: TimeInterval,
     ) -> Result<Vec<Observation>, StcamError> {
-        let targets: Vec<NodeId> = self
-            .partition
-            .workers_for_region(region)
-            .into_iter()
-            .filter(|w| self.alive.contains(w))
-            .collect();
-        let mut merged = Vec::new();
-        for (_, result) in self.scatter(&targets, |_| Request::Range { region, window }) {
-            merged.extend(expect_observations(result?)?);
-        }
-        merged.sort_by_key(|o| o.id);
-        Ok(merged)
+        self.exec
+            .execute(RangeOp { region, window }, &self.partition, &self.alive)
     }
 
     /// The `k` observations nearest to `at` within `window`, via two-phase
-    /// pruned search: the owner of `at`'s cell answers first, its k-th
-    /// distance bounds the disk that phase two scatters to.
+    /// pruned search — two composed ops: the owner of `at`'s cell answers
+    /// first ([`KnnPhase1Op`]), its k-th distance bounds the disk that
+    /// phase two scatters to ([`KnnPhase2Op`]).
     ///
     /// # Errors
     ///
@@ -224,41 +248,34 @@ impl Coordinator {
         if k == 0 {
             return Ok(Vec::new());
         }
-        let first = self.route(at)?;
-        let phase1 = expect_observations(self.call(
-            first,
-            Request::Knn { at, window, k: k as u32, max_distance: None },
-        )?)?;
-        let bound = if phase1.len() >= k {
-            phase1.last().map(|o| at.distance(o.position))
+        let owner = self.route(at)?;
+        let seed = self.exec.execute(
+            KnnPhase1Op {
+                owner,
+                at,
+                window,
+                k,
+            },
+            &self.partition,
+            &self.alive,
+        )?;
+        let bound = if seed.len() >= k {
+            seed.last().map(|o| at.distance(o.position))
         } else {
             None
         };
-        let targets: Vec<NodeId> = match bound {
-            Some(radius) => self
-                .partition
-                .workers_for_region(BBox::around(at, radius))
-                .into_iter()
-                .filter(|w| *w != first && self.alive.contains(w))
-                .collect(),
-            None => self
-                .alive_workers()
-                .into_iter()
-                .filter(|w| *w != first)
-                .collect(),
-        };
-        let mut merged = phase1;
-        for (_, result) in self.scatter(&targets, |_| Request::Knn {
-            at,
-            window,
-            k: k as u32,
-            max_distance: bound,
-        }) {
-            merged.extend(expect_observations(result?)?);
-        }
-        sort_knn(&mut merged, at);
-        merged.truncate(k);
-        Ok(merged)
+        self.exec.execute(
+            KnnPhase2Op {
+                at,
+                window,
+                k,
+                bound,
+                exclude: owner,
+                seed,
+            },
+            &self.partition,
+            &self.alive,
+        )
     }
 
     /// The naive kNN evaluation — broadcast to every worker with no
@@ -276,24 +293,16 @@ impl Coordinator {
         if k == 0 {
             return Ok(Vec::new());
         }
-        let targets = self.alive_workers();
-        let mut merged = Vec::new();
-        for (_, result) in self.scatter(&targets, |_| Request::Knn {
-            at,
-            window,
-            k: k as u32,
-            max_distance: None,
-        }) {
-            merged.extend(expect_observations(result?)?);
-        }
-        sort_knn(&mut merged, at);
-        merged.truncate(k);
-        Ok(merged)
+        self.exec.execute(
+            KnnBroadcastOp { at, window, k },
+            &self.partition,
+            &self.alive,
+        )
     }
 
     /// Per-bucket observation counts with worker-side partial aggregation:
-    /// each worker reduces its shard to a counts vector, the coordinator
-    /// sums vectors.
+    /// each worker reduces its shard to a counts vector, the merge sums
+    /// vectors.
     ///
     /// # Errors
     ///
@@ -303,24 +312,38 @@ impl Coordinator {
         buckets: &GridSpec,
         window: TimeInterval,
     ) -> Result<Vec<u64>, StcamError> {
-        let targets: Vec<NodeId> = self
-            .partition
-            .workers_for_region(buckets.extent())
-            .into_iter()
-            .filter(|w| self.alive.contains(w))
-            .collect();
-        let mut total = vec![0u64; buckets.cell_count() as usize];
-        let msg = GridSpecMsg::from(*buckets);
-        for (_, result) in self.scatter(&targets, |_| Request::Heatmap { buckets: msg, window }) {
-            let counts = expect_counts(result?)?;
-            if counts.len() != total.len() {
-                return Err(StcamError::Remote("bucket count mismatch".into()));
-            }
-            for (t, c) in total.iter_mut().zip(counts) {
-                *t += c;
-            }
-        }
-        Ok(total)
+        self.exec.execute(
+            HeatmapOp {
+                buckets: GridSpecMsg::from(*buckets),
+                window,
+            },
+            &self.partition,
+            &self.alive,
+        )
+    }
+
+    /// The `k` densest buckets of `buckets` × `window`, ranked by count
+    /// (ties by cell index). Workers ship only their occupied buckets, so
+    /// sparse grids cost a fraction of a full [`heatmap`](Self::heatmap).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-query failures.
+    pub fn top_cells(
+        &self,
+        buckets: &GridSpec,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Vec<(CellId, u64)>, StcamError> {
+        self.exec.execute(
+            TopCellsOp {
+                buckets: GridSpecMsg::from(*buckets),
+                window,
+                k,
+            },
+            &self.partition,
+            &self.alive,
+        )
     }
 
     /// The ship-all aggregate baseline: fetch every matching observation
@@ -350,11 +373,8 @@ impl Coordinator {
     ///
     /// Propagates worker failures.
     pub fn evict_before(&self, cutoff: Timestamp) -> Result<(), StcamError> {
-        let targets = self.alive_workers();
-        for (_, result) in self.scatter(&targets, |_| Request::EvictBefore(cutoff)) {
-            expect_ack(result?)?;
-        }
-        Ok(())
+        self.exec
+            .execute(EvictOp { cutoff }, &self.partition, &self.alive)
     }
 
     /// As [`range_query`](Self::range_query) with an entity-class filter
@@ -369,22 +389,15 @@ impl Coordinator {
         window: TimeInterval,
         class: stcam_world::EntityClass,
     ) -> Result<Vec<Observation>, StcamError> {
-        let targets: Vec<NodeId> = self
-            .partition
-            .workers_for_region(region)
-            .into_iter()
-            .filter(|w| self.alive.contains(w))
-            .collect();
-        let mut merged = Vec::new();
-        for (_, result) in self.scatter(&targets, |_| Request::RangeFiltered {
-            region,
-            window,
-            class: class.as_u8(),
-        }) {
-            merged.extend(expect_observations(result?)?);
-        }
-        merged.sort_by_key(|o| o.id);
-        Ok(merged)
+        self.exec.execute(
+            RangeFilteredOp {
+                region,
+                window,
+                class: class.as_u8(),
+            },
+            &self.partition,
+            &self.alive,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -432,14 +445,9 @@ impl Coordinator {
         if alive_ring.is_empty() {
             return Err(StcamError::NoQuorum);
         }
-        let target = PartitionMap::load_aware(
-            grid.extent(),
-            grid.cell_size(),
-            alive_ring,
-            &loads,
-        );
+        let target = PartitionMap::load_aware(grid.extent(), grid.cell_size(), alive_ring, &loads);
         // 3. Diff and migrate, batched per (old, new) owner pair.
-        let mut moves: HashMap<(NodeId, NodeId), Vec<stcam_geo::CellId>> = HashMap::new();
+        let mut moves: HashMap<(NodeId, NodeId), Vec<CellId>> = HashMap::new();
         for cell in grid.all_cells() {
             let old = self.partition.owner_of_cell(cell);
             let new = target.owner_of_cell(cell);
@@ -453,36 +461,40 @@ impl Coordinator {
             let mut batch = Vec::new();
             for cell in cells {
                 let region = self.partition.cell_routing_region(cell);
-                let extracted =
-                    expect_observations(self.call(old, Request::ExtractRegion { region })?)?;
+                let extracted = self.exec.execute(
+                    ExtractRegionOp {
+                        target: old,
+                        region,
+                    },
+                    &self.partition,
+                    &self.alive,
+                )?;
                 batch.extend(extracted);
                 cells_moved += 1;
             }
             observations_moved += batch.len();
             if !batch.is_empty() {
-                expect_ack(self.call(new, Request::Adopt(batch))?)?;
+                self.exec
+                    .execute(AdoptOp { target: new, batch }, &self.partition, &self.alive)?;
             }
         }
         // 4. Swap in the new map and make standing queries present at
         // their (possibly new) overlapping workers.
         self.partition = target;
-        let notify = self.endpoint.id();
+        let notify = self.exec.endpoint().id();
         let registrations: Vec<(ContinuousQueryId, Predicate)> =
             self.registrations.iter().map(|(&id, &p)| (id, p)).collect();
         for (id, predicate) in registrations {
-            let targets: Vec<NodeId> = self
-                .partition
-                .workers_for_region(predicate.region)
-                .into_iter()
-                .filter(|w| self.alive.contains(w))
-                .collect();
-            for (_, result) in self.scatter(&targets, |_| Request::RegisterContinuous {
-                id,
-                predicate,
-                notify,
-            }) {
-                expect_ack(result?)?;
-            }
+            self.exec.execute(
+                RegisterContinuousOp {
+                    id,
+                    predicate,
+                    notify,
+                    only: None,
+                },
+                &self.partition,
+                &self.alive,
+            )?;
         }
         let imbalance_after = self.partition.imbalance(&loads);
         Ok(RebalanceReport {
@@ -509,20 +521,17 @@ impl Coordinator {
     ) -> Result<ContinuousQueryId, StcamError> {
         let id = ContinuousQueryId(self.next_query_id);
         self.next_query_id += 1;
-        let notify = self.endpoint.id();
-        let targets: Vec<NodeId> = self
-            .partition
-            .workers_for_region(predicate.region)
-            .into_iter()
-            .filter(|w| self.alive.contains(w))
-            .collect();
-        for (_, result) in self.scatter(&targets, |_| Request::RegisterContinuous {
-            id,
-            predicate,
-            notify,
-        }) {
-            expect_ack(result?)?;
-        }
+        let notify = self.exec.endpoint().id();
+        self.exec.execute(
+            RegisterContinuousOp {
+                id,
+                predicate,
+                notify,
+                only: None,
+            },
+            &self.partition,
+            &self.alive,
+        )?;
         self.registrations.insert(id, predicate);
         Ok(id)
     }
@@ -534,21 +543,19 @@ impl Coordinator {
     /// Fails when a shard worker cannot be reached.
     pub fn unregister_continuous(&mut self, id: ContinuousQueryId) -> Result<(), StcamError> {
         self.registrations.remove(&id);
-        let targets = self.alive_workers();
-        for (_, result) in self.scatter(&targets, |_| Request::UnregisterContinuous(id)) {
-            expect_ack(result?)?;
-        }
-        Ok(())
+        self.exec
+            .execute(UnregisterContinuousOp { id }, &self.partition, &self.alive)
     }
 
     /// Drains match notifications that have arrived since the last poll,
     /// waiting up to `timeout` for the first one.
     pub fn poll_notifications(&self, timeout: StdDuration) -> Vec<Notification> {
+        let endpoint = self.exec.endpoint();
         let mut out = Vec::new();
         let deadline = std::time::Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            let Some(envelope) = self.endpoint.recv_timeout(remaining) else {
+            let Some(envelope) = endpoint.recv_timeout(remaining) else {
                 break;
             };
             if let Ok(notification) = decode_from_slice::<Notification>(&envelope.payload) {
@@ -556,7 +563,7 @@ impl Coordinator {
             }
             if !out.is_empty() {
                 // Drain whatever else is already queued, then return.
-                while let Some(envelope) = self.endpoint.try_recv() {
+                while let Some(envelope) = endpoint.try_recv() {
                     if let Ok(n) = decode_from_slice::<Notification>(&envelope.payload) {
                         out.push(n);
                     }
@@ -577,13 +584,12 @@ impl Coordinator {
     /// partition map, and re-registers standing queries there. Returns the
     /// failed workers.
     pub fn check_and_recover(&mut self) -> Vec<NodeId> {
-        let targets = self.alive_workers();
-        let mut failed = Vec::new();
-        for (worker, result) in self.scatter_timeout(&targets, |_| Request::Ping, self.probe_timeout) {
-            if result.is_err() {
-                failed.push(worker);
-            }
-        }
+        let failed: Vec<NodeId> = self
+            .exec
+            .run(&ProbeOp, &self.partition, &self.alive)
+            .into_iter()
+            .filter_map(|(worker, result)| result.is_err().then_some(worker))
+            .collect();
         for &worker in &failed {
             self.alive.remove(&worker);
         }
@@ -604,150 +610,46 @@ impl Coordinator {
         if self.replication > 0 {
             // Absorb the replica log; data loss is bounded by in-flight
             // replication traffic at crash time.
-            let _ = self
-                .call(successor, Request::Promote { failed })
-                .and_then(expect_ack);
+            let _ = self.exec.execute(
+                PromoteOp {
+                    target: successor,
+                    failed,
+                },
+                &self.partition,
+                &self.alive,
+            );
         }
         // Standing queries whose region now overlaps the successor's
         // enlarged shard must be present there.
-        let notify = self.endpoint.id();
-        let registrations: Vec<(ContinuousQueryId, Predicate)> = self
-            .registrations
-            .iter()
-            .map(|(&id, &p)| (id, p))
-            .collect();
+        let notify = self.exec.endpoint().id();
+        let registrations: Vec<(ContinuousQueryId, Predicate)> =
+            self.registrations.iter().map(|(&id, &p)| (id, p)).collect();
         for (id, predicate) in registrations {
-            if self
-                .partition
-                .workers_for_region(predicate.region)
-                .contains(&successor)
-            {
-                let _ = self.call(successor, Request::RegisterContinuous { id, predicate, notify });
-            }
+            let _ = self.exec.execute(
+                RegisterContinuousOp {
+                    id,
+                    predicate,
+                    notify,
+                    only: Some(successor),
+                },
+                &self.partition,
+                &self.alive,
+            );
         }
     }
 
-    /// Collects statistics from every alive worker.
+    /// Collects statistics from every alive worker, plus the executor's
+    /// per-operation telemetry.
     ///
     /// # Errors
     ///
     /// Fails when a worker believed alive does not answer.
     pub fn stats(&self) -> Result<ClusterStats, StcamError> {
-        let targets = self.alive_workers();
-        let mut workers = Vec::new();
-        for (worker, result) in self.scatter(&targets, |_| Request::Stats) {
-            match result? {
-                Response::Stats(s) => workers.push((worker, s)),
-                Response::Error(msg) => return Err(StcamError::Remote(msg)),
-                _ => return Err(StcamError::Remote("unexpected stats response".into())),
-            }
-        }
-        workers.sort_by_key(|(w, _)| *w);
-        Ok(ClusterStats { workers })
-    }
-
-    // ------------------------------------------------------------------
-    // RPC plumbing
-    // ------------------------------------------------------------------
-
-    fn call(&self, to: NodeId, request: Request) -> Result<Response, StcamError> {
-        let bytes = self.endpoint.call(to, encode_to_vec(&request), self.rpc_timeout)?;
-        Ok(decode_from_slice::<Response>(&bytes)?)
-    }
-
-    /// Issues `request_for(worker)` to every target in parallel and
-    /// collects `(worker, result)` pairs in target order.
-    fn scatter<F>(
-        &self,
-        targets: &[NodeId],
-        request_for: F,
-    ) -> Vec<(NodeId, Result<Response, StcamError>)>
-    where
-        F: Fn(NodeId) -> Request + Sync,
-    {
-        self.scatter_timeout(targets, request_for, self.rpc_timeout)
-    }
-
-    /// As [`scatter`](Self::scatter) with an explicit per-call timeout.
-    fn scatter_timeout<F>(
-        &self,
-        targets: &[NodeId],
-        request_for: F,
-        timeout: StdDuration,
-    ) -> Vec<(NodeId, Result<Response, StcamError>)>
-    where
-        F: Fn(NodeId) -> Request + Sync,
-    {
-        if targets.is_empty() {
-            return Vec::new();
-        }
-        if targets.len() == 1 {
-            let w = targets[0];
-            let result = self
-                .endpoint
-                .call(w, encode_to_vec(&request_for(w)), timeout)
-                .map_err(StcamError::from)
-                .and_then(|bytes| {
-                    decode_from_slice::<Response>(&bytes).map_err(StcamError::from)
-                });
-            return vec![(w, result)];
-        }
-        let endpoint = &self.endpoint;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = targets
-                .iter()
-                .map(|&worker| {
-                    let request = request_for(worker);
-                    scope.spawn(move || {
-                        let result = endpoint
-                            .call(worker, encode_to_vec(&request), timeout)
-                            .map_err(StcamError::from)
-                            .and_then(|bytes| {
-                                decode_from_slice::<Response>(&bytes).map_err(StcamError::from)
-                            });
-                        (worker, result)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scatter thread panicked"))
-                .collect()
+        let workers = self.exec.execute(StatsOp, &self.partition, &self.alive)?;
+        Ok(ClusterStats {
+            workers,
+            ops: self.exec.op_stats(),
         })
-    }
-}
-
-fn sort_knn(observations: &mut [Observation], at: Point) {
-    observations.sort_by(|a, b| {
-        let da = at.distance_sq(a.position);
-        let db = at.distance_sq(b.position);
-        da.partial_cmp(&db)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.id.cmp(&b.id))
-    });
-}
-
-fn expect_observations(resp: Response) -> Result<Vec<Observation>, StcamError> {
-    match resp {
-        Response::Observations(obs) => Ok(obs),
-        Response::Error(msg) => Err(StcamError::Remote(msg)),
-        other => Err(StcamError::Remote(format!("expected observations, got {other:?}"))),
-    }
-}
-
-fn expect_counts(resp: Response) -> Result<Vec<u64>, StcamError> {
-    match resp {
-        Response::Counts(counts) => Ok(counts),
-        Response::Error(msg) => Err(StcamError::Remote(msg)),
-        other => Err(StcamError::Remote(format!("expected counts, got {other:?}"))),
-    }
-}
-
-fn expect_ack(resp: Response) -> Result<(), StcamError> {
-    match resp {
-        Response::Ack => Ok(()),
-        Response::Error(msg) => Err(StcamError::Remote(msg)),
-        other => Err(StcamError::Remote(format!("expected ack, got {other:?}"))),
     }
 }
 
@@ -763,10 +665,14 @@ mod tests {
                 .map(|(i, &c)| {
                     (
                         NodeId(i as u32 + 1),
-                        WorkerStatsMsg { primary_observations: c, ..Default::default() },
+                        WorkerStatsMsg {
+                            primary_observations: c,
+                            ..Default::default()
+                        },
                     )
                 })
                 .collect(),
+            ops: Vec::new(),
         }
     }
 
@@ -783,6 +689,20 @@ mod tests {
     }
 
     #[test]
+    fn cluster_stats_op_lookup() {
+        let mut s = stats_with(&[1]);
+        s.ops.push((
+            "range",
+            OpStats {
+                invocations: 3,
+                ..Default::default()
+            },
+        ));
+        assert_eq!(s.op("range").invocations, 3);
+        assert_eq!(s.op("heatmap"), OpStats::default());
+    }
+
+    #[test]
     fn rebalance_report_is_plain_data() {
         let r = RebalanceReport {
             cells_moved: 3,
@@ -793,43 +713,5 @@ mod tests {
         let s = format!("{r:?}");
         assert!(s.contains("cells_moved: 3"));
         assert!(r.imbalance_after < r.imbalance_before);
-    }
-
-    #[test]
-    fn expect_helpers_map_remote_errors() {
-        assert!(matches!(
-            expect_ack(Response::Error("boom".into())),
-            Err(StcamError::Remote(_))
-        ));
-        assert!(matches!(
-            expect_observations(Response::Ack),
-            Err(StcamError::Remote(_))
-        ));
-        assert!(matches!(
-            expect_counts(Response::Ack),
-            Err(StcamError::Remote(_))
-        ));
-        assert!(expect_ack(Response::Ack).is_ok());
-        assert_eq!(expect_counts(Response::Counts(vec![1, 2])).unwrap(), vec![1, 2]);
-    }
-
-    #[test]
-    fn sort_knn_orders_by_distance_then_id() {
-        use stcam_camnet::{CameraId, ObservationId, Signature};
-        use stcam_geo::Timestamp;
-        use stcam_world::{EntityClass, EntityId};
-        let mk = |seq: u64, x: f64| Observation {
-            id: ObservationId::compose(CameraId(0), seq),
-            camera: CameraId(0),
-            time: Timestamp::ZERO,
-            position: Point::new(x, 0.0),
-            class: EntityClass::Car,
-            signature: Signature::latent_for_entity(seq),
-            truth: Some(EntityId(seq)),
-        };
-        let mut v = vec![mk(2, 5.0), mk(0, 10.0), mk(1, 5.0)];
-        sort_knn(&mut v, Point::new(0.0, 0.0));
-        let seqs: Vec<u64> = v.iter().map(|o| o.id.seq()).collect();
-        assert_eq!(seqs, vec![1, 2, 0]);
     }
 }

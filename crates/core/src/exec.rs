@@ -1,0 +1,1279 @@
+//! The typed scatter/gather execution layer.
+//!
+//! Every distributed operation the coordinator performs — queries,
+//! barriers, migrations, probes — is one implementation of
+//! [`DistributedOp`]: a small value that knows which workers to contact,
+//! what [`Request`] to send each one, how to check/decode each worker's
+//! [`Response`] into a typed partial result, and how to merge the
+//! partials into the operation's output. The [`Executor`] owns everything
+//! those implementations share: parallel fan-out over scoped threads,
+//! per-operation timeout/retry policy ([`OpPolicy`]), and per-operation
+//! telemetry ([`OpStats`]) with wire-byte accounting from the fabric's
+//! counters.
+//!
+//! # Retry semantics
+//!
+//! RPCs are at-most-once: a timed-out sub-query may or may not have been
+//! executed by the worker. The executor therefore retries **only**
+//! operations that declare themselves idempotent
+//! ([`DistributedOp::idempotent`]) — pure reads plus writes that are safe
+//! to apply twice (flush pings, eviction, continuous-query registration).
+//! Migration steps (`extract`/`adopt`/`promote`) never retry: a repeated
+//! extract after a lost reply would discard data. Retries are
+//! deterministic: a fixed attempt budget with linear backoff, counted in
+//! [`OpStats::retries`].
+//!
+//! # Adding a new operation
+//!
+//! 1. Add the `Request`/`Response` message pair in
+//!    [`protocol`](crate::protocol) and a worker handler row in the
+//!    worker's dispatch table.
+//! 2. Implement [`DistributedOp`] (targets / request / decode / merge).
+//! 3. Call [`Executor::execute`] from a thin coordinator wrapper.
+//!
+//! The executor itself needs no changes — see [`TopCellsOp`] for a
+//! complete example.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration as StdDuration, Instant};
+
+use parking_lot::Mutex;
+use stcam_camnet::Observation;
+use stcam_codec::{decode_from_slice, encode_to_vec};
+use stcam_geo::{BBox, CellId, Point, TimeInterval, Timestamp};
+use stcam_net::{Endpoint, NetError, NodeId};
+
+use crate::continuous::{ContinuousQueryId, Predicate};
+use crate::error::StcamError;
+use crate::partition::PartitionMap;
+use crate::protocol::{GridSpecMsg, Request, Response, WorkerStatsMsg};
+
+// ----------------------------------------------------------------------
+// Policy and telemetry
+// ----------------------------------------------------------------------
+
+/// Timeout/retry policy of one operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpPolicy {
+    /// Per-sub-query RPC timeout.
+    pub timeout: StdDuration,
+    /// Total attempts per sub-query (1 = no retry). Only idempotent
+    /// operations ever use more than one.
+    pub max_attempts: u32,
+    /// Base backoff between attempts; attempt `n` sleeps `n × backoff`
+    /// (linear, deterministic).
+    pub backoff: StdDuration,
+}
+
+impl OpPolicy {
+    /// The standard policy: the caller's total timeout budget split
+    /// across up to three attempts with 10 ms linear backoff. Splitting
+    /// (rather than multiplying) keeps the worst-case latency against a
+    /// genuinely dead worker at ≈ `timeout`, the same bound a
+    /// non-retrying caller would see, while still recovering from
+    /// transiently lost messages well before that bound.
+    pub fn new(timeout: StdDuration) -> Self {
+        OpPolicy {
+            timeout: timeout / 3,
+            max_attempts: 3,
+            backoff: StdDuration::from_millis(10),
+        }
+    }
+
+    /// A single-attempt policy (used for liveness probes, where a timeout
+    /// *is* the signal).
+    pub fn no_retry(timeout: StdDuration) -> Self {
+        OpPolicy {
+            timeout,
+            max_attempts: 1,
+            backoff: StdDuration::ZERO,
+        }
+    }
+}
+
+/// Cumulative telemetry of one operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpStats {
+    /// Times the operation was invoked.
+    pub invocations: u64,
+    /// Sub-query attempts issued (fan-out × invocations, plus retries).
+    pub sub_queries: u64,
+    /// Sub-query attempts that were deterministic retries after a
+    /// timeout.
+    pub retries: u64,
+    /// Sub-queries whose final attempt failed.
+    pub failures: u64,
+    /// Wire bytes sent by the coordinator for this operation.
+    pub bytes_sent: u64,
+    /// Wire bytes received by the coordinator for this operation.
+    pub bytes_received: u64,
+    /// Wall-clock microseconds spent in the scatter/gather phase
+    /// (issuing sub-queries and collecting responses).
+    pub scatter_micros: u64,
+    /// Wall-clock microseconds spent merging partials into the output.
+    pub merge_micros: u64,
+}
+
+impl OpStats {
+    /// Difference against an earlier snapshot: activity that occurred in
+    /// between (saturating).
+    pub fn since(&self, earlier: &OpStats) -> OpStats {
+        OpStats {
+            invocations: self.invocations.saturating_sub(earlier.invocations),
+            sub_queries: self.sub_queries.saturating_sub(earlier.sub_queries),
+            retries: self.retries.saturating_sub(earlier.retries),
+            failures: self.failures.saturating_sub(earlier.failures),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            scatter_micros: self.scatter_micros.saturating_sub(earlier.scatter_micros),
+            merge_micros: self.merge_micros.saturating_sub(earlier.merge_micros),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The operation abstraction
+// ----------------------------------------------------------------------
+
+/// One distributed operation: scatter targets, per-worker request,
+/// response decoding, and partial-result merging.
+///
+/// Implementations are plain values consumed by [`Executor::execute`]
+/// (or borrowed by [`Executor::run`] when the caller wants the raw
+/// per-worker results, e.g. liveness probing).
+pub trait DistributedOp: Sync {
+    /// What one worker contributes.
+    type Partial: Send;
+    /// What the whole operation yields.
+    type Output;
+
+    /// Stable operation name — the key for policy overrides and
+    /// [`OpStats`] aggregation.
+    fn name(&self) -> &'static str;
+
+    /// Whether a sub-query may safely be retried after a timeout (the
+    /// worker may or may not have executed the lost attempt).
+    fn idempotent(&self) -> bool {
+        false
+    }
+
+    /// The workers this operation must contact, given the current
+    /// partition map and alive set.
+    fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId>;
+
+    /// The request to send worker `to`.
+    fn request(&self, to: NodeId) -> Request;
+
+    /// Checks and converts one worker's response into a partial result.
+    fn decode(&self, response: Response) -> Result<Self::Partial, StcamError>;
+
+    /// Merges the per-worker partials (in target order) into the output.
+    fn merge(self, partials: Vec<(NodeId, Self::Partial)>) -> Self::Output;
+}
+
+// ----------------------------------------------------------------------
+// The executor
+// ----------------------------------------------------------------------
+
+/// Owns scatter/gather fan-out, retry policy, and per-op telemetry for
+/// every [`DistributedOp`].
+#[derive(Debug)]
+pub struct Executor {
+    endpoint: Endpoint,
+    default_policy: OpPolicy,
+    overrides: Mutex<HashMap<&'static str, OpPolicy>>,
+    stats: Mutex<BTreeMap<&'static str, OpStats>>,
+}
+
+impl Executor {
+    /// Creates an executor speaking through `endpoint` with
+    /// `default_policy` for operations without an override.
+    pub fn new(endpoint: Endpoint, default_policy: OpPolicy) -> Self {
+        Executor {
+            endpoint,
+            default_policy,
+            overrides: Mutex::new(HashMap::new()),
+            stats: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The underlying fabric endpoint (also used for one-way traffic
+    /// such as ingest routing and notification polling).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Installs a policy override for the named operation.
+    pub fn set_policy(&self, op: &'static str, policy: OpPolicy) {
+        self.overrides.lock().insert(op, policy);
+    }
+
+    /// The effective policy of the named operation.
+    pub fn policy_for(&self, op: &str) -> OpPolicy {
+        self.overrides
+            .lock()
+            .get(op)
+            .copied()
+            .unwrap_or(self.default_policy)
+    }
+
+    /// A snapshot of per-op telemetry, sorted by operation name.
+    pub fn op_stats(&self) -> Vec<(&'static str, OpStats)> {
+        self.stats
+            .lock()
+            .iter()
+            .map(|(&name, &s)| (name, s))
+            .collect()
+    }
+
+    /// Telemetry of one operation (zeros when never invoked).
+    pub fn stats_for(&self, op: &str) -> OpStats {
+        self.stats.lock().get(op).copied().unwrap_or_default()
+    }
+
+    /// Runs the full operation: scatter, gather, merge. Any sub-query
+    /// failure (after retries) fails the whole operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failed sub-query's error.
+    pub fn execute<O: DistributedOp>(
+        &self,
+        op: O,
+        partition: &PartitionMap,
+        alive: &HashSet<NodeId>,
+    ) -> Result<O::Output, StcamError> {
+        let name = op.name();
+        let results = self.run(&op, partition, alive);
+        let mut partials = Vec::with_capacity(results.len());
+        for (worker, result) in results {
+            partials.push((worker, result?));
+        }
+        let started = Instant::now();
+        let output = op.merge(partials);
+        let merge_micros = started.elapsed().as_micros() as u64;
+        self.stats.lock().entry(name).or_default().merge_micros += merge_micros;
+        Ok(output)
+    }
+
+    /// Scatters the operation and returns the raw per-worker outcomes in
+    /// target order, without failing on individual errors and without
+    /// merging. Used when failures are data (liveness probes).
+    pub fn run<O: DistributedOp>(
+        &self,
+        op: &O,
+        partition: &PartitionMap,
+        alive: &HashSet<NodeId>,
+    ) -> Vec<(NodeId, Result<O::Partial, StcamError>)> {
+        let targets = op.targets(partition, alive);
+        let policy = self.policy_for(op.name());
+        let net_before = self.endpoint.stats();
+        let retries = AtomicU64::new(0);
+        let started = Instant::now();
+        let results: Vec<(NodeId, Result<O::Partial, StcamError>)> = if targets.is_empty() {
+            Vec::new()
+        } else if targets.len() == 1 {
+            // Single-target fast path: no thread spawn.
+            let worker = targets[0];
+            vec![(worker, self.attempt(op, worker, &policy, &retries))]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = targets
+                    .iter()
+                    .map(|&worker| {
+                        let policy = &policy;
+                        let retries = &retries;
+                        scope.spawn(move || (worker, self.attempt(op, worker, policy, retries)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scatter thread panicked"))
+                    .collect()
+            })
+        };
+        let scatter_micros = started.elapsed().as_micros() as u64;
+        let net_delta = self.endpoint.stats().since(&net_before);
+        let retries = retries.into_inner();
+        let failures = results.iter().filter(|(_, r)| r.is_err()).count() as u64;
+        let mut stats = self.stats.lock();
+        let entry = stats.entry(op.name()).or_default();
+        entry.invocations += 1;
+        entry.sub_queries += targets.len() as u64 + retries;
+        entry.retries += retries;
+        entry.failures += failures;
+        entry.bytes_sent += net_delta.bytes_sent;
+        entry.bytes_received += net_delta.bytes_received;
+        entry.scatter_micros += scatter_micros;
+        results
+    }
+
+    /// One sub-query with the retry loop.
+    fn attempt<O: DistributedOp>(
+        &self,
+        op: &O,
+        worker: NodeId,
+        policy: &OpPolicy,
+        retries: &AtomicU64,
+    ) -> Result<O::Partial, StcamError> {
+        let payload = encode_to_vec(&op.request(worker));
+        let mut attempt = 1u32;
+        loop {
+            let outcome = self
+                .endpoint
+                .call(worker, payload.clone(), policy.timeout)
+                .map_err(StcamError::from)
+                .and_then(|bytes| decode_from_slice::<Response>(&bytes).map_err(StcamError::from))
+                .and_then(|response| op.decode(response));
+            match outcome {
+                Err(StcamError::Net(NetError::Timeout))
+                    if op.idempotent() && attempt < policy.max_attempts =>
+                {
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    if !policy.backoff.is_zero() {
+                        std::thread::sleep(policy.backoff * attempt);
+                    }
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Partial decoders and target helpers shared by the operations
+// ----------------------------------------------------------------------
+
+fn want_ack(response: Response) -> Result<(), StcamError> {
+    match response {
+        Response::Ack => Ok(()),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!("expected ack, got {other:?}"))),
+    }
+}
+
+fn want_observations(response: Response) -> Result<Vec<Observation>, StcamError> {
+    match response {
+        Response::Observations(obs) => Ok(obs),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!(
+            "expected observations, got {other:?}"
+        ))),
+    }
+}
+
+fn want_counts(response: Response) -> Result<Vec<u64>, StcamError> {
+    match response {
+        Response::Counts(counts) => Ok(counts),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!(
+            "expected counts, got {other:?}"
+        ))),
+    }
+}
+
+fn want_stats(response: Response) -> Result<WorkerStatsMsg, StcamError> {
+    match response {
+        Response::Stats(stats) => Ok(stats),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!("expected stats, got {other:?}"))),
+    }
+}
+
+fn want_cell_counts(response: Response) -> Result<Vec<(u32, u64)>, StcamError> {
+    match response {
+        Response::CellCounts(cells) => Ok(cells),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!(
+            "expected cell counts, got {other:?}"
+        ))),
+    }
+}
+
+/// Every alive worker, in id order.
+fn all_alive(alive: &HashSet<NodeId>) -> Vec<NodeId> {
+    let mut v: Vec<NodeId> = alive.iter().copied().collect();
+    v.sort();
+    v
+}
+
+/// The alive owners of cells overlapping `region`.
+fn region_targets(partition: &PartitionMap, alive: &HashSet<NodeId>, region: BBox) -> Vec<NodeId> {
+    partition
+        .workers_for_region(region)
+        .into_iter()
+        .filter(|w| alive.contains(w))
+        .collect()
+}
+
+/// Sorts by distance from `at` (ties broken by id for determinism).
+/// Uses `total_cmp`, so NaN distances (degenerate positions) order
+/// deterministically instead of poisoning the comparator.
+pub(crate) fn sort_knn(observations: &mut [Observation], at: Point) {
+    observations.sort_by(|a, b| {
+        let da = at.distance_sq(a.position);
+        let db = at.distance_sq(b.position);
+        da.total_cmp(&db).then(a.id.cmp(&b.id))
+    });
+}
+
+// ----------------------------------------------------------------------
+// The operations
+// ----------------------------------------------------------------------
+
+/// Ingest barrier: a Ping round-trip to every alive worker. Per-link
+/// FIFO guarantees all previously sent ingest traffic drained first; the
+/// barrier survives retries because a retried ping is sent even later.
+#[derive(Debug, Clone, Copy)]
+pub struct FlushOp;
+
+impl DistributedOp for FlushOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "flush"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        all_alive(alive)
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Ping
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Liveness probe: a Ping whose timeout *is* the failure signal, so it
+/// carries its own policy key ("probe", single attempt by default) and
+/// is consumed through [`Executor::run`] rather than `execute`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeOp;
+
+impl DistributedOp for ProbeOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "probe"
+    }
+    fn targets(&self, _partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        all_alive(alive)
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Ping
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Spatio-temporal range query over the shards overlapping `region`.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeOp {
+    /// Spatial predicate.
+    pub region: BBox,
+    /// Temporal predicate.
+    pub window: TimeInterval,
+}
+
+impl DistributedOp for RangeOp {
+    type Partial = Vec<Observation>;
+    type Output = Vec<Observation>;
+    fn name(&self) -> &'static str {
+        "range"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        region_targets(partition, alive, self.region)
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Range {
+            region: self.region,
+            window: self.window,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<Vec<Observation>, StcamError> {
+        want_observations(response)
+    }
+    fn merge(self, partials: Vec<(NodeId, Vec<Observation>)>) -> Vec<Observation> {
+        let mut merged: Vec<Observation> = partials.into_iter().flat_map(|(_, obs)| obs).collect();
+        merged.sort_by_key(|o| o.id);
+        merged
+    }
+}
+
+/// [`RangeOp`] with an entity-class filter pushed down to the workers.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeFilteredOp {
+    /// Spatial predicate.
+    pub region: BBox,
+    /// Temporal predicate.
+    pub window: TimeInterval,
+    /// Required class, as `EntityClass::as_u8`.
+    pub class: u8,
+}
+
+impl DistributedOp for RangeFilteredOp {
+    type Partial = Vec<Observation>;
+    type Output = Vec<Observation>;
+    fn name(&self) -> &'static str {
+        "range_filtered"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        region_targets(partition, alive, self.region)
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::RangeFiltered {
+            region: self.region,
+            window: self.window,
+            class: self.class,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<Vec<Observation>, StcamError> {
+        want_observations(response)
+    }
+    fn merge(self, partials: Vec<(NodeId, Vec<Observation>)>) -> Vec<Observation> {
+        let mut merged: Vec<Observation> = partials.into_iter().flat_map(|(_, obs)| obs).collect();
+        merged.sort_by_key(|o| o.id);
+        merged
+    }
+}
+
+/// Phase one of the pruned kNN: ask only the owner of the query point's
+/// cell; its k-th distance bounds phase two.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnPhase1Op {
+    /// The (alive) owner of the query point's cell.
+    pub owner: NodeId,
+    /// Query point.
+    pub at: Point,
+    /// Temporal predicate.
+    pub window: TimeInterval,
+    /// Result size.
+    pub k: usize,
+}
+
+impl DistributedOp for KnnPhase1Op {
+    type Partial = Vec<Observation>;
+    type Output = Vec<Observation>;
+    fn name(&self) -> &'static str {
+        "knn_phase1"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        vec![self.owner]
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Knn {
+            at: self.at,
+            window: self.window,
+            k: self.k as u32,
+            max_distance: None,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<Vec<Observation>, StcamError> {
+        want_observations(response)
+    }
+    fn merge(self, partials: Vec<(NodeId, Vec<Observation>)>) -> Vec<Observation> {
+        let mut merged: Vec<Observation> = partials.into_iter().flat_map(|(_, obs)| obs).collect();
+        sort_knn(&mut merged, self.at);
+        merged.truncate(self.k);
+        merged
+    }
+}
+
+/// Phase two of the pruned kNN: scatter to the other shards intersecting
+/// the bounding disk (or all others when phase one under-filled), then
+/// fold the phase-one seed into the final top-k.
+#[derive(Debug, Clone)]
+pub struct KnnPhase2Op {
+    /// Query point.
+    pub at: Point,
+    /// Temporal predicate.
+    pub window: TimeInterval,
+    /// Result size.
+    pub k: usize,
+    /// Prune radius from phase one (None = no bound established).
+    pub bound: Option<f64>,
+    /// The phase-one worker, excluded from the scatter.
+    pub exclude: NodeId,
+    /// Phase-one results, folded into the merge.
+    pub seed: Vec<Observation>,
+}
+
+impl DistributedOp for KnnPhase2Op {
+    type Partial = Vec<Observation>;
+    type Output = Vec<Observation>;
+    fn name(&self) -> &'static str {
+        "knn_phase2"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        let candidates = match self.bound {
+            Some(radius) => partition.workers_for_region(BBox::around(self.at, radius)),
+            None => all_alive(alive),
+        };
+        candidates
+            .into_iter()
+            .filter(|w| *w != self.exclude && alive.contains(w))
+            .collect()
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Knn {
+            at: self.at,
+            window: self.window,
+            k: self.k as u32,
+            max_distance: self.bound,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<Vec<Observation>, StcamError> {
+        want_observations(response)
+    }
+    fn merge(self, partials: Vec<(NodeId, Vec<Observation>)>) -> Vec<Observation> {
+        let mut merged = self.seed;
+        merged.extend(partials.into_iter().flat_map(|(_, obs)| obs));
+        sort_knn(&mut merged, self.at);
+        merged.truncate(self.k);
+        merged
+    }
+}
+
+/// The naive kNN baseline: broadcast to every alive worker, no bound.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnBroadcastOp {
+    /// Query point.
+    pub at: Point,
+    /// Temporal predicate.
+    pub window: TimeInterval,
+    /// Result size.
+    pub k: usize,
+}
+
+impl DistributedOp for KnnBroadcastOp {
+    type Partial = Vec<Observation>;
+    type Output = Vec<Observation>;
+    fn name(&self) -> &'static str {
+        "knn_broadcast"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        all_alive(alive)
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Knn {
+            at: self.at,
+            window: self.window,
+            k: self.k as u32,
+            max_distance: None,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<Vec<Observation>, StcamError> {
+        want_observations(response)
+    }
+    fn merge(self, partials: Vec<(NodeId, Vec<Observation>)>) -> Vec<Observation> {
+        let mut merged: Vec<Observation> = partials.into_iter().flat_map(|(_, obs)| obs).collect();
+        sort_knn(&mut merged, self.at);
+        merged.truncate(self.k);
+        merged
+    }
+}
+
+/// Heat-map aggregate with worker-side partial aggregation: each shard
+/// reduces to a dense counts vector, the merge sums them.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatmapOp {
+    /// Aggregation buckets.
+    pub buckets: GridSpecMsg,
+    /// Temporal predicate.
+    pub window: TimeInterval,
+}
+
+impl HeatmapOp {
+    fn cell_count(&self) -> usize {
+        self.buckets.cols as usize * self.buckets.rows as usize
+    }
+}
+
+impl DistributedOp for HeatmapOp {
+    type Partial = Vec<u64>;
+    type Output = Vec<u64>;
+    fn name(&self) -> &'static str {
+        "heatmap"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        region_targets(partition, alive, self.buckets.to_grid().extent())
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Heatmap {
+            buckets: self.buckets,
+            window: self.window,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<Vec<u64>, StcamError> {
+        let counts = want_counts(response)?;
+        if counts.len() != self.cell_count() {
+            return Err(StcamError::Remote("bucket count mismatch".into()));
+        }
+        Ok(counts)
+    }
+    fn merge(self, partials: Vec<(NodeId, Vec<u64>)>) -> Vec<u64> {
+        let mut total = vec![0u64; self.cell_count()];
+        for (_, counts) in partials {
+            for (t, c) in total.iter_mut().zip(counts) {
+                *t += c;
+            }
+        }
+        total
+    }
+}
+
+/// The `k` densest buckets of a heat-map grid, computed from *sparse*
+/// per-shard partials: workers report only occupied buckets, the merge
+/// sums and ranks. Ties rank by bucket index for determinism.
+#[derive(Debug, Clone, Copy)]
+pub struct TopCellsOp {
+    /// Aggregation buckets.
+    pub buckets: GridSpecMsg,
+    /// Temporal predicate.
+    pub window: TimeInterval,
+    /// Number of cells to keep.
+    pub k: usize,
+}
+
+impl DistributedOp for TopCellsOp {
+    type Partial = Vec<(u32, u64)>;
+    type Output = Vec<(CellId, u64)>;
+    fn name(&self) -> &'static str {
+        "top_cells"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        region_targets(partition, alive, self.buckets.to_grid().extent())
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::TopCells {
+            buckets: self.buckets,
+            window: self.window,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<Vec<(u32, u64)>, StcamError> {
+        let cells = want_cell_counts(response)?;
+        let limit = self.buckets.cols as u64 * self.buckets.rows as u64;
+        if cells.iter().any(|&(idx, _)| idx as u64 >= limit) {
+            return Err(StcamError::Remote("bucket index out of range".into()));
+        }
+        Ok(cells)
+    }
+    fn merge(self, partials: Vec<(NodeId, Vec<(u32, u64)>)>) -> Vec<(CellId, u64)> {
+        let mut totals: HashMap<u32, u64> = HashMap::new();
+        for (_, cells) in partials {
+            for (idx, count) in cells {
+                *totals.entry(idx).or_insert(0) += count;
+            }
+        }
+        let mut ranked: Vec<(u32, u64)> = totals.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(self.k);
+        let cols = self.buckets.cols;
+        ranked
+            .into_iter()
+            .map(|(idx, count)| (CellId::new(idx % cols, idx / cols), count))
+            .collect()
+    }
+}
+
+/// Cluster-wide retention sweep. Idempotent: evicting before the same
+/// cutoff twice is a no-op.
+#[derive(Debug, Clone, Copy)]
+pub struct EvictOp {
+    /// Observations strictly older than this are dropped.
+    pub cutoff: Timestamp,
+}
+
+impl DistributedOp for EvictOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "evict"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        all_alive(alive)
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::EvictBefore(self.cutoff)
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Statistics collection from every alive worker.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsOp;
+
+impl DistributedOp for StatsOp {
+    type Partial = WorkerStatsMsg;
+    type Output = Vec<(NodeId, WorkerStatsMsg)>;
+    fn name(&self) -> &'static str {
+        "stats"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        all_alive(alive)
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Stats
+    }
+    fn decode(&self, response: Response) -> Result<WorkerStatsMsg, StcamError> {
+        want_stats(response)
+    }
+    fn merge(self, mut partials: Vec<(NodeId, WorkerStatsMsg)>) -> Vec<(NodeId, WorkerStatsMsg)> {
+        partials.sort_by_key(|(w, _)| *w);
+        partials
+    }
+}
+
+/// Installs a standing query at the workers overlapping its region
+/// (optionally restricted to one worker, for failover re-registration).
+/// Idempotent: re-inserting the same registration is a no-op.
+#[derive(Debug, Clone, Copy)]
+pub struct RegisterContinuousOp {
+    /// Query id.
+    pub id: ContinuousQueryId,
+    /// Match predicate.
+    pub predicate: Predicate,
+    /// Node notified on match.
+    pub notify: NodeId,
+    /// When set, register only at this worker (it must overlap).
+    pub only: Option<NodeId>,
+}
+
+impl DistributedOp for RegisterContinuousOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "register_continuous"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        region_targets(partition, alive, self.predicate.region)
+            .into_iter()
+            .filter(|w| self.only.is_none_or(|o| o == *w))
+            .collect()
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::RegisterContinuous {
+            id: self.id,
+            predicate: self.predicate,
+            notify: self.notify,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Removes a standing query everywhere. Idempotent.
+#[derive(Debug, Clone, Copy)]
+pub struct UnregisterContinuousOp {
+    /// Query id.
+    pub id: ContinuousQueryId,
+}
+
+impl DistributedOp for UnregisterContinuousOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "unregister_continuous"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        all_alive(alive)
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::UnregisterContinuous(self.id)
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Shard migration, extract side: remove and return `region`'s contents
+/// from one worker. **Not** idempotent — a retried extract after a lost
+/// reply would discard the first extraction's data.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtractRegionOp {
+    /// The worker migrating data away.
+    pub target: NodeId,
+    /// The region being migrated.
+    pub region: BBox,
+}
+
+impl DistributedOp for ExtractRegionOp {
+    type Partial = Vec<Observation>;
+    type Output = Vec<Observation>;
+    fn name(&self) -> &'static str {
+        "extract_region"
+    }
+    fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        vec![self.target]
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::ExtractRegion {
+            region: self.region,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<Vec<Observation>, StcamError> {
+        want_observations(response)
+    }
+    fn merge(self, partials: Vec<(NodeId, Vec<Observation>)>) -> Vec<Observation> {
+        partials.into_iter().flat_map(|(_, obs)| obs).collect()
+    }
+}
+
+/// Shard migration, adopt side: hand a batch to its new owner. **Not**
+/// idempotent — a retry after a lost reply would duplicate the batch.
+#[derive(Debug, Clone)]
+pub struct AdoptOp {
+    /// The adopting worker.
+    pub target: NodeId,
+    /// The migrated observations.
+    pub batch: Vec<Observation>,
+}
+
+impl DistributedOp for AdoptOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "adopt"
+    }
+    fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        vec![self.target]
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Adopt(self.batch.clone())
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Failover: tell a successor to absorb its replica log of `failed`.
+/// **Not** idempotent — promotion re-replicates onward.
+#[derive(Debug, Clone, Copy)]
+pub struct PromoteOp {
+    /// The successor absorbing the shard.
+    pub target: NodeId,
+    /// The failed primary.
+    pub failed: NodeId,
+}
+
+impl DistributedOp for PromoteOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "promote"
+    }
+    fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        vec![self.target]
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Promote {
+            failed: self.failed,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_camnet::{CameraId, ObservationId, Signature};
+    use stcam_net::{Fabric, LinkModel};
+    use stcam_world::{EntityClass, EntityId};
+
+    fn obs(seq: u64, x: f64) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(0), seq),
+            camera: CameraId(0),
+            time: Timestamp::ZERO,
+            position: Point::new(x, 0.0),
+            class: EntityClass::Car,
+            signature: Signature::latent_for_entity(seq),
+            truth: Some(EntityId(seq)),
+        }
+    }
+
+    fn window() -> TimeInterval {
+        TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(100))
+    }
+
+    fn one_worker_world() -> (PartitionMap, HashSet<NodeId>) {
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        let partition = PartitionMap::uniform(extent, 250.0, vec![NodeId(1)]);
+        let alive: HashSet<NodeId> = [NodeId(1)].into_iter().collect();
+        (partition, alive)
+    }
+
+    #[test]
+    fn policy_overrides_take_effect() {
+        let fabric = Fabric::new(LinkModel::instant());
+        let exec = Executor::new(
+            fabric.register(NodeId(0)),
+            OpPolicy::new(StdDuration::from_secs(5)),
+        );
+        assert_eq!(exec.policy_for("range").max_attempts, 3);
+        exec.set_policy("range", OpPolicy::no_retry(StdDuration::from_millis(50)));
+        assert_eq!(exec.policy_for("range").max_attempts, 1);
+        assert_eq!(
+            exec.policy_for("range").timeout,
+            StdDuration::from_millis(50)
+        );
+        // Other ops keep the default.
+        assert_eq!(exec.policy_for("heatmap").max_attempts, 3);
+    }
+
+    #[test]
+    fn op_stats_since_subtracts() {
+        let a = OpStats {
+            invocations: 2,
+            sub_queries: 8,
+            bytes_sent: 100,
+            ..Default::default()
+        };
+        let b = OpStats {
+            invocations: 5,
+            sub_queries: 20,
+            bytes_sent: 450,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.invocations, 3);
+        assert_eq!(d.sub_queries, 12);
+        assert_eq!(d.bytes_sent, 350);
+    }
+
+    #[test]
+    fn decoders_map_remote_errors() {
+        let range = RangeOp {
+            region: BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            window: window(),
+        };
+        assert!(matches!(
+            range.decode(Response::Error("boom".into())),
+            Err(StcamError::Remote(_))
+        ));
+        assert!(matches!(
+            range.decode(Response::Ack),
+            Err(StcamError::Remote(_))
+        ));
+        assert!(matches!(FlushOp.decode(Response::Ack), Ok(())));
+        let heat = HeatmapOp {
+            buckets: GridSpecMsg {
+                origin: Point::new(0.0, 0.0),
+                cell_size: 10.0,
+                cols: 2,
+                rows: 2,
+            },
+            window: window(),
+        };
+        // Wrong-length counts vector is an application error, not a panic.
+        assert!(matches!(
+            heat.decode(Response::Counts(vec![1, 2, 3])),
+            Err(StcamError::Remote(_))
+        ));
+        assert_eq!(
+            heat.decode(Response::Counts(vec![1, 2, 3, 4])).unwrap(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn sort_knn_orders_by_distance_then_id_and_survives_nan() {
+        let mut v = vec![obs(2, 5.0), obs(0, 10.0), obs(1, 5.0)];
+        sort_knn(&mut v, Point::new(0.0, 0.0));
+        let seqs: Vec<u64> = v.iter().map(|o| o.id.seq()).collect();
+        assert_eq!(seqs, vec![1, 2, 0]);
+        // A NaN position no longer destabilises the order of the rest.
+        let mut w = vec![obs(3, f64::NAN), obs(4, 1.0), obs(5, 2.0)];
+        sort_knn(&mut w, Point::new(0.0, 0.0));
+        assert_eq!(w[0].id.seq(), 4);
+        assert_eq!(w[1].id.seq(), 5);
+        assert_eq!(w[2].id.seq(), 3); // NaN distance sorts last under total_cmp
+    }
+
+    #[test]
+    fn top_cells_merge_ranks_by_count_then_index() {
+        let op = TopCellsOp {
+            buckets: GridSpecMsg {
+                origin: Point::new(0.0, 0.0),
+                cell_size: 10.0,
+                cols: 4,
+                rows: 4,
+            },
+            window: window(),
+            k: 3,
+        };
+        let partials = vec![
+            (NodeId(1), vec![(0u32, 5u64), (5, 2)]),
+            (NodeId(2), vec![(5, 2), (9, 4), (1, 4)]),
+        ];
+        let top = op.merge(partials);
+        // cell 0 → 5; cells 1, 5, 9 → 4 each (tie broken by index).
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], (CellId::new(0, 0), 5));
+        assert_eq!(top[1], (CellId::new(1, 0), 4));
+        assert_eq!(top[2], (CellId::new(1, 1), 4)); // index 5 = col 1, row 1
+    }
+
+    #[test]
+    fn idempotent_read_is_retried_after_a_lost_request() {
+        // A worker that swallows the first request it sees and serves
+        // every later one: the seed coordinator would surface a timeout;
+        // the executor retries and succeeds, with the retry on record.
+        let fabric = Fabric::new(LinkModel::instant());
+        let worker_ep = fabric.register(NodeId(1));
+        let exec = Executor::new(
+            fabric.register(NodeId(0)),
+            OpPolicy {
+                timeout: StdDuration::from_millis(100),
+                max_attempts: 3,
+                backoff: StdDuration::from_millis(1),
+            },
+        );
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_worker = std::sync::Arc::clone(&stop);
+        let flaky = std::thread::spawn(move || {
+            let mut dropped = false;
+            while !stop_worker.load(Ordering::Relaxed) {
+                let Some(env) = worker_ep.recv_timeout(StdDuration::from_millis(10)) else {
+                    continue;
+                };
+                if !dropped {
+                    dropped = true; // swallow the first attempt
+                    continue;
+                }
+                let _ = worker_ep.reply(
+                    &env,
+                    encode_to_vec(&Response::Observations(vec![obs(7, 1.0)])),
+                );
+            }
+        });
+        let (partition, alive) = one_worker_world();
+        let result = exec.execute(
+            RangeOp {
+                region: BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)),
+                window: window(),
+            },
+            &partition,
+            &alive,
+        );
+        stop.store(true, Ordering::Relaxed);
+        flaky.join().unwrap();
+        let hits = result.expect("retry should have recovered the query");
+        assert_eq!(hits.len(), 1);
+        let stats = exec.stats_for("range");
+        assert_eq!(stats.invocations, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.sub_queries, 2); // original + retry
+        assert_eq!(stats.failures, 0);
+        assert!(stats.bytes_sent > 0);
+        assert!(stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn non_idempotent_op_is_never_retried() {
+        // Nobody serves NodeId(1): every attempt times out. Adopt must
+        // fail on the first timeout without retrying (a retry could
+        // duplicate the batch).
+        let fabric = Fabric::new(LinkModel::instant());
+        let _worker_ep = fabric.register(NodeId(1));
+        let exec = Executor::new(
+            fabric.register(NodeId(0)),
+            OpPolicy {
+                timeout: StdDuration::from_millis(50),
+                max_attempts: 3,
+                backoff: StdDuration::ZERO,
+            },
+        );
+        let (partition, alive) = one_worker_world();
+        let result = exec.execute(
+            AdoptOp {
+                target: NodeId(1),
+                batch: vec![obs(0, 1.0)],
+            },
+            &partition,
+            &alive,
+        );
+        assert!(matches!(result, Err(StcamError::Net(NetError::Timeout))));
+        let stats = exec.stats_for("adopt");
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.sub_queries, 1);
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn empty_target_set_yields_empty_output_without_traffic() {
+        let fabric = Fabric::new(LinkModel::instant());
+        let exec = Executor::new(
+            fabric.register(NodeId(0)),
+            OpPolicy::new(StdDuration::from_secs(1)),
+        );
+        let (partition, _) = one_worker_world();
+        let alive = HashSet::new(); // nobody alive
+        let hits = exec
+            .execute(
+                RangeOp {
+                    region: BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+                    window: window(),
+                },
+                &partition,
+                &alive,
+            )
+            .unwrap();
+        assert!(hits.is_empty());
+        let stats = exec.stats_for("range");
+        assert_eq!(stats.invocations, 1);
+        assert_eq!(stats.sub_queries, 0);
+        assert_eq!(stats.bytes_sent, 0);
+    }
+}

@@ -41,7 +41,11 @@ impl Ingestor {
         partition: PartitionMap,
         rpc_timeout: StdDuration,
     ) -> Self {
-        Ingestor { endpoint, partition, rpc_timeout }
+        Ingestor {
+            endpoint,
+            partition,
+            rpc_timeout,
+        }
     }
 
     /// This ingestor's node id on the fabric.
@@ -82,9 +86,9 @@ impl Ingestor {
     /// Fails when a worker does not answer within the RPC timeout.
     pub fn flush(&self) -> Result<(), StcamError> {
         for &worker in self.partition.workers() {
-            let bytes = self
-                .endpoint
-                .call(worker, encode_to_vec(&Request::Ping), self.rpc_timeout)?;
+            let bytes =
+                self.endpoint
+                    .call(worker, encode_to_vec(&Request::Ping), self.rpc_timeout)?;
             let _ = stcam_codec::decode_from_slice::<crate::protocol::Response>(&bytes)?;
         }
         Ok(())
@@ -128,7 +132,11 @@ mod tests {
                     for i in 0..250u64 {
                         let seq = t * 250 + i;
                         ingestor
-                            .ingest(vec![obs(seq, (seq as f64 * 7.0) % 1000.0, (seq as f64 * 13.0) % 1000.0)])
+                            .ingest(vec![obs(
+                                seq,
+                                (seq as f64 * 7.0) % 1000.0,
+                                (seq as f64 * 13.0) % 1000.0,
+                            )])
                             .unwrap();
                     }
                     ingestor.flush().unwrap();
@@ -146,10 +154,8 @@ mod tests {
     #[test]
     fn ingestor_ids_are_distinct() {
         let extent = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
-        let cluster = Cluster::launch(
-            ClusterConfig::new(extent, 2).with_link(LinkModel::instant()),
-        )
-        .unwrap();
+        let cluster =
+            Cluster::launch(ClusterConfig::new(extent, 2).with_link(LinkModel::instant())).unwrap();
         let a = cluster.create_ingestor();
         let b = cluster.create_ingestor();
         assert_ne!(a.id(), b.id());

@@ -19,12 +19,21 @@
 //!   contiguous curve runs are assigned to workers (uniform) or packed by
 //!   measured load (load-aware).
 //! * [`Worker`] — owns the `stcam-index` shard for its cells, answers
-//!   sub-queries, evaluates continuous-query predicates at ingest, and
-//!   forwards replicas to its ring successors.
-//! * [`Coordinator`] — routes ingest batches, scatters queries to exactly
-//!   the owning workers, merges partial results (top-k merge for kNN,
-//!   bucket-sum for heat maps), monitors liveness, and fails shards over
-//!   to replicas.
+//!   sub-queries through a table-driven per-operation dispatch (with
+//!   per-op serve counters), evaluates continuous-query predicates at
+//!   ingest, and forwards replicas to its ring successors.
+//! * [`exec`] — the typed scatter/gather layer. Every distributed
+//!   operation is a [`exec::DistributedOp`] (targets / request / decode /
+//!   merge); the [`exec::Executor`] owns parallel fan-out, per-operation
+//!   timeout/retry policy ([`OpPolicy`] — idempotent reads retry
+//!   deterministically after timeouts, migration steps never do), and
+//!   per-operation telemetry ([`OpStats`]: sub-queries, retries, wire
+//!   bytes, scatter/merge latency split).
+//! * [`Coordinator`] — routes ingest batches and composes operations over
+//!   the executor: two-phase pruned kNN is [`exec::KnnPhase1Op`] feeding
+//!   [`exec::KnnPhase2Op`], rebalance chains extract/adopt migrations,
+//!   recovery turns probe failures into failover. Everything else is a
+//!   thin one-op wrapper.
 //! * [`stitch`] — converts per-camera observations into tracklets and
 //!   associates them across adjacent cameras using appearance distance
 //!   gated by learned transition-time windows.
@@ -56,6 +65,7 @@ mod cluster;
 mod continuous;
 mod coordinator;
 mod error;
+pub mod exec;
 mod ingest;
 mod partition;
 mod protocol;
@@ -68,7 +78,8 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use continuous::{ContinuousQueryId, Notification, Predicate};
 pub use coordinator::{ClusterStats, Coordinator, RebalanceReport};
 pub use error::StcamError;
+pub use exec::{DistributedOp, Executor, OpPolicy, OpStats};
 pub use ingest::Ingestor;
 pub use partition::{PartitionMap, PartitionPolicy};
-pub use protocol::{Request, Response, WorkerStatsMsg};
+pub use protocol::{GridSpecMsg, Request, Response, WorkerStatsMsg};
 pub use worker::{Worker, WorkerConfig, WorkerHandle};

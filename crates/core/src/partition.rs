@@ -131,7 +131,11 @@ impl PartitionMap {
             acc += loads[slot];
             cells_in_run += 1;
         }
-        PartitionMap { grid, workers, assignment }
+        PartitionMap {
+            grid,
+            workers,
+            assignment,
+        }
     }
 
     /// The macro grid.
@@ -208,8 +212,16 @@ impl PartitionMap {
     ///
     /// Panics when either node is not a member.
     pub fn reassign(&mut self, from: NodeId, to: NodeId) {
-        let fidx = self.workers.iter().position(|&w| w == from).expect("from is a member") as u32;
-        let tidx = self.workers.iter().position(|&w| w == to).expect("to is a member") as u32;
+        let fidx = self
+            .workers
+            .iter()
+            .position(|&w| w == from)
+            .expect("from is a member") as u32;
+        let tidx = self
+            .workers
+            .iter()
+            .position(|&w| w == to)
+            .expect("to is a member") as u32;
         for a in &mut self.assignment {
             if *a == fidx {
                 *a = tidx;
@@ -231,8 +243,16 @@ impl PartitionMap {
             if cell.row == 0 { -FAR } else { bb.min.y },
         );
         let max = Point::new(
-            if cell.col == self.grid.cols() - 1 { FAR } else { bb.max.x.next_down() },
-            if cell.row == self.grid.rows() - 1 { FAR } else { bb.max.y.next_down() },
+            if cell.col == self.grid.cols() - 1 {
+                FAR
+            } else {
+                bb.max.x.next_down()
+            },
+            if cell.row == self.grid.rows() - 1 {
+                FAR
+            } else {
+                bb.max.y.next_down()
+            },
         );
         BBox::new(min, max)
     }
@@ -311,7 +331,10 @@ mod tests {
         for &w in m.workers() {
             let cells = m.cells_of(w);
             let bb = BBox::covering(cells.iter().map(|&c| m.grid().cell_center(c)));
-            assert!(bb.area() <= extent().area() / 2.0, "shard of {w} too spread");
+            assert!(
+                bb.area() <= extent().area() / 2.0,
+                "shard of {w} too spread"
+            );
         }
     }
 
@@ -339,7 +362,9 @@ mod tests {
         // Load concentrated in one corner.
         let grid = GridSpec::covering(extent(), 200.0);
         let mut loads = vec![1u64; grid.cell_count() as usize];
-        for cell in grid.cells_overlapping(BBox::new(Point::new(0.0, 0.0), Point::new(400.0, 400.0))) {
+        for cell in
+            grid.cells_overlapping(BBox::new(Point::new(0.0, 0.0), Point::new(400.0, 400.0)))
+        {
             let slot = cell.row as usize * grid.cols() as usize + cell.col as usize;
             loads[slot] = 500;
         }
@@ -416,10 +441,16 @@ mod tests {
             for cell in m.grid().all_cells() {
                 if m.cell_routing_region(cell).contains(p) {
                     containing += 1;
-                    assert_eq!(cell, owning_cell, "{p} routes to {owning_cell} but region of {cell} contains it");
+                    assert_eq!(
+                        cell, owning_cell,
+                        "{p} routes to {owning_cell} but region of {cell} contains it"
+                    );
                 }
             }
-            assert_eq!(containing, 1, "{p} contained by {containing} routing regions");
+            assert_eq!(
+                containing, 1,
+                "{p} contained by {containing} routing regions"
+            );
         }
     }
 

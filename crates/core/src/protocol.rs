@@ -58,9 +58,16 @@ impl Wire for GridSpecMsg {
         let cols = u32::decode(buf)?;
         let rows = u32::decode(buf)?;
         if cell_size <= 0.0 || !cell_size.is_finite() || cols == 0 || rows == 0 {
-            return Err(DecodeError::InvalidValue { reason: "degenerate grid spec" });
+            return Err(DecodeError::InvalidValue {
+                reason: "degenerate grid spec",
+            });
         }
-        Ok(GridSpecMsg { origin, cell_size, cols, rows })
+        Ok(GridSpecMsg {
+            origin,
+            cell_size,
+            cols,
+            rows,
+        })
     }
 }
 
@@ -152,10 +159,46 @@ pub enum Request {
         /// Required class, as `EntityClass::as_u8`.
         class: u8,
     },
+    /// Return the *non-zero* per-bucket counts over the local shard, as
+    /// sparse `(bucket index, count)` pairs. The coordinator sums them
+    /// and keeps the densest `k` ("hot cell" ranking). The sparse reply
+    /// keeps the wire cost proportional to occupied cells, not grid size.
+    TopCells {
+        /// Aggregation buckets.
+        buckets: GridSpecMsg,
+        /// Temporal predicate.
+        window: TimeInterval,
+    },
+}
+
+impl Request {
+    /// The stable operation name of this request, used as the dispatch
+    /// key in the worker's handler table and as the label of per-op serve
+    /// counters. One name per variant.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Ingest(_) => "ingest",
+            Request::Replicate { .. } => "replicate",
+            Request::Range { .. } => "range",
+            Request::Knn { .. } => "knn",
+            Request::Heatmap { .. } => "heatmap",
+            Request::RegisterContinuous { .. } => "register_continuous",
+            Request::UnregisterContinuous(_) => "unregister_continuous",
+            Request::SnapshotReplica { .. } => "snapshot_replica",
+            Request::Adopt(_) => "adopt",
+            Request::Stats => "stats",
+            Request::EvictBefore(_) => "evict_before",
+            Request::Promote { .. } => "promote",
+            Request::ExtractRegion { .. } => "extract_region",
+            Request::RangeFiltered { .. } => "range_filtered",
+            Request::TopCells { .. } => "top_cells",
+        }
+    }
 }
 
 /// Statistics reported by a worker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WorkerStatsMsg {
     /// Observations in the primary shard index.
     pub primary_observations: u64,
@@ -176,6 +219,20 @@ pub struct WorkerStatsMsg {
     /// End of the newest retained index slice, in milliseconds, if any
     /// data is held. Drives cluster-wide retention sweeps.
     pub newest_ms: Option<u64>,
+    /// Requests served, per operation name (see [`Request::op_name`]),
+    /// sorted by name. Only operations served at least once appear.
+    pub served: Vec<(String, u64)>,
+}
+
+impl WorkerStatsMsg {
+    /// Requests served under operation name `op` (0 when never served).
+    pub fn served_count(&self, op: &str) -> u64 {
+        self.served
+            .iter()
+            .find(|(name, _)| name == op)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
 }
 
 impl Wire for WorkerStatsMsg {
@@ -187,6 +244,7 @@ impl Wire for WorkerStatsMsg {
         self.continuous_queries.encode(buf);
         self.busy_micros.encode(buf);
         self.newest_ms.encode(buf);
+        self.served.encode(buf);
     }
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(WorkerStatsMsg {
@@ -197,6 +255,7 @@ impl Wire for WorkerStatsMsg {
             continuous_queries: u64::decode(buf)?,
             busy_micros: u64::decode(buf)?,
             newest_ms: Option::decode(buf)?,
+            served: Vec::decode(buf)?,
         })
     }
 }
@@ -214,6 +273,9 @@ pub enum Response {
     Stats(WorkerStatsMsg),
     /// Application-level failure.
     Error(String),
+    /// Sparse per-bucket counts: `(bucket index, count)` for occupied
+    /// buckets only (answer to [`Request::TopCells`]).
+    CellCounts(Vec<(u32, u64)>),
 }
 
 const REQ_PING: u8 = 0;
@@ -231,6 +293,7 @@ const REQ_EVICT: u8 = 11;
 const REQ_PROMOTE: u8 = 12;
 const REQ_EXTRACT: u8 = 13;
 const REQ_RANGE_FILTERED: u8 = 14;
+const REQ_TOP_CELLS: u8 = 15;
 
 impl Wire for Request {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -250,7 +313,12 @@ impl Wire for Request {
                 region.encode(buf);
                 window.encode(buf);
             }
-            Request::Knn { at, window, k, max_distance } => {
+            Request::Knn {
+                at,
+                window,
+                k,
+                max_distance,
+            } => {
                 buf.put_u8(REQ_KNN);
                 at.encode(buf);
                 window.encode(buf);
@@ -262,7 +330,11 @@ impl Wire for Request {
                 buckets.encode(buf);
                 window.encode(buf);
             }
-            Request::RegisterContinuous { id, predicate, notify } => {
+            Request::RegisterContinuous {
+                id,
+                predicate,
+                notify,
+            } => {
                 buf.put_u8(REQ_REGISTER);
                 id.0.encode(buf);
                 predicate.encode(buf);
@@ -293,11 +365,20 @@ impl Wire for Request {
                 buf.put_u8(REQ_EXTRACT);
                 region.encode(buf);
             }
-            Request::RangeFiltered { region, window, class } => {
+            Request::RangeFiltered {
+                region,
+                window,
+                class,
+            } => {
                 buf.put_u8(REQ_RANGE_FILTERED);
                 region.encode(buf);
                 window.encode(buf);
                 class.encode(buf);
+            }
+            Request::TopCells { buckets, window } => {
+                buf.put_u8(REQ_TOP_CELLS);
+                buckets.encode(buf);
+                window.encode(buf);
             }
         }
     }
@@ -331,16 +412,26 @@ impl Wire for Request {
                 notify: NodeId(u32::decode(buf)?),
             },
             REQ_UNREGISTER => Request::UnregisterContinuous(ContinuousQueryId(u64::decode(buf)?)),
-            REQ_SNAPSHOT => Request::SnapshotReplica { of: NodeId(u32::decode(buf)?) },
+            REQ_SNAPSHOT => Request::SnapshotReplica {
+                of: NodeId(u32::decode(buf)?),
+            },
             REQ_ADOPT => Request::Adopt(Vec::decode(buf)?),
             REQ_STATS => Request::Stats,
             REQ_EVICT => Request::EvictBefore(stcam_geo::Timestamp::decode(buf)?),
-            REQ_PROMOTE => Request::Promote { failed: NodeId(u32::decode(buf)?) },
-            REQ_EXTRACT => Request::ExtractRegion { region: BBox::decode(buf)? },
+            REQ_PROMOTE => Request::Promote {
+                failed: NodeId(u32::decode(buf)?),
+            },
+            REQ_EXTRACT => Request::ExtractRegion {
+                region: BBox::decode(buf)?,
+            },
             REQ_RANGE_FILTERED => Request::RangeFiltered {
                 region: BBox::decode(buf)?,
                 window: TimeInterval::decode(buf)?,
                 class: u8::decode(buf)?,
+            },
+            REQ_TOP_CELLS => Request::TopCells {
+                buckets: GridSpecMsg::decode(buf)?,
+                window: TimeInterval::decode(buf)?,
             },
             other => {
                 return Err(DecodeError::InvalidDiscriminant {
@@ -357,6 +448,7 @@ const RESP_OBSERVATIONS: u8 = 1;
 const RESP_COUNTS: u8 = 2;
 const RESP_STATS: u8 = 3;
 const RESP_ERROR: u8 = 4;
+const RESP_CELL_COUNTS: u8 = 5;
 
 impl Wire for Response {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -378,6 +470,10 @@ impl Wire for Response {
                 buf.put_u8(RESP_ERROR);
                 msg.encode(buf);
             }
+            Response::CellCounts(cells) => {
+                buf.put_u8(RESP_CELL_COUNTS);
+                cells.encode(buf);
+            }
         }
     }
 
@@ -389,6 +485,7 @@ impl Wire for Response {
             RESP_COUNTS => Response::Counts(Vec::decode(buf)?),
             RESP_STATS => Response::Stats(WorkerStatsMsg::decode(buf)?),
             RESP_ERROR => Response::Error(String::decode(buf)?),
+            RESP_CELL_COUNTS => Response::CellCounts(Vec::decode(buf)?),
             other => {
                 return Err(DecodeError::InvalidDiscriminant {
                     type_name: "Response",
@@ -434,7 +531,10 @@ mod tests {
         let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(10));
         round_trip_req(Request::Ping);
         round_trip_req(Request::Ingest(vec![obs(), obs()]));
-        round_trip_req(Request::Replicate { primary: NodeId(3), batch: vec![obs()] });
+        round_trip_req(Request::Replicate {
+            primary: NodeId(3),
+            batch: vec![obs()],
+        });
         round_trip_req(Request::Range {
             region: BBox::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0)),
             window,
@@ -445,7 +545,12 @@ mod tests {
             k: 16,
             max_distance: Some(120.5),
         });
-        round_trip_req(Request::Knn { at: Point::new(1.0, 2.0), window, k: 1, max_distance: None });
+        round_trip_req(Request::Knn {
+            at: Point::new(1.0, 2.0),
+            window,
+            k: 1,
+            max_distance: None,
+        });
         round_trip_req(Request::Heatmap {
             buckets: GridSpecMsg {
                 origin: Point::new(0.0, 0.0),
@@ -477,6 +582,15 @@ mod tests {
             window,
             class: 3,
         });
+        round_trip_req(Request::TopCells {
+            buckets: GridSpecMsg {
+                origin: Point::new(0.0, 0.0),
+                cell_size: 50.0,
+                cols: 16,
+                rows: 16,
+            },
+            window,
+        });
     }
 
     #[test]
@@ -492,8 +606,77 @@ mod tests {
             continuous_queries: 1,
             busy_micros: 1234,
             newest_ms: Some(99_000),
+            served: vec![("ping".into(), 3), ("range".into(), 12)],
         }));
         round_trip_resp(Response::Error("shard unavailable".into()));
+        round_trip_resp(Response::CellCounts(vec![(0, 9), (17, 1), (250, 3)]));
+    }
+
+    #[test]
+    fn op_names_are_unique_and_stable() {
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(1));
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let grid = GridSpecMsg {
+            origin: Point::new(0.0, 0.0),
+            cell_size: 1.0,
+            cols: 1,
+            rows: 1,
+        };
+        let all = [
+            Request::Ping,
+            Request::Ingest(vec![]),
+            Request::Replicate {
+                primary: NodeId(1),
+                batch: vec![],
+            },
+            Request::Range { region, window },
+            Request::Knn {
+                at: Point::new(0.0, 0.0),
+                window,
+                k: 1,
+                max_distance: None,
+            },
+            Request::Heatmap {
+                buckets: grid,
+                window,
+            },
+            Request::RegisterContinuous {
+                id: ContinuousQueryId(1),
+                predicate: Predicate {
+                    region,
+                    class: None,
+                },
+                notify: NodeId(0),
+            },
+            Request::UnregisterContinuous(ContinuousQueryId(1)),
+            Request::SnapshotReplica { of: NodeId(1) },
+            Request::Adopt(vec![]),
+            Request::Stats,
+            Request::EvictBefore(Timestamp::ZERO),
+            Request::Promote { failed: NodeId(1) },
+            Request::ExtractRegion { region },
+            Request::RangeFiltered {
+                region,
+                window,
+                class: 0,
+            },
+            Request::TopCells {
+                buckets: grid,
+                window,
+            },
+        ];
+        let names: std::collections::HashSet<&str> = all.iter().map(|r| r.op_name()).collect();
+        assert_eq!(names.len(), all.len(), "duplicate op names");
+    }
+
+    #[test]
+    fn served_count_lookup() {
+        let stats = WorkerStatsMsg {
+            served: vec![("ping".into(), 2), ("range".into(), 7)],
+            ..Default::default()
+        };
+        assert_eq!(stats.served_count("range"), 7);
+        assert_eq!(stats.served_count("knn"), 0);
     }
 
     #[test]
@@ -518,7 +701,12 @@ mod tests {
 
     #[test]
     fn degenerate_grid_rejected() {
-        let bad = GridSpecMsg { origin: Point::ORIGIN, cell_size: 0.0, cols: 4, rows: 4 };
+        let bad = GridSpecMsg {
+            origin: Point::ORIGIN,
+            cell_size: 0.0,
+            cols: 4,
+            rows: 4,
+        };
         let bytes = encode_to_vec(&bad);
         assert!(matches!(
             decode_from_slice::<GridSpecMsg>(&bytes),

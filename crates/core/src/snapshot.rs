@@ -26,10 +26,7 @@ const BATCH: usize = 1_000;
 /// # Errors
 ///
 /// Propagates query failures.
-pub fn export_archive(
-    cluster: &Cluster,
-    region: stcam_geo::BBox,
-) -> Result<Vec<u8>, StcamError> {
+pub fn export_archive(cluster: &Cluster, region: stcam_geo::BBox) -> Result<Vec<u8>, StcamError> {
     let observations = cluster.range_query(region, TimeInterval::ALL)?;
     let mut out = BytesMut::new();
     for batch in observations.chunks(BATCH) {

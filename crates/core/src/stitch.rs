@@ -23,8 +23,7 @@
 use std::collections::HashMap;
 
 use stcam_camnet::{
-    CameraId, CameraNetwork, Observation, ObservationId, Signature, TransitionModel,
-    SIGNATURE_DIM,
+    CameraId, CameraNetwork, Observation, ObservationId, Signature, TransitionModel, SIGNATURE_DIM,
 };
 use stcam_geo::{BBox, Duration, TimeInterval, Timestamp};
 use stcam_world::{EntityClass, EntityId};
@@ -80,12 +79,18 @@ pub struct Tracklet {
 impl Tracklet {
     /// First observation time.
     pub fn start(&self) -> Timestamp {
-        self.observations.first().expect("tracklets are non-empty").time
+        self.observations
+            .first()
+            .expect("tracklets are non-empty")
+            .time
     }
 
     /// Last observation time.
     pub fn end(&self) -> Timestamp {
-        self.observations.last().expect("tracklets are non-empty").time
+        self.observations
+            .last()
+            .expect("tracklets are non-empty")
+            .time
     }
 
     /// Component-wise mean of the member signatures.
@@ -162,9 +167,7 @@ pub fn build_tracklets(observations: &[Observation], config: &StitchConfig) -> V
         let mut open: Vec<usize> = Vec::new();
         for obs in stream {
             // Close stale tracklets.
-            open.retain(|&t| {
-                obs.time.abs_diff(tracklets[t].end()) <= config.max_frame_gap
-            });
+            open.retain(|&t| obs.time.abs_diff(tracklets[t].end()) <= config.max_frame_gap);
             let mut best: Option<(f32, usize)> = None;
             for &t in &open {
                 let tracklet: &Tracklet = &tracklets[t];
@@ -185,7 +188,10 @@ pub fn build_tracklets(observations: &[Observation], config: &StitchConfig) -> V
             match best {
                 Some((_, t)) => tracklets[t].observations.push(obs.clone()),
                 None => {
-                    tracklets.push(Tracklet { camera, observations: vec![obs.clone()] });
+                    tracklets.push(Tracklet {
+                        camera,
+                        observations: vec![obs.clone()],
+                    });
                     open.push(tracklets.len() - 1);
                 }
             }
@@ -234,7 +240,11 @@ pub fn stitch_handoff(
             }
             let score = sigs[i].distance(&sigs[j]);
             if score <= config.handoff_sig_threshold {
-                links.push(Link { from: i, to: j, score });
+                links.push(Link {
+                    from: i,
+                    to: j,
+                    score,
+                });
             }
         }
     }
@@ -264,7 +274,11 @@ pub fn stitch_greedy(
             }
             let score = sigs[i].distance(&sigs[j]);
             if score <= config.handoff_sig_threshold {
-                links.push(Link { from: i, to: j, score });
+                links.push(Link {
+                    from: i,
+                    to: j,
+                    score,
+                });
             }
         }
     }
@@ -448,7 +462,11 @@ pub fn score_links(tracklets: &[Tracklet], tracks: &[GlobalTrack]) -> StitchScor
             }
         }
     }
-    StitchScore { correct_links, predicted_links, true_links }
+    StitchScore {
+        correct_links,
+        predicted_links,
+        true_links,
+    }
 }
 
 #[cfg(test)]
@@ -496,7 +514,10 @@ mod tests {
         for t in &tracklets {
             assert_eq!(t.observations.len(), 2);
             let truth = t.observations[0].truth;
-            assert!(t.observations.iter().all(|o| o.truth == truth), "mixed tracklet");
+            assert!(
+                t.observations.iter().all(|o| o.truth == truth),
+                "mixed tracklet"
+            );
         }
     }
 
@@ -522,7 +543,10 @@ mod tests {
         o1.signature = Signature::new([0.0; SIGNATURE_DIM]);
         o2.signature = Signature::new([1.0; SIGNATURE_DIM]);
         o2.class = EntityClass::Truck;
-        let t = Tracklet { camera: CameraId(0), observations: vec![o1, o2.clone(), o2] };
+        let t = Tracklet {
+            camera: CameraId(0),
+            observations: vec![o1, o2.clone(), o2],
+        };
         assert!((t.mean_signature().values()[0] - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(t.class(), EntityClass::Truck);
         assert_eq!(t.majority_truth(), Some(EntityId(1)));
@@ -531,9 +555,21 @@ mod tests {
     #[test]
     fn assemble_builds_chains_without_cycles() {
         let links = vec![
-            Link { from: 0, to: 1, score: 0.1 },
-            Link { from: 1, to: 2, score: 0.2 },
-            Link { from: 2, to: 0, score: 0.05 }, // would close a cycle
+            Link {
+                from: 0,
+                to: 1,
+                score: 0.1,
+            },
+            Link {
+                from: 1,
+                to: 2,
+                score: 0.2,
+            },
+            Link {
+                from: 2,
+                to: 0,
+                score: 0.05,
+            }, // would close a cycle
         ];
         let tracks = assemble(3, links);
         // The cycle-closing link is cheapest and taken first (2→0), so the
@@ -568,14 +604,13 @@ mod tests {
 
     #[test]
     fn score_counts_wrong_links() {
-        let stream = vec![
-            obs(0, 0, 0, 0.0, 1),
-            obs(1, 0, 5_000, 10.0, 2),
-        ];
+        let stream = vec![obs(0, 0, 0, 0.0, 1), obs(1, 0, 5_000, 10.0, 2)];
         let config = StitchConfig::default();
         let tracklets = build_tracklets(&stream, &config);
         // Force-link the two different entities.
-        let tracks = vec![GlobalTrack { tracklets: vec![0, 1] }];
+        let tracks = vec![GlobalTrack {
+            tracklets: vec![0, 1],
+        }];
         let score = score_links(&tracklets, &tracks);
         assert_eq!(score.predicted_links, 1);
         assert_eq!(score.correct_links, 0);
@@ -586,9 +621,17 @@ mod tests {
 
     #[test]
     fn perfect_score_is_one() {
-        let s = StitchScore { correct_links: 5, predicted_links: 5, true_links: 5 };
+        let s = StitchScore {
+            correct_links: 5,
+            predicted_links: 5,
+            true_links: 5,
+        };
         assert_eq!(s.f1(), 1.0);
-        let empty = StitchScore { correct_links: 0, predicted_links: 0, true_links: 0 };
+        let empty = StitchScore {
+            correct_links: 0,
+            predicted_links: 0,
+            true_links: 0,
+        };
         assert_eq!(empty.f1(), 1.0);
     }
 }

@@ -42,7 +42,33 @@ pub struct Worker {
     ingested_total: u64,
     notifications_sent: u64,
     busy: std::time::Duration,
+    /// Requests served, keyed by operation name.
+    served: HashMap<&'static str, u64>,
 }
+
+/// One row of the dispatch table: an operation name and its handler.
+type Handler = fn(&mut Worker, Request) -> Response;
+
+/// The worker's dispatch table, keyed by [`Request::op_name`]. Adding a
+/// request kind means adding exactly one row here plus its handler.
+const DISPATCH: &[(&str, Handler)] = &[
+    ("ping", Worker::serve_ping),
+    ("ingest", Worker::serve_ingest),
+    ("replicate", Worker::serve_replicate),
+    ("range", Worker::serve_range),
+    ("knn", Worker::serve_knn),
+    ("heatmap", Worker::serve_heatmap),
+    ("top_cells", Worker::serve_top_cells),
+    ("register_continuous", Worker::serve_register_continuous),
+    ("unregister_continuous", Worker::serve_unregister_continuous),
+    ("snapshot_replica", Worker::serve_snapshot_replica),
+    ("adopt", Worker::serve_adopt),
+    ("promote", Worker::serve_promote),
+    ("extract_region", Worker::serve_extract_region),
+    ("range_filtered", Worker::serve_range_filtered),
+    ("stats", Worker::serve_stats),
+    ("evict_before", Worker::serve_evict_before),
+];
 
 impl Worker {
     /// Creates a worker serving on `endpoint`.
@@ -57,6 +83,7 @@ impl Worker {
             ingested_total: 0,
             notifications_sent: 0,
             busy: std::time::Duration::ZERO,
+            served: HashMap::new(),
         }
     }
 
@@ -77,7 +104,10 @@ impl Worker {
                 worker.run(&stop_clone);
             })
             .expect("spawn worker thread");
-        WorkerHandle { stop, join: Some(join) }
+        WorkerHandle {
+            stop,
+            join: Some(join),
+        }
     }
 
     /// Serves requests until `stop` is set.
@@ -111,84 +141,196 @@ impl Worker {
 
     /// Executes one request against local state and produces the response.
     ///
+    /// Dispatch is table-driven by [`Request::op_name`] over [`DISPATCH`];
+    /// every served request increments that operation's serve counter.
     /// Side-effecting requests (`Ingest`, `Promote`, `Adopt`) also emit
     /// replica and notification traffic through the endpoint.
     pub fn handle_request(&mut self, request: Request) -> Response {
-        match request {
-            Request::Ping => Response::Ack,
-            Request::Ingest(batch) => {
-                self.ingest(batch);
-                Response::Ack
+        let name = request.op_name();
+        match DISPATCH.iter().find(|(op, _)| *op == name) {
+            Some(&(op, handler)) => {
+                *self.served.entry(op).or_insert(0) += 1;
+                handler(self, request)
             }
-            Request::Replicate { primary, batch } => {
-                self.replica_logs.entry(primary).or_default().extend(batch);
-                Response::Ack
-            }
-            Request::Range { region, window } => {
-                let hits = self.index.range(region, window).into_iter().cloned().collect();
-                Response::Observations(hits)
-            }
-            Request::Knn { at, window, k, max_distance } => {
-                let mut hits: Vec<Observation> = self
-                    .index
-                    .knn(at, window, k as usize)
-                    .into_iter()
-                    .cloned()
-                    .collect();
-                if let Some(limit) = max_distance {
-                    hits.retain(|o| at.distance(o.position) <= limit);
-                }
-                Response::Observations(hits)
-            }
-            Request::Heatmap { buckets, window } => {
-                Response::Counts(self.index.heatmap(&buckets.to_grid(), window))
-            }
-            Request::RegisterContinuous { id, predicate, notify } => {
-                self.continuous.insert(id, (predicate, notify));
-                Response::Ack
-            }
-            Request::UnregisterContinuous(id) => {
-                self.continuous.remove(&id);
-                Response::Ack
-            }
-            Request::SnapshotReplica { of } => Response::Observations(
-                self.replica_logs.get(&of).cloned().unwrap_or_default(),
-            ),
-            Request::Adopt(batch) => {
-                self.index.insert_batch(batch);
-                Response::Ack
-            }
-            Request::Promote { failed } => {
-                let log = self.replica_logs.remove(&failed).unwrap_or_default();
-                self.replicate(&log);
-                self.index.insert_batch(log);
-                Response::Ack
-            }
-            Request::ExtractRegion { region } => {
-                Response::Observations(self.index.extract_range(region))
-            }
-            Request::RangeFiltered { region, window, class } => {
-                match stcam_world::EntityClass::from_u8(class) {
-                    Some(class) => Response::Observations(
-                        self.index
-                            .range(region, window)
-                            .into_iter()
-                            .filter(|o| o.class == class)
-                            .cloned()
-                            .collect(),
-                    ),
-                    None => Response::Error(format!("invalid class {class}")),
-                }
-            }
-            Request::Stats => Response::Stats(self.stats()),
-            Request::EvictBefore(cutoff) => {
-                self.index.evict_before(cutoff);
-                for log in self.replica_logs.values_mut() {
-                    log.retain(|o| o.time >= cutoff);
-                }
-                Response::Ack
-            }
+            None => Response::Error(format!("no handler for operation {name}")),
         }
+    }
+
+    /// A request routed to the wrong handler — only reachable if the
+    /// dispatch table and [`Request::op_name`] disagree.
+    fn misrouted(request: &Request) -> Response {
+        Response::Error(format!(
+            "request {} misrouted in dispatch table",
+            request.op_name()
+        ))
+    }
+
+    fn serve_ping(&mut self, _request: Request) -> Response {
+        Response::Ack
+    }
+
+    fn serve_ingest(&mut self, request: Request) -> Response {
+        let Request::Ingest(batch) = request else {
+            return Self::misrouted(&request);
+        };
+        self.ingest(batch);
+        Response::Ack
+    }
+
+    fn serve_replicate(&mut self, request: Request) -> Response {
+        let Request::Replicate { primary, batch } = request else {
+            return Self::misrouted(&request);
+        };
+        self.replica_logs.entry(primary).or_default().extend(batch);
+        Response::Ack
+    }
+
+    fn serve_range(&mut self, request: Request) -> Response {
+        let Request::Range { region, window } = request else {
+            return Self::misrouted(&request);
+        };
+        let hits = self
+            .index
+            .range(region, window)
+            .into_iter()
+            .cloned()
+            .collect();
+        Response::Observations(hits)
+    }
+
+    fn serve_knn(&mut self, request: Request) -> Response {
+        let Request::Knn {
+            at,
+            window,
+            k,
+            max_distance,
+        } = request
+        else {
+            return Self::misrouted(&request);
+        };
+        let mut hits: Vec<Observation> = self
+            .index
+            .knn(at, window, k as usize)
+            .into_iter()
+            .cloned()
+            .collect();
+        if let Some(limit) = max_distance {
+            hits.retain(|o| at.distance(o.position) <= limit);
+        }
+        Response::Observations(hits)
+    }
+
+    fn serve_heatmap(&mut self, request: Request) -> Response {
+        let Request::Heatmap { buckets, window } = request else {
+            return Self::misrouted(&request);
+        };
+        Response::Counts(self.index.heatmap(&buckets.to_grid(), window))
+    }
+
+    fn serve_top_cells(&mut self, request: Request) -> Response {
+        let Request::TopCells { buckets, window } = request else {
+            return Self::misrouted(&request);
+        };
+        // Sparse partial aggregate: only occupied buckets go on the wire.
+        let cells = self
+            .index
+            .heatmap(&buckets.to_grid(), window)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, count)| count > 0)
+            .map(|(idx, count)| (idx as u32, count))
+            .collect();
+        Response::CellCounts(cells)
+    }
+
+    fn serve_register_continuous(&mut self, request: Request) -> Response {
+        let Request::RegisterContinuous {
+            id,
+            predicate,
+            notify,
+        } = request
+        else {
+            return Self::misrouted(&request);
+        };
+        self.continuous.insert(id, (predicate, notify));
+        Response::Ack
+    }
+
+    fn serve_unregister_continuous(&mut self, request: Request) -> Response {
+        let Request::UnregisterContinuous(id) = request else {
+            return Self::misrouted(&request);
+        };
+        self.continuous.remove(&id);
+        Response::Ack
+    }
+
+    fn serve_snapshot_replica(&mut self, request: Request) -> Response {
+        let Request::SnapshotReplica { of } = request else {
+            return Self::misrouted(&request);
+        };
+        Response::Observations(self.replica_logs.get(&of).cloned().unwrap_or_default())
+    }
+
+    fn serve_adopt(&mut self, request: Request) -> Response {
+        let Request::Adopt(batch) = request else {
+            return Self::misrouted(&request);
+        };
+        self.index.insert_batch(batch);
+        Response::Ack
+    }
+
+    fn serve_promote(&mut self, request: Request) -> Response {
+        let Request::Promote { failed } = request else {
+            return Self::misrouted(&request);
+        };
+        let log = self.replica_logs.remove(&failed).unwrap_or_default();
+        self.replicate(&log);
+        self.index.insert_batch(log);
+        Response::Ack
+    }
+
+    fn serve_extract_region(&mut self, request: Request) -> Response {
+        let Request::ExtractRegion { region } = request else {
+            return Self::misrouted(&request);
+        };
+        Response::Observations(self.index.extract_range(region))
+    }
+
+    fn serve_range_filtered(&mut self, request: Request) -> Response {
+        let Request::RangeFiltered {
+            region,
+            window,
+            class,
+        } = request
+        else {
+            return Self::misrouted(&request);
+        };
+        match stcam_world::EntityClass::from_u8(class) {
+            Some(class) => Response::Observations(
+                self.index
+                    .range(region, window)
+                    .into_iter()
+                    .filter(|o| o.class == class)
+                    .cloned()
+                    .collect(),
+            ),
+            None => Response::Error(format!("invalid class {class}")),
+        }
+    }
+
+    fn serve_stats(&mut self, _request: Request) -> Response {
+        Response::Stats(self.stats())
+    }
+
+    fn serve_evict_before(&mut self, request: Request) -> Response {
+        let Request::EvictBefore(cutoff) = request else {
+            return Self::misrouted(&request);
+        };
+        self.index.evict_before(cutoff);
+        for log in self.replica_logs.values_mut() {
+            log.retain(|o| o.time >= cutoff);
+        }
+        Response::Ack
     }
 
     fn ingest(&mut self, batch: Vec<Observation>) {
@@ -233,7 +375,11 @@ impl Worker {
             }
         }
         for (notify, notification) in outgoing {
-            if self.endpoint.send(notify, encode_to_vec(&notification)).is_ok() {
+            if self
+                .endpoint
+                .send(notify, encode_to_vec(&notification))
+                .is_ok()
+            {
                 self.notifications_sent += 1;
             }
         }
@@ -241,6 +387,12 @@ impl Worker {
 
     /// Local statistics.
     pub fn stats(&self) -> WorkerStatsMsg {
+        let mut served: Vec<(String, u64)> = self
+            .served
+            .iter()
+            .map(|(&op, &n)| (op.to_string(), n))
+            .collect();
+        served.sort();
         WorkerStatsMsg {
             primary_observations: self.index.len() as u64,
             replica_observations: self.replica_logs.values().map(|v| v.len() as u64).sum(),
@@ -249,6 +401,7 @@ impl Worker {
             continuous_queries: self.continuous.len() as u64,
             busy_micros: self.busy.as_micros() as u64,
             newest_ms: self.index.stats().newest.map(|t| t.as_millis()),
+            served,
         }
     }
 
@@ -315,7 +468,13 @@ mod tests {
     fn lone_worker() -> (Fabric, Worker) {
         let fabric = Fabric::new(LinkModel::instant());
         let endpoint = fabric.register(NodeId(1));
-        let worker = Worker::new(endpoint, WorkerConfig { index: index_config(), replicas: vec![] });
+        let worker = Worker::new(
+            endpoint,
+            WorkerConfig {
+                index: index_config(),
+                replicas: vec![],
+            },
+        );
         (fabric, worker)
     }
 
@@ -326,7 +485,10 @@ mod tests {
     #[test]
     fn ingest_then_range() {
         let (_fabric, mut worker) = lone_worker();
-        assert_eq!(worker.handle_request(Request::Ingest(vec![obs(0, 500, 10.0, 10.0)])), Response::Ack);
+        assert_eq!(
+            worker.handle_request(Request::Ingest(vec![obs(0, 500, 10.0, 10.0)])),
+            Response::Ack
+        );
         let resp = worker.handle_request(Request::Range {
             region: BBox::around(Point::new(10.0, 10.0), 5.0),
             window: window_all(),
@@ -366,15 +528,27 @@ mod tests {
         let replica_ep = fabric.register(NodeId(2));
         let mut primary = Worker::new(
             primary_ep,
-            WorkerConfig { index: index_config(), replicas: vec![NodeId(2)] },
+            WorkerConfig {
+                index: index_config(),
+                replicas: vec![NodeId(2)],
+            },
         );
         let mut replica = Worker::new(
             replica_ep,
-            WorkerConfig { index: index_config(), replicas: vec![] },
+            WorkerConfig {
+                index: index_config(),
+                replicas: vec![],
+            },
         );
-        primary.handle_request(Request::Ingest(vec![obs(0, 0, 1.0, 1.0), obs(1, 0, 2.0, 2.0)]));
+        primary.handle_request(Request::Ingest(vec![
+            obs(0, 0, 1.0, 1.0),
+            obs(1, 0, 2.0, 2.0),
+        ]));
         // Deliver the replicate message by hand.
-        let env = replica.endpoint.recv_timeout(StdDuration::from_secs(1)).unwrap();
+        let env = replica
+            .endpoint
+            .recv_timeout(StdDuration::from_secs(1))
+            .unwrap();
         replica.dispatch(env);
         let stats = replica.stats();
         assert_eq!(stats.replica_observations, 2);
@@ -393,18 +567,27 @@ mod tests {
         let _other = fabric.register(NodeId(3));
         let mut worker = Worker::new(
             ep,
-            WorkerConfig { index: index_config(), replicas: vec![NodeId(3)] },
+            WorkerConfig {
+                index: index_config(),
+                replicas: vec![NodeId(3)],
+            },
         );
         worker.handle_request(Request::Replicate {
             primary: NodeId(1),
             batch: vec![obs(0, 0, 5.0, 5.0)],
         });
-        assert_eq!(worker.handle_request(Request::Promote { failed: NodeId(1) }), Response::Ack);
+        assert_eq!(
+            worker.handle_request(Request::Promote { failed: NodeId(1) }),
+            Response::Ack
+        );
         let stats = worker.stats();
         assert_eq!(stats.primary_observations, 1);
         assert_eq!(stats.replica_observations, 0);
         // Promoting an unknown primary is a harmless no-op.
-        assert_eq!(worker.handle_request(Request::Promote { failed: NodeId(9) }), Response::Ack);
+        assert_eq!(
+            worker.handle_request(Request::Promote { failed: NodeId(9) }),
+            Response::Ack
+        );
     }
 
     #[test]
@@ -414,7 +597,10 @@ mod tests {
         let client = fabric.register(NodeId(0));
         let mut worker = Worker::new(
             worker_ep,
-            WorkerConfig { index: index_config(), replicas: vec![] },
+            WorkerConfig {
+                index: index_config(),
+                replicas: vec![],
+            },
         );
         worker.handle_request(Request::RegisterContinuous {
             id: ContinuousQueryId(7),
@@ -425,7 +611,7 @@ mod tests {
             notify: NodeId(0),
         });
         worker.handle_request(Request::Ingest(vec![
-            obs(0, 0, 10.0, 10.0),  // match
+            obs(0, 0, 10.0, 10.0),   // match
             obs(1, 0, 500.0, 500.0), // outside region
         ]));
         let env = client.recv_timeout(StdDuration::from_secs(1)).unwrap();
@@ -506,16 +692,139 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_table_covers_every_request_kind() {
+        use crate::protocol::GridSpecMsg;
+        let all = [
+            Request::Ping,
+            Request::Ingest(vec![]),
+            Request::Replicate {
+                primary: NodeId(1),
+                batch: vec![],
+            },
+            Request::Range {
+                region: BBox::around(Point::ORIGIN, 1.0),
+                window: window_all(),
+            },
+            Request::Knn {
+                at: Point::ORIGIN,
+                window: window_all(),
+                k: 1,
+                max_distance: None,
+            },
+            Request::Heatmap {
+                buckets: GridSpecMsg {
+                    origin: Point::ORIGIN,
+                    cell_size: 1.0,
+                    cols: 1,
+                    rows: 1,
+                },
+                window: window_all(),
+            },
+            Request::TopCells {
+                buckets: GridSpecMsg {
+                    origin: Point::ORIGIN,
+                    cell_size: 1.0,
+                    cols: 1,
+                    rows: 1,
+                },
+                window: window_all(),
+            },
+            Request::RegisterContinuous {
+                id: ContinuousQueryId(1),
+                predicate: Predicate {
+                    region: BBox::around(Point::ORIGIN, 1.0),
+                    class: None,
+                },
+                notify: NodeId(0),
+            },
+            Request::UnregisterContinuous(ContinuousQueryId(1)),
+            Request::SnapshotReplica { of: NodeId(1) },
+            Request::Adopt(vec![]),
+            Request::Promote { failed: NodeId(1) },
+            Request::ExtractRegion {
+                region: BBox::around(Point::ORIGIN, 1.0),
+            },
+            Request::RangeFiltered {
+                region: BBox::around(Point::ORIGIN, 1.0),
+                window: window_all(),
+                class: EntityClass::Car.as_u8(),
+            },
+            Request::Stats,
+            Request::EvictBefore(Timestamp::ZERO),
+        ];
+        assert_eq!(
+            all.len(),
+            DISPATCH.len(),
+            "dispatch table out of sync with Request"
+        );
+        for request in all {
+            let name = request.op_name();
+            assert!(
+                DISPATCH.iter().any(|(op, _)| *op == name),
+                "no dispatch row for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn served_counters_track_per_op_traffic() {
+        let (_fabric, mut worker) = lone_worker();
+        worker.handle_request(Request::Ping);
+        worker.handle_request(Request::Ping);
+        worker.handle_request(Request::Ingest(vec![obs(0, 0, 10.0, 10.0)]));
+        let stats = worker.stats();
+        assert_eq!(stats.served_count("ping"), 2);
+        assert_eq!(stats.served_count("ingest"), 1);
+        assert_eq!(stats.served_count("range"), 0);
+    }
+
+    #[test]
+    fn top_cells_reports_sparse_nonzero_buckets() {
+        use crate::protocol::GridSpecMsg;
+        let (_fabric, mut worker) = lone_worker();
+        worker.handle_request(Request::Ingest(vec![
+            obs(0, 0, 10.0, 10.0),   // cell (0, 0)
+            obs(1, 0, 10.0, 15.0),   // cell (0, 0)
+            obs(2, 0, 910.0, 910.0), // cell (9, 9)
+        ]));
+        let buckets = GridSpecMsg {
+            origin: Point::new(0.0, 0.0),
+            cell_size: 100.0,
+            cols: 10,
+            rows: 10,
+        };
+        match worker.handle_request(Request::TopCells {
+            buckets,
+            window: window_all(),
+        }) {
+            Response::CellCounts(cells) => {
+                assert_eq!(cells, vec![(0, 2), (99, 1)]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
     fn busy_time_accumulates() {
         let fabric = Fabric::new(LinkModel::instant());
         let worker_ep = fabric.register(NodeId(1));
         let client = fabric.register(NodeId(0));
         let handle = Worker::spawn(
             worker_ep,
-            WorkerConfig { index: index_config(), replicas: vec![] },
+            WorkerConfig {
+                index: index_config(),
+                replicas: vec![],
+            },
         );
         let big: Vec<Observation> = (0..5_000u64)
-            .map(|i| obs(i, (i % 60) * 1000, (i as f64 * 7.0) % 1000.0, (i as f64 * 13.0) % 1000.0))
+            .map(|i| {
+                obs(
+                    i,
+                    (i % 60) * 1000,
+                    (i as f64 * 7.0) % 1000.0,
+                    (i as f64 * 13.0) % 1000.0,
+                )
+            })
             .collect();
         let resp = client
             .call(
@@ -526,7 +835,11 @@ mod tests {
             .unwrap();
         assert_eq!(decode_from_slice::<Response>(&resp).unwrap(), Response::Ack);
         let stats_bytes = client
-            .call(NodeId(1), encode_to_vec(&Request::Stats), StdDuration::from_secs(5))
+            .call(
+                NodeId(1),
+                encode_to_vec(&Request::Stats),
+                StdDuration::from_secs(5),
+            )
             .unwrap();
         match decode_from_slice::<Response>(&stats_bytes).unwrap() {
             Response::Stats(s) => {
@@ -545,12 +858,22 @@ mod tests {
         let client = fabric.register(NodeId(0));
         let handle = Worker::spawn(
             worker_ep,
-            WorkerConfig { index: index_config(), replicas: vec![] },
+            WorkerConfig {
+                index: index_config(),
+                replicas: vec![],
+            },
         );
         let resp_bytes = client
-            .call(NodeId(1), encode_to_vec(&Request::Ping), StdDuration::from_secs(5))
+            .call(
+                NodeId(1),
+                encode_to_vec(&Request::Ping),
+                StdDuration::from_secs(5),
+            )
             .unwrap();
-        assert_eq!(decode_from_slice::<Response>(&resp_bytes).unwrap(), Response::Ack);
+        assert_eq!(
+            decode_from_slice::<Response>(&resp_bytes).unwrap(),
+            Response::Ack
+        );
         handle.shutdown();
     }
 
@@ -561,7 +884,10 @@ mod tests {
         let client = fabric.register(NodeId(0));
         let handle = Worker::spawn(
             worker_ep,
-            WorkerConfig { index: index_config(), replicas: vec![] },
+            WorkerConfig {
+                index: index_config(),
+                replicas: vec![],
+            },
         );
         let resp_bytes = client
             .call(NodeId(1), vec![250, 1, 2], StdDuration::from_secs(5))

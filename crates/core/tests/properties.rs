@@ -4,14 +4,20 @@
 //! sizes and load profiles.
 
 use proptest::prelude::*;
-use stcam::{PartitionMap, Predicate, Request, Response};
+use stcam::{GridSpecMsg, PartitionMap, Predicate, Request, Response, WorkerStatsMsg};
+use stcam_camnet::{CameraId, Observation, ObservationId, Signature};
 use stcam_codec::{decode_from_slice, encode_to_vec};
 use stcam_geo::{BBox, Point, TimeInterval, Timestamp};
 use stcam_net::NodeId;
-use stcam_world::EntityClass;
+use stcam_world::{EntityClass, EntityId};
 
 fn arb_region() -> impl Strategy<Value = BBox> {
-    (0.0..4000.0f64, 0.0..4000.0f64, 1.0..2000.0f64, 1.0..2000.0f64)
+    (
+        0.0..4000.0f64,
+        0.0..4000.0f64,
+        1.0..2000.0f64,
+        1.0..2000.0f64,
+    )
         .prop_map(|(x, y, w, h)| BBox::new(Point::new(x, y), Point::new(x + w, y + h)))
 }
 
@@ -19,6 +25,43 @@ fn arb_window() -> impl Strategy<Value = TimeInterval> {
     (0u64..100_000, 0u64..100_000).prop_map(|(a, d)| {
         TimeInterval::new(Timestamp::from_millis(a), Timestamp::from_millis(a + d))
     })
+}
+
+fn arb_observation() -> impl Strategy<Value = Observation> {
+    (
+        0u32..1_000,
+        0u64..1_000_000,
+        0u64..100_000,
+        0.0..4000.0f64,
+        0.0..4000.0f64,
+        0u8..4,
+        proptest::option::of(0u64..1_000_000),
+    )
+        .prop_map(|(cam, seq, t, x, y, class, truth)| Observation {
+            id: ObservationId::compose(CameraId(cam), seq),
+            camera: CameraId(cam),
+            time: Timestamp::from_millis(t),
+            position: Point::new(x, y),
+            class: EntityClass::from_u8(class).expect("class"),
+            signature: Signature::latent_for_entity(seq),
+            truth: truth.map(EntityId),
+        })
+}
+
+fn arb_buckets() -> impl Strategy<Value = GridSpecMsg> {
+    (
+        0.0..1000.0f64,
+        0.0..1000.0f64,
+        1.0..500.0f64,
+        1u32..64,
+        1u32..64,
+    )
+        .prop_map(|(x, y, cell_size, cols, rows)| GridSpecMsg {
+            origin: Point::new(x, y),
+            cell_size,
+            cols,
+            rows,
+        })
 }
 
 proptest! {
@@ -44,29 +87,80 @@ proptest! {
     fn requests_round_trip(
         region in arb_region(),
         window in arb_window(),
+        buckets in arb_buckets(),
+        batch in prop::collection::vec(arb_observation(), 0..8),
         k in 0u32..1000,
         class in 0u8..4,
         node in 0u32..100,
+        cutoff in 0u64..1_000_000,
         max_distance in proptest::option::of(0.0..10_000.0f64),
     ) {
         let class_enum = EntityClass::from_u8(class).expect("class");
+        // Every Request variant the protocol defines.
         let requests = [
             Request::Ping,
+            Request::Ingest(batch.clone()),
+            Request::Replicate { primary: NodeId(node), batch: batch.clone() },
             Request::Range { region, window },
-            Request::RangeFiltered { region, window, class },
             Request::Knn { at: region.center(), window, k, max_distance },
-            Request::ExtractRegion { region },
-            Request::SnapshotReplica { of: NodeId(node) },
-            Request::Promote { failed: NodeId(node) },
+            Request::Heatmap { buckets, window },
             Request::RegisterContinuous {
                 id: stcam::ContinuousQueryId(k as u64),
                 predicate: Predicate { region, class: Some(class_enum) },
                 notify: NodeId(node),
             },
+            Request::UnregisterContinuous(stcam::ContinuousQueryId(k as u64)),
+            Request::SnapshotReplica { of: NodeId(node) },
+            Request::Adopt(batch.clone()),
+            Request::Stats,
+            Request::EvictBefore(Timestamp::from_millis(cutoff)),
+            Request::Promote { failed: NodeId(node) },
+            Request::ExtractRegion { region },
+            Request::RangeFiltered { region, window, class },
+            Request::TopCells { buckets, window },
         ];
+        // Each round-trips exactly, and dispatch names stay unique.
+        let mut names = std::collections::HashSet::new();
         for request in requests {
             let bytes = encode_to_vec(&request);
+            prop_assert!(names.insert(request.op_name()), "duplicate op name {}", request.op_name());
             prop_assert_eq!(decode_from_slice::<Request>(&bytes).unwrap(), request);
+        }
+        prop_assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn responses_round_trip(
+        batch in prop::collection::vec(arb_observation(), 0..8),
+        counts in prop::collection::vec(0u64..1_000_000, 0..64),
+        cells in prop::collection::vec((0u32..4096, 0u64..1_000_000), 0..32),
+        served in prop::collection::vec(("[a-z_]{1,20}", 0u64..1_000), 0..6),
+        scalars in prop::collection::vec(0u64..1_000_000, 6),
+        newest in proptest::option::of(0u64..1_000_000),
+        error in "[ -~]{0,64}",
+    ) {
+        let stats = WorkerStatsMsg {
+            primary_observations: scalars[0],
+            replica_observations: scalars[1],
+            ingested_total: scalars[2],
+            notifications_sent: scalars[3],
+            continuous_queries: scalars[4],
+            busy_micros: scalars[5],
+            newest_ms: newest,
+            served,
+        };
+        // Every Response variant the protocol defines.
+        let responses = [
+            Response::Ack,
+            Response::Observations(batch),
+            Response::Counts(counts),
+            Response::Stats(stats),
+            Response::Error(error),
+            Response::CellCounts(cells),
+        ];
+        for response in responses {
+            let bytes = encode_to_vec(&response);
+            prop_assert_eq!(decode_from_slice::<Response>(&bytes).unwrap(), response);
         }
     }
 

@@ -31,8 +31,14 @@ impl BBox {
     /// An empty box: intersects nothing, contains nothing, and acts as the
     /// identity for [`union`](Self::union).
     pub const EMPTY: BBox = BBox {
-        min: Point { x: f64::INFINITY, y: f64::INFINITY },
-        max: Point { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY },
+        min: Point {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Point {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
     };
 
     /// Creates the box with corners `min` and `max`.
@@ -64,7 +70,9 @@ impl BBox {
     /// The smallest box covering every point in `points`, or
     /// [`BBox::EMPTY`] when the iterator is empty.
     pub fn covering<I: IntoIterator<Item = Point>>(points: I) -> Self {
-        points.into_iter().fold(BBox::EMPTY, |b, p| b.expanded_to(p))
+        points
+            .into_iter()
+            .fold(BBox::EMPTY, |b, p| b.expanded_to(p))
     }
 
     /// `true` when this box covers no area (including [`BBox::EMPTY`]).
@@ -94,7 +102,10 @@ impl BBox {
     /// The centre point.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
     }
 
     /// `true` when `p` lies inside or on the boundary.
@@ -261,7 +272,11 @@ mod tests {
 
     #[test]
     fn covering_points() {
-        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(4.0, -1.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
         let bb = BBox::covering(pts);
         assert_eq!(bb, b(-2.0, -1.0, 4.0, 5.0));
         assert!(BBox::covering(std::iter::empty()).is_empty());
@@ -280,7 +295,10 @@ mod tests {
         let bb = b(0.0, 0.0, 10.0, 10.0);
         assert_eq!(bb.distance_to_point(Point::new(5.0, 5.0)), 0.0);
         assert_eq!(bb.distance_to_point(Point::new(13.0, 14.0)), 5.0);
-        assert_eq!(bb.max_distance_to_point(Point::new(0.0, 0.0)), 200f64.sqrt());
+        assert_eq!(
+            bb.max_distance_to_point(Point::new(0.0, 0.0)),
+            200f64.sqrt()
+        );
     }
 
     #[test]

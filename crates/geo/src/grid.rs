@@ -86,7 +86,12 @@ impl GridSpec {
     pub fn new(origin: Point, cell_size: f64, cols: u32, rows: u32) -> Self {
         assert!(cell_size > 0.0, "cell_size must be positive");
         assert!(cols > 0 && rows > 0, "grid must have at least one cell");
-        GridSpec { origin, cell_size, cols, rows }
+        GridSpec {
+            origin,
+            cell_size,
+            cols,
+            rows,
+        }
     }
 
     /// The smallest grid of `cell_size` cells anchored at `region.min` that
@@ -174,12 +179,18 @@ impl GridSpec {
     ///
     /// Panics in debug builds when `cell` is out of range.
     pub fn cell_bbox(&self, cell: CellId) -> BBox {
-        debug_assert!(cell.col < self.cols && cell.row < self.rows, "cell out of range");
+        debug_assert!(
+            cell.col < self.cols && cell.row < self.rows,
+            "cell out of range"
+        );
         let min = Point::new(
             self.origin.x + cell.col as f64 * self.cell_size,
             self.origin.y + cell.row as f64 * self.cell_size,
         );
-        BBox::new(min, Point::new(min.x + self.cell_size, min.y + self.cell_size))
+        BBox::new(
+            min,
+            Point::new(min.x + self.cell_size, min.y + self.cell_size),
+        )
     }
 
     /// The centre point of `cell`.
@@ -224,7 +235,11 @@ impl GridSpec {
     /// grid. Used by the iterative k-nearest-neighbour expansion.
     pub fn ring(&self, center: CellId, radius: u32) -> Vec<CellId> {
         if radius == 0 {
-            return if self.contains_cell(center) { vec![center] } else { vec![] };
+            return if self.contains_cell(center) {
+                vec![center]
+            } else {
+                vec![]
+            };
         }
         let mut out = Vec::new();
         let r = radius as i64;
@@ -260,7 +275,11 @@ impl GridSpec {
 
 impl fmt::Display for GridSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}×{} grid of {:.0} m cells at {}", self.cols, self.rows, self.cell_size, self.origin)
+        write!(
+            f,
+            "{}×{} grid of {:.0} m cells at {}",
+            self.cols, self.rows, self.cell_size, self.origin
+        )
     }
 }
 
@@ -276,7 +295,12 @@ pub struct CellIter {
 
 impl CellIter {
     fn empty() -> Self {
-        CellIter { col0: 0, col1: 0, row1: 0, next: None }
+        CellIter {
+            col0: 0,
+            col1: 0,
+            row1: 0,
+            next: None,
+        }
     }
 }
 
@@ -333,7 +357,10 @@ mod tests {
     #[test]
     fn clamped_maps_everything() {
         let g = grid();
-        assert_eq!(g.cell_of_clamped(Point::new(-100.0, -100.0)), CellId::new(0, 0));
+        assert_eq!(
+            g.cell_of_clamped(Point::new(-100.0, -100.0)),
+            CellId::new(0, 0)
+        );
         assert_eq!(g.cell_of_clamped(Point::new(1e6, 1e6)), CellId::new(7, 5));
     }
 
@@ -362,9 +389,17 @@ mod tests {
         let cells: Vec<_> = g.cells_overlapping(q).collect();
         assert_eq!(cells, vec![CellId::new(1, 1), CellId::new(2, 1)]);
         // Query entirely off-grid.
-        assert_eq!(g.cells_overlapping(BBox::new(Point::new(200.0, 0.0), Point::new(210.0, 10.0))).count(), 0);
+        assert_eq!(
+            g.cells_overlapping(BBox::new(Point::new(200.0, 0.0), Point::new(210.0, 10.0)))
+                .count(),
+            0
+        );
         // Query covering everything.
-        assert_eq!(g.cells_overlapping(BBox::new(Point::new(-5.0, -5.0), Point::new(500.0, 500.0))).count(), 48);
+        assert_eq!(
+            g.cells_overlapping(BBox::new(Point::new(-5.0, -5.0), Point::new(500.0, 500.0)))
+                .count(),
+            48
+        );
     }
 
     #[test]

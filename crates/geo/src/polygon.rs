@@ -184,7 +184,12 @@ impl Polygon {
 
 impl fmt::Display for Polygon {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Polygon[{} vertices, area {:.1} m²]", self.vertices.len(), self.area())
+        write!(
+            f,
+            "Polygon[{} vertices, area {:.1} m²]",
+            self.vertices.len(),
+            self.area()
+        )
     }
 }
 
@@ -283,14 +288,17 @@ mod tests {
         assert!(!s.contains(Point::new(-1.0, 0.0))); // behind apex
         assert!(!s.contains(Point::new(0.0, 5.0))); // outside 45° edge
         assert!(!s.contains(Point::new(11.0, 0.0))); // beyond range
-        // Area of a quarter disc of radius 10 ≈ 78.5.
+                                                     // Area of a quarter disc of radius 10 ≈ 78.5.
         assert!((s.area() - 78.5).abs() < 1.0);
     }
 
     #[test]
     fn bbox_is_tight() {
         let s = unit_square();
-        assert_eq!(s.bbox(), BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        assert_eq!(
+            s.bbox(),
+            BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+        );
     }
 
     #[test]
@@ -309,10 +317,25 @@ mod tests {
     #[test]
     fn segment_intersection_helper() {
         let o = Point::ORIGIN;
-        assert!(segments_intersect(o, Point::new(2.0, 2.0), Point::new(0.0, 2.0), Point::new(2.0, 0.0)));
-        assert!(!segments_intersect(o, Point::new(1.0, 0.0), Point::new(0.0, 1.0), Point::new(1.0, 1.0)));
+        assert!(segments_intersect(
+            o,
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(2.0, 0.0)
+        ));
+        assert!(!segments_intersect(
+            o,
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0)
+        ));
         // Collinear touching.
-        assert!(segments_intersect(o, Point::new(1.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)));
+        assert!(segments_intersect(
+            o,
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0)
+        ));
     }
 
     #[test]

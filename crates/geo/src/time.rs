@@ -189,7 +189,10 @@ pub struct TimeInterval {
 
 impl TimeInterval {
     /// The interval containing every instant.
-    pub const ALL: TimeInterval = TimeInterval { start: Timestamp::ZERO, end: Timestamp::MAX };
+    pub const ALL: TimeInterval = TimeInterval {
+        start: Timestamp::ZERO,
+        end: Timestamp::MAX,
+    };
 
     /// Creates `[start, end)`.
     ///
@@ -203,7 +206,10 @@ impl TimeInterval {
 
     /// The window of length `len` ending at `end` (clamped at t = 0).
     pub fn ending_at(end: Timestamp, len: Duration) -> Self {
-        TimeInterval { start: end.saturating_sub(len), end }
+        TimeInterval {
+            start: end.saturating_sub(len),
+            end,
+        }
     }
 
     /// Inclusive start instant.
@@ -270,9 +276,18 @@ mod tests {
     fn timestamp_arithmetic() {
         let t = Timestamp::from_secs(2);
         assert_eq!(t + Duration::from_millis(250), Timestamp::from_millis(2250));
-        assert_eq!(Timestamp::from_secs(5) - Timestamp::from_secs(2), Duration::from_secs(3));
-        assert_eq!(Timestamp::from_secs(1).saturating_sub(Duration::from_secs(5)), Timestamp::ZERO);
-        assert_eq!(Timestamp::from_secs(1).abs_diff(Timestamp::from_secs(3)), Duration::from_secs(2));
+        assert_eq!(
+            Timestamp::from_secs(5) - Timestamp::from_secs(2),
+            Duration::from_secs(3)
+        );
+        assert_eq!(
+            Timestamp::from_secs(1).saturating_sub(Duration::from_secs(5)),
+            Timestamp::ZERO
+        );
+        assert_eq!(
+            Timestamp::from_secs(1).abs_diff(Timestamp::from_secs(3)),
+            Duration::from_secs(2)
+        );
     }
 
     #[test]
@@ -281,7 +296,10 @@ mod tests {
         assert_eq!(d + Duration::from_millis(500), Duration::from_millis(1500));
         assert_eq!(d - Duration::from_millis(300), Duration::from_millis(700));
         // Saturating subtraction.
-        assert_eq!(Duration::from_millis(100) - Duration::from_secs(1), Duration::ZERO);
+        assert_eq!(
+            Duration::from_millis(100) - Duration::from_secs(1),
+            Duration::ZERO
+        );
         assert_eq!(d.mul_f64(2.5), Duration::from_millis(2500));
     }
 
@@ -310,7 +328,10 @@ mod tests {
         assert!(!a.overlaps(&c));
         assert_eq!(
             a.intersection(&b),
-            Some(TimeInterval::new(Timestamp::from_secs(5), Timestamp::from_secs(10)))
+            Some(TimeInterval::new(
+                Timestamp::from_secs(5),
+                Timestamp::from_secs(10)
+            ))
         );
         assert_eq!(a.intersection(&c), None);
     }

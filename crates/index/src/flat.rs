@@ -95,7 +95,9 @@ impl FlatIndex {
 
 impl FromIterator<Observation> for FlatIndex {
     fn from_iter<I: IntoIterator<Item = Observation>>(iter: I) -> Self {
-        FlatIndex { observations: iter.into_iter().collect() }
+        FlatIndex {
+            observations: iter.into_iter().collect(),
+        }
     }
 }
 

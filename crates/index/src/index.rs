@@ -35,7 +35,12 @@ impl IndexConfig {
         assert!(!extent.is_empty(), "extent must be non-empty");
         assert!(cell_size > 0.0, "cell_size must be positive");
         assert!(slice_len > Duration::ZERO, "slice_len must be positive");
-        IndexConfig { extent, cell_size, slice_len, max_observations: 0 }
+        IndexConfig {
+            extent,
+            cell_size,
+            slice_len,
+            max_observations: 0,
+        }
     }
 
     /// Replaces the retention budget.
@@ -72,7 +77,12 @@ impl StIndex {
     /// Creates an empty index.
     pub fn new(config: IndexConfig) -> Self {
         let grid = GridSpec::covering(config.extent, config.cell_size);
-        StIndex { config, grid, slices: BTreeMap::new(), len: 0 }
+        StIndex {
+            config,
+            grid,
+            slices: BTreeMap::new(),
+            len: 0,
+        }
     }
 
     /// Rebuilds an index from a previously exported snapshot (see
@@ -291,7 +301,12 @@ impl StIndex {
     pub fn extract_range(&mut self, region: BBox) -> Vec<Observation> {
         let mut out = Vec::new();
         for slice in self.slices.values_mut() {
-            slice.extract_cells(&self.grid, self.grid.cells_overlapping(region), &region, &mut out);
+            slice.extract_cells(
+                &self.grid,
+                self.grid.cells_overlapping(region),
+                &region,
+                &mut out,
+            );
         }
         // Border cells may hold clamped observations whose true position
         // is outside the grid extent yet inside `region`; sweep them when
@@ -457,11 +472,15 @@ mod tests {
     #[test]
     fn knn_exact_corner_cases() {
         let mut index = StIndex::new(config());
-        assert!(index.knn(Point::new(500.0, 500.0), window(0, 1000), 5).is_empty());
+        assert!(index
+            .knn(Point::new(500.0, 500.0), window(0, 1000), 5)
+            .is_empty());
         index.insert(obs(0, 500, 100.0, 100.0));
         index.insert(obs(1, 500, 110.0, 100.0));
         // k = 0 yields nothing.
-        assert!(index.knn(Point::new(100.0, 100.0), window(0, 1000), 0).is_empty());
+        assert!(index
+            .knn(Point::new(100.0, 100.0), window(0, 1000), 0)
+            .is_empty());
         // k exceeding population returns all, nearest first.
         let got = index.knn(Point::new(100.0, 100.0), window(0, 1000), 10);
         assert_eq!(ids(&got).len(), 2);
@@ -580,7 +599,10 @@ mod tests {
         assert_eq!(rebuilt.len(), index.len());
         let region = BBox::new(Point::new(200.0, 200.0), Point::new(800.0, 800.0));
         let tw = window(0, 120_000);
-        assert_eq!(ids(&rebuilt.range(region, tw)), ids(&index.range(region, tw)));
+        assert_eq!(
+            ids(&rebuilt.range(region, tw)),
+            ids(&index.range(region, tw))
+        );
     }
 
     #[test]
@@ -657,14 +679,27 @@ mod extract_tests {
         let mut oracle = FlatIndex::new();
         let mut rng = StdRng::seed_from_u64(2);
         for i in 0..300u64 {
-            let o = obs(i, rng.gen_range(0..60_000), rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            let o = obs(
+                i,
+                rng.gen_range(0..60_000),
+                rng.gen_range(0.0..1000.0),
+                rng.gen_range(0.0..1000.0),
+            );
             index.insert(o.clone());
             oracle.insert(o);
         }
         let region = BBox::new(Point::new(0.0, 500.0), Point::new(1000.0, 1000.0));
         let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(120));
-        let expected: Vec<_> = oracle.range(region, window).into_iter().map(|o| o.id).collect();
-        let extracted: Vec<_> = index.extract_range(region).into_iter().map(|o| o.id).collect();
+        let expected: Vec<_> = oracle
+            .range(region, window)
+            .into_iter()
+            .map(|o| o.id)
+            .collect();
+        let extracted: Vec<_> = index
+            .extract_range(region)
+            .into_iter()
+            .map(|o| o.id)
+            .collect();
         assert_eq!(extracted, expected);
     }
 
@@ -684,7 +719,12 @@ mod extract_tests {
     fn extract_then_reinsert_round_trips() {
         let mut index = StIndex::new(config());
         for i in 0..100u64 {
-            index.insert(obs(i, i * 500, (i as f64 * 37.0) % 1000.0, (i as f64 * 53.0) % 1000.0));
+            index.insert(obs(
+                i,
+                i * 500,
+                (i as f64 * 37.0) % 1000.0,
+                (i as f64 * 53.0) % 1000.0,
+            ));
         }
         let region = BBox::new(Point::new(0.0, 0.0), Point::new(500.0, 1000.0));
         let moved = index.extract_range(region);

@@ -47,7 +47,10 @@ impl Slice {
     /// Appends an observation (position already clamped to the grid by the
     /// caller via `cell`).
     pub(crate) fn insert(&mut self, grid: &GridSpec, cell: CellId, obs: Observation) {
-        debug_assert!(self.window.contains(obs.time), "observation outside slice window");
+        debug_assert!(
+            self.window.contains(obs.time),
+            "observation outside slice window"
+        );
         self.buckets[Self::slot(grid, cell)].push(obs);
         self.len += 1;
     }

@@ -117,7 +117,11 @@ impl Fabric {
         };
         let mut nodes = self.inner.nodes.write();
         assert!(!nodes.contains_key(&node), "node {node} already registered");
-        self.inner.stats.nodes.write().insert(node, Arc::clone(&counters));
+        self.inner
+            .stats
+            .nodes
+            .write()
+            .insert(node, Arc::clone(&counters));
         let pending = Arc::clone(&state.pending);
         let alive = Arc::clone(&state.alive);
         nodes.insert(node, state);
@@ -205,20 +209,25 @@ impl FabricInner {
         let dst_state = nodes.get(&env.dst).ok_or(NetError::UnknownNode(env.dst))?;
         let size = env.wire_size();
         src_state.counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        src_state.counters.bytes_sent.fetch_add(size, Ordering::Relaxed);
+        src_state
+            .counters
+            .bytes_sent
+            .fetch_add(size, Ordering::Relaxed);
         self.stats.total_msgs.fetch_add(1, Ordering::Relaxed);
         self.stats.total_bytes.fetch_add(size, Ordering::Relaxed);
 
         // Loss, partition and dead-destination checks happen at send time;
         // crash-at-delivery races are checked again in the delivery loop.
-        let dropped = !dst_state.alive.load(Ordering::SeqCst)
-            || !self.same_partition(env.src, env.dst)
-            || {
+        let dropped =
+            !dst_state.alive.load(Ordering::SeqCst) || !self.same_partition(env.src, env.dst) || {
                 let p = self.link.drop_probability;
                 p > 0.0 && self.rng.lock().next_f64() < p
             };
         if dropped {
-            src_state.counters.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+            src_state
+                .counters
+                .msgs_dropped
+                .fetch_add(1, Ordering::Relaxed);
             self.stats.total_dropped.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
@@ -245,14 +254,22 @@ impl FabricInner {
 
     fn deliver(&self, env: Envelope) {
         let nodes = self.nodes.read();
-        let Some(dst_state) = nodes.get(&env.dst) else { return };
+        let Some(dst_state) = nodes.get(&env.dst) else {
+            return;
+        };
         if !dst_state.alive.load(Ordering::SeqCst) {
             self.stats.total_dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let size = env.wire_size();
-        dst_state.counters.msgs_received.fetch_add(1, Ordering::Relaxed);
-        dst_state.counters.bytes_received.fetch_add(size, Ordering::Relaxed);
+        dst_state
+            .counters
+            .msgs_received
+            .fetch_add(1, Ordering::Relaxed);
+        dst_state
+            .counters
+            .bytes_received
+            .fetch_add(size, Ordering::Relaxed);
         match env.kind {
             MessageKind::Response => {
                 let sender = dst_state.pending.lock().remove(&env.correlation);
@@ -361,7 +378,12 @@ impl Endpoint {
     /// [`NetError::Timeout`] when no response arrives in time (the request
     /// or response may have been lost, or the peer crashed); other errors
     /// as for [`send`](Self::send).
-    pub fn call(&self, to: NodeId, payload: Vec<u8>, timeout: Duration) -> Result<Vec<u8>, NetError> {
+    pub fn call(
+        &self,
+        to: NodeId,
+        payload: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, NetError> {
         let correlation = self.inner.next_correlation.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel::bounded(1);
         self.pending.lock().insert(correlation, tx);
@@ -468,7 +490,10 @@ mod tests {
     fn unknown_node_errors() {
         let f = instant_fabric();
         let a = f.register(NodeId(0));
-        assert_eq!(a.send(NodeId(9), vec![]), Err(NetError::UnknownNode(NodeId(9))));
+        assert_eq!(
+            a.send(NodeId(9), vec![]),
+            Err(NetError::UnknownNode(NodeId(9)))
+        );
     }
 
     #[test]
@@ -490,7 +515,10 @@ mod tests {
         assert!(!f.is_alive(NodeId(1)));
         a.send(NodeId(1), b"lost".to_vec()).unwrap(); // silently dropped
         assert!(b.recv_timeout(Duration::from_millis(50)).is_none());
-        assert_eq!(b.send(NodeId(0), vec![]), Err(NetError::NodeDown(NodeId(1))));
+        assert_eq!(
+            b.send(NodeId(0), vec![]),
+            Err(NetError::NodeDown(NodeId(1)))
+        );
         f.restart(NodeId(1));
         assert!(f.is_alive(NodeId(1)));
         a.send(NodeId(1), b"back".to_vec()).unwrap();

@@ -33,6 +33,21 @@ pub struct NodeStats {
     pub msgs_dropped: u64,
 }
 
+impl NodeStats {
+    /// Difference against an earlier snapshot of the same node: traffic
+    /// that occurred in between. Saturating, so a stale `earlier` from a
+    /// different node cannot underflow.
+    pub fn since(&self, earlier: &NodeStats) -> NodeStats {
+        NodeStats {
+            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            msgs_received: self.msgs_received.saturating_sub(earlier.msgs_received),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            msgs_dropped: self.msgs_dropped.saturating_sub(earlier.msgs_dropped),
+        }
+    }
+}
+
 impl NodeCounters {
     pub(crate) fn snapshot(&self) -> NodeStats {
         NodeStats {
@@ -115,13 +130,38 @@ mod tests {
     use super::*;
 
     #[test]
+    fn node_since_subtracts_and_saturates() {
+        let a = NodeStats {
+            msgs_sent: 4,
+            bytes_sent: 100,
+            ..Default::default()
+        };
+        let b = NodeStats {
+            msgs_sent: 9,
+            bytes_sent: 350,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.msgs_sent, 5);
+        assert_eq!(d.bytes_sent, 250);
+        // Saturating: a mismatched baseline does not underflow.
+        assert_eq!(a.since(&b).msgs_sent, 0);
+    }
+
+    #[test]
     fn since_subtracts() {
         let mut a = FabricStats {
             total_msgs: 10,
             total_bytes: 1000,
             ..Default::default()
         };
-        a.per_node.insert(NodeId(1), NodeStats { msgs_sent: 4, ..Default::default() });
+        a.per_node.insert(
+            NodeId(1),
+            NodeStats {
+                msgs_sent: 4,
+                ..Default::default()
+            },
+        );
         let mut b = a.clone();
         b.total_msgs = 25;
         b.total_bytes = 2500;

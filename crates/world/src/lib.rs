@@ -39,5 +39,5 @@ mod world;
 pub use entity::{Entity, EntityClass, EntityId};
 pub use mobility::MobilityModel;
 pub use roads::RoadNetwork;
-pub use trajectory::{TrajectoryStore, TrackPoint};
+pub use trajectory::{TrackPoint, TrajectoryStore};
 pub use world::{Placement, World, WorldConfig};

@@ -32,13 +32,7 @@ pub enum MobilityModel {
 impl MobilityModel {
     /// Advances `entity` by `dt_secs` seconds, consulting `roads` and
     /// drawing any randomness from `rng`.
-    pub fn step<R: Rng>(
-        self,
-        entity: &mut Entity,
-        roads: &RoadNetwork,
-        dt_secs: f64,
-        rng: &mut R,
-    ) {
+    pub fn step<R: Rng>(self, entity: &mut Entity, roads: &RoadNetwork, dt_secs: f64, rng: &mut R) {
         let mut budget = entity.speed * dt_secs;
         // Consume travel budget, possibly crossing several waypoints in
         // one step at high speed / long dt.
@@ -136,7 +130,10 @@ mod tests {
     use stcam_geo::BBox;
 
     fn roads() -> RoadNetwork {
-        RoadNetwork::grid(BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)), 100.0)
+        RoadNetwork::grid(
+            BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)),
+            100.0,
+        )
     }
 
     fn entity(at: Point) -> Entity {

@@ -30,7 +30,12 @@ impl RoadNetwork {
         let cols = (extent.width() / spacing).floor() as u32 + 1;
         let rows = (extent.height() / spacing).floor() as u32 + 1;
         assert!(cols >= 2 && rows >= 2, "extent too small for road spacing");
-        RoadNetwork { extent, spacing, cols, rows }
+        RoadNetwork {
+            extent,
+            spacing,
+            cols,
+            rows,
+        }
     }
 
     /// The covered region.

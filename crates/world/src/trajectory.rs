@@ -93,11 +93,7 @@ impl TrajectoryStore {
     /// The set of entities whose recorded track intersects both `region`
     /// (any sample inside) and `window`. Used as the oracle for
     /// range-query correctness tests.
-    pub fn entities_in(
-        &self,
-        region: stcam_geo::BBox,
-        window: TimeInterval,
-    ) -> Vec<EntityId> {
+    pub fn entities_in(&self, region: stcam_geo::BBox, window: TimeInterval) -> Vec<EntityId> {
         let mut out: Vec<EntityId> = self
             .tracks
             .iter()
@@ -135,7 +131,9 @@ mod tests {
         let mut store = TrajectoryStore::new();
         store.record(EntityId(1), Timestamp::from_secs(0), Point::new(0.0, 0.0));
         store.record(EntityId(1), Timestamp::from_secs(2), Point::new(20.0, 0.0));
-        let p = store.position_at(EntityId(1), Timestamp::from_secs(1)).unwrap();
+        let p = store
+            .position_at(EntityId(1), Timestamp::from_secs(1))
+            .unwrap();
         assert!((p.x - 10.0).abs() < 1e-9);
         // Exact sample times.
         assert_eq!(
@@ -153,9 +151,18 @@ mod tests {
         let mut store = TrajectoryStore::new();
         store.record(EntityId(1), Timestamp::from_secs(1), Point::new(0.0, 0.0));
         store.record(EntityId(1), Timestamp::from_secs(2), Point::new(1.0, 0.0));
-        assert_eq!(store.position_at(EntityId(1), Timestamp::from_millis(500)), None);
-        assert_eq!(store.position_at(EntityId(1), Timestamp::from_secs(3)), None);
-        assert_eq!(store.position_at(EntityId(5), Timestamp::from_secs(1)), None);
+        assert_eq!(
+            store.position_at(EntityId(1), Timestamp::from_millis(500)),
+            None
+        );
+        assert_eq!(
+            store.position_at(EntityId(1), Timestamp::from_secs(3)),
+            None
+        );
+        assert_eq!(
+            store.position_at(EntityId(5), Timestamp::from_secs(1)),
+            None
+        );
     }
 
     #[test]

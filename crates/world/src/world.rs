@@ -267,7 +267,8 @@ impl World {
             let victim = self.rng.gen_range(0..self.entities.len());
             let class = self.entities[victim].class;
             let (lo, hi) = class.speed_range();
-            let position = sample_position(&self.config.placement, self.config.extent, &mut self.rng);
+            let position =
+                sample_position(&self.config.placement, self.config.extent, &mut self.rng);
             self.entities[victim] = Entity {
                 id: EntityId(self.next_entity_id),
                 class,
@@ -309,8 +310,15 @@ fn sample_position<R: Rng>(placement: &Placement, extent: BBox, rng: &mut R) -> 
             rng.gen_range(extent.min.x..=extent.max.x),
             rng.gen_range(extent.min.y..=extent.max.y),
         ),
-        Placement::Hotspot { centers, sigma, fraction } => {
-            assert!((0.0..=1.0).contains(fraction), "hotspot fraction out of range");
+        Placement::Hotspot {
+            centers,
+            sigma,
+            fraction,
+        } => {
+            assert!(
+                (0.0..=1.0).contains(fraction),
+                "hotspot fraction out of range"
+            );
             if !centers.is_empty() && rng.gen_bool(*fraction) {
                 let center = centers[rng.gen_range(0..centers.len())];
                 // Box-Muller Gaussian around the hotspot, clamped to extent.
@@ -415,7 +423,10 @@ mod tests {
     fn class_counts_respected() {
         let c = WorldConfig::small_town().with_class_counts([5, 0, 3, 0]);
         let w = World::new(c);
-        let peds = w.entities().filter(|e| e.class == EntityClass::Pedestrian).count();
+        let peds = w
+            .entities()
+            .filter(|e| e.class == EntityClass::Pedestrian)
+            .count();
         let cars = w.entities().filter(|e| e.class == EntityClass::Car).count();
         assert_eq!((peds, cars, w.entity_count()), (5, 3, 8));
     }
@@ -431,8 +442,7 @@ mod churn_tests {
             .with_seed(3)
             .with_churn_per_minute(6.0); // 10% per second: fast for a test
         let mut w = World::new(config);
-        let before_ids: std::collections::HashSet<EntityId> =
-            w.entities().map(|e| e.id).collect();
+        let before_ids: std::collections::HashSet<EntityId> = w.entities().map(|e| e.id).collect();
         let class_counts_before = {
             let mut c = [0usize; 4];
             for e in w.entities() {
@@ -443,8 +453,7 @@ mod churn_tests {
         w.run_until(Timestamp::from_secs(10), Duration::from_millis(500));
         assert_eq!(w.entity_count(), 200, "population changed");
         assert!(w.departures() > 50, "only {} departures", w.departures());
-        let after_ids: std::collections::HashSet<EntityId> =
-            w.entities().map(|e| e.id).collect();
+        let after_ids: std::collections::HashSet<EntityId> = w.entities().map(|e| e.id).collect();
         let replaced = before_ids.difference(&after_ids).count();
         assert!(replaced > 50, "only {replaced} replaced");
         // New ids never collide with old ones.
@@ -474,7 +483,9 @@ mod churn_tests {
     #[test]
     fn churn_is_deterministic() {
         let run = || {
-            let config = WorldConfig::small_town().with_seed(5).with_churn_per_minute(3.0);
+            let config = WorldConfig::small_town()
+                .with_seed(5)
+                .with_churn_per_minute(3.0);
             let mut w = World::new(config);
             w.run_until(Timestamp::from_secs(20), Duration::from_millis(500));
             w.entities().map(|e| e.id).collect::<Vec<_>>()
@@ -484,7 +495,9 @@ mod churn_tests {
 
     #[test]
     fn departed_entities_keep_their_ground_truth() {
-        let config = WorldConfig::small_town().with_seed(6).with_churn_per_minute(6.0);
+        let config = WorldConfig::small_town()
+            .with_seed(6)
+            .with_churn_per_minute(6.0);
         let mut w = World::new(config);
         w.run_until(Timestamp::from_secs(10), Duration::from_millis(500));
         // Entity 0's track exists even if it departed.

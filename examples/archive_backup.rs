@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         restored.iter().zip(&reference).all(|(a, b)| a == b),
         "restored archive differs"
     );
-    println!("verification: all {} observations identical after restore", restored.len());
+    println!(
+        "verification: all {} observations identical after restore",
+        restored.len()
+    );
 
     // Corruption is detected, not silently imported.
     let mut corrupt = archive.clone();

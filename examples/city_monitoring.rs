@@ -34,14 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 2024,
     };
     let mut world = World::new(world_config);
-    let cameras = CameraNetwork::deploy_clustered(
-        world.roads(),
-        200,
-        5,
-        &[downtown],
-        500.0,
-        8.0,
-    );
+    let cameras = CameraNetwork::deploy_clustered(world.roads(), 200, 5, &[downtown], 500.0, 8.0);
     let mut sensors = SensorSim::new(cameras, DetectionModel::default(), 9);
 
     let cluster = Cluster::launch(ClusterConfig::new(extent, 8))?;

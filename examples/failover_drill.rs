@@ -21,9 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cameras = CameraNetwork::deploy_on_roads(world.roads(), 80, 6);
     let mut sensors = SensorSim::new(cameras, DetectionModel::default(), 7);
 
-    let cluster = Cluster::launch(
-        ClusterConfig::new(world.extent(), 8).with_replication(2),
-    )?;
+    let cluster = Cluster::launch(ClusterConfig::new(world.extent(), 8).with_replication(2))?;
     println!("8 workers, replication factor 2\n");
 
     let mut sent_total = 0usize;

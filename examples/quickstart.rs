@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let square = BBox::around(Point::new(1000.0, 1000.0), 250.0);
     let window = TimeInterval::new(Timestamp::from_secs(10), Timestamp::from_secs(20));
     let hits = cluster.range_query(square, window)?;
-    println!("range query over the central square: {} observations", hits.len());
+    println!(
+        "range query over the central square: {} observations",
+        hits.len()
+    );
 
     // 6. kNN: the 5 sightings closest to a reported incident.
     let incident = Point::new(700.0, 1300.0);

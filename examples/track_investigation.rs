@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         world.step(Duration::from_millis(500));
     }
     cluster.flush()?;
-    println!("archive ready: {} observations", cluster.stats()?.total_primary());
+    println!(
+        "archive ready: {} observations",
+        cluster.stats()?.total_primary()
+    );
 
     // The investigation: pick the most-sighted entity as the "target"
     // (in a real deployment this would come from an operator clicking a
@@ -76,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .max_by_key(|t| t.tracklets.len())
         .expect("target has at least one tracklet");
-    println!("\nreconstructed journey ({} camera visits):", target_track.tracklets.len());
+    println!(
+        "\nreconstructed journey ({} camera visits):",
+        target_track.tracklets.len()
+    );
     let mut reconstruction_error = 0.0f64;
     let mut samples = 0usize;
     for &idx in &target_track.tracklets {
@@ -107,7 +113,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Where was the target last seen heading?
     let last_tracklet = &tracklets[*target_track.tracklets.last().expect("non-empty")];
-    let exit: Point = last_tracklet.observations.last().expect("non-empty").position;
+    let exit: Point = last_tracklet
+        .observations
+        .last()
+        .expect("non-empty")
+        .position;
     println!("last confirmed position: {exit} at {}", last_tracklet.end());
 
     cluster.shutdown();

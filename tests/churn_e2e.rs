@@ -12,7 +12,10 @@ use stcam_geo::{BBox, Duration, Point, TimeInterval, Timestamp};
 use stcam_net::LinkModel;
 use stcam_world::{MobilityModel, World, WorldConfig};
 
-fn churny_pipeline(seconds: u64, seed: u64) -> (World, CameraNetwork, TransitionModel, Vec<Observation>) {
+fn churny_pipeline(
+    seconds: u64,
+    seed: u64,
+) -> (World, CameraNetwork, TransitionModel, Vec<Observation>) {
     let config = WorldConfig::small_town()
         .with_seed(seed)
         .with_mobility(MobilityModel::Trip)
@@ -34,7 +37,11 @@ fn churny_pipeline(seconds: u64, seed: u64) -> (World, CameraNetwork, Transition
 #[test]
 fn churn_produces_distinct_identities_in_the_stream() {
     let (world, _network, _transitions, observations) = churny_pipeline(60, 1);
-    assert!(world.departures() > 30, "only {} departures", world.departures());
+    assert!(
+        world.departures() > 30,
+        "only {} departures",
+        world.departures()
+    );
     let mut identities = std::collections::HashSet::new();
     for obs in &observations {
         if let Some(e) = obs.truth {
@@ -80,7 +87,10 @@ fn cluster_serves_a_churning_stream_end_to_end() {
     .unwrap();
     let fence = BBox::around(Point::new(1000.0, 1000.0), 500.0);
     let query = cluster
-        .register_continuous(Predicate { region: fence, class: None })
+        .register_continuous(Predicate {
+            region: fence,
+            class: None,
+        })
         .unwrap();
     let n = observations.len();
     for chunk in observations.chunks(500) {
@@ -89,7 +99,10 @@ fn cluster_serves_a_churning_stream_end_to_end() {
     cluster.flush().unwrap();
     let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(60));
     assert_eq!(
-        cluster.range_query(extent.inflated(500.0), window).unwrap().len(),
+        cluster
+            .range_query(extent.inflated(500.0), window)
+            .unwrap()
+            .len(),
         n
     );
     // Fence matches reference the same observations the range query sees.

@@ -52,7 +52,10 @@ fn distributed_range_queries_match_centralized_oracle() {
     let queries = [
         (BBox::around(Point::new(1000.0, 1000.0), 300.0), (0, 20)),
         (BBox::around(Point::new(200.0, 1800.0), 500.0), (5, 15)),
-        (BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)), (0, 20)),
+        (
+            BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0)),
+            (0, 20),
+        ),
         (BBox::around(Point::new(1500.0, 300.0), 50.0), (10, 11)),
     ];
     for (region, (t0, t1)) in queries {
@@ -63,7 +66,11 @@ fn distributed_range_queries_match_centralized_oracle() {
             .iter()
             .map(|o| o.id)
             .collect();
-        let want: Vec<_> = store.range_query(region, window).iter().map(|o| o.id).collect();
+        let want: Vec<_> = store
+            .range_query(region, window)
+            .iter()
+            .map(|o| o.id)
+            .collect();
         assert_eq!(got, want, "range mismatch for {region} {window}");
     }
     cluster.shutdown();
@@ -92,7 +99,11 @@ fn distributed_knn_matches_centralized_oracle() {
             .iter()
             .map(|o| o.id)
             .collect();
-        let want: Vec<_> = store.knn_query(at, window, k).iter().map(|o| o.id).collect();
+        let want: Vec<_> = store
+            .knn_query(at, window, k)
+            .iter()
+            .map(|o| o.id)
+            .collect();
         assert_eq!(got, want, "knn mismatch at {at}, k={k}");
     }
     cluster.shutdown();
@@ -173,7 +184,13 @@ fn ingestion_is_complete_under_lan_latency() {
     // Localisation noise can push border detections slightly outside the
     // nominal extent; inflate the query region to count every stored
     // observation.
-    assert_eq!(cluster.range_query(extent.inflated(500.0), window).unwrap().len(), n);
+    assert_eq!(
+        cluster
+            .range_query(extent.inflated(500.0), window)
+            .unwrap()
+            .len(),
+        n
+    );
     let stats = cluster.stats().unwrap();
     assert_eq!(stats.total_primary(), n as u64);
     cluster.shutdown();
@@ -196,7 +213,10 @@ fn duplicate_coverage_is_preserved_not_deduplicated() {
     let extent = BBox::new(Point::new(0.0, 0.0), Point::new(2000.0, 2000.0));
     let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(100));
     assert_eq!(
-        cluster.range_query(extent.inflated(500.0), window).unwrap().len(),
+        cluster
+            .range_query(extent.inflated(500.0), window)
+            .unwrap()
+            .len(),
         per_id
     );
     cluster.shutdown();
@@ -209,7 +229,10 @@ fn notifications_do_not_interfere_with_queries() {
     let cluster = launch(4);
     let region = BBox::around(Point::new(1000.0, 1000.0), 600.0);
     cluster
-        .register_continuous(Predicate { region, class: None })
+        .register_continuous(Predicate {
+            region,
+            class: None,
+        })
         .unwrap();
     cluster.ingest(stream.clone()).unwrap();
     cluster.flush().unwrap();

@@ -30,7 +30,14 @@ fn obs(seq: u64, t_ms: u64, x: f64, y: f64) -> Observation {
 
 fn spread_batch(n: u64) -> Vec<Observation> {
     (0..n)
-        .map(|i| obs(i, (i % 60) * 1000, (i as f64 * 41.0) % 1600.0, (i as f64 * 59.0) % 1600.0))
+        .map(|i| {
+            obs(
+                i,
+                (i % 60) * 1000,
+                (i as f64 * 41.0) % 1600.0,
+                (i as f64 * 59.0) % 1600.0,
+            )
+        })
         .collect()
 }
 
@@ -97,7 +104,14 @@ fn ingest_continues_after_failover() {
     // New data lands on the surviving workers, including cells formerly
     // owned by the dead one.
     let fresh: Vec<Observation> = (1000..1200u64)
-        .map(|i| obs(i, 90_000, (i as f64 * 7.0) % 1600.0, (i as f64 * 13.0) % 1600.0))
+        .map(|i| {
+            obs(
+                i,
+                90_000,
+                (i as f64 * 7.0) % 1600.0,
+                (i as f64 * 13.0) % 1600.0,
+            )
+        })
         .collect();
     cluster.ingest(fresh).unwrap();
     cluster.flush().unwrap();
@@ -130,7 +144,10 @@ fn continuous_queries_survive_failover() {
     let cluster = Cluster::launch(config(4, 1)).unwrap();
     let region = extent(); // matches everywhere, so every worker is involved
     let id = cluster
-        .register_continuous(Predicate { region, class: None })
+        .register_continuous(Predicate {
+            region,
+            class: None,
+        })
         .unwrap();
     cluster.ingest(spread_batch(50)).unwrap();
     cluster.flush().unwrap();
@@ -148,7 +165,14 @@ fn continuous_queries_survive_failover() {
         .next();
     assert!(moved_cell.is_some());
     let fresh: Vec<Observation> = (2000..2100u64)
-        .map(|i| obs(i, 95_000, (i as f64 * 11.0) % 1600.0, (i as f64 * 3.0) % 1600.0))
+        .map(|i| {
+            obs(
+                i,
+                95_000,
+                (i as f64 * 11.0) % 1600.0,
+                (i as f64 * 3.0) % 1600.0,
+            )
+        })
         .collect();
     cluster.ingest(fresh).unwrap();
     cluster.flush().unwrap();
@@ -247,7 +271,10 @@ fn retention_sweeper_bounds_the_archive() {
     cluster.ingest(spread_batch(600)).unwrap();
     cluster.flush().unwrap();
     // Keep only the most recent 20 s (slice-granular).
-    cluster.enable_retention(GeoDuration::from_secs(20), std::time::Duration::from_millis(100));
+    cluster.enable_retention(
+        GeoDuration::from_secs(20),
+        std::time::Duration::from_millis(100),
+    );
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     loop {
         let held = cluster.range_query(extent(), window_all()).unwrap();
@@ -260,7 +287,10 @@ fn retention_sweeper_bounds_the_archive() {
                 break;
             }
         }
-        assert!(std::time::Instant::now() < deadline, "sweeper never evicted");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sweeper never evicted"
+        );
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     cluster.shutdown();

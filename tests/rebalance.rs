@@ -33,7 +33,10 @@ fn hotspot_batch(n: u64) -> Vec<Observation> {
     (0..n)
         .map(|i| {
             let (x, y) = if i % 10 < 7 {
-                (50.0 + (i as f64 * 7.3) % 300.0, 50.0 + (i as f64 * 11.7) % 300.0)
+                (
+                    50.0 + (i as f64 * 7.3) % 300.0,
+                    50.0 + (i as f64 * 11.7) % 300.0,
+                )
             } else {
                 ((i as f64 * 37.0) % 1600.0, (i as f64 * 53.0) % 1600.0)
             };
@@ -89,8 +92,12 @@ fn queries_are_exact_for_all_query_types_after_rebalance() {
     cluster.flush().unwrap();
     let region = BBox::around(Point::new(200.0, 200.0), 250.0);
     let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(30));
-    let range_before: Vec<_> =
-        cluster.range_query(region, window).unwrap().iter().map(|o| o.id).collect();
+    let range_before: Vec<_> = cluster
+        .range_query(region, window)
+        .unwrap()
+        .iter()
+        .map(|o| o.id)
+        .collect();
     let knn_before: Vec<_> = cluster
         .knn_query(Point::new(800.0, 800.0), window, 20)
         .unwrap()
@@ -102,8 +109,12 @@ fn queries_are_exact_for_all_query_types_after_rebalance() {
 
     cluster.rebalance().unwrap();
 
-    let range_after: Vec<_> =
-        cluster.range_query(region, window).unwrap().iter().map(|o| o.id).collect();
+    let range_after: Vec<_> = cluster
+        .range_query(region, window)
+        .unwrap()
+        .iter()
+        .map(|o| o.id)
+        .collect();
     let knn_after: Vec<_> = cluster
         .knn_query(Point::new(800.0, 800.0), window, 20)
         .unwrap()
@@ -125,11 +136,22 @@ fn ingest_routes_correctly_after_rebalance() {
     cluster.rebalance().unwrap();
     // Fresh traffic lands and is queryable under the new map.
     let fresh: Vec<Observation> = (10_000..10_500u64)
-        .map(|i| obs(i, 60_000, (i as f64 * 13.0) % 1600.0, (i as f64 * 29.0) % 1600.0, EntityClass::Car))
+        .map(|i| {
+            obs(
+                i,
+                60_000,
+                (i as f64 * 13.0) % 1600.0,
+                (i as f64 * 29.0) % 1600.0,
+                EntityClass::Car,
+            )
+        })
         .collect();
     cluster.ingest(fresh).unwrap();
     cluster.flush().unwrap();
-    assert_eq!(cluster.range_query(extent(), window_all()).unwrap().len(), 1_500);
+    assert_eq!(
+        cluster.range_query(extent(), window_all()).unwrap().len(),
+        1_500
+    );
     cluster.shutdown();
 }
 
@@ -141,7 +163,10 @@ fn rebalance_with_replication_is_rejected() {
             .with_link(LinkModel::instant()),
     )
     .unwrap();
-    assert!(matches!(cluster.rebalance(), Err(StcamError::Unsupported(_))));
+    assert!(matches!(
+        cluster.rebalance(),
+        Err(StcamError::Unsupported(_))
+    ));
     cluster.shutdown();
 }
 
@@ -150,7 +175,10 @@ fn continuous_queries_keep_matching_after_rebalance() {
     let cluster = Cluster::launch(config(4)).unwrap();
     let fence = BBox::around(Point::new(200.0, 200.0), 300.0);
     let id = cluster
-        .register_continuous(Predicate { region: fence, class: None })
+        .register_continuous(Predicate {
+            region: fence,
+            class: None,
+        })
         .unwrap();
     cluster.ingest(hotspot_batch(1_000)).unwrap();
     cluster.flush().unwrap();
@@ -212,7 +240,13 @@ fn filtered_range_query_matches_postfiltering() {
     let batch: Vec<Observation> = (0..1_000u64)
         .map(|i| {
             let class = EntityClass::from_u8((i % 4) as u8).unwrap();
-            obs(i, (i % 50) * 1000, (i as f64 * 37.0) % 1600.0, (i as f64 * 53.0) % 1600.0, class)
+            obs(
+                i,
+                (i % 50) * 1000,
+                (i as f64 * 37.0) % 1600.0,
+                (i as f64 * 53.0) % 1600.0,
+                class,
+            )
         })
         .collect();
     cluster.ingest(batch).unwrap();
@@ -262,7 +296,10 @@ fn auto_recovery_heals_without_manual_intervention() {
         if healed {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "auto recovery never healed");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "auto recovery never healed"
+        );
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     cluster.shutdown();

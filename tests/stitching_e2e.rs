@@ -1,9 +1,7 @@
 //! End-to-end trajectory analysis: the full world → detector → tracklet →
 //! hand-off pipeline, scored against ground truth.
 
-use stcam::stitch::{
-    build_tracklets, score_links, stitch_greedy, stitch_handoff, StitchConfig,
-};
+use stcam::stitch::{build_tracklets, score_links, stitch_greedy, stitch_handoff, StitchConfig};
 use stcam_camnet::{CameraNetwork, DetectionModel, Observation, SensorSim, TransitionModel};
 use stcam_geo::{Duration, Timestamp};
 use stcam_world::{MobilityModel, World, WorldConfig};
@@ -37,7 +35,11 @@ fn run_pipeline_with(seconds: u64, model: DetectionModel, seed: u64, entities: u
     }
     // Rebuild the network for the caller (SensorSim consumed it).
     let network = CameraNetwork::deploy_on_roads(world.roads(), 90, seed + 1);
-    Setup { observations, network, transitions }
+    Setup {
+        observations,
+        network,
+        transitions,
+    }
 }
 
 #[test]
@@ -69,13 +71,21 @@ fn handoff_stitching_scores_high_on_clean_data() {
     let tracklets = build_tracklets(&setup.observations, &config);
     let tracks = stitch_handoff(&tracklets, &setup.network, &setup.transitions, &config);
     let score = score_links(&tracklets, &tracks);
-    assert!(score.true_links > 20, "too few hand-offs to score ({})", score.true_links);
+    assert!(
+        score.true_links > 20,
+        "too few hand-offs to score ({})",
+        score.true_links
+    );
     assert!(
         score.precision() > 0.9,
         "precision {:.3} on clean data",
         score.precision()
     );
-    assert!(score.recall() > 0.3, "recall {:.3} on clean data", score.recall());
+    assert!(
+        score.recall() > 0.3,
+        "recall {:.3} on clean data",
+        score.recall()
+    );
 }
 
 #[test]
@@ -124,7 +134,11 @@ fn stitching_degrades_gracefully_with_noise() {
         f1_by_noise[0] > f1_by_noise[1],
         "F1 did not degrade with noise: {f1_by_noise:?}"
     );
-    assert!(f1_by_noise[0] > 0.3, "low-noise F1 too weak: {}", f1_by_noise[0]);
+    assert!(
+        f1_by_noise[0] > 0.3,
+        "low-noise F1 too weak: {}",
+        f1_by_noise[0]
+    );
 }
 
 #[test]
@@ -177,7 +191,11 @@ fn stitching_from_cluster_query_results() {
     let tracklets = build_tracklets(&fetched, &config);
     let tracks = stitch_handoff(&tracklets, &setup.network, &setup.transitions, &config);
     let score = score_links(&tracklets, &tracks);
-    assert!(score.precision() > 0.8, "precision {:.3}", score.precision());
+    assert!(
+        score.precision() > 0.8,
+        "precision {:.3}",
+        score.precision()
+    );
     cluster.shutdown();
 }
 
@@ -213,7 +231,10 @@ fn reconstruct_service_follows_a_seed_observation() {
             seen[i] += 1;
         }
     }
-    assert!(seen.iter().all(|&c| c == 1), "tracklet multiplicity violated");
+    assert!(
+        seen.iter().all(|&c| c == 1),
+        "tracklet multiplicity violated"
+    );
 
     // Follow a seed: pick an observation from a multi-tracklet track.
     let rich_track = result
@@ -236,6 +257,8 @@ fn reconstruct_service_follows_a_seed_observation() {
     assert!(!journey.is_empty());
     // Unknown seed yields None.
     use stcam_camnet::{CameraId, ObservationId};
-    assert!(result.track_containing(ObservationId::compose(CameraId(999), 1)).is_none());
+    assert!(result
+        .track_containing(ObservationId::compose(CameraId(999), 1))
+        .is_none());
     cluster.shutdown();
 }

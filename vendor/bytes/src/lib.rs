@@ -162,7 +162,10 @@ impl BytesMut {
 
     /// An empty buffer with `capacity` bytes preallocated.
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(capacity), head: 0 }
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+            head: 0,
+        }
     }
 
     /// Unread bytes.
@@ -194,7 +197,10 @@ impl BytesMut {
         assert!(at <= self.len(), "split_to past end of buffer");
         let front = self.data[self.head..self.head + at].to_vec();
         self.head += at;
-        BytesMut { data: front, head: 0 }
+        BytesMut {
+            data: front,
+            head: 0,
+        }
     }
 
     /// Copies the unread bytes into a fresh `Vec`.
@@ -206,7 +212,10 @@ impl BytesMut {
 
 impl From<&[u8]> for BytesMut {
     fn from(src: &[u8]) -> Self {
-        BytesMut { data: src.to_vec(), head: 0 }
+        BytesMut {
+            data: src.to_vec(),
+            head: 0,
+        }
     }
 }
 

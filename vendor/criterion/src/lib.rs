@@ -74,7 +74,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id labelled `{name}/{parameter}`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
     }
 }
 
@@ -92,7 +94,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { label: self.to_string() }
+        BenchmarkId {
+            label: self.to_string(),
+        }
     }
 }
 
@@ -128,7 +132,10 @@ impl Bencher {
 
     fn report(&self, id: &BenchmarkId) {
         match self.mean {
-            Some(mean) => println!("  {:<40} {:>12.3?} /iter  ({} iters)", id.label, mean, self.iters),
+            Some(mean) => println!(
+                "  {:<40} {:>12.3?} /iter  ({} iters)",
+                id.label, mean, self.iters
+            ),
             None => println!("  {:<40} (no measurement)", id.label),
         }
     }

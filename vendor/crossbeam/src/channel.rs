@@ -26,12 +26,21 @@ struct Shared<T> {
 
 fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
         recv_ready: Condvar::new(),
         send_ready: Condvar::new(),
         capacity,
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 /// Creates a channel with unlimited buffering.
@@ -197,7 +206,9 @@ impl<T> Clone for Sender<T> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .senders += 1;
-        Sender { shared: Arc::clone(&self.shared) }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -208,7 +219,9 @@ impl<T> Clone for Receiver<T> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .receivers += 1;
-        Receiver { shared: Arc::clone(&self.shared) }
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 

@@ -85,7 +85,7 @@ impl Strategy for &'static str {
         (0..len)
             .map(|_| {
                 let r = rng.next_u64();
-                if r % 4 == 0 {
+                if r.is_multiple_of(4) {
                     WIDE[(r >> 8) as usize % WIDE.len()]
                 } else {
                     // Printable ASCII.
@@ -114,6 +114,12 @@ tuple_strategy! {
     (A.0, B.1, C.2, D.3)
     (A.0, B.1, C.2, D.3, E.4)
     (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
 }
 
 #[cfg(test)]

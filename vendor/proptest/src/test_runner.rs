@@ -169,13 +169,17 @@ mod tests {
     #[should_panic(expected = "failed at case 3")]
     fn runner_reports_failing_case() {
         let mut calls = 0u32;
-        run("runner_reports_failing_case", &ProptestConfig::default(), |_| {
-            calls += 1;
-            if calls > 3 {
-                Err(TestCaseError::fail("boom"))
-            } else {
-                Ok(())
-            }
-        });
+        run(
+            "runner_reports_failing_case",
+            &ProptestConfig::default(),
+            |_| {
+                calls += 1;
+                if calls > 3 {
+                    Err(TestCaseError::fail("boom"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
     }
 }
