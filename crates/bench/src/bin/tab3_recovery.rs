@@ -2,23 +2,32 @@
 //! factor.
 //!
 //! For each replication factor, stream a workload, kill one worker (and,
-//! in the paired column, two ring-adjacent workers) mid-archive, run
-//! detection + failover, and audit completeness. Expected shape: r = 0
-//! loses the whole dead shard (~1/N of the data); r = 1 survives one
-//! failure losing at most in-flight replication traffic; r = 2 survives
-//! two adjacent failures. Recovery time is dominated by replica-log
-//! promotion, proportional to the dead shard's size. Failure detection
-//! itself is visible in the executor's telemetry: each dead worker shows
-//! up as exactly one failed (deliberately non-retried) probe.
+//! in the paired column, two ring-adjacent workers) mid-archive, probe
+//! availability during the crash window, run detection + failover, and
+//! audit completeness. Expected shape: r = 0 loses the whole dead shard
+//! (~1/N of the data); r = 1 survives one failure losing at most
+//! in-flight replication traffic; r = 2 survives two adjacent failures.
+//! Recovery time is dominated by replica-log promotion, proportional to
+//! the dead shard's size. Failure detection itself is visible in the
+//! executor's telemetry: each dead worker shows up as exactly one failed
+//! (deliberately non-retried) probe.
+//!
+//! The availability columns measure the window between the crash and the
+//! recovery tick — when the dead workers are still in the ring and only
+//! replica-failover reads can answer for their shards: the fraction of
+//! strict queries answered, and the mean completeness fraction of
+//! best-effort queries.
 //!
 //! ```text
 //! cargo run -p stcam-bench --release --bin tab3_recovery
 //! ```
 
+use stcam::{Cluster, OpPolicy, QueryMode};
 use stcam_bench::{
     fmt_count, ingest_chunked, lan_config, launch, op_stats, square_extent, synthetic_stream,
     timed, window_secs, Table,
 };
+use stcam_geo::{BBox, GridSpec, Point};
 use stcam_net::NodeId;
 
 const EXTENT_M: f64 = 8_000.0;
@@ -35,6 +44,8 @@ fn main() {
         "r",
         "failures",
         "probe fails",
+        "strict avail",
+        "BE compl",
         "survivors hold",
         "lost",
         "loss %",
@@ -54,6 +65,7 @@ fn main() {
             for &victim in &victims {
                 cluster.kill_worker(victim);
             }
+            let (strict_avail, mean_completeness) = crash_window_availability(&cluster, extent);
             let (failed, recovery_s) = timed(|| cluster.check_and_recover());
             assert_eq!(failed.len(), victims.len(), "missed a failure");
             // The executor books each dead worker as one failed probe
@@ -77,6 +89,8 @@ fn main() {
                 replication.to_string(),
                 victims.len().to_string(),
                 probe_fails.to_string(),
+                format!("{:.0}%", strict_avail * 100.0),
+                format!("{mean_completeness:.3}"),
                 fmt_count(held as f64),
                 lost.to_string(),
                 format!("{:.3}%", lost as f64 * 100.0 / STREAM_LEN as f64),
@@ -89,8 +103,57 @@ fn main() {
     table.print();
     println!(
         "\n(failures are ring-adjacent — the worst case; replication is asynchronous,\n\
-         so loss under r ≥ failures is bounded by in-flight replica traffic)"
+         so loss under r ≥ failures is bounded by in-flight replica traffic;\n\
+         availability columns are measured before the recovery tick, when only\n\
+         replica-failover reads can answer for the dead shards)"
     );
+}
+
+/// Probes the crash window: strict and best-effort range/kNN/heat-map
+/// queries against a cluster whose victims are dead but not yet failed
+/// out. Returns (fraction of strict queries answered, mean best-effort
+/// completeness fraction).
+fn crash_window_availability(cluster: &Cluster, extent: BBox) -> (f64, f64) {
+    // Short read policies so each dead-primary sub-query fails over (or
+    // fails) quickly instead of burning the default RPC budget.
+    for op in ["range", "knn_phase1", "knn_phase2", "heatmap"] {
+        cluster.set_op_policy(op, OpPolicy::new(std::time::Duration::from_millis(600)));
+    }
+    let window = window_secs(10_000);
+    let buckets = GridSpec::covering(extent, extent.width() / 16.0);
+    let mut strict_ok = 0u32;
+    let mut strict_total = 0u32;
+    let mut completeness_sum = 0.0;
+    let mut best_effort_total = 0u32;
+    for round in 0..2u32 {
+        let at = Point::new(
+            extent.min.x + extent.width() * (0.25 + 0.4 * round as f64),
+            extent.min.y + extent.height() * (0.6 - 0.3 * round as f64),
+        );
+        strict_total += 3;
+        strict_ok += u32::from(cluster.range_query(extent, window).is_ok());
+        strict_ok += u32::from(cluster.knn_query(at, window, 10).is_ok());
+        strict_ok += u32::from(cluster.heatmap(&buckets, window).is_ok());
+        let fractions = [
+            cluster
+                .range_query_with(QueryMode::BestEffort, extent, window)
+                .map(|d| d.completeness.fraction()),
+            cluster
+                .knn_query_with(QueryMode::BestEffort, at, window, 10)
+                .map(|d| d.completeness.fraction()),
+            cluster
+                .heatmap_with(QueryMode::BestEffort, &buckets, window)
+                .map(|d| d.completeness.fraction()),
+        ];
+        for fraction in fractions {
+            best_effort_total += 1;
+            completeness_sum += fraction.unwrap_or(0.0);
+        }
+    }
+    (
+        f64::from(strict_ok) / f64::from(strict_total),
+        completeness_sum / f64::from(best_effort_total),
+    )
 }
 
 /// Total fabric bytes to ingest a small reference stream at the given

@@ -1,0 +1,282 @@
+//! Deterministic fault-schedule generation for chaos testing.
+//!
+//! A [`ChaosPlan`] is a seeded, reproducible sequence of fault events —
+//! crashes, restarts, partitions, heals, recovery ticks — interleaved
+//! with query batteries. The generator keeps every schedule *survivable*:
+//! at most `max_dead` shards are unavailable at any instant, so a cluster
+//! with replication factor ≥ `max_dead` never loses data and the
+//! harness's truthfulness and final-equality invariants stay sound.
+//!
+//! The integration harness (`tests/chaos.rs`) executes plans against a
+//! live cluster and checks every query against a centralized oracle;
+//! printing the seed makes any failing schedule replayable.
+
+use stcam_net::NodeId;
+
+/// A small deterministic RNG (SplitMix64) for schedule generation.
+///
+/// Self-contained so chaos schedules depend on nothing but the seed —
+/// not on a global RNG's call history or a platform's entropy source.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Creates a generator from `seed`. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        ChaosRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `0..n` (`n` must be nonzero).
+    pub fn gen_range(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One step of a chaos schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Crash a worker (fabric drops its traffic and pending RPCs).
+    Kill(NodeId),
+    /// Restart a previously crashed worker's transport. Restarted nodes
+    /// do **not** rejoin the ring — membership is monotonic — but they
+    /// stop timing out, which exercises suspicion decay.
+    Restart(NodeId),
+    /// Isolate this group from the rest of the cluster.
+    Partition(Vec<NodeId>),
+    /// Heal the active partition.
+    Heal,
+    /// Run a recovery tick (`check_and_recover`): failed shards are
+    /// reassigned and promoted on their successors.
+    Recover,
+    /// Issue a battery of strict and best-effort queries and check them
+    /// against the oracle.
+    Queries,
+}
+
+/// A seeded, survivable fault schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// The seed that generated this plan (printed on harness failure).
+    pub seed: u64,
+    /// The schedule, executed in order.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// Generates a deterministic plan for a cluster of `workers` nodes
+    /// (ids `1..=workers`), about `steps` fault events long, never
+    /// leaving more than `max_dead` in-ring shards unavailable at once.
+    ///
+    /// Set `max_dead` to the replication factor: then every unavailable
+    /// shard still has a live replica, so queries can stay complete and
+    /// recovery can always restore the data.
+    ///
+    /// The plan always starts with a kill (the interesting case), runs a
+    /// `Queries` battery after every event, and ends healed + recovered
+    /// with a final battery, so eventual-recovery invariants can assert
+    /// completeness returns to full.
+    pub fn generate(seed: u64, workers: u32, steps: usize, max_dead: usize) -> ChaosPlan {
+        let mut rng = ChaosRng::new(seed);
+        let mut events = Vec::new();
+        // Membership bookkeeping mirroring the cluster's state machine:
+        // failed-out shards leave `in_ring` at Recover; crashed/isolated
+        // in-ring shards are "unavailable" and must stay ≤ max_dead.
+        let mut in_ring: Vec<NodeId> = (1..=workers).map(NodeId).collect();
+        let mut crashed: Vec<NodeId> = Vec::new();
+        let mut isolated: Option<Vec<NodeId>> = None;
+        let unavailable = |in_ring: &[NodeId],
+                           crashed: &[NodeId],
+                           isolated: &Option<Vec<NodeId>>| {
+            in_ring
+                .iter()
+                .filter(|n| crashed.contains(n) || isolated.as_ref().is_some_and(|g| g.contains(n)))
+                .count()
+        };
+        for step in 0..steps {
+            let down = unavailable(&in_ring, &crashed, &isolated);
+            let budget = max_dead.saturating_sub(down);
+            // Candidate victims: in-ring, currently fully available.
+            let healthy: Vec<NodeId> = in_ring
+                .iter()
+                .copied()
+                .filter(|n| {
+                    !crashed.contains(n) && !isolated.as_ref().is_some_and(|g| g.contains(n))
+                })
+                .collect();
+            let choice = if step == 0 { 0 } else { rng.gen_range(6) };
+            match choice {
+                // Kill — forced first so every plan exercises failover.
+                0 | 1 if budget > 0 && healthy.len() > 2 => {
+                    let victim = healthy[rng.gen_range(healthy.len())];
+                    crashed.push(victim);
+                    events.push(ChaosEvent::Kill(victim));
+                }
+                2 if !crashed.is_empty() => {
+                    let victim = crashed.swap_remove(rng.gen_range(crashed.len()));
+                    events.push(ChaosEvent::Restart(victim));
+                }
+                3 if isolated.is_none() && budget > 0 && healthy.len() > 2 => {
+                    let size = 1 + rng.gen_range(budget.min(healthy.len() - 2));
+                    let mut pool = healthy.clone();
+                    let group: Vec<NodeId> = (0..size)
+                        .map(|_| pool.swap_remove(rng.gen_range(pool.len())))
+                        .collect();
+                    isolated = Some(group.clone());
+                    events.push(ChaosEvent::Partition(group));
+                }
+                4 if isolated.is_some() => {
+                    isolated = None;
+                    events.push(ChaosEvent::Heal);
+                }
+                5 if down > 0 && in_ring.len() > 2 => {
+                    // Recovery fails crashed shards out of the ring; an
+                    // isolated group heals first (the coordinator cannot
+                    // tell a partition from a crash, and failing out an
+                    // isolated majority would not be survivable).
+                    if isolated.is_some() {
+                        isolated = None;
+                        events.push(ChaosEvent::Heal);
+                    }
+                    in_ring.retain(|n| !crashed.contains(n));
+                    crashed.clear();
+                    events.push(ChaosEvent::Recover);
+                }
+                _ => continue,
+            }
+            events.push(ChaosEvent::Queries);
+        }
+        // Deterministic convergence tail: heal, recover, final battery.
+        if isolated.is_some() {
+            events.push(ChaosEvent::Heal);
+        }
+        if !crashed.is_empty() {
+            events.push(ChaosEvent::Recover);
+        }
+        events.push(ChaosEvent::Queries);
+        ChaosPlan { seed, events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = ChaosPlan::generate(42, 8, 12, 2);
+        let b = ChaosPlan::generate(42, 8, 12, 2);
+        assert_eq!(a.events, b.events);
+        let c = ChaosPlan::generate(43, 8, 12, 2);
+        assert_ne!(a.events, c.events, "different seeds should diverge");
+    }
+
+    #[test]
+    fn plans_respect_the_unavailability_budget() {
+        for seed in 0..50 {
+            let plan = ChaosPlan::generate(seed, 8, 20, 2);
+            let mut in_ring: Vec<NodeId> = (1..=8).map(NodeId).collect();
+            let mut crashed: Vec<NodeId> = Vec::new();
+            let mut isolated: Vec<NodeId> = Vec::new();
+            for event in &plan.events {
+                match event {
+                    ChaosEvent::Kill(n) => {
+                        assert!(!crashed.contains(n), "double kill in seed {seed}");
+                        crashed.push(*n);
+                    }
+                    ChaosEvent::Restart(n) => {
+                        crashed.retain(|c| c != n);
+                    }
+                    ChaosEvent::Partition(group) => isolated.clone_from(group),
+                    ChaosEvent::Heal => isolated.clear(),
+                    ChaosEvent::Recover => {
+                        assert!(
+                            isolated.is_empty(),
+                            "recover while partitioned, seed {seed}"
+                        );
+                        in_ring.retain(|n| !crashed.contains(n));
+                        crashed.clear();
+                    }
+                    ChaosEvent::Queries => {}
+                }
+                let down = in_ring
+                    .iter()
+                    .filter(|n| crashed.contains(n) || isolated.contains(n))
+                    .count();
+                assert!(down <= 2, "seed {seed}: {down} unavailable > budget");
+                assert!(in_ring.len() >= 2, "seed {seed}: ring shrank below 2");
+            }
+        }
+    }
+
+    #[test]
+    fn plans_start_with_a_kill_and_end_converged() {
+        for seed in [7u64, 11, 23, 47] {
+            let plan = ChaosPlan::generate(seed, 8, 15, 2);
+            assert!(
+                matches!(plan.events.first(), Some(ChaosEvent::Kill(_))),
+                "seed {seed}: first event should be a kill"
+            );
+            assert_eq!(
+                plan.events.last(),
+                Some(&ChaosEvent::Queries),
+                "seed {seed}: plan must end with a final battery"
+            );
+            // After replaying the whole plan, nothing may remain crashed
+            // in-ring or isolated.
+            let mut crashed: Vec<NodeId> = Vec::new();
+            let mut in_ring: Vec<NodeId> = (1..=8).map(NodeId).collect();
+            let mut partitioned = false;
+            for event in &plan.events {
+                match event {
+                    ChaosEvent::Kill(n) => crashed.push(*n),
+                    ChaosEvent::Restart(n) => crashed.retain(|c| c != n),
+                    ChaosEvent::Partition(_) => partitioned = true,
+                    ChaosEvent::Heal => partitioned = false,
+                    ChaosEvent::Recover => {
+                        in_ring.retain(|n| !crashed.contains(n));
+                        crashed.clear();
+                    }
+                    ChaosEvent::Queries => {}
+                }
+            }
+            assert!(!partitioned, "seed {seed}: plan ends partitioned");
+            assert!(
+                in_ring.iter().all(|n| !crashed.contains(n)),
+                "seed {seed}: plan ends with a crashed in-ring shard"
+            );
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_spread() {
+        let mut a = ChaosRng::new(99);
+        let mut b = ChaosRng::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = ChaosRng::new(1);
+        let mut buckets = [0usize; 8];
+        for _ in 0..800 {
+            buckets[r.gen_range(8)] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 50), "skewed draw: {buckets:?}");
+        let f = r.gen_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

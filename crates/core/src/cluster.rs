@@ -11,6 +11,7 @@ use stcam_net::{Fabric, FabricStats, LinkModel, NodeId};
 use crate::continuous::{ContinuousQueryId, Notification, Predicate};
 use crate::coordinator::{ClusterStats, Coordinator, RebalanceReport};
 use crate::error::StcamError;
+use crate::exec::{Degraded, QueryMode};
 use crate::ingest::Ingestor;
 use crate::partition::{PartitionMap, PartitionPolicy};
 use crate::worker::{Worker, WorkerConfig, WorkerHandle};
@@ -120,6 +121,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Replaces the coordinator → worker RPC timeout. Chaos and failover
+    /// tests lower this so dead-node sub-queries fail fast.
+    pub fn with_rpc_timeout(mut self, timeout: StdDuration) -> Self {
+        self.rpc_timeout = timeout;
+        self
+    }
+
     /// The macro grid this configuration induces (useful for building a
     /// load profile).
     pub fn macro_grid(&self) -> GridSpec {
@@ -143,10 +151,55 @@ pub struct Cluster {
     retention: Mutex<Option<MonitorHandle>>,
 }
 
+/// A periodic background thread with interruptible sleep: the tick runs
+/// once immediately on spawn, then every `interval`, and [`stop`]
+/// (`Self::stop`) wakes the thread mid-wait instead of letting a long
+/// interval delay shutdown.
 #[derive(Debug)]
 struct MonitorHandle {
-    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    signal: std::sync::Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
     join: std::thread::JoinHandle<()>,
+}
+
+impl MonitorHandle {
+    fn spawn(name: &str, interval: StdDuration, mut tick: impl FnMut() + Send + 'static) -> Self {
+        let signal = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let signal_thread = std::sync::Arc::clone(&signal);
+        let join = std::thread::Builder::new()
+            .name(name.into())
+            .spawn(move || {
+                let (stopped, wake) = &*signal_thread;
+                loop {
+                    tick();
+                    let deadline = std::time::Instant::now() + interval;
+                    let mut stopped = stopped.lock().expect("monitor mutex poisoned");
+                    // Deadline-based wait so spurious wakeups re-arm with
+                    // the remaining time rather than a fresh interval.
+                    loop {
+                        if *stopped {
+                            return;
+                        }
+                        let now = std::time::Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        stopped = wake
+                            .wait_timeout(stopped, deadline - now)
+                            .expect("monitor mutex poisoned")
+                            .0;
+                    }
+                }
+            })
+            .expect("spawn cluster monitor");
+        MonitorHandle { signal, join }
+    }
+
+    fn stop(self) {
+        let (stopped, wake) = &*self.signal;
+        *stopped.lock().expect("monitor mutex poisoned") = true;
+        wake.notify_all();
+        let _ = self.join.join();
+    }
 }
 
 impl Cluster {
@@ -401,6 +454,117 @@ impl Cluster {
             .range_query_filtered(region, window, class)
     }
 
+    /// As [`range_query`](Self::range_query) with an explicit
+    /// [`QueryMode`] and per-shard [completeness](crate::Completeness)
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// In [`QueryMode::Strict`], fails with
+    /// [`StcamError::PartialFailure`] when any shard stays unanswered
+    /// after replica failover. In [`QueryMode::BestEffort`] the only
+    /// errors are local (e.g. routing with an empty ring).
+    pub fn range_query_with(
+        &self,
+        mode: QueryMode,
+        region: BBox,
+        window: TimeInterval,
+    ) -> Result<Degraded<Vec<Observation>>, StcamError> {
+        self.coordinator
+            .lock()
+            .range_query_mode(mode, region, window)
+    }
+
+    /// As [`knn_query`](Self::knn_query) with an explicit [`QueryMode`].
+    /// A degraded kNN answer is *not* guaranteed to be a subset of the
+    /// true answer (a lost shard may promote farther neighbours into the
+    /// top `k`), which the returned completeness records as
+    /// `subset == false`.
+    ///
+    /// # Errors
+    ///
+    /// See [`range_query_with`](Self::range_query_with).
+    pub fn knn_query_with(
+        &self,
+        mode: QueryMode,
+        at: Point,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Degraded<Vec<Observation>>, StcamError> {
+        self.coordinator.lock().knn_query_mode(mode, at, window, k)
+    }
+
+    /// As [`knn_broadcast`](Self::knn_broadcast) with an explicit
+    /// [`QueryMode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`range_query_with`](Self::range_query_with).
+    pub fn knn_broadcast_with(
+        &self,
+        mode: QueryMode,
+        at: Point,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Degraded<Vec<Observation>>, StcamError> {
+        self.coordinator
+            .lock()
+            .knn_broadcast_mode(mode, at, window, k)
+    }
+
+    /// As [`heatmap`](Self::heatmap) with an explicit [`QueryMode`]. A
+    /// degraded heat-map undercounts only the missing shards' cells (a
+    /// strict per-cell subset).
+    ///
+    /// # Errors
+    ///
+    /// See [`range_query_with`](Self::range_query_with).
+    pub fn heatmap_with(
+        &self,
+        mode: QueryMode,
+        buckets: &GridSpec,
+        window: TimeInterval,
+    ) -> Result<Degraded<Vec<u64>>, StcamError> {
+        self.coordinator.lock().heatmap_mode(mode, buckets, window)
+    }
+
+    /// As [`top_cells`](Self::top_cells) with an explicit [`QueryMode`].
+    /// Like kNN, a degraded ranking may include cells that a complete
+    /// answer would have displaced (`subset == false`).
+    ///
+    /// # Errors
+    ///
+    /// See [`range_query_with`](Self::range_query_with).
+    pub fn top_cells_with(
+        &self,
+        mode: QueryMode,
+        buckets: &GridSpec,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Degraded<Vec<(stcam_geo::CellId, u64)>>, StcamError> {
+        self.coordinator
+            .lock()
+            .top_cells_mode(mode, buckets, window, k)
+    }
+
+    /// As [`range_query_filtered`](Self::range_query_filtered) with an
+    /// explicit [`QueryMode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`range_query_with`](Self::range_query_with).
+    pub fn range_query_filtered_with(
+        &self,
+        mode: QueryMode,
+        region: BBox,
+        window: TimeInterval,
+        class: stcam_world::EntityClass,
+    ) -> Result<Degraded<Vec<Observation>>, StcamError> {
+        self.coordinator
+            .lock()
+            .range_query_filtered_mode(mode, region, window, class)
+    }
+
     /// Re-partitions by measured load and migrates the moved shards (see
     /// [`Coordinator::rebalance`]). Recreate any [`Ingestor`]s afterwards.
     ///
@@ -417,72 +581,63 @@ impl Cluster {
         self.fabric.crash(worker);
     }
 
+    /// Failure injection: restarts a previously killed worker's
+    /// transport. The worker thread never exited — the fabric only
+    /// dropped its traffic — so it resumes serving its (possibly stale)
+    /// shard immediately. Restarted workers do **not** rejoin the ring if
+    /// a recovery tick already failed them out; membership is monotonic.
+    pub fn restart_worker(&self, worker: NodeId) {
+        self.fabric.restart(worker);
+    }
+
     /// Detects failed workers and fails their shards over to replicas.
     /// Returns the failures handled.
     pub fn check_and_recover(&self) -> Vec<NodeId> {
         self.coordinator.lock().check_and_recover()
     }
 
+    /// Per-node suspicion counters from the coordinator's
+    /// [`HealthView`](crate::HealthView) (consecutive failed RPCs since
+    /// the node's last success), sorted by node id.
+    pub fn suspicions(&self) -> Vec<(NodeId, u32)> {
+        self.coordinator.lock().suspicions()
+    }
+
     /// Starts a background liveness monitor that runs
-    /// [`check_and_recover`](Self::check_and_recover) every `interval`
-    /// until shutdown. Calling it again replaces the previous monitor.
+    /// [`check_and_recover`](Self::check_and_recover) once immediately and
+    /// then every `interval` until shutdown; stopping interrupts the wait,
+    /// so a long interval never delays [`shutdown`](Self::shutdown).
+    /// Calling it again replaces the previous monitor.
     pub fn enable_auto_recovery(&self, interval: StdDuration) {
-        use std::sync::atomic::{AtomicBool, Ordering};
-        let stop = std::sync::Arc::new(AtomicBool::new(false));
-        let stop_thread = std::sync::Arc::clone(&stop);
         let coordinator = std::sync::Arc::clone(&self.coordinator);
-        let join = std::thread::Builder::new()
-            .name("stcam-recovery-monitor".into())
-            .spawn(move || {
-                while !stop_thread.load(Ordering::Relaxed) {
-                    std::thread::sleep(interval);
-                    if stop_thread.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let _ = coordinator.lock().check_and_recover();
-                }
-            })
-            .expect("spawn recovery monitor");
-        let previous = self.monitor.lock().replace(MonitorHandle { stop, join });
-        if let Some(prev) = previous {
-            prev.stop.store(true, Ordering::Relaxed);
-            let _ = prev.join.join();
+        let handle = MonitorHandle::spawn("stcam-recovery-monitor", interval, move || {
+            let _ = coordinator.lock().check_and_recover();
+        });
+        if let Some(prev) = self.monitor.lock().replace(handle) {
+            prev.stop();
         }
     }
 
-    /// Starts a background retention sweeper: every `interval` it reads
-    /// the newest stored timestamp across the cluster and evicts
-    /// everything older than `horizon` before it. Calling it again
-    /// replaces the previous sweeper.
+    /// Starts a background retention sweeper: once immediately and then
+    /// every `interval` it reads the newest stored timestamp across the
+    /// cluster and evicts everything older than `horizon` before it; the
+    /// wait is interruptible like the recovery monitor's. Calling it
+    /// again replaces the previous sweeper.
     pub fn enable_retention(&self, horizon: Duration, interval: StdDuration) {
-        use std::sync::atomic::{AtomicBool, Ordering};
-        let stop = std::sync::Arc::new(AtomicBool::new(false));
-        let stop_thread = std::sync::Arc::clone(&stop);
         let coordinator = std::sync::Arc::clone(&self.coordinator);
-        let join = std::thread::Builder::new()
-            .name("stcam-retention-sweeper".into())
-            .spawn(move || {
-                while !stop_thread.load(Ordering::Relaxed) {
-                    std::thread::sleep(interval);
-                    if stop_thread.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let coordinator = coordinator.lock();
-                    let Ok(stats) = coordinator.stats() else {
-                        continue;
-                    };
-                    let newest = stats.workers.iter().filter_map(|(_, s)| s.newest_ms).max();
-                    if let Some(newest_ms) = newest {
-                        let cutoff = Timestamp::from_millis(newest_ms).saturating_sub(horizon);
-                        let _ = coordinator.evict_before(cutoff);
-                    }
-                }
-            })
-            .expect("spawn retention sweeper");
-        let previous = self.retention.lock().replace(MonitorHandle { stop, join });
-        if let Some(prev) = previous {
-            prev.stop.store(true, Ordering::Relaxed);
-            let _ = prev.join.join();
+        let handle = MonitorHandle::spawn("stcam-retention-sweeper", interval, move || {
+            let coordinator = coordinator.lock();
+            let Ok(stats) = coordinator.stats() else {
+                return;
+            };
+            let newest = stats.workers.iter().filter_map(|(_, s)| s.newest_ms).max();
+            if let Some(newest_ms) = newest {
+                let cutoff = Timestamp::from_millis(newest_ms).saturating_sub(horizon);
+                let _ = coordinator.evict_before(cutoff);
+            }
+        });
+        if let Some(prev) = self.retention.lock().replace(handle) {
+            prev.stop();
         }
     }
 
@@ -503,10 +658,7 @@ impl Cluster {
     pub fn shutdown(&self) {
         for slot in [&self.monitor, &self.retention] {
             if let Some(monitor) = slot.lock().take() {
-                monitor
-                    .stop
-                    .store(true, std::sync::atomic::Ordering::Relaxed);
-                let _ = monitor.join.join();
+                monitor.stop();
             }
         }
         if let Some(handles) = self.workers.lock().take() {

@@ -17,9 +17,9 @@ use stcam_net::{Endpoint, NodeId};
 use crate::continuous::{ContinuousQueryId, Notification, Predicate};
 use crate::error::StcamError;
 use crate::exec::{
-    AdoptOp, EvictOp, Executor, ExtractRegionOp, FlushOp, HeatmapOp, KnnBroadcastOp, KnnPhase1Op,
-    KnnPhase2Op, OpPolicy, OpStats, ProbeOp, PromoteOp, RangeFilteredOp, RangeOp,
-    RegisterContinuousOp, StatsOp, TopCellsOp, UnregisterContinuousOp,
+    AdoptOp, Completeness, Degraded, EvictOp, Executor, ExtractRegionOp, FlushOp, HeatmapOp,
+    KnnBroadcastOp, KnnPhase1Op, KnnPhase2Op, OpPolicy, OpStats, ProbeOp, PromoteOp, QueryMode,
+    RangeFilteredOp, RangeOp, RegisterContinuousOp, StatsOp, TopCellsOp, UnregisterContinuousOp,
 };
 use crate::partition::PartitionMap;
 use crate::protocol::{GridSpecMsg, Request, WorkerStatsMsg};
@@ -107,6 +107,7 @@ impl Coordinator {
     ) -> Self {
         let alive = partition.workers().iter().copied().collect();
         let exec = Executor::new(endpoint, OpPolicy::new(rpc_timeout));
+        exec.set_replication(replication);
         // Probes are single-attempt: a timeout *is* the liveness signal.
         exec.set_policy(
             "probe",
@@ -158,6 +159,12 @@ impl Coordinator {
         v
     }
 
+    /// Current per-node suspicion (consecutive failed RPCs since the
+    /// last success), for every node with recorded history.
+    pub fn suspicions(&self) -> Vec<(NodeId, u32)> {
+        self.exec.health().snapshot()
+    }
+
     // ------------------------------------------------------------------
     // Ingest path
     // ------------------------------------------------------------------
@@ -186,20 +193,32 @@ impl Coordinator {
         Ok(n)
     }
 
-    /// The worker that owns `position`, falling back along the ring when
-    /// the owner is marked dead.
+    /// The worker that owns `position`, diverted along the ring when the
+    /// owner is marked dead — or merely *suspected* dead by the
+    /// [`HealthView`](crate::HealthView), so a crashed node stops
+    /// receiving traffic after its first failed RPC instead of after the
+    /// next recovery tick.
     fn route(&self, position: Point) -> Result<NodeId, StcamError> {
         let owner = self.partition.owner_of(position);
+        let health = self.exec.health();
+        if self.alive.contains(&owner) && !health.is_suspect(owner) {
+            return Ok(owner);
+        }
+        let successor = |require_healthy: bool| {
+            self.partition
+                .successors(owner, self.partition.workers().len() - 1)
+                .into_iter()
+                .find(|&w| self.alive.contains(&w) && (!require_healthy || !health.is_suspect(w)))
+        };
+        if let Some(w) = successor(true) {
+            return Ok(w);
+        }
+        // Everyone is suspect: a suspect-but-alive owner still beats
+        // nothing (suspicion may be a false positive under load).
         if self.alive.contains(&owner) {
             return Ok(owner);
         }
-        // The partition map should have been repaired by recovery; as a
-        // late-race fallback, route to the first alive successor.
-        self.partition
-            .successors(owner, self.partition.workers().len() - 1)
-            .into_iter()
-            .find(|w| self.alive.contains(w))
-            .ok_or(StcamError::NoQuorum)
+        successor(false).ok_or(StcamError::NoQuorum)
     }
 
     /// Barrier: confirms every alive worker has drained all previously
@@ -215,41 +234,98 @@ impl Coordinator {
     // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
+    //
+    // Every read runs on the executor's degraded path — per-shard replica
+    // failover, then a merge over whatever survived. `QueryMode` decides
+    // what an incomplete answer becomes: `Strict` converts it into
+    // `StcamError::PartialFailure`, `BestEffort` hands it to the caller
+    // with its `Completeness` account. The plain (mode-less) methods are
+    // strict, preserving the historical all-or-nothing signature — but
+    // they now *succeed* through replica failover where they previously
+    // errored on the first dead shard.
+
+    /// Applies the query mode to a degraded result: strict callers get
+    /// [`StcamError::PartialFailure`] unless every shard answered.
+    fn finish<T>(mode: QueryMode, d: Degraded<T>) -> Result<Degraded<T>, StcamError> {
+        match mode {
+            QueryMode::Strict if !d.completeness.is_full() => Err(StcamError::PartialFailure {
+                missing: d.completeness.missing,
+            }),
+            _ => Ok(d),
+        }
+    }
+
+    /// An already-complete account for queries that contact no shard
+    /// (e.g. `k = 0` kNN).
+    fn empty_completeness() -> Completeness {
+        Completeness {
+            subset: true,
+            ..Completeness::default()
+        }
+    }
 
     /// All observations in `region` × `window`, merged across shards and
     /// sorted by id.
     ///
     /// # Errors
     ///
-    /// Propagates sub-query failures (e.g. a worker crashing mid-query).
+    /// With [`QueryMode::Strict`], fails with
+    /// [`StcamError::PartialFailure`] when a shard answered from neither
+    /// its primary nor a replica.
+    pub fn range_query_mode(
+        &self,
+        mode: QueryMode,
+        region: BBox,
+        window: TimeInterval,
+    ) -> Result<Degraded<Vec<Observation>>, StcamError> {
+        let d =
+            self.exec
+                .execute_degraded(RangeOp { region, window }, &self.partition, &self.alive);
+        Self::finish(mode, d)
+    }
+
+    /// Strict [`range_query_mode`](Self::range_query_mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StcamError::PartialFailure`] on lost shards.
     pub fn range_query(
         &self,
         region: BBox,
         window: TimeInterval,
     ) -> Result<Vec<Observation>, StcamError> {
-        self.exec
-            .execute(RangeOp { region, window }, &self.partition, &self.alive)
+        self.range_query_mode(QueryMode::Strict, region, window)
+            .map(|d| d.value)
     }
 
     /// The `k` observations nearest to `at` within `window`, via two-phase
     /// pruned search — two composed ops: the owner of `at`'s cell answers
     /// first ([`KnnPhase1Op`]), its k-th distance bounds the disk that
-    /// phase two scatters to ([`KnnPhase2Op`]).
+    /// phase two scatters to ([`KnnPhase2Op`]). The completeness accounts
+    /// of both phases are folded together; a degraded kNN is *not* a
+    /// subset of the true answer (`subset = false`), since a lost shard
+    /// can promote farther neighbours into the top-k.
     ///
     /// # Errors
     ///
-    /// Propagates sub-query failures.
-    pub fn knn_query(
+    /// With [`QueryMode::Strict`], fails with
+    /// [`StcamError::PartialFailure`] on lost shards; [`StcamError::NoQuorum`]
+    /// when no worker can anchor phase one.
+    pub fn knn_query_mode(
         &self,
+        mode: QueryMode,
         at: Point,
         window: TimeInterval,
         k: usize,
-    ) -> Result<Vec<Observation>, StcamError> {
+    ) -> Result<Degraded<Vec<Observation>>, StcamError> {
         if k == 0 {
-            return Ok(Vec::new());
+            return Ok(Degraded {
+                value: Vec::new(),
+                completeness: Self::empty_completeness(),
+            });
         }
         let owner = self.route(at)?;
-        let seed = self.exec.execute(
+        let phase1 = self.exec.execute_degraded(
             KnnPhase1Op {
                 owner,
                 at,
@@ -258,13 +334,15 @@ impl Coordinator {
             },
             &self.partition,
             &self.alive,
-        )?;
+        );
+        let mut completeness = phase1.completeness;
+        let seed = phase1.value;
         let bound = if seed.len() >= k {
             seed.last().map(|o| at.distance(o.position))
         } else {
             None
         };
-        self.exec.execute(
+        let phase2 = self.exec.execute_degraded(
             KnnPhase2Op {
                 at,
                 window,
@@ -275,7 +353,30 @@ impl Coordinator {
             },
             &self.partition,
             &self.alive,
+        );
+        completeness.absorb(phase2.completeness);
+        Self::finish(
+            mode,
+            Degraded {
+                value: phase2.value,
+                completeness,
+            },
         )
+    }
+
+    /// Strict [`knn_query_mode`](Self::knn_query_mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StcamError::PartialFailure`] on lost shards.
+    pub fn knn_query(
+        &self,
+        at: Point,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Vec<Observation>, StcamError> {
+        self.knn_query_mode(QueryMode::Strict, at, window, k)
+            .map(|d| d.value)
     }
 
     /// The naive kNN evaluation — broadcast to every worker with no
@@ -283,21 +384,42 @@ impl Coordinator {
     ///
     /// # Errors
     ///
-    /// Propagates sub-query failures.
+    /// With [`QueryMode::Strict`], fails with
+    /// [`StcamError::PartialFailure`] on lost shards.
+    pub fn knn_broadcast_mode(
+        &self,
+        mode: QueryMode,
+        at: Point,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Degraded<Vec<Observation>>, StcamError> {
+        if k == 0 {
+            return Ok(Degraded {
+                value: Vec::new(),
+                completeness: Self::empty_completeness(),
+            });
+        }
+        let d = self.exec.execute_degraded(
+            KnnBroadcastOp { at, window, k },
+            &self.partition,
+            &self.alive,
+        );
+        Self::finish(mode, d)
+    }
+
+    /// Strict [`knn_broadcast_mode`](Self::knn_broadcast_mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StcamError::PartialFailure`] on lost shards.
     pub fn knn_broadcast(
         &self,
         at: Point,
         window: TimeInterval,
         k: usize,
     ) -> Result<Vec<Observation>, StcamError> {
-        if k == 0 {
-            return Ok(Vec::new());
-        }
-        self.exec.execute(
-            KnnBroadcastOp { at, window, k },
-            &self.partition,
-            &self.alive,
-        )
+        self.knn_broadcast_mode(QueryMode::Strict, at, window, k)
+            .map(|d| d.value)
     }
 
     /// Per-bucket observation counts with worker-side partial aggregation:
@@ -306,36 +428,57 @@ impl Coordinator {
     ///
     /// # Errors
     ///
-    /// Propagates sub-query failures.
-    pub fn heatmap(
+    /// With [`QueryMode::Strict`], fails with
+    /// [`StcamError::PartialFailure`] on lost shards.
+    pub fn heatmap_mode(
         &self,
+        mode: QueryMode,
         buckets: &GridSpec,
         window: TimeInterval,
-    ) -> Result<Vec<u64>, StcamError> {
-        self.exec.execute(
+    ) -> Result<Degraded<Vec<u64>>, StcamError> {
+        let d = self.exec.execute_degraded(
             HeatmapOp {
                 buckets: GridSpecMsg::from(*buckets),
                 window,
             },
             &self.partition,
             &self.alive,
-        )
+        );
+        Self::finish(mode, d)
+    }
+
+    /// Strict [`heatmap_mode`](Self::heatmap_mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StcamError::PartialFailure`] on lost shards.
+    pub fn heatmap(
+        &self,
+        buckets: &GridSpec,
+        window: TimeInterval,
+    ) -> Result<Vec<u64>, StcamError> {
+        self.heatmap_mode(QueryMode::Strict, buckets, window)
+            .map(|d| d.value)
     }
 
     /// The `k` densest buckets of `buckets` × `window`, ranked by count
     /// (ties by cell index). Workers ship only their occupied buckets, so
     /// sparse grids cost a fraction of a full [`heatmap`](Self::heatmap).
+    /// A degraded ranking is not a subset of the true one (`subset =
+    /// false`): a lost shard's counts can change which cells rank.
     ///
     /// # Errors
     ///
-    /// Propagates sub-query failures.
-    pub fn top_cells(
+    /// With [`QueryMode::Strict`], fails with
+    /// [`StcamError::PartialFailure`] on lost shards.
+    pub fn top_cells_mode(
         &self,
+        mode: QueryMode,
         buckets: &GridSpec,
         window: TimeInterval,
         k: usize,
-    ) -> Result<Vec<(CellId, u64)>, StcamError> {
-        self.exec.execute(
+    ) -> Result<Degraded<Vec<(CellId, u64)>>, StcamError> {
+        let d = self.exec.execute_degraded(
             TopCellsOp {
                 buckets: GridSpecMsg::from(*buckets),
                 window,
@@ -343,7 +486,23 @@ impl Coordinator {
             },
             &self.partition,
             &self.alive,
-        )
+        );
+        Self::finish(mode, d)
+    }
+
+    /// Strict [`top_cells_mode`](Self::top_cells_mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StcamError::PartialFailure`] on lost shards.
+    pub fn top_cells(
+        &self,
+        buckets: &GridSpec,
+        window: TimeInterval,
+        k: usize,
+    ) -> Result<Vec<(CellId, u64)>, StcamError> {
+        self.top_cells_mode(QueryMode::Strict, buckets, window, k)
+            .map(|d| d.value)
     }
 
     /// The ship-all aggregate baseline: fetch every matching observation
@@ -377,19 +536,21 @@ impl Coordinator {
             .execute(EvictOp { cutoff }, &self.partition, &self.alive)
     }
 
-    /// As [`range_query`](Self::range_query) with an entity-class filter
-    /// pushed down to the workers ("trucks inside A").
+    /// As [`range_query_mode`](Self::range_query_mode) with an
+    /// entity-class filter pushed down to the workers ("trucks inside A").
     ///
     /// # Errors
     ///
-    /// Propagates sub-query failures.
-    pub fn range_query_filtered(
+    /// With [`QueryMode::Strict`], fails with
+    /// [`StcamError::PartialFailure`] on lost shards.
+    pub fn range_query_filtered_mode(
         &self,
+        mode: QueryMode,
         region: BBox,
         window: TimeInterval,
         class: stcam_world::EntityClass,
-    ) -> Result<Vec<Observation>, StcamError> {
-        self.exec.execute(
+    ) -> Result<Degraded<Vec<Observation>>, StcamError> {
+        let d = self.exec.execute_degraded(
             RangeFilteredOp {
                 region,
                 window,
@@ -397,7 +558,23 @@ impl Coordinator {
             },
             &self.partition,
             &self.alive,
-        )
+        );
+        Self::finish(mode, d)
+    }
+
+    /// Strict [`range_query_filtered_mode`](Self::range_query_filtered_mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StcamError::PartialFailure`] on lost shards.
+    pub fn range_query_filtered(
+        &self,
+        region: BBox,
+        window: TimeInterval,
+        class: stcam_world::EntityClass,
+    ) -> Result<Vec<Observation>, StcamError> {
+        self.range_query_filtered_mode(QueryMode::Strict, region, window, class)
+            .map(|d| d.value)
     }
 
     // ------------------------------------------------------------------

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use stcam_codec::DecodeError;
-use stcam_net::NetError;
+use stcam_net::{NetError, NodeId};
 
 /// An error surfaced by the distributed framework's public API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +20,13 @@ pub enum StcamError {
     OutOfExtent,
     /// The cluster has no alive worker able to serve the request.
     NoQuorum,
+    /// A strict-mode query lost one or more shards: neither the listed
+    /// primaries nor any of their replicas answered. Best-effort callers
+    /// receive the surviving subset instead (see `Degraded`).
+    PartialFailure {
+        /// The shard primaries whose data is missing from the answer.
+        missing: Vec<NodeId>,
+    },
     /// The cluster facade has been shut down.
     Shutdown,
     /// The operation is not supported under the current configuration.
@@ -34,6 +41,20 @@ impl fmt::Display for StcamError {
             StcamError::Remote(msg) => write!(f, "remote error: {msg}"),
             StcamError::OutOfExtent => write!(f, "request outside the deployment extent"),
             StcamError::NoQuorum => write!(f, "no alive worker can serve the request"),
+            StcamError::PartialFailure { missing } => {
+                write!(
+                    f,
+                    "partial failure: {} shard(s) unanswered (",
+                    missing.len()
+                )?;
+                for (i, node) in missing.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{node}")?;
+                }
+                write!(f, ")")
+            }
             StcamError::Shutdown => write!(f, "cluster has been shut down"),
             StcamError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
@@ -72,6 +93,18 @@ mod tests {
         assert!(e.to_string().contains("timed out"));
         assert!(e.source().is_some());
         assert!(StcamError::NoQuorum.source().is_none());
+    }
+
+    #[test]
+    fn partial_failure_lists_missing_shards() {
+        let e = StcamError::PartialFailure {
+            missing: vec![NodeId(3), NodeId(4)],
+        };
+        let text = e.to_string();
+        assert!(text.contains("2 shard(s)"), "unexpected display: {text}");
+        assert!(text.contains("n3, n4"), "unexpected display: {text}");
+        // A leaf error: the missing set is the whole story.
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -35,7 +35,8 @@
 //! complete example.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
 use parking_lot::Mutex;
@@ -46,6 +47,7 @@ use stcam_net::{Endpoint, NetError, NodeId};
 
 use crate::continuous::{ContinuousQueryId, Predicate};
 use crate::error::StcamError;
+use crate::health::HealthView;
 use crate::partition::PartitionMap;
 use crate::protocol::{GridSpecMsg, Request, Response, WorkerStatsMsg};
 
@@ -104,6 +106,9 @@ pub struct OpStats {
     pub retries: u64,
     /// Sub-queries whose final attempt failed.
     pub failures: u64,
+    /// Sub-queries re-issued to a replica after the primary failed
+    /// (degraded-path reads only).
+    pub failovers: u64,
     /// Wire bytes sent by the coordinator for this operation.
     pub bytes_sent: u64,
     /// Wire bytes received by the coordinator for this operation.
@@ -124,12 +129,97 @@ impl OpStats {
             sub_queries: self.sub_queries.saturating_sub(earlier.sub_queries),
             retries: self.retries.saturating_sub(earlier.retries),
             failures: self.failures.saturating_sub(earlier.failures),
+            failovers: self.failovers.saturating_sub(earlier.failovers),
             bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
             bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
             scatter_micros: self.scatter_micros.saturating_sub(earlier.scatter_micros),
             merge_micros: self.merge_micros.saturating_sub(earlier.merge_micros),
         }
     }
+}
+
+// ----------------------------------------------------------------------
+// Degraded results and completeness accounting
+// ----------------------------------------------------------------------
+
+/// How a read should behave when shards are unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Fail the whole query with [`StcamError::PartialFailure`] unless
+    /// every shard (primary or replica) answered.
+    #[default]
+    Strict,
+    /// Answer from whatever shards survive and report what is missing in
+    /// the result's [`Completeness`].
+    BestEffort,
+}
+
+/// An account of which shards contributed to a degraded query's answer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Completeness {
+    /// Shards the query had to cover.
+    pub shards_total: usize,
+    /// Shards answered by their primary.
+    pub shards_from_primary: usize,
+    /// Shards answered by a replica after the primary failed.
+    pub shards_from_replica: usize,
+    /// Shard primaries that contributed nothing: neither the primary nor
+    /// any replica answered. Empty iff the answer is complete.
+    pub missing: Vec<NodeId>,
+    /// `(failed primary, serving replica)` pairs for shards answered via
+    /// failover.
+    pub replicas_used: Vec<(NodeId, NodeId)>,
+    /// Sub-query attempts that were deterministic same-target retries.
+    pub retries: u64,
+    /// Whether the value is guaranteed to be a subset of the complete
+    /// answer. Always true when nothing is missing; under loss it is
+    /// false for top-k shapes (kNN, top-cells), where dropping a shard
+    /// can *promote* wrong items into the result rather than merely
+    /// omitting rows.
+    pub subset: bool,
+}
+
+impl Completeness {
+    /// Whether every shard contributed (directly or via a replica).
+    pub fn is_full(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// Fraction of shards that answered, in `[0, 1]` (1 when the query
+    /// had no shards to cover).
+    pub fn fraction(&self) -> f64 {
+        if self.shards_total == 0 {
+            1.0
+        } else {
+            (self.shards_total - self.missing.len()) as f64 / self.shards_total as f64
+        }
+    }
+
+    /// Folds another phase's account into this one (used by composed
+    /// queries such as two-phase kNN).
+    pub fn absorb(&mut self, other: Completeness) {
+        self.shards_total += other.shards_total;
+        self.shards_from_primary += other.shards_from_primary;
+        self.shards_from_replica += other.shards_from_replica;
+        for node in other.missing {
+            if !self.missing.contains(&node) {
+                self.missing.push(node);
+            }
+        }
+        self.replicas_used.extend(other.replicas_used);
+        self.retries += other.retries;
+        self.subset = self.subset && other.subset;
+    }
+}
+
+/// A best-effort query result: the merged value plus the account of
+/// which shards stand behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degraded<T> {
+    /// The merged answer over the shards that responded.
+    pub value: T,
+    /// Which shards contributed and which are missing.
+    pub completeness: Completeness,
 }
 
 // ----------------------------------------------------------------------
@@ -158,6 +248,21 @@ pub trait DistributedOp: Sync {
         false
     }
 
+    /// Whether a shard's sub-query may be answered from a ring
+    /// successor's replica log when the primary is unreachable (the
+    /// degraded read path). Only pure per-shard reads qualify.
+    fn replica_readable(&self) -> bool {
+        false
+    }
+
+    /// Whether merging fewer shards than targeted still yields a subset
+    /// of the complete answer. True for unions and per-bucket sums;
+    /// false for top-k shapes, where a lost shard can promote items that
+    /// the complete answer would have displaced.
+    fn subset_on_loss(&self) -> bool {
+        true
+    }
+
     /// The workers this operation must contact, given the current
     /// partition map and alive set.
     fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId>;
@@ -184,17 +289,35 @@ pub struct Executor {
     default_policy: OpPolicy,
     overrides: Mutex<HashMap<&'static str, OpPolicy>>,
     stats: Mutex<BTreeMap<&'static str, OpStats>>,
+    /// Per-node suspicion, fed by the endpoint's call observer: every RPC
+    /// outcome — probe, flush, sub-query, failover attempt — updates it.
+    health: Arc<HealthView>,
+    /// Replication factor of the ring (0 disables replica failover).
+    replication: AtomicUsize,
 }
 
 impl Executor {
     /// Creates an executor speaking through `endpoint` with
-    /// `default_policy` for operations without an override.
+    /// `default_policy` for operations without an override. The executor
+    /// installs the endpoint's call observer so every RPC outcome feeds
+    /// its [`HealthView`].
     pub fn new(endpoint: Endpoint, default_policy: OpPolicy) -> Self {
+        let health = Arc::new(HealthView::new());
+        let feed = Arc::clone(&health);
+        endpoint.set_call_observer(Arc::new(move |node, ok| {
+            if ok {
+                feed.record_success(node);
+            } else {
+                feed.record_failure(node);
+            }
+        }));
         Executor {
             endpoint,
             default_policy,
             overrides: Mutex::new(HashMap::new()),
             stats: Mutex::new(BTreeMap::new()),
+            health,
+            replication: AtomicUsize::new(0),
         }
     }
 
@@ -202,6 +325,17 @@ impl Executor {
     /// such as ingest routing and notification polling).
     pub fn endpoint(&self) -> &Endpoint {
         &self.endpoint
+    }
+
+    /// The live per-node suspicion view.
+    pub fn health(&self) -> &Arc<HealthView> {
+        &self.health
+    }
+
+    /// Sets the ring replication factor consulted by replica failover
+    /// (how many successors may hold a shard's replica log).
+    pub fn set_replication(&self, replication: usize) {
+        self.replication.store(replication, Ordering::Relaxed);
     }
 
     /// Installs a policy override for the named operation.
@@ -340,6 +474,209 @@ impl Executor {
             }
         }
     }
+
+    /// Runs a replica-failover scatter/gather and reports how complete
+    /// the merged answer is, instead of failing on lost shards.
+    ///
+    /// Per shard: the primary is attempted first (with the operation's
+    /// normal retry policy); if it fails with a transport error and the
+    /// operation is replica-readable, the shard's sub-query is re-issued
+    /// to its ring successors — healthiest first, per the
+    /// [`HealthView`] — wrapped in [`Request::ReplicaRead`]. A shard is
+    /// declared missing only after the primary and every candidate
+    /// replica failed. The merge then runs over whatever survived.
+    pub fn execute_degraded<O: DistributedOp>(
+        &self,
+        op: O,
+        partition: &PartitionMap,
+        alive: &HashSet<NodeId>,
+    ) -> Degraded<O::Output> {
+        let name = op.name();
+        let (outcomes, retries) = self.scatter_with_failover(&op, partition, alive);
+        let mut completeness = Completeness {
+            shards_total: outcomes.len(),
+            retries,
+            subset: true,
+            ..Completeness::default()
+        };
+        let mut partials = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome.result {
+                Ok(partial) => {
+                    match outcome.via {
+                        Some(replica) => {
+                            completeness.shards_from_replica += 1;
+                            completeness.replicas_used.push((outcome.shard, replica));
+                        }
+                        None => completeness.shards_from_primary += 1,
+                    }
+                    partials.push((outcome.shard, partial));
+                }
+                Err(_) => completeness.missing.push(outcome.shard),
+            }
+        }
+        completeness.subset = completeness.missing.is_empty() || op.subset_on_loss();
+        let started = Instant::now();
+        let value = op.merge(partials);
+        let merge_micros = started.elapsed().as_micros() as u64;
+        self.stats.lock().entry(name).or_default().merge_micros += merge_micros;
+        Degraded {
+            value,
+            completeness,
+        }
+    }
+
+    /// The degraded-path scatter: per-shard outcomes (in target order)
+    /// with the replica that served each failed-over shard, plus the
+    /// same-target retry count.
+    fn scatter_with_failover<O: DistributedOp>(
+        &self,
+        op: &O,
+        partition: &PartitionMap,
+        alive: &HashSet<NodeId>,
+    ) -> (Vec<ShardOutcome<O::Partial>>, u64) {
+        let targets = op.targets(partition, alive);
+        let policy = self.policy_for(op.name());
+        let net_before = self.endpoint.stats();
+        let retries = AtomicU64::new(0);
+        let failovers = AtomicU64::new(0);
+        let started = Instant::now();
+        let outcomes: Vec<ShardOutcome<O::Partial>> = if targets.is_empty() {
+            Vec::new()
+        } else if targets.len() == 1 {
+            vec![self.attempt_with_failover(
+                op, targets[0], partition, alive, &policy, &retries, &failovers,
+            )]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = targets
+                    .iter()
+                    .map(|&shard| {
+                        let policy = &policy;
+                        let retries = &retries;
+                        let failovers = &failovers;
+                        scope.spawn(move || {
+                            self.attempt_with_failover(
+                                op, shard, partition, alive, policy, retries, failovers,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scatter thread panicked"))
+                    .collect()
+            })
+        };
+        let scatter_micros = started.elapsed().as_micros() as u64;
+        let net_delta = self.endpoint.stats().since(&net_before);
+        let retries = retries.into_inner();
+        let failovers = failovers.into_inner();
+        let failures = outcomes.iter().filter(|o| o.result.is_err()).count() as u64;
+        let mut stats = self.stats.lock();
+        let entry = stats.entry(op.name()).or_default();
+        entry.invocations += 1;
+        entry.sub_queries += targets.len() as u64 + retries + failovers;
+        entry.retries += retries;
+        entry.failures += failures;
+        entry.failovers += failovers;
+        entry.bytes_sent += net_delta.bytes_sent;
+        entry.bytes_received += net_delta.bytes_received;
+        entry.scatter_micros += scatter_micros;
+        (outcomes, retries)
+    }
+
+    /// One shard's sub-query on the degraded path: primary first, then —
+    /// on a transport failure — each alive ring successor, healthiest
+    /// first, until one answers from its replica log.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_with_failover<O: DistributedOp>(
+        &self,
+        op: &O,
+        shard: NodeId,
+        partition: &PartitionMap,
+        alive: &HashSet<NodeId>,
+        policy: &OpPolicy,
+        retries: &AtomicU64,
+        failovers: &AtomicU64,
+    ) -> ShardOutcome<O::Partial> {
+        let primary = self.attempt(op, shard, policy, retries);
+        let err = match primary {
+            Ok(partial) => {
+                return ShardOutcome {
+                    shard,
+                    result: Ok(partial),
+                    via: None,
+                }
+            }
+            Err(e) => e,
+        };
+        let replication = self.replication.load(Ordering::Relaxed);
+        // Only transport failures justify failover: an application-level
+        // error from a reachable primary would repeat at any replica.
+        if !matches!(err, StcamError::Net(_)) || !op.replica_readable() || replication == 0 {
+            return ShardOutcome {
+                shard,
+                result: Err(err),
+                via: None,
+            };
+        }
+        let mut candidates: Vec<NodeId> = partition
+            .successors(shard, replication)
+            .into_iter()
+            .filter(|r| alive.contains(r))
+            .collect();
+        self.health.rank(&mut candidates);
+        for replica in candidates {
+            failovers.fetch_add(1, Ordering::Relaxed);
+            match self.replica_attempt(op, shard, replica, policy) {
+                Ok(partial) => {
+                    return ShardOutcome {
+                        shard,
+                        result: Ok(partial),
+                        via: Some(replica),
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        ShardOutcome {
+            shard,
+            result: Err(err),
+            via: None,
+        }
+    }
+
+    /// A single (no-retry) replica-read attempt for `shard`'s sub-query
+    /// against `replica`.
+    fn replica_attempt<O: DistributedOp>(
+        &self,
+        op: &O,
+        shard: NodeId,
+        replica: NodeId,
+        policy: &OpPolicy,
+    ) -> Result<O::Partial, StcamError> {
+        let payload = encode_to_vec(&Request::ReplicaRead {
+            of: shard,
+            inner: Box::new(op.request(shard)),
+        });
+        self.endpoint
+            .call(replica, payload, policy.timeout)
+            .map_err(StcamError::from)
+            .and_then(|bytes| decode_from_slice::<Response>(&bytes).map_err(StcamError::from))
+            .and_then(|response| op.decode(response))
+    }
+}
+
+/// One shard's outcome on the degraded scatter path.
+struct ShardOutcome<P> {
+    /// The shard primary the sub-query was for.
+    shard: NodeId,
+    /// The decoded partial, or the *primary's* error when neither the
+    /// primary nor any replica answered.
+    result: Result<P, StcamError>,
+    /// The replica that answered, when the primary did not.
+    via: Option<NodeId>,
 }
 
 // ----------------------------------------------------------------------
@@ -492,6 +829,9 @@ impl DistributedOp for RangeOp {
     fn idempotent(&self) -> bool {
         true
     }
+    fn replica_readable(&self) -> bool {
+        true
+    }
     fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
         region_targets(partition, alive, self.region)
     }
@@ -529,6 +869,9 @@ impl DistributedOp for RangeFilteredOp {
         "range_filtered"
     }
     fn idempotent(&self) -> bool {
+        true
+    }
+    fn replica_readable(&self) -> bool {
         true
     }
     fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
@@ -573,6 +916,12 @@ impl DistributedOp for KnnPhase1Op {
     }
     fn idempotent(&self) -> bool {
         true
+    }
+    fn replica_readable(&self) -> bool {
+        true
+    }
+    fn subset_on_loss(&self) -> bool {
+        false
     }
     fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
         vec![self.owner]
@@ -624,6 +973,12 @@ impl DistributedOp for KnnPhase2Op {
     fn idempotent(&self) -> bool {
         true
     }
+    fn replica_readable(&self) -> bool {
+        true
+    }
+    fn subset_on_loss(&self) -> bool {
+        false
+    }
     fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
         let candidates = match self.bound {
             Some(radius) => partition.workers_for_region(BBox::around(self.at, radius)),
@@ -674,6 +1029,12 @@ impl DistributedOp for KnnBroadcastOp {
     fn idempotent(&self) -> bool {
         true
     }
+    fn replica_readable(&self) -> bool {
+        true
+    }
+    fn subset_on_loss(&self) -> bool {
+        false
+    }
     fn targets(&self, _partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
         all_alive(alive)
     }
@@ -719,6 +1080,9 @@ impl DistributedOp for HeatmapOp {
         "heatmap"
     }
     fn idempotent(&self) -> bool {
+        true
+    }
+    fn replica_readable(&self) -> bool {
         true
     }
     fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
@@ -769,6 +1133,12 @@ impl DistributedOp for TopCellsOp {
     }
     fn idempotent(&self) -> bool {
         true
+    }
+    fn replica_readable(&self) -> bool {
+        true
+    }
+    fn subset_on_loss(&self) -> bool {
+        false
     }
     fn targets(&self, partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
         region_targets(partition, alive, self.buckets.to_grid().extent())
@@ -1249,6 +1619,121 @@ mod tests {
         assert_eq!(stats.retries, 0);
         assert_eq!(stats.sub_queries, 1);
         assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn completeness_accounting() {
+        let full = Completeness {
+            shards_total: 4,
+            shards_from_primary: 3,
+            shards_from_replica: 1,
+            replicas_used: vec![(NodeId(2), NodeId(3))],
+            subset: true,
+            ..Completeness::default()
+        };
+        assert!(full.is_full());
+        assert_eq!(full.fraction(), 1.0);
+        let mut degraded = Completeness {
+            shards_total: 4,
+            shards_from_primary: 3,
+            missing: vec![NodeId(2)],
+            subset: true,
+            ..Completeness::default()
+        };
+        assert!(!degraded.is_full());
+        assert_eq!(degraded.fraction(), 0.75);
+        // Absorbing a second phase sums counters, dedups missing, and
+        // ANDs the subset guarantee.
+        degraded.absorb(Completeness {
+            shards_total: 2,
+            shards_from_primary: 1,
+            missing: vec![NodeId(2), NodeId(5)],
+            retries: 1,
+            subset: false,
+            ..Completeness::default()
+        });
+        assert_eq!(degraded.shards_total, 6);
+        assert_eq!(degraded.missing, vec![NodeId(2), NodeId(5)]);
+        assert_eq!(degraded.retries, 1);
+        assert!(!degraded.subset);
+        // Nothing to cover counts as complete.
+        assert_eq!(Completeness::default().fraction(), 1.0);
+        assert!(Completeness::default().is_full());
+    }
+
+    #[test]
+    fn op_degradation_flags() {
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let grid = GridSpecMsg {
+            origin: Point::new(0.0, 0.0),
+            cell_size: 1.0,
+            cols: 1,
+            rows: 1,
+        };
+        // Unions and per-bucket sums lose rows monotonically.
+        let range = RangeOp {
+            region,
+            window: window(),
+        };
+        assert!(range.replica_readable() && range.subset_on_loss());
+        let heat = HeatmapOp {
+            buckets: grid,
+            window: window(),
+        };
+        assert!(heat.replica_readable() && heat.subset_on_loss());
+        // Top-k shapes can promote wrong items when a shard is lost.
+        let knn = KnnBroadcastOp {
+            at: Point::ORIGIN,
+            window: window(),
+            k: 3,
+        };
+        assert!(knn.replica_readable() && !knn.subset_on_loss());
+        let top = TopCellsOp {
+            buckets: grid,
+            window: window(),
+            k: 3,
+        };
+        assert!(top.replica_readable() && !top.subset_on_loss());
+        // Writes and probes never read replicas.
+        assert!(!FlushOp.replica_readable());
+        assert!(!ProbeOp.replica_readable());
+        let adopt = AdoptOp {
+            target: NodeId(1),
+            batch: vec![],
+        };
+        assert!(!adopt.replica_readable());
+    }
+
+    #[test]
+    fn degraded_execute_reports_a_dead_unreplicated_shard_as_missing() {
+        // One worker, nobody serving it, replication 0: the degraded
+        // path must answer with an empty value and a truthful account.
+        let fabric = Fabric::new(LinkModel::instant());
+        let _worker_ep = fabric.register(NodeId(1));
+        let exec = Executor::new(
+            fabric.register(NodeId(0)),
+            OpPolicy::no_retry(StdDuration::from_millis(50)),
+        );
+        let (partition, alive) = one_worker_world();
+        let d = exec.execute_degraded(
+            RangeOp {
+                region: BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)),
+                window: window(),
+            },
+            &partition,
+            &alive,
+        );
+        assert!(d.value.is_empty());
+        assert_eq!(d.completeness.shards_total, 1);
+        assert_eq!(d.completeness.missing, vec![NodeId(1)]);
+        assert!(!d.completeness.is_full());
+        assert_eq!(d.completeness.fraction(), 0.0);
+        assert!(d.completeness.subset, "a lost range shard still subsets");
+        // The failed call also raised suspicion on the silent worker.
+        assert!(exec.health().is_suspect(NodeId(1)));
+        let stats = exec.stats_for("range");
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.failovers, 0, "no replicas configured");
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Coordinator-side failure suspicion.
+//!
+//! [`HealthView`] accumulates per-node suspicion from *every* RPC outcome
+//! the coordinator observes — liveness probes and query-time sub-queries
+//! alike (the executor feeds it through the endpoint's call observer).
+//! Routing consults the view to prefer healthy replicas immediately,
+//! instead of waiting for the next recovery tick to update membership.
+//!
+//! Suspicion is a simple consecutive-failure counter: any successful call
+//! to a node clears it. This deliberately errs toward forgiveness — a
+//! single timeout under load must not permanently divert traffic — while
+//! still reacting to a dead node on the very first failed sub-query.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use stcam_net::NodeId;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeHealth {
+    /// Consecutive failed calls since the last success.
+    suspicion: u32,
+    /// Lifetime failed calls (diagnostics only).
+    total_failures: u64,
+    /// Lifetime successful calls (diagnostics only).
+    total_successes: u64,
+}
+
+/// A live, query-driven view of per-node health.
+///
+/// Shared between the executor (which records outcomes) and the
+/// coordinator's routing logic (which ranks candidates by suspicion).
+/// All methods take `&self`; the view is internally synchronised.
+#[derive(Debug, Default)]
+pub struct HealthView {
+    inner: Mutex<HashMap<NodeId, NodeHealth>>,
+}
+
+impl HealthView {
+    /// Creates an empty view: every node starts unsuspected.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a successful call to `node`, clearing its suspicion.
+    pub fn record_success(&self, node: NodeId) {
+        let mut inner = self.inner.lock();
+        let h = inner.entry(node).or_default();
+        h.suspicion = 0;
+        h.total_successes += 1;
+    }
+
+    /// Records a failed call to `node` (timeout or no response).
+    pub fn record_failure(&self, node: NodeId) {
+        let mut inner = self.inner.lock();
+        let h = inner.entry(node).or_default();
+        h.suspicion = h.suspicion.saturating_add(1);
+        h.total_failures += 1;
+    }
+
+    /// Consecutive failures observed against `node` since its last
+    /// success (0 for unknown or healthy nodes).
+    pub fn suspicion(&self, node: NodeId) -> u32 {
+        self.inner.lock().get(&node).map_or(0, |h| h.suspicion)
+    }
+
+    /// Whether `node` is currently suspected (at least one unanswered
+    /// call since its last success).
+    pub fn is_suspect(&self, node: NodeId) -> bool {
+        self.suspicion(node) > 0
+    }
+
+    /// Stably reorders `candidates` by ascending suspicion: healthy nodes
+    /// first, most-suspected last. Ties keep their original (ring) order.
+    pub fn rank(&self, candidates: &mut [NodeId]) {
+        let inner = self.inner.lock();
+        candidates.sort_by_key(|n| inner.get(n).map_or(0, |h| h.suspicion));
+    }
+
+    /// Every node with recorded history and its current suspicion,
+    /// sorted by node id.
+    pub fn snapshot(&self) -> Vec<(NodeId, u32)> {
+        let mut all: Vec<(NodeId, u32)> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(&n, h)| (n, h.suspicion))
+            .collect();
+        all.sort_by_key(|&(n, _)| n);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_clears_suspicion() {
+        let view = HealthView::new();
+        assert!(!view.is_suspect(NodeId(1)));
+        view.record_failure(NodeId(1));
+        view.record_failure(NodeId(1));
+        assert_eq!(view.suspicion(NodeId(1)), 2);
+        assert!(view.is_suspect(NodeId(1)));
+        view.record_success(NodeId(1));
+        assert_eq!(view.suspicion(NodeId(1)), 0);
+        assert!(!view.is_suspect(NodeId(1)));
+    }
+
+    #[test]
+    fn rank_prefers_healthy_and_keeps_ring_order_on_ties() {
+        let view = HealthView::new();
+        view.record_failure(NodeId(2));
+        view.record_failure(NodeId(2));
+        view.record_failure(NodeId(4));
+        let mut candidates = vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)];
+        view.rank(&mut candidates);
+        assert_eq!(candidates, vec![NodeId(3), NodeId(5), NodeId(4), NodeId(2)]);
+    }
+
+    #[test]
+    fn snapshot_reports_known_nodes_sorted() {
+        let view = HealthView::new();
+        view.record_failure(NodeId(9));
+        view.record_success(NodeId(3));
+        assert_eq!(view.snapshot(), vec![(NodeId(3), 0), (NodeId(9), 1)]);
+    }
+}

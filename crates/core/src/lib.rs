@@ -33,7 +33,13 @@
 //!   the executor: two-phase pruned kNN is [`exec::KnnPhase1Op`] feeding
 //!   [`exec::KnnPhase2Op`], rebalance chains extract/adopt migrations,
 //!   recovery turns probe failures into failover. Everything else is a
-//!   thin one-op wrapper.
+//!   thin one-op wrapper. Reads run in a [`QueryMode`]: `Strict` fails on
+//!   any lost shard with [`StcamError::PartialFailure`]; `BestEffort`
+//!   returns a [`Degraded`] value whose [`Completeness`] accounts for
+//!   shards answered, replicas used, and shards missing. Either way the
+//!   executor first tries replica failover — re-issuing a dead shard's
+//!   sub-query to its ring successors — guided by a [`HealthView`] of
+//!   per-node suspicion fed by every RPC outcome.
 //! * [`stitch`] — converts per-camera observations into tracklets and
 //!   associates them across adjacent cameras using appearance distance
 //!   gated by learned transition-time windows.
@@ -61,11 +67,13 @@
 #![warn(missing_debug_implementations)]
 
 mod baseline;
+pub mod chaos;
 mod cluster;
 mod continuous;
 mod coordinator;
 mod error;
 pub mod exec;
+mod health;
 mod ingest;
 mod partition;
 mod protocol;
@@ -78,7 +86,8 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use continuous::{ContinuousQueryId, Notification, Predicate};
 pub use coordinator::{ClusterStats, Coordinator, RebalanceReport};
 pub use error::StcamError;
-pub use exec::{DistributedOp, Executor, OpPolicy, OpStats};
+pub use exec::{Completeness, Degraded, DistributedOp, Executor, OpPolicy, OpStats, QueryMode};
+pub use health::HealthView;
 pub use ingest::Ingestor;
 pub use partition::{PartitionMap, PartitionPolicy};
 pub use protocol::{GridSpecMsg, Request, Response, WorkerStatsMsg};

@@ -169,6 +169,19 @@ pub enum Request {
         /// Temporal predicate.
         window: TimeInterval,
     },
+    /// Answer `inner` from the replica log this worker holds for primary
+    /// `of`, instead of from the local primary shard. This is the
+    /// replica-failover read path: when a shard's primary is unreachable,
+    /// the executor re-issues the shard's sub-query to a ring successor
+    /// wrapped in this envelope. Only read requests are replica-readable;
+    /// anything else (including a nested `ReplicaRead`) is answered with
+    /// an application error.
+    ReplicaRead {
+        /// The unreachable primary whose replicated shard is queried.
+        of: NodeId,
+        /// The read to evaluate against that replica log.
+        inner: Box<Request>,
+    },
 }
 
 impl Request {
@@ -193,6 +206,7 @@ impl Request {
             Request::ExtractRegion { .. } => "extract_region",
             Request::RangeFiltered { .. } => "range_filtered",
             Request::TopCells { .. } => "top_cells",
+            Request::ReplicaRead { .. } => "replica_read",
         }
     }
 }
@@ -294,6 +308,7 @@ const REQ_PROMOTE: u8 = 12;
 const REQ_EXTRACT: u8 = 13;
 const REQ_RANGE_FILTERED: u8 = 14;
 const REQ_TOP_CELLS: u8 = 15;
+const REQ_REPLICA_READ: u8 = 16;
 
 impl Wire for Request {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -380,11 +395,23 @@ impl Wire for Request {
                 buckets.encode(buf);
                 window.encode(buf);
             }
+            Request::ReplicaRead { of, inner } => {
+                buf.put_u8(REQ_REPLICA_READ);
+                of.0.encode(buf);
+                inner.encode(buf);
+            }
         }
     }
 
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         let tag = u8::decode(buf)?;
+        Self::decode_tagged(tag, buf)
+    }
+}
+
+impl Request {
+    /// Decodes the request body for an already-read discriminant byte.
+    fn decode_tagged<B: Buf>(tag: u8, buf: &mut B) -> Result<Self, DecodeError> {
         Ok(match tag {
             REQ_PING => Request::Ping,
             REQ_INGEST => Request::Ingest(Vec::decode(buf)?),
@@ -433,6 +460,21 @@ impl Wire for Request {
                 buckets: GridSpecMsg::decode(buf)?,
                 window: TimeInterval::decode(buf)?,
             },
+            REQ_REPLICA_READ => {
+                let of = NodeId(u32::decode(buf)?);
+                let inner_tag = u8::decode(buf)?;
+                // Reject nesting *before* recursing: the decoder depth on
+                // hostile input stays bounded at two.
+                if inner_tag == REQ_REPLICA_READ {
+                    return Err(DecodeError::InvalidValue {
+                        reason: "nested replica read",
+                    });
+                }
+                Request::ReplicaRead {
+                    of,
+                    inner: Box::new(Self::decode_tagged(inner_tag, buf)?),
+                }
+            }
             other => {
                 return Err(DecodeError::InvalidDiscriminant {
                     type_name: "Request",
@@ -591,6 +633,31 @@ mod tests {
             },
             window,
         });
+        round_trip_req(Request::ReplicaRead {
+            of: NodeId(5),
+            inner: Box::new(Request::Range {
+                region: BBox::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0)),
+                window,
+            }),
+        });
+    }
+
+    #[test]
+    fn nested_replica_read_rejected() {
+        let evil = Request::ReplicaRead {
+            of: NodeId(1),
+            inner: Box::new(Request::ReplicaRead {
+                of: NodeId(2),
+                inner: Box::new(Request::Ping),
+            }),
+        };
+        let bytes = encode_to_vec(&evil);
+        assert!(matches!(
+            decode_from_slice::<Request>(&bytes),
+            Err(DecodeError::InvalidValue {
+                reason: "nested replica read"
+            })
+        ));
     }
 
     #[test]
@@ -663,6 +730,10 @@ mod tests {
             Request::TopCells {
                 buckets: grid,
                 window,
+            },
+            Request::ReplicaRead {
+                of: NodeId(1),
+                inner: Box::new(Request::Range { region, window }),
             },
         ];
         let names: std::collections::HashSet<&str> = all.iter().map(|r| r.op_name()).collect();

@@ -68,6 +68,7 @@ const DISPATCH: &[(&str, Handler)] = &[
     ("range_filtered", Worker::serve_range_filtered),
     ("stats", Worker::serve_stats),
     ("evict_before", Worker::serve_evict_before),
+    ("replica_read", Worker::serve_replica_read),
 ];
 
 impl Worker {
@@ -316,6 +317,91 @@ impl Worker {
             ),
             None => Response::Error(format!("invalid class {class}")),
         }
+    }
+
+    /// Answers a read against the replica log held for an unreachable
+    /// primary. The log is an unindexed append-only vector, so every
+    /// replica read is a scan — acceptable for the degraded path, which
+    /// only runs while the primary is down.
+    fn serve_replica_read(&mut self, request: Request) -> Response {
+        let Request::ReplicaRead { of, inner } = request else {
+            return Self::misrouted(&request);
+        };
+        let log: &[Observation] = self.replica_logs.get(&of).map_or(&[], |v| v.as_slice());
+        match *inner {
+            Request::Range { region, window } => Response::Observations(
+                log.iter()
+                    .filter(|o| region.contains(o.position) && window.contains(o.time))
+                    .cloned()
+                    .collect(),
+            ),
+            Request::RangeFiltered {
+                region,
+                window,
+                class,
+            } => match stcam_world::EntityClass::from_u8(class) {
+                Some(class) => Response::Observations(
+                    log.iter()
+                        .filter(|o| {
+                            o.class == class
+                                && region.contains(o.position)
+                                && window.contains(o.time)
+                        })
+                        .cloned()
+                        .collect(),
+                ),
+                None => Response::Error(format!("invalid class {class}")),
+            },
+            Request::Knn {
+                at,
+                window,
+                k,
+                max_distance,
+            } => {
+                let mut hits: Vec<Observation> = log
+                    .iter()
+                    .filter(|o| window.contains(o.time))
+                    .cloned()
+                    .collect();
+                crate::exec::sort_knn(&mut hits, at);
+                hits.truncate(k as usize);
+                if let Some(limit) = max_distance {
+                    hits.retain(|o| at.distance(o.position) <= limit);
+                }
+                Response::Observations(hits)
+            }
+            Request::Heatmap { buckets, window } => {
+                Response::Counts(Self::log_heatmap(log, &buckets.to_grid(), window))
+            }
+            Request::TopCells { buckets, window } => Response::CellCounts(
+                Self::log_heatmap(log, &buckets.to_grid(), window)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, count)| count > 0)
+                    .map(|(idx, count)| (idx as u32, count))
+                    .collect(),
+            ),
+            other => Response::Error(format!("{} is not replica-readable", other.op_name())),
+        }
+    }
+
+    /// Dense per-bucket counts over an unindexed replica log, matching the
+    /// bucket flattening of `StIndex::heatmap` (row-major).
+    fn log_heatmap(
+        log: &[Observation],
+        grid: &stcam_geo::GridSpec,
+        window: stcam_geo::TimeInterval,
+    ) -> Vec<u64> {
+        let mut counts = vec![0u64; grid.cell_count() as usize];
+        for o in log {
+            if !window.contains(o.time) {
+                continue;
+            }
+            if let Some(cell) = grid.cell_of(o.position) {
+                counts[cell.row as usize * grid.cols() as usize + cell.col as usize] += 1;
+            }
+        }
+        counts
     }
 
     fn serve_stats(&mut self, _request: Request) -> Response {
@@ -751,6 +837,13 @@ mod tests {
             },
             Request::Stats,
             Request::EvictBefore(Timestamp::ZERO),
+            Request::ReplicaRead {
+                of: NodeId(1),
+                inner: Box::new(Request::Range {
+                    region: BBox::around(Point::ORIGIN, 1.0),
+                    window: window_all(),
+                }),
+            },
         ];
         assert_eq!(
             all.len(),
@@ -763,6 +856,107 @@ mod tests {
                 DISPATCH.iter().any(|(op, _)| *op == name),
                 "no dispatch row for {name}"
             );
+        }
+    }
+
+    #[test]
+    fn replica_read_answers_from_the_replica_log() {
+        use crate::protocol::GridSpecMsg;
+        let (_fabric, mut worker) = lone_worker();
+        // Primary data must NOT leak into replica reads.
+        worker.handle_request(Request::Ingest(vec![obs(90, 0, 500.0, 500.0)]));
+        let mut truck = obs(1, 0, 20.0, 20.0);
+        truck.class = EntityClass::Truck;
+        worker.handle_request(Request::Replicate {
+            primary: NodeId(7),
+            batch: vec![obs(0, 0, 10.0, 10.0), truck, obs(2, 80_000, 30.0, 30.0)],
+        });
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let replica_read = |inner: Request| Request::ReplicaRead {
+            of: NodeId(7),
+            inner: Box::new(inner),
+        };
+        match worker.handle_request(replica_read(Request::Range {
+            region,
+            window: window_all(),
+        })) {
+            Response::Observations(hits) => {
+                let mut seqs: Vec<u64> = hits.iter().map(|o| o.id.seq()).collect();
+                seqs.sort_unstable();
+                assert_eq!(seqs, vec![0, 1, 2]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Time window and class filters apply on the log scan too.
+        match worker.handle_request(replica_read(Request::RangeFiltered {
+            region,
+            window: TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(60)),
+            class: EntityClass::Truck.as_u8(),
+        })) {
+            Response::Observations(hits) => {
+                assert_eq!(hits.len(), 1);
+                assert_eq!(hits[0].id.seq(), 1);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match worker.handle_request(replica_read(Request::Knn {
+            at: Point::new(0.0, 0.0),
+            window: window_all(),
+            k: 2,
+            max_distance: None,
+        })) {
+            Response::Observations(hits) => {
+                assert_eq!(hits.len(), 2);
+                assert_eq!(hits[0].id.seq(), 0);
+                assert_eq!(hits[1].id.seq(), 1);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let buckets = GridSpecMsg {
+            origin: Point::new(0.0, 0.0),
+            cell_size: 100.0,
+            cols: 10,
+            rows: 10,
+        };
+        match worker.handle_request(replica_read(Request::Heatmap {
+            buckets,
+            window: window_all(),
+        })) {
+            Response::Counts(counts) => {
+                assert_eq!(counts[0], 3);
+                assert_eq!(counts.iter().sum::<u64>(), 3);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match worker.handle_request(replica_read(Request::TopCells {
+            buckets,
+            window: window_all(),
+        })) {
+            Response::CellCounts(cells) => assert_eq!(cells, vec![(0, 3)]),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // An unknown primary reads as an empty log, not an error.
+        match worker.handle_request(Request::ReplicaRead {
+            of: NodeId(42),
+            inner: Box::new(Request::Range {
+                region,
+                window: window_all(),
+            }),
+        }) {
+            Response::Observations(hits) => assert!(hits.is_empty()),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_read_requests_are_not_replica_readable() {
+        let (_fabric, mut worker) = lone_worker();
+        match worker.handle_request(Request::ReplicaRead {
+            of: NodeId(7),
+            inner: Box::new(Request::EvictBefore(Timestamp::ZERO)),
+        }) {
+            Response::Error(msg) => assert!(msg.contains("not replica-readable")),
+            other => panic!("unexpected response {other:?}"),
         }
     }
 

@@ -118,6 +118,10 @@ proptest! {
             Request::ExtractRegion { region },
             Request::RangeFiltered { region, window, class },
             Request::TopCells { buckets, window },
+            Request::ReplicaRead {
+                of: NodeId(node),
+                inner: Box::new(Request::Range { region, window }),
+            },
         ];
         // Each round-trips exactly, and dispatch names stay unique.
         let mut names = std::collections::HashSet::new();
@@ -126,7 +130,7 @@ proptest! {
             prop_assert!(names.insert(request.op_name()), "duplicate op name {}", request.op_name());
             prop_assert_eq!(decode_from_slice::<Request>(&bytes).unwrap(), request);
         }
-        prop_assert_eq!(names.len(), 16);
+        prop_assert_eq!(names.len(), 17);
     }
 
     #[test]

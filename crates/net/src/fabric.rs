@@ -132,6 +132,7 @@ impl Fabric {
             pending,
             alive,
             counters,
+            observer: Mutex::new(None),
         }
     }
 
@@ -328,6 +329,13 @@ fn delivery_loop(rx: Receiver<Scheduled>, inner: std::sync::Weak<FabricInner>) {
     }
 }
 
+/// Observer of per-destination RPC outcomes: invoked after every
+/// [`Endpoint::call`] with the destination and whether a response arrived
+/// in time. This is the transport's suspicion hook — failure detectors
+/// layered above the fabric (e.g. a coordinator health view) subscribe
+/// here instead of re-deriving outcomes from error plumbing.
+pub type CallObserver = Arc<dyn Fn(NodeId, bool) + Send + Sync>;
+
 /// A node's handle onto the fabric.
 ///
 /// Cheap to clone is *not* provided deliberately: each node owns exactly
@@ -335,7 +343,6 @@ fn delivery_loop(rx: Receiver<Scheduled>, inner: std::sync::Weak<FabricInner>) {
 /// so a node may move it into its serving thread; concurrent RPC *calls*
 /// from multiple threads of the same node are supported through interior
 /// synchronisation.
-#[derive(Debug)]
 pub struct Endpoint {
     node: NodeId,
     inner: Arc<FabricInner>,
@@ -343,6 +350,16 @@ pub struct Endpoint {
     pending: Arc<Mutex<HashMap<u64, Sender<Vec<u8>>>>>,
     alive: Arc<AtomicBool>,
     counters: Arc<NodeCounters>,
+    observer: Mutex<Option<CallObserver>>,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("node", &self.node)
+            .field("observer", &self.observer.lock().is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Endpoint {
@@ -396,15 +413,32 @@ impl Endpoint {
         });
         if let Err(e) = submitted {
             self.pending.lock().remove(&correlation);
+            // Submission errors are local (own node down, unknown peer,
+            // shutdown) — not evidence about the destination's health, so
+            // the observer is not invoked.
             return Err(e);
         }
-        match rx.recv_timeout(timeout) {
+        let result = match rx.recv_timeout(timeout) {
             Ok(response) => Ok(response),
             Err(_) => {
                 self.pending.lock().remove(&correlation);
                 Err(NetError::Timeout)
             }
+        };
+        let observer = self.observer.lock().clone();
+        if let Some(observer) = observer {
+            observer(to, result.is_ok());
         }
+        result
+    }
+
+    /// Installs the per-node suspicion hook: `observer` runs after every
+    /// [`call`](Self::call) that reached the wire, with the destination
+    /// and whether a response arrived in time. Local submission failures
+    /// (own node crashed, unknown peer) do not trigger it. Replaces any
+    /// previously installed observer.
+    pub fn set_call_observer(&self, observer: CallObserver) {
+        *self.observer.lock() = Some(observer);
     }
 
     /// Replies to a previously received [`MessageKind::Request`] envelope.
@@ -627,6 +661,32 @@ mod tests {
         assert_eq!(s.per_node[&NodeId(0)].msgs_sent, 1);
         assert_eq!(s.per_node[&NodeId(1)].msgs_received, 1);
         assert_eq!(a.stats().bytes_sent, 116);
+    }
+
+    #[test]
+    fn call_observer_sees_successes_and_timeouts() {
+        let f = instant_fabric();
+        let client = f.register(NodeId(0));
+        let server = f.register(NodeId(1));
+        let seen: Arc<Mutex<Vec<(NodeId, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        client.set_call_observer(Arc::new(move |node, ok| sink.lock().push((node, ok))));
+        let server_thread = std::thread::spawn(move || {
+            let req = server.recv_timeout(Duration::from_secs(5)).unwrap();
+            server.reply(&req, b"ok".to_vec()).unwrap();
+        });
+        client
+            .call(NodeId(1), b"hi".to_vec(), Duration::from_secs(5))
+            .unwrap();
+        server_thread.join().unwrap();
+        f.crash(NodeId(1));
+        let err = client
+            .call(NodeId(1), vec![], Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+        // Local submission errors (unknown peer) must not blame the peer.
+        let _ = client.call(NodeId(9), vec![], Duration::from_millis(30));
+        assert_eq!(*seen.lock(), vec![(NodeId(1), true), (NodeId(1), false)]);
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod stats;
 
 pub use envelope::{Envelope, MessageKind};
 pub use error::NetError;
-pub use fabric::{Endpoint, Fabric};
+pub use fabric::{CallObserver, Endpoint, Fabric};
 pub use link::LinkModel;
 pub use stats::{FabricStats, NodeStats};
 

@@ -194,8 +194,15 @@ fn lossy_link_read_succeeds_via_retry_where_single_shot_fails() {
 
 #[test]
 fn per_op_policy_is_isolated_from_other_ops() {
-    let cluster =
-        Cluster::launch(ClusterConfig::new(extent(), 2).with_link(LinkModel::instant())).unwrap();
+    // Replication 0: with replicas available, a read whose primary
+    // sub-query times out would fail over and succeed anyway, hiding the
+    // strangled policy this test is about.
+    let cluster = Cluster::launch(
+        ClusterConfig::new(extent(), 2)
+            .with_replication(0)
+            .with_link(LinkModel::instant()),
+    )
+    .unwrap();
     // A tiny timeout on an op we never call must not affect others.
     cluster.set_op_policy(
         "knn_broadcast",

@@ -1,6 +1,6 @@
 //! Failure injection: crashes, failover, replication levels, partitions.
 
-use stcam::{Cluster, ClusterConfig, Predicate};
+use stcam::{Cluster, ClusterConfig, Predicate, QueryMode, StcamError};
 use stcam_camnet::{CameraId, Observation, ObservationId, Signature};
 use stcam_geo::{BBox, Point, TimeInterval, Timestamp};
 use stcam_net::{LinkModel, NodeId};
@@ -261,6 +261,119 @@ fn network_partition_isolates_and_heals() {
     cluster.ingest(spread_batch(50)).unwrap();
     cluster.flush().unwrap();
     cluster.shutdown();
+}
+
+#[test]
+fn crash_window_strict_fails_and_best_effort_degrades_truthfully() {
+    // Replication 0 and no recovery tick: the dead shard is simply gone,
+    // so strict queries must refuse to answer and best-effort queries
+    // must return the surviving subset and say exactly what is missing.
+    let cluster =
+        Cluster::launch(config(6, 0).with_rpc_timeout(std::time::Duration::from_millis(300)))
+            .unwrap();
+    cluster.ingest(spread_batch(600)).unwrap();
+    cluster.flush().unwrap();
+    let victim = NodeId(4);
+    let dead_share = cluster
+        .stats()
+        .unwrap()
+        .workers
+        .iter()
+        .find(|(w, _)| *w == victim)
+        .map(|(_, s)| s.primary_observations)
+        .unwrap();
+    assert!(dead_share > 0, "victim shard empty, test is vacuous");
+    cluster.kill_worker(victim);
+
+    // Strict: the new error variant names the unanswered shard.
+    let err = cluster.range_query(extent(), window_all()).unwrap_err();
+    match err {
+        StcamError::PartialFailure { ref missing } => {
+            assert_eq!(missing, &vec![victim], "wrong missing set in {err}");
+        }
+        other => panic!("expected PartialFailure, got {other}"),
+    }
+
+    // Best effort: the surviving subset, with truthful accounting.
+    let d = cluster
+        .range_query_with(QueryMode::BestEffort, extent(), window_all())
+        .unwrap();
+    assert_eq!(d.value.len() as u64, 600 - dead_share);
+    assert_eq!(d.completeness.missing, vec![victim]);
+    assert!(!d.completeness.is_full());
+    assert!(d.completeness.subset);
+    assert!((d.completeness.fraction() - 5.0 / 6.0).abs() < 1e-9);
+    let partition = cluster.partition();
+    for o in &d.value {
+        assert_ne!(
+            partition.owner_of(o.position),
+            victim,
+            "an observation from the dead shard appeared in the result"
+        );
+    }
+
+    // After recovery the victim is failed out of the ring and strict
+    // queries answer again (minus the unreplicated shard's data).
+    cluster.check_and_recover();
+    let after = cluster.range_query(extent(), window_all()).unwrap();
+    assert_eq!(after.len() as u64, 600 - dead_share);
+    cluster.shutdown();
+}
+
+#[test]
+fn auto_recovery_monitor_checks_immediately_on_enable() {
+    let cluster =
+        Cluster::launch(config(4, 1).with_rpc_timeout(std::time::Duration::from_millis(300)))
+            .unwrap();
+    cluster.ingest(spread_batch(200)).unwrap();
+    cluster.flush().unwrap();
+    cluster.kill_worker(NodeId(2));
+    // An interval of an hour: only the immediate first check can recover
+    // the cluster within the deadline below.
+    cluster.enable_auto_recovery(std::time::Duration::from_secs(3600));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if cluster.stats().is_ok_and(|s| s.workers.len() == 3) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "monitor never ran its immediate first check"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert_eq!(
+        cluster.range_query(extent(), window_all()).unwrap().len(),
+        200
+    );
+    // Shutdown must interrupt the hour-long wait, not sit it out.
+    let start = std::time::Instant::now();
+    cluster.shutdown();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown waited out the monitor interval: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn retention_sweeper_wait_is_interruptible() {
+    let cluster = Cluster::launch(config(2, 0)).unwrap();
+    cluster.ingest(spread_batch(50)).unwrap();
+    cluster.flush().unwrap();
+    cluster.enable_retention(
+        stcam_geo::Duration::from_secs(3600),
+        std::time::Duration::from_secs(3600),
+    );
+    // Give the sweeper a moment to enter its wait, then stop it.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let start = std::time::Instant::now();
+    cluster.shutdown();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown waited out the sweeper interval: {:?}",
+        start.elapsed()
+    );
 }
 
 #[test]
