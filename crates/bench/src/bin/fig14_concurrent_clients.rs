@@ -1,0 +1,195 @@
+//! Figure 14 — concurrent query clients vs. throughput.
+//!
+//! The headline number for the lock-free query plane: N client threads
+//! issue a fixed mixed read workload (range / pruned kNN / heat-map)
+//! against one shared cluster, and we report aggregate throughput as N
+//! sweeps 1 → 16. Before the query plane, every read serialised on the
+//! coordinator's mutex and a single fabric endpoint, so adding client
+//! threads bought nothing; with epoch-published plans and the pooled
+//! endpoints, throughput must scale — the run asserts ≥ 3× at 8
+//! threads — and per-operation telemetry must still account for every
+//! invocation issued by every thread, exactly once.
+//!
+//! The metro link model (2 ms base latency between camera aggregation
+//! sites) makes each query latency-dominated, which is the regime the
+//! concurrency win targets: overlapping round trips, not multiplying
+//! CPU. On a many-core host the sweep additionally overlaps worker
+//! compute; the gate only assumes latency overlap, so it holds on a
+//! single-core CI runner too.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin fig14_concurrent_clients
+//! ```
+//!
+//! Environment knobs (for CI smoke runs):
+//! `FIG14_ARCHIVE` (default 20000), `FIG14_OPS` (per-thread op count,
+//! default 40), `FIG14_MAX_THREADS` (default 16), and
+//! `FIG14_NO_ASSERT=1` to report without the scaling gate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stcam::{Cluster, QueryMode};
+use stcam_bench::report::{obj, Report, Value};
+use stcam_bench::{
+    fmt_count, ingest_chunked, launch, op_stats, square_extent, synthetic_stream, timed,
+    window_secs, Table,
+};
+use stcam_geo::{BBox, GridSpec, Point};
+use stcam_net::LinkModel;
+
+const EXTENT_M: f64 = 8_000.0;
+const WORKERS: usize = 8;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The per-thread workload: `ops` queries cycling range → kNN →
+/// heat-map, deterministic per thread index. Returns per-kind counts.
+fn client(cluster: &Cluster, thread: usize, ops: usize, issued: &[AtomicU64; 3]) {
+    let window = window_secs(600);
+    let buckets = GridSpec::covering(square_extent(EXTENT_M), EXTENT_M / 64.0);
+    let mut rng = StdRng::seed_from_u64(1000 + thread as u64);
+    for i in 0..ops {
+        let p = Point::new(rng.gen_range(0.0..EXTENT_M), rng.gen_range(0.0..EXTENT_M));
+        match i % 3 {
+            0 => {
+                cluster
+                    .range_query_with(QueryMode::Strict, BBox::around(p, 250.0), window)
+                    .expect("range");
+                issued[0].fetch_add(1, Ordering::Relaxed);
+            }
+            1 => {
+                cluster
+                    .knn_query_with(QueryMode::Strict, p, window, 16)
+                    .expect("knn");
+                issued[1].fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                cluster
+                    .heatmap_with(QueryMode::Strict, &buckets, window)
+                    .expect("heatmap");
+                issued[2].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn main() {
+    let archive = env_usize("FIG14_ARCHIVE", 20_000);
+    let ops = env_usize("FIG14_OPS", 40);
+    let max_threads = env_usize("FIG14_MAX_THREADS", 16).max(1);
+    let gate = std::env::var("FIG14_NO_ASSERT").map_or(true, |v| v != "1");
+
+    let extent = square_extent(EXTENT_M);
+    let cluster = launch(
+        stcam::ClusterConfig::new(extent, WORKERS)
+            .with_replication(1)
+            .with_link(LinkModel::metro()),
+    );
+    let stream = synthetic_stream(archive, extent, 600, 41);
+    ingest_chunked(&cluster, &stream, 1_000);
+
+    println!(
+        "Figure 14: concurrent query clients ({WORKERS} workers, {} archive, {ops} mixed ops/thread)\n",
+        fmt_count(archive as f64)
+    );
+
+    let mut table = Table::new(&["threads", "ops", "wall s", "ops/s", "speedup"]);
+    let mut rows: Vec<Value> = Vec::new();
+    let mut baseline_ops_s = 0.0;
+    let sweep: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+    let mut speedup_at = std::collections::BTreeMap::new();
+
+    for &threads in &sweep {
+        let issued: [AtomicU64; 3] = Default::default();
+        let before = [
+            op_stats(&cluster, "range"),
+            op_stats(&cluster, "knn_phase1"),
+            op_stats(&cluster, "heatmap"),
+        ];
+        let ((), wall) = timed(|| {
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let (cluster, issued) = (&cluster, &issued);
+                    scope.spawn(move || client(cluster, t, ops, issued));
+                }
+            });
+        });
+        // Telemetry must add up exactly: every thread's every query is
+        // booked once in the shared account, no lost updates, no
+        // cross-attribution.
+        let deltas = [
+            op_stats(&cluster, "range").since(&before[0]),
+            op_stats(&cluster, "knn_phase1").since(&before[1]),
+            op_stats(&cluster, "heatmap").since(&before[2]),
+        ];
+        for (kind, (d, issued)) in ["range", "knn_phase1", "heatmap"]
+            .iter()
+            .zip(deltas.iter().zip(&issued))
+        {
+            assert_eq!(
+                d.invocations,
+                issued.load(Ordering::Relaxed),
+                "telemetry lost {kind} invocations at {threads} threads"
+            );
+            assert_eq!(d.failures, 0, "{kind} failures at {threads} threads");
+        }
+        let total_ops = (threads * ops) as f64;
+        let ops_s = total_ops / wall;
+        if threads == 1 {
+            baseline_ops_s = ops_s;
+        }
+        let speedup = ops_s / baseline_ops_s;
+        speedup_at.insert(threads, speedup);
+        table.row(&[
+            format!("{threads}"),
+            format!("{total_ops:.0}"),
+            format!("{wall:.2}"),
+            format!("{ops_s:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        rows.push(obj(vec![
+            ("threads", Value::from(threads)),
+            ("ops", Value::from(threads * ops)),
+            ("wall_s", Value::from(wall)),
+            ("ops_per_s", Value::from(ops_s)),
+            ("speedup_vs_1", Value::from(speedup)),
+        ]));
+    }
+    table.print();
+    println!(
+        "\n(shared cluster, metro link model; speedup is aggregate ops/s vs the\n\
+         single-client run — the pre-query-plane architecture pinned this at ~1x)"
+    );
+
+    let mut report = Report::new("fig14_concurrent_clients");
+    report
+        .set("workers", WORKERS)
+        .set("archive", archive)
+        .set("ops_per_thread", ops)
+        .set("rows", rows);
+    if let Some(&s8) = speedup_at.get(&8) {
+        report.set("speedup_at_8", s8);
+    }
+    report.emit();
+    cluster.shutdown();
+
+    if gate {
+        if let Some(&s8) = speedup_at.get(&8) {
+            assert!(
+                s8 >= 3.0,
+                "query plane scaling regression: {s8:.2}x at 8 threads (< 3x)"
+            );
+            println!("scaling gate passed: {s8:.2}x at 8 threads (>= 3x)");
+        }
+    }
+}

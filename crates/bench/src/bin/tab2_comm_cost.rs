@@ -13,6 +13,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use stcam::{Cluster, Predicate};
+use stcam_bench::report::{obj, Report, Value};
 use stcam_bench::{
     fmt_count, lan_config, launch, op_stats, square_extent, synthetic_stream, window_secs, Table,
 };
@@ -214,4 +215,29 @@ fn main() {
          KB up/down is the executor's request/result split — fabric totals also\n\
          include ingest routing and replica forwarding, hence ship-all KB > up+down)"
     );
+
+    let json_rows = |rows: &[Row]| -> Vec<Value> {
+        rows.iter()
+            .map(|r| {
+                let mut pairs = vec![
+                    ("operation", Value::from(r.label.clone())),
+                    ("msgs_per_op", Value::from(r.msgs)),
+                    ("kb_per_op", Value::from(r.kb)),
+                ];
+                if let Some((up, down)) = r.exec_up_down {
+                    pairs.push(("kb_up_per_op", Value::from(up)));
+                    pairs.push(("kb_down_per_op", Value::from(down)));
+                }
+                obj(pairs)
+            })
+            .collect()
+    };
+    let mut report = Report::new("tab2_comm_cost");
+    report
+        .set("workers", WORKERS)
+        .set("archive", ARCHIVE)
+        .set("ops", OPS)
+        .set("replication_0", json_rows(&r0))
+        .set("replication_2", json_rows(&r2));
+    report.emit();
 }

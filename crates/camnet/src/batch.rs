@@ -1,0 +1,449 @@
+//! Columnar wire frame for observation batches.
+//!
+//! The row-oriented `Vec<Observation>` encoding repeats per-field framing
+//! for every observation even though consecutive observations in a batch
+//! are highly correlated: ids and timestamps are near-monotonic, camera
+//! ids repeat in runs, classes fit in two bits, and ground-truth entity
+//! ids track the observation sequence. [`encode_batch`] exploits that by
+//! laying the batch out **by column**:
+//!
+//! ```text
+//! count      varint n                    (0 ⇒ frame ends here)
+//! flags      u8                          bit 0: fixed-point positions
+//! ids        varint first, then n-1 zigzag deltas
+//! cameras    run-length pairs (varint run, varint camera) summing to n
+//! times      varint first ms, then n-1 zigzag delta-ms
+//! classes    2 bits each, packed 4 per byte
+//! positions  fixed-point: 2 zigzag varints per obs (1/1024 m units)
+//!            raw:         2 × f64 LE per obs
+//! signatures 16 × f32 LE per obs
+//! truth      presence bitmap ⌈n/8⌉ bytes, then per present truth a
+//!            zigzag varint of (entity − id.seq()) (wrapping)
+//! ```
+//!
+//! Positions use the fixed-point column only when every coordinate in the
+//! batch is exactly representable in 1/1024-metre units (checked per
+//! batch, signalled by the flag byte); otherwise raw `f64` bits are
+//! shipped. Either way the round-trip is **lossless** — callers such as
+//! the chaos harness compare query answers bit-for-bit against a
+//! centralized oracle. Signatures are calibrated sensor noise and do not
+//! compress losslessly, so they stay raw and dominate the residual cost.
+
+use bytes::{Buf, BufMut};
+use stcam_codec::{varint, DecodeError, Wire, MAX_SEQ_LEN};
+use stcam_geo::{Point, Timestamp};
+use stcam_world::{EntityClass, EntityId};
+
+use crate::camera::CameraId;
+use crate::observation::{Observation, ObservationId};
+use crate::signature::{Signature, SIGNATURE_DIM};
+
+/// Fixed-point position resolution: 1/1024 m (≈ 1 mm).
+const POS_SCALE: f64 = 1024.0;
+/// Flag bit: positions are fixed-point varints instead of raw `f64`.
+const FLAG_FIXED_POINT_POS: u8 = 0b0000_0001;
+
+/// `v` scaled to fixed point, when that is exactly invertible.
+fn fixed_point(v: f64) -> Option<i64> {
+    let scaled = v * POS_SCALE;
+    // `fract() == 0` rejects NaN/∞ too; the magnitude bound keeps the
+    // integer exactly representable both as i64 and as f64.
+    if scaled.fract() == 0.0 && scaled.abs() <= (1i64 << 52) as f64 {
+        Some(scaled as i64)
+    } else {
+        None
+    }
+}
+
+fn need<B: Buf>(buf: &B, n: usize, context: &'static str) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::UnexpectedEnd { context })
+    } else {
+        Ok(())
+    }
+}
+
+/// Appends the columnar wire form of `batch` to `buf`.
+pub fn encode_batch<B: BufMut>(batch: &[Observation], buf: &mut B) {
+    varint::write_u64(buf, batch.len() as u64);
+    if batch.is_empty() {
+        return;
+    }
+
+    let fixed: Option<Vec<(i64, i64)>> = batch
+        .iter()
+        .map(|o| Some((fixed_point(o.position.x)?, fixed_point(o.position.y)?)))
+        .collect();
+    let flags = if fixed.is_some() {
+        FLAG_FIXED_POINT_POS
+    } else {
+        0
+    };
+    buf.put_u8(flags);
+
+    // ids: absolute first, wrapping zigzag deltas after.
+    varint::write_u64(buf, batch[0].id.0);
+    for pair in batch.windows(2) {
+        varint::write_i64(buf, pair[1].id.0.wrapping_sub(pair[0].id.0) as i64);
+    }
+
+    // cameras: run-length encoded.
+    let mut run_start = 0;
+    for i in 1..=batch.len() {
+        if i == batch.len() || batch[i].camera != batch[run_start].camera {
+            varint::write_u64(buf, (i - run_start) as u64);
+            varint::write_u64(buf, batch[run_start].camera.0 as u64);
+            run_start = i;
+        }
+    }
+
+    // times: absolute first, wrapping zigzag delta-millis after.
+    varint::write_u64(buf, batch[0].time.as_millis());
+    for pair in batch.windows(2) {
+        varint::write_i64(
+            buf,
+            pair[1]
+                .time
+                .as_millis()
+                .wrapping_sub(pair[0].time.as_millis()) as i64,
+        );
+    }
+
+    // classes: 2 bits each, 4 per byte.
+    for chunk in batch.chunks(4) {
+        let mut byte = 0u8;
+        for (slot, obs) in chunk.iter().enumerate() {
+            byte |= obs.class.as_u8() << (2 * slot);
+        }
+        buf.put_u8(byte);
+    }
+
+    // positions.
+    match &fixed {
+        Some(points) => {
+            for &(x, y) in points {
+                varint::write_i64(buf, x);
+                varint::write_i64(buf, y);
+            }
+        }
+        None => {
+            for obs in batch {
+                buf.put_f64_le(obs.position.x);
+                buf.put_f64_le(obs.position.y);
+            }
+        }
+    }
+
+    // signatures: raw.
+    for obs in batch {
+        for &v in obs.signature.values() {
+            buf.put_f32_le(v);
+        }
+    }
+
+    // truth: presence bitmap, then wrapping deltas vs the id sequence.
+    for chunk in batch.chunks(8) {
+        let mut byte = 0u8;
+        for (slot, obs) in chunk.iter().enumerate() {
+            if obs.truth.is_some() {
+                byte |= 1 << slot;
+            }
+        }
+        buf.put_u8(byte);
+    }
+    for obs in batch {
+        if let Some(entity) = obs.truth {
+            varint::write_i64(buf, entity.0.wrapping_sub(obs.id.seq()) as i64);
+        }
+    }
+}
+
+/// Reads one columnar batch frame from `buf`.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated input, a hostile length prefix,
+/// malformed run-length structure, or an invalid class code.
+pub fn decode_batch<B: Buf>(buf: &mut B) -> Result<Vec<Observation>, DecodeError> {
+    let n = varint::read_u64(buf)?;
+    if n > MAX_SEQ_LEN {
+        return Err(DecodeError::LengthOverflow {
+            declared: n,
+            max: MAX_SEQ_LEN,
+        });
+    }
+    let n = n as usize;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    need(buf, 1, "batch flags")?;
+    let flags = buf.get_u8();
+    if flags & !FLAG_FIXED_POINT_POS != 0 {
+        return Err(DecodeError::InvalidValue {
+            reason: "unknown batch flags",
+        });
+    }
+
+    let mut ids = Vec::with_capacity(n.min(1024));
+    let mut prev = varint::read_u64(buf)?;
+    ids.push(ObservationId(prev));
+    for _ in 1..n {
+        prev = prev.wrapping_add(varint::read_i64(buf)? as u64);
+        ids.push(ObservationId(prev));
+    }
+
+    let mut cameras = Vec::with_capacity(n.min(1024));
+    while cameras.len() < n {
+        let run = varint::read_u64(buf)?;
+        if run == 0 || run > (n - cameras.len()) as u64 {
+            return Err(DecodeError::InvalidValue {
+                reason: "camera run length out of bounds",
+            });
+        }
+        let camera = varint::read_u64(buf)?;
+        let camera = u32::try_from(camera).map_err(|_| DecodeError::InvalidValue {
+            reason: "camera id out of range",
+        })?;
+        cameras.extend(std::iter::repeat_n(CameraId(camera), run as usize));
+    }
+
+    let mut times = Vec::with_capacity(n.min(1024));
+    let mut prev_ms = varint::read_u64(buf)?;
+    times.push(Timestamp::from_millis(prev_ms));
+    for _ in 1..n {
+        prev_ms = prev_ms.wrapping_add(varint::read_i64(buf)? as u64);
+        times.push(Timestamp::from_millis(prev_ms));
+    }
+
+    let mut classes = Vec::with_capacity(n.min(1024));
+    need(buf, n.div_ceil(4), "class column")?;
+    while classes.len() < n {
+        let byte = buf.get_u8();
+        for slot in 0..4.min(n - classes.len()) {
+            let code = (byte >> (2 * slot)) & 0b11;
+            classes.push(
+                EntityClass::from_u8(code).ok_or(DecodeError::InvalidDiscriminant {
+                    type_name: "EntityClass",
+                    value: code as u64,
+                })?,
+            );
+        }
+    }
+
+    let mut positions = Vec::with_capacity(n.min(1024));
+    if flags & FLAG_FIXED_POINT_POS != 0 {
+        for _ in 0..n {
+            let x = varint::read_i64(buf)? as f64 / POS_SCALE;
+            let y = varint::read_i64(buf)? as f64 / POS_SCALE;
+            positions.push(Point::new(x, y));
+        }
+    } else {
+        need(buf, 16 * n, "position column")?;
+        for _ in 0..n {
+            positions.push(Point::new(buf.get_f64_le(), buf.get_f64_le()));
+        }
+    }
+
+    let mut signatures = Vec::with_capacity(n.min(1024));
+    need(buf, 4 * SIGNATURE_DIM * n, "signature column")?;
+    for _ in 0..n {
+        let mut values = [0f32; SIGNATURE_DIM];
+        for v in &mut values {
+            *v = buf.get_f32_le();
+        }
+        signatures.push(Signature::new(values));
+    }
+
+    let mut present = Vec::with_capacity(n.min(1024));
+    need(buf, n.div_ceil(8), "truth bitmap")?;
+    while present.len() < n {
+        let byte = buf.get_u8();
+        for slot in 0..8.min(n - present.len()) {
+            present.push(byte & (1 << slot) != 0);
+        }
+    }
+
+    let mut out = Vec::with_capacity(n.min(1024));
+    for i in 0..n {
+        let truth = if present[i] {
+            let delta = varint::read_i64(buf)?;
+            Some(EntityId(ids[i].seq().wrapping_add(delta as u64)))
+        } else {
+            None
+        };
+        out.push(Observation {
+            id: ids[i],
+            camera: cameras[i],
+            time: times[i],
+            position: positions[i],
+            class: classes[i],
+            signature: signatures[i],
+            truth,
+        });
+    }
+    Ok(out)
+}
+
+/// A rough upper bound on the encoded size of `batch`, for buffer
+/// pre-reservation. Assumes the common case (raw positions, small
+/// deltas); never consulted for correctness.
+pub fn batch_size_hint(batch: &[Observation]) -> usize {
+    16 + batch.len() * (4 + 16 + 4 * SIGNATURE_DIM + 4)
+}
+
+/// A `Vec<Observation>` newtype whose [`Wire`] form is the columnar
+/// frame, for callers that want the batch layout through the generic
+/// codec entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationBatch(pub Vec<Observation>);
+
+impl Wire for ObservationBatch {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        encode_batch(&self.0, buf);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        decode_batch(buf).map(ObservationBatch)
+    }
+    fn size_hint(&self) -> usize {
+        batch_size_hint(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stcam_codec::{decode_from_slice, encode_to_vec, encoded_len};
+
+    fn obs(camera: u32, seq: u64, t_ms: u64, x: f64, y: f64) -> Observation {
+        Observation {
+            id: ObservationId::compose(CameraId(camera), seq),
+            camera: CameraId(camera),
+            time: Timestamp::from_millis(t_ms),
+            position: Point::new(x, y),
+            class: EntityClass::ALL[(seq % 4) as usize],
+            signature: Signature::latent_for_entity(seq),
+            truth: (seq % 3 != 0).then_some(EntityId(seq)),
+        }
+    }
+
+    fn round_trip(batch: Vec<Observation>) -> usize {
+        let bytes = encode_to_vec(&ObservationBatch(batch.clone()));
+        let back: ObservationBatch = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.0, batch);
+        bytes.len()
+    }
+
+    #[test]
+    fn empty_batch_is_one_byte() {
+        assert_eq!(round_trip(vec![]), 1);
+    }
+
+    #[test]
+    fn typical_stream_round_trips_and_compresses() {
+        // A realistic batch: runs of per-camera sequential observations
+        // with full-precision (raw) positions.
+        let mut batch = Vec::new();
+        for camera in 0..4u32 {
+            for seq in 0..50u64 {
+                batch.push(obs(
+                    camera,
+                    seq,
+                    1_000_000 + seq * 40 + camera as u64,
+                    (seq as f64).mul_add(7.31, 13.7),
+                    (seq as f64).mul_add(3.77, 101.2),
+                ));
+            }
+        }
+        let row = encoded_len(&batch);
+        let col = round_trip(batch);
+        assert!(
+            (col as f64) < row as f64 * 0.92,
+            "columnar {col} B not smaller than row {row} B"
+        );
+    }
+
+    #[test]
+    fn grid_aligned_positions_use_fixed_point() {
+        // Coordinates that are multiples of 1/1024 m trigger the
+        // fixed-point position column and shrink further.
+        let aligned: Vec<Observation> = (0..64u64)
+            .map(|seq| obs(1, seq, seq * 100, seq as f64 * 0.25, 640.5))
+            .collect();
+        let mut raw = aligned.clone();
+        raw[0].position = Point::new(0.1, 640.5); // 0.1 is not exact in 1/1024
+        let aligned_len = round_trip(aligned);
+        let raw_len = round_trip(raw);
+        assert!(aligned_len < raw_len, "{aligned_len} !< {raw_len}");
+    }
+
+    #[test]
+    fn hostile_values_round_trip() {
+        // Extremes that stress the wrapping delta arithmetic and the
+        // fixed-point fallback.
+        let mut batch = vec![
+            obs(0, 0, 0, f64::NAN, f64::INFINITY),
+            obs(u32::MAX, (1 << 40) - 1, u64::MAX, -0.0, 1e300),
+            obs(7, 1, 5, f64::MIN_POSITIVE, -1e-300),
+        ];
+        batch[1].truth = Some(EntityId(u64::MAX));
+        batch[2].truth = Some(EntityId(0));
+        let bytes = encode_to_vec(&ObservationBatch(batch.clone()));
+        let back: ObservationBatch = decode_from_slice(&bytes).unwrap();
+        // NaN breaks PartialEq; compare it separately, bit-for-bit.
+        assert!(back.0[0].position.x.is_nan());
+        assert_eq!(back.0[0].position.y, f64::INFINITY);
+        assert_eq!(back.0[1..], batch[1..]);
+    }
+
+    #[test]
+    fn single_observation_batch_round_trips() {
+        round_trip(vec![obs(3, 99, 123_456, 105.5, -2.25)]);
+    }
+
+    #[test]
+    fn hostile_count_rejected() {
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 1 << 40);
+        assert!(matches!(
+            decode_from_slice::<ObservationBatch>(&bytes),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_camera_run_rejected() {
+        let batch = vec![obs(1, 0, 0, 1.0, 1.0)];
+        let mut bytes = encode_to_vec(&ObservationBatch(batch));
+        // Locate the camera column: count(1) + flags(1) + first id varint.
+        let id_len = varint::len_u64(ObservationId::compose(CameraId(1), 0).0);
+        let run_off = 2 + id_len;
+        bytes[run_off] = 0; // run length 0
+        assert!(matches!(
+            decode_from_slice::<ObservationBatch>(&bytes),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_batch_rejected() {
+        let batch: Vec<Observation> = (0..8u64).map(|s| obs(2, s, s, 1.5, 2.5)).collect();
+        let bytes = encode_to_vec(&ObservationBatch(batch));
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_from_slice::<ObservationBatch>(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let batch = vec![obs(1, 0, 0, 1.0, 1.0)];
+        let mut bytes = encode_to_vec(&ObservationBatch(batch));
+        bytes[1] |= 0b1000_0000;
+        assert!(matches!(
+            decode_from_slice::<ObservationBatch>(&bytes),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 mod camera;
 mod detection;
 mod network;
@@ -47,6 +48,7 @@ mod observation;
 mod signature;
 mod wire_impls;
 
+pub use batch::ObservationBatch;
 pub use camera::{Camera, CameraId};
 pub use detection::{DetectionModel, SensorSim};
 pub use network::{CameraNetwork, TransitionModel};

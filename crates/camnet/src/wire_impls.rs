@@ -16,6 +16,9 @@ impl Wire for CameraId {
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(CameraId(u32::decode(buf)?))
     }
+    fn size_hint(&self) -> usize {
+        self.0.size_hint()
+    }
 }
 
 impl Wire for ObservationId {
@@ -24,6 +27,9 @@ impl Wire for ObservationId {
     }
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(ObservationId(u64::decode(buf)?))
+    }
+    fn size_hint(&self) -> usize {
+        self.0.size_hint()
     }
 }
 
@@ -39,6 +45,9 @@ impl Wire for Signature {
             *v = f32::decode(buf)?;
         }
         Ok(Signature::new(values))
+    }
+    fn size_hint(&self) -> usize {
+        4 * SIGNATURE_DIM
     }
 }
 
@@ -73,6 +82,15 @@ impl Wire for Observation {
             signature,
             truth,
         })
+    }
+    fn size_hint(&self) -> usize {
+        self.id.size_hint()
+            + self.camera.size_hint()
+            + self.time.size_hint()
+            + self.position.size_hint()
+            + 1
+            + self.signature.size_hint()
+            + self.truth.map(|e| e.0).size_hint()
     }
 }
 

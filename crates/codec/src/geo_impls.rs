@@ -17,6 +17,9 @@ impl Wire for Point {
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(Point::new(f64::decode(buf)?, f64::decode(buf)?))
     }
+    fn size_hint(&self) -> usize {
+        16
+    }
 }
 
 impl Wire for GeoPoint {
@@ -44,6 +47,9 @@ impl Wire for BBox {
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(BBox::new(Point::decode(buf)?, Point::decode(buf)?))
     }
+    fn size_hint(&self) -> usize {
+        32
+    }
 }
 
 impl Wire for CellId {
@@ -63,6 +69,9 @@ impl Wire for Timestamp {
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(Timestamp::from_millis(u64::decode(buf)?))
     }
+    fn size_hint(&self) -> usize {
+        self.as_millis().size_hint()
+    }
 }
 
 impl Wire for Duration {
@@ -71,6 +80,9 @@ impl Wire for Duration {
     }
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         Ok(Duration::from_millis(u64::decode(buf)?))
+    }
+    fn size_hint(&self) -> usize {
+        self.as_millis().size_hint()
     }
 }
 
@@ -88,6 +100,9 @@ impl Wire for TimeInterval {
             });
         }
         Ok(TimeInterval::new(start, end))
+    }
+    fn size_hint(&self) -> usize {
+        self.start().size_hint() + self.end().size_hint()
     }
 }
 

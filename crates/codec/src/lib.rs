@@ -36,4 +36,4 @@ mod wire;
 
 pub use error::DecodeError;
 pub use frame::{read_frame, write_frame, FrameHeader, MAX_FRAME_LEN};
-pub use wire::{decode_from_slice, encode_to_vec, encoded_len, Wire};
+pub use wire::{decode_from_slice, encode_into, encode_to_vec, encoded_len, Wire, MAX_SEQ_LEN};

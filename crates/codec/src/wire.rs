@@ -1,6 +1,6 @@
 //! The [`Wire`] trait and implementations for standard types.
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut};
 
 use crate::varint;
 use crate::DecodeError;
@@ -8,7 +8,7 @@ use crate::DecodeError;
 /// Largest length prefix accepted for collections and strings (16 MiB of
 /// elements); guards against corrupt or adversarial inputs allocating
 /// unbounded memory.
-pub(crate) const MAX_SEQ_LEN: u64 = 16 * 1024 * 1024;
+pub const MAX_SEQ_LEN: u64 = 16 * 1024 * 1024;
 
 /// A type with a deterministic binary wire form.
 ///
@@ -37,13 +37,34 @@ pub trait Wire: Sized {
     /// Returns a [`DecodeError`] when the input is truncated, malformed, or
     /// violates a domain invariant of the target type.
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError>;
+
+    /// A cheap estimate of this value's encoded size, used by
+    /// [`encode_to_vec`] / [`encode_into`] to reserve buffer capacity up
+    /// front. May be off in either direction — encoding is always exact —
+    /// but implementations should make it tight for types that dominate
+    /// hot-path traffic so single-allocation encoding is the common case.
+    fn size_hint(&self) -> usize {
+        16
+    }
 }
 
-/// Encodes `value` into a fresh byte vector.
+/// Encodes `value` into a fresh byte vector sized from its
+/// [`Wire::size_hint`].
 pub fn encode_to_vec<T: Wire>(value: &T) -> Vec<u8> {
-    let mut buf = BytesMut::new();
-    value.encode(&mut buf);
-    buf.to_vec()
+    let mut out = Vec::with_capacity(value.size_hint());
+    value.encode(&mut out);
+    out
+}
+
+/// Appends `value`'s wire form to `out`, reserving capacity from its
+/// [`Wire::size_hint`].
+///
+/// Hot paths that assemble many messages can keep one scratch `Vec` and
+/// `clear()` it between messages, so the allocation is amortised across
+/// the whole stream instead of paid per message.
+pub fn encode_into<T: Wire>(value: &T, out: &mut Vec<u8>) {
+    out.reserve(value.size_hint());
+    value.encode(out);
 }
 
 /// Decodes a value from `bytes`, requiring that the whole slice is consumed.
@@ -67,9 +88,7 @@ pub fn decode_from_slice<T: Wire>(bytes: &[u8]) -> Result<T, DecodeError> {
 pub fn encoded_len<T: Wire>(value: &T) -> usize {
     // Correctness over micro-optimisation: measure by encoding. Message
     // construction dominates; this is used mainly by accounting code.
-    let mut buf = BytesMut::new();
-    value.encode(&mut buf);
-    buf.len()
+    encode_to_vec(value).len()
 }
 
 fn need<B: Buf>(buf: &B, n: usize, context: &'static str) -> Result<(), DecodeError> {
@@ -95,6 +114,9 @@ impl Wire for bool {
             }),
         }
     }
+    fn size_hint(&self) -> usize {
+        1
+    }
 }
 
 impl Wire for u8 {
@@ -104,6 +126,9 @@ impl Wire for u8 {
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         need(buf, 1, "u8")?;
         Ok(buf.get_u8())
+    }
+    fn size_hint(&self) -> usize {
+        1
     }
 }
 
@@ -118,6 +143,9 @@ macro_rules! wire_varint_unsigned {
                 <$ty>::try_from(v).map_err(|_| DecodeError::InvalidValue {
                     reason: concat!("varint out of range for ", stringify!($ty)),
                 })
+            }
+            fn size_hint(&self) -> usize {
+                varint::len_u64(*self as u64)
             }
         }
     )*};
@@ -137,6 +165,9 @@ macro_rules! wire_varint_signed {
                     reason: concat!("varint out of range for ", stringify!($ty)),
                 })
             }
+            fn size_hint(&self) -> usize {
+                varint::len_u64(varint::zigzag(*self as i64))
+            }
         }
     )*};
 }
@@ -151,6 +182,9 @@ impl Wire for f64 {
         need(buf, 8, "f64")?;
         Ok(buf.get_f64_le())
     }
+    fn size_hint(&self) -> usize {
+        8
+    }
 }
 
 impl Wire for f32 {
@@ -160,6 +194,9 @@ impl Wire for f32 {
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         need(buf, 4, "f32")?;
         Ok(buf.get_f32_le())
+    }
+    fn size_hint(&self) -> usize {
+        4
     }
 }
 
@@ -181,6 +218,9 @@ impl Wire for String {
         let mut bytes = vec![0u8; len];
         buf.copy_to_slice(&mut bytes);
         String::from_utf8(bytes).map_err(|_| DecodeError::InvalidUtf8)
+    }
+    fn size_hint(&self) -> usize {
+        varint::len_u64(self.len() as u64) + self.len()
     }
 }
 
@@ -205,6 +245,13 @@ impl<T: Wire> Wire for Vec<T> {
         }
         Ok(out)
     }
+    fn size_hint(&self) -> usize {
+        // Elements of the hot collections (observations, counts) have
+        // near-constant width, so extrapolating from the first element is
+        // both cheap and tight.
+        varint::len_u64(self.len() as u64)
+            + self.first().map_or(0, |item| item.size_hint() * self.len())
+    }
 }
 
 impl<T: Wire> Wire for Option<T> {
@@ -228,6 +275,9 @@ impl<T: Wire> Wire for Option<T> {
             }),
         }
     }
+    fn size_hint(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::size_hint)
+    }
 }
 
 macro_rules! wire_tuple {
@@ -238,6 +288,9 @@ macro_rules! wire_tuple {
             }
             fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
                 Ok(($($name::decode(buf)?,)+))
+            }
+            fn size_hint(&self) -> usize {
+                0 $(+ self.$idx.size_hint())+
             }
         }
     };
@@ -263,6 +316,9 @@ impl<T: Wire, const N: usize> Wire for [T; N] {
         out.try_into().map_err(|_| DecodeError::InvalidValue {
             reason: "array length mismatch",
         })
+    }
+    fn size_hint(&self) -> usize {
+        self.first().map_or(0, |item| item.size_hint() * N)
     }
 }
 
@@ -392,6 +448,45 @@ mod tests {
             decode_from_slice::<u16>(&bytes),
             Err(DecodeError::InvalidValue { .. })
         ));
+    }
+
+    #[test]
+    fn encode_into_appends_and_reuses_capacity() {
+        let mut scratch = Vec::new();
+        encode_into(&7u32, &mut scratch);
+        let first = scratch.clone();
+        scratch.clear();
+        encode_into(&7u32, &mut scratch);
+        assert_eq!(scratch, first);
+        let cap = scratch.capacity();
+        scratch.clear();
+        encode_into(&9u32, &mut scratch);
+        assert_eq!(scratch.capacity(), cap, "cleared scratch must not realloc");
+        // Appending after existing content preserves the prefix.
+        encode_into(&true, &mut scratch);
+        assert_eq!(
+            decode_from_slice::<(u32, bool)>(&scratch).unwrap(),
+            (9, true)
+        );
+    }
+
+    #[test]
+    fn size_hints_are_exact_for_fixed_width_shapes() {
+        // Hints for the shapes that dominate hot-path traffic should be
+        // exact so encode_to_vec allocates once.
+        fn exact<T: Wire>(v: T) {
+            assert_eq!(v.size_hint(), encoded_len(&v), "hint not exact");
+        }
+        exact(0u64);
+        exact(u64::MAX);
+        exact(-300i64);
+        exact(1.5f64);
+        exact([1.0f32; 16]);
+        exact((1u64, 2u32, 3.0f64));
+        exact(Some(7u64));
+        exact(Option::<u64>::None);
+        exact(String::from("camera-7"));
+        exact(vec![1u8, 2, 3]);
     }
 
     #[test]

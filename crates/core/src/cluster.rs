@@ -14,6 +14,7 @@ use crate::error::StcamError;
 use crate::exec::{Degraded, QueryMode};
 use crate::ingest::Ingestor;
 use crate::partition::{PartitionMap, PartitionPolicy};
+use crate::plane::QueryPlane;
 use crate::worker::{Worker, WorkerConfig, WorkerHandle};
 
 /// Configuration of a whole cluster, with builder-style adjustment.
@@ -55,6 +56,10 @@ pub struct ClusterConfig {
     /// Per-macro-cell load estimates for
     /// [`PartitionPolicy::LoadAware`] (row-major over the macro grid).
     pub load_profile: Option<Vec<u64>>,
+    /// Fabric endpoints in the query plane's pool (minimum 1). Each
+    /// concurrent read borrows one round-robin; endpoints support
+    /// concurrent calls, so this bounds contention, not parallelism.
+    pub query_concurrency: usize,
 }
 
 impl ClusterConfig {
@@ -81,6 +86,7 @@ impl ClusterConfig {
             link: LinkModel::lan(),
             rpc_timeout: StdDuration::from_secs(5),
             load_profile: None,
+            query_concurrency: 8,
         }
     }
 
@@ -128,6 +134,12 @@ impl ClusterConfig {
         self
     }
 
+    /// Replaces the query-plane endpoint pool size (clamped to ≥ 1).
+    pub fn with_query_concurrency(mut self, endpoints: usize) -> Self {
+        self.query_concurrency = endpoints.max(1);
+        self
+    }
+
     /// The macro grid this configuration induces (useful for building a
     /// load profile).
     pub fn macro_grid(&self) -> GridSpec {
@@ -139,11 +151,16 @@ impl ClusterConfig {
 /// behind plain method calls.
 ///
 /// All methods are `&self` (internally synchronised), so a `Cluster` can
-/// be shared across client threads.
+/// be shared across client threads. Reads (range/kNN/heat-map/top-cells
+/// and their `_with` variants, plus telemetry accessors) go straight to
+/// the lock-free [`QueryPlane`] and never touch the coordinator mutex;
+/// writes and control actions (ingest, flush, rebalance, recovery,
+/// continuous queries) serialise on the coordinator as before.
 #[derive(Debug)]
 pub struct Cluster {
     fabric: Fabric,
     coordinator: std::sync::Arc<Mutex<Coordinator>>,
+    plane: std::sync::Arc<QueryPlane>,
     workers: Mutex<Option<Vec<WorkerHandle>>>,
     config: ClusterConfig,
     next_ingestor: std::sync::atomic::AtomicU32,
@@ -235,21 +252,37 @@ impl Cluster {
             ));
         }
         let coordinator_endpoint = fabric.register(NodeId(0));
+        // Query-plane endpoints live in their own id range (20 000+),
+        // clear of workers (1..), the coordinator (0) and ingestors
+        // (10 000+).
+        let query_endpoints = (0..config.query_concurrency.max(1) as u32)
+            .map(|k| fabric.register(NodeId(20_000 + k)))
+            .collect();
         let coordinator = Coordinator::new(
             coordinator_endpoint,
+            query_endpoints,
             partition,
             config.replication,
             config.rpc_timeout,
         );
+        let plane = coordinator.query_plane();
         Ok(Cluster {
             fabric,
             coordinator: std::sync::Arc::new(Mutex::new(coordinator)),
+            plane,
             workers: Mutex::new(Some(handles)),
             config,
             next_ingestor: std::sync::atomic::AtomicU32::new(10_000),
             monitor: Mutex::new(None),
             retention: Mutex::new(None),
         })
+    }
+
+    /// The lock-free query plane. Clone the `Arc` to issue reads from
+    /// many threads without any shared locking; the facade's own query
+    /// methods use the same plane.
+    pub fn query_plane(&self) -> std::sync::Arc<QueryPlane> {
+        std::sync::Arc::clone(&self.plane)
     }
 
     /// The configuration this cluster was launched with.
@@ -284,11 +317,12 @@ impl Cluster {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         );
         let endpoint = self.fabric.register(id);
-        let partition = self.coordinator.lock().partition().clone();
+        let partition = self.plane.plan().partition.clone();
         Ingestor::new(endpoint, partition, self.config.rpc_timeout)
     }
 
-    /// Spatio-temporal range query.
+    /// Spatio-temporal range query (lock-free: runs on the
+    /// [`QueryPlane`]).
     ///
     /// # Errors
     ///
@@ -298,10 +332,12 @@ impl Cluster {
         region: BBox,
         window: TimeInterval,
     ) -> Result<Vec<Observation>, StcamError> {
-        self.coordinator.lock().range_query(region, window)
+        self.plane
+            .range_query_mode(QueryMode::Strict, region, window)
+            .map(|d| d.value)
     }
 
-    /// Two-phase pruned k-nearest-neighbour query.
+    /// Two-phase pruned k-nearest-neighbour query (lock-free).
     ///
     /// # Errors
     ///
@@ -312,10 +348,12 @@ impl Cluster {
         window: TimeInterval,
         k: usize,
     ) -> Result<Vec<Observation>, StcamError> {
-        self.coordinator.lock().knn_query(at, window, k)
+        self.plane
+            .knn_query_mode(QueryMode::Strict, at, window, k)
+            .map(|d| d.value)
     }
 
-    /// Naive broadcast kNN (evaluation baseline).
+    /// Naive broadcast kNN (evaluation baseline; lock-free).
     ///
     /// # Errors
     ///
@@ -326,10 +364,13 @@ impl Cluster {
         window: TimeInterval,
         k: usize,
     ) -> Result<Vec<Observation>, StcamError> {
-        self.coordinator.lock().knn_broadcast(at, window, k)
+        self.plane
+            .knn_broadcast_mode(QueryMode::Strict, at, window, k)
+            .map(|d| d.value)
     }
 
-    /// Aggregate heat-map with worker-side partial aggregation.
+    /// Aggregate heat-map with worker-side partial aggregation
+    /// (lock-free).
     ///
     /// # Errors
     ///
@@ -339,11 +380,13 @@ impl Cluster {
         buckets: &GridSpec,
         window: TimeInterval,
     ) -> Result<Vec<u64>, StcamError> {
-        self.coordinator.lock().heatmap(buckets, window)
+        self.plane
+            .heatmap_mode(QueryMode::Strict, buckets, window)
+            .map(|d| d.value)
     }
 
     /// The `k` densest heat-map buckets, via sparse worker-side partial
-    /// aggregation.
+    /// aggregation (lock-free).
     ///
     /// # Errors
     ///
@@ -354,10 +397,12 @@ impl Cluster {
         window: TimeInterval,
         k: usize,
     ) -> Result<Vec<(stcam_geo::CellId, u64)>, StcamError> {
-        self.coordinator.lock().top_cells(buckets, window, k)
+        self.plane
+            .top_cells_mode(QueryMode::Strict, buckets, window, k)
+            .map(|d| d.value)
     }
 
-    /// Ship-all aggregate baseline.
+    /// Ship-all aggregate baseline (lock-free).
     ///
     /// # Errors
     ///
@@ -367,7 +412,7 @@ impl Cluster {
         buckets: &GridSpec,
         window: TimeInterval,
     ) -> Result<Vec<u64>, StcamError> {
-        self.coordinator.lock().heatmap_ship_all(buckets, window)
+        self.plane.heatmap_ship_all(buckets, window)
     }
 
     /// Registers a standing continuous query.
@@ -421,9 +466,11 @@ impl Cluster {
     }
 
     /// Per-operation executor telemetry (sub-queries, retries, wire
-    /// bytes, scatter/merge latency), sorted by operation name.
+    /// bytes, scatter/merge latency), sorted by operation name. One
+    /// account across the control plane and every query-plane endpoint;
+    /// reading it takes no cluster-wide lock.
     pub fn op_stats(&self) -> Vec<(&'static str, crate::exec::OpStats)> {
-        self.coordinator.lock().op_stats()
+        self.plane.op_stats()
     }
 
     /// Installs a timeout/retry policy override for one operation class
@@ -432,9 +479,10 @@ impl Cluster {
         self.coordinator.lock().set_op_policy(op, policy);
     }
 
-    /// A snapshot of the partition map.
+    /// A snapshot of the partition map (from the current published
+    /// query plan; lock-free).
     pub fn partition(&self) -> PartitionMap {
-        self.coordinator.lock().partition().clone()
+        self.plane.plan().partition.clone()
     }
 
     /// As [`range_query`](Self::range_query) with an entity-class filter
@@ -449,9 +497,9 @@ impl Cluster {
         window: TimeInterval,
         class: stcam_world::EntityClass,
     ) -> Result<Vec<Observation>, StcamError> {
-        self.coordinator
-            .lock()
-            .range_query_filtered(region, window, class)
+        self.plane
+            .range_query_filtered_mode(QueryMode::Strict, region, window, class)
+            .map(|d| d.value)
     }
 
     /// As [`range_query`](Self::range_query) with an explicit
@@ -470,9 +518,7 @@ impl Cluster {
         region: BBox,
         window: TimeInterval,
     ) -> Result<Degraded<Vec<Observation>>, StcamError> {
-        self.coordinator
-            .lock()
-            .range_query_mode(mode, region, window)
+        self.plane.range_query_mode(mode, region, window)
     }
 
     /// As [`knn_query`](Self::knn_query) with an explicit [`QueryMode`].
@@ -491,7 +537,7 @@ impl Cluster {
         window: TimeInterval,
         k: usize,
     ) -> Result<Degraded<Vec<Observation>>, StcamError> {
-        self.coordinator.lock().knn_query_mode(mode, at, window, k)
+        self.plane.knn_query_mode(mode, at, window, k)
     }
 
     /// As [`knn_broadcast`](Self::knn_broadcast) with an explicit
@@ -507,9 +553,7 @@ impl Cluster {
         window: TimeInterval,
         k: usize,
     ) -> Result<Degraded<Vec<Observation>>, StcamError> {
-        self.coordinator
-            .lock()
-            .knn_broadcast_mode(mode, at, window, k)
+        self.plane.knn_broadcast_mode(mode, at, window, k)
     }
 
     /// As [`heatmap`](Self::heatmap) with an explicit [`QueryMode`]. A
@@ -525,7 +569,7 @@ impl Cluster {
         buckets: &GridSpec,
         window: TimeInterval,
     ) -> Result<Degraded<Vec<u64>>, StcamError> {
-        self.coordinator.lock().heatmap_mode(mode, buckets, window)
+        self.plane.heatmap_mode(mode, buckets, window)
     }
 
     /// As [`top_cells`](Self::top_cells) with an explicit [`QueryMode`].
@@ -542,9 +586,7 @@ impl Cluster {
         window: TimeInterval,
         k: usize,
     ) -> Result<Degraded<Vec<(stcam_geo::CellId, u64)>>, StcamError> {
-        self.coordinator
-            .lock()
-            .top_cells_mode(mode, buckets, window, k)
+        self.plane.top_cells_mode(mode, buckets, window, k)
     }
 
     /// As [`range_query_filtered`](Self::range_query_filtered) with an
@@ -560,8 +602,7 @@ impl Cluster {
         window: TimeInterval,
         class: stcam_world::EntityClass,
     ) -> Result<Degraded<Vec<Observation>>, StcamError> {
-        self.coordinator
-            .lock()
+        self.plane
             .range_query_filtered_mode(mode, region, window, class)
     }
 
@@ -596,11 +637,11 @@ impl Cluster {
         self.coordinator.lock().check_and_recover()
     }
 
-    /// Per-node suspicion counters from the coordinator's
+    /// Per-node suspicion counters from the shared
     /// [`HealthView`](crate::HealthView) (consecutive failed RPCs since
-    /// the node's last success), sorted by node id.
+    /// the node's last success), sorted by node id. Lock-free.
     pub fn suspicions(&self) -> Vec<(NodeId, u32)> {
-        self.coordinator.lock().suspicions()
+        self.plane.health().snapshot()
     }
 
     /// Starts a background liveness monitor that runs

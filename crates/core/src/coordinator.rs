@@ -1,12 +1,16 @@
-//! The coordinator: routing, membership, failover, and thin wrappers
-//! over the [`exec`](crate::exec) scatter/gather layer.
+//! The coordinator: the mutex-guarded **control plane** — ingest
+//! routing, membership, failover, rebalance, and continuous-query
+//! bookkeeping — plus thin delegating wrappers over the lock-free
+//! [`QueryPlane`](crate::QueryPlane).
 //!
-//! Every distributed operation is a [`DistributedOp`] value handed to the
-//! coordinator's [`Executor`]; this module contributes only what is not
-//! generic — ingest routing, the two-phase kNN composition, partition-map
-//! surgery during rebalance/failover, and continuous-query bookkeeping.
+//! Every distributed operation is a [`DistributedOp`] value handed to an
+//! [`Executor`]; this module contributes only what is not generic:
+//! ingest routing, partition-map surgery during rebalance/failover, and
+//! plan publication. Read composition (two-phase kNN, heat-maps, …)
+//! lives in [`QueryPlane`] so it can run without this lock.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
 use stcam_camnet::Observation;
@@ -17,12 +21,12 @@ use stcam_net::{Endpoint, NodeId};
 use crate::continuous::{ContinuousQueryId, Notification, Predicate};
 use crate::error::StcamError;
 use crate::exec::{
-    AdoptOp, Completeness, Degraded, EvictOp, Executor, ExtractRegionOp, FlushOp, HeatmapOp,
-    KnnBroadcastOp, KnnPhase1Op, KnnPhase2Op, OpPolicy, OpStats, ProbeOp, PromoteOp, QueryMode,
-    RangeFilteredOp, RangeOp, RegisterContinuousOp, StatsOp, TopCellsOp, UnregisterContinuousOp,
+    AdoptOp, Degraded, EvictOp, Executor, ExtractRegionOp, FlushOp, OpPolicy, OpStats, ProbeOp,
+    PromoteOp, QueryMode, RegisterContinuousOp, StatsOp, UnregisterContinuousOp,
 };
 use crate::partition::PartitionMap;
-use crate::protocol::{GridSpecMsg, Request, WorkerStatsMsg};
+use crate::plane::{self, QueryPlane};
+use crate::protocol::{Request, WorkerStatsMsg};
 
 /// Aggregated statistics across the cluster.
 #[derive(Debug, Clone, Default)]
@@ -84,11 +88,17 @@ pub struct RebalanceReport {
 /// The cluster's control plane and query router.
 ///
 /// The coordinator is driven synchronously by the client thread: ingest
-/// routing, query scatter/gather and failure recovery are all plain method
-/// calls. Fan-out, retry, and telemetry live in the [`Executor`].
+/// routing and failure recovery are plain method calls. Fan-out, retry,
+/// and telemetry live in the [`Executor`]; read composition lives in the
+/// [`QueryPlane`] (the query methods here are delegating wrappers, kept
+/// so single-threaded callers need no second handle). After every
+/// mutation of the partition map or alive set the coordinator publishes
+/// a fresh [`QueryPlan`](crate::QueryPlan) so lock-free readers observe
+/// it.
 #[derive(Debug)]
 pub struct Coordinator {
     exec: Executor,
+    plane: Arc<QueryPlane>,
     partition: PartitionMap,
     replication: usize,
     alive: HashSet<NodeId>,
@@ -99,13 +109,18 @@ pub struct Coordinator {
 
 impl Coordinator {
     /// Creates a coordinator over an already-partitioned cluster.
+    ///
+    /// `endpoint` carries control-plane traffic (ingest, probes,
+    /// migration, continuous-query notifications); `query_endpoints`
+    /// become the query plane's pool — at least one is required.
     pub fn new(
         endpoint: Endpoint,
+        query_endpoints: Vec<Endpoint>,
         partition: PartitionMap,
         replication: usize,
         rpc_timeout: StdDuration,
     ) -> Self {
-        let alive = partition.workers().iter().copied().collect();
+        let alive: HashSet<NodeId> = partition.workers().iter().copied().collect();
         let exec = Executor::new(endpoint, OpPolicy::new(rpc_timeout));
         exec.set_replication(replication);
         // Probes are single-attempt: a timeout *is* the liveness signal.
@@ -113,14 +128,38 @@ impl Coordinator {
             "probe",
             OpPolicy::no_retry(rpc_timeout.min(StdDuration::from_millis(250))),
         );
+        // Pooled executors share the coordinator executor's account:
+        // one telemetry registry, one policy table, one health view.
+        let shared = exec.shared();
+        let pool: Vec<Executor> = query_endpoints
+            .into_iter()
+            .map(|ep| Executor::with_shared(ep, Arc::clone(&shared)))
+            .collect();
+        let plane = Arc::new(QueryPlane::new(pool, partition.clone(), alive.clone()));
         Coordinator {
             exec,
+            plane,
             partition,
             replication,
             alive,
             next_query_id: 1,
             registrations: HashMap::new(),
         }
+    }
+
+    /// The lock-free query plane fed by this coordinator's plan
+    /// publications. Clone the `Arc` and issue reads from any thread
+    /// without taking the control-plane lock.
+    pub fn query_plane(&self) -> Arc<QueryPlane> {
+        Arc::clone(&self.plane)
+    }
+
+    /// Publishes the current partition map and alive set as a new
+    /// [`QueryPlan`](crate::QueryPlan) epoch. Called after every
+    /// membership/partition mutation.
+    fn publish_plan(&self) {
+        self.plane
+            .publish(self.partition.clone(), self.alive.clone());
     }
 
     /// The current partition map.
@@ -180,45 +219,36 @@ impl Coordinator {
     /// governed by the replication factor).
     pub fn ingest(&mut self, batch: Vec<Observation>) -> Result<usize, StcamError> {
         let n = batch.len();
+        // Owner → destination is resolved once per distinct owner, not
+        // once per observation: the divert decision (alive-set lookup +
+        // suspicion check) is identical for every observation an owner
+        // receives, and a batch touches few distinct owners.
+        let mut destination: HashMap<NodeId, NodeId> = HashMap::new();
         let mut groups: HashMap<NodeId, Vec<Observation>> = HashMap::new();
         for obs in batch {
-            let owner = self.route(obs.position)?;
-            groups.entry(owner).or_default().push(obs);
+            let owner = self.partition.owner_of(obs.position);
+            let dest = match destination.get(&owner) {
+                Some(&d) => d,
+                None => {
+                    let d = self.divert(owner)?;
+                    destination.insert(owner, d);
+                    d
+                }
+            };
+            groups.entry(dest).or_default().push(obs);
         }
-        for (owner, group) in groups {
+        for (dest, group) in groups {
             self.exec
                 .endpoint()
-                .send(owner, encode_to_vec(&Request::Ingest(group)))?;
+                .send(dest, encode_to_vec(&Request::Ingest(group)))?;
         }
         Ok(n)
     }
 
-    /// The worker that owns `position`, diverted along the ring when the
-    /// owner is marked dead — or merely *suspected* dead by the
-    /// [`HealthView`](crate::HealthView), so a crashed node stops
-    /// receiving traffic after its first failed RPC instead of after the
-    /// next recovery tick.
-    fn route(&self, position: Point) -> Result<NodeId, StcamError> {
-        let owner = self.partition.owner_of(position);
-        let health = self.exec.health();
-        if self.alive.contains(&owner) && !health.is_suspect(owner) {
-            return Ok(owner);
-        }
-        let successor = |require_healthy: bool| {
-            self.partition
-                .successors(owner, self.partition.workers().len() - 1)
-                .into_iter()
-                .find(|&w| self.alive.contains(&w) && (!require_healthy || !health.is_suspect(w)))
-        };
-        if let Some(w) = successor(true) {
-            return Ok(w);
-        }
-        // Everyone is suspect: a suspect-but-alive owner still beats
-        // nothing (suspicion may be a false positive under load).
-        if self.alive.contains(&owner) {
-            return Ok(owner);
-        }
-        successor(false).ok_or(StcamError::NoQuorum)
+    /// Resolves an owner to its traffic destination against the control
+    /// plane's own (pre-publication) routing state.
+    fn divert(&self, owner: NodeId) -> Result<NodeId, StcamError> {
+        plane::route_owner(owner, &self.partition, &self.alive, self.exec.health())
     }
 
     /// Barrier: confirms every alive worker has drained all previously
@@ -232,37 +262,19 @@ impl Coordinator {
     }
 
     // ------------------------------------------------------------------
-    // Queries
+    // Queries — delegating wrappers over the lock-free query plane
     // ------------------------------------------------------------------
     //
-    // Every read runs on the executor's degraded path — per-shard replica
+    // Every read runs on the query plane against its current published
+    // plan snapshot, on the executor's degraded path — per-shard replica
     // failover, then a merge over whatever survived. `QueryMode` decides
     // what an incomplete answer becomes: `Strict` converts it into
     // `StcamError::PartialFailure`, `BestEffort` hands it to the caller
     // with its `Completeness` account. The plain (mode-less) methods are
-    // strict, preserving the historical all-or-nothing signature — but
-    // they now *succeed* through replica failover where they previously
-    // errored on the first dead shard.
-
-    /// Applies the query mode to a degraded result: strict callers get
-    /// [`StcamError::PartialFailure`] unless every shard answered.
-    fn finish<T>(mode: QueryMode, d: Degraded<T>) -> Result<Degraded<T>, StcamError> {
-        match mode {
-            QueryMode::Strict if !d.completeness.is_full() => Err(StcamError::PartialFailure {
-                missing: d.completeness.missing,
-            }),
-            _ => Ok(d),
-        }
-    }
-
-    /// An already-complete account for queries that contact no shard
-    /// (e.g. `k = 0` kNN).
-    fn empty_completeness() -> Completeness {
-        Completeness {
-            subset: true,
-            ..Completeness::default()
-        }
-    }
+    // strict, preserving the historical all-or-nothing signature.
+    //
+    // Concurrent callers should clone [`query_plane`](Self::query_plane)
+    // and bypass this struct (and whatever lock guards it) entirely.
 
     /// All observations in `region` × `window`, merged across shards and
     /// sorted by id.
@@ -278,10 +290,7 @@ impl Coordinator {
         region: BBox,
         window: TimeInterval,
     ) -> Result<Degraded<Vec<Observation>>, StcamError> {
-        let d =
-            self.exec
-                .execute_degraded(RangeOp { region, window }, &self.partition, &self.alive);
-        Self::finish(mode, d)
+        self.plane.range_query_mode(mode, region, window)
     }
 
     /// Strict [`range_query_mode`](Self::range_query_mode).
@@ -318,50 +327,7 @@ impl Coordinator {
         window: TimeInterval,
         k: usize,
     ) -> Result<Degraded<Vec<Observation>>, StcamError> {
-        if k == 0 {
-            return Ok(Degraded {
-                value: Vec::new(),
-                completeness: Self::empty_completeness(),
-            });
-        }
-        let owner = self.route(at)?;
-        let phase1 = self.exec.execute_degraded(
-            KnnPhase1Op {
-                owner,
-                at,
-                window,
-                k,
-            },
-            &self.partition,
-            &self.alive,
-        );
-        let mut completeness = phase1.completeness;
-        let seed = phase1.value;
-        let bound = if seed.len() >= k {
-            seed.last().map(|o| at.distance(o.position))
-        } else {
-            None
-        };
-        let phase2 = self.exec.execute_degraded(
-            KnnPhase2Op {
-                at,
-                window,
-                k,
-                bound,
-                exclude: owner,
-                seed,
-            },
-            &self.partition,
-            &self.alive,
-        );
-        completeness.absorb(phase2.completeness);
-        Self::finish(
-            mode,
-            Degraded {
-                value: phase2.value,
-                completeness,
-            },
-        )
+        self.plane.knn_query_mode(mode, at, window, k)
     }
 
     /// Strict [`knn_query_mode`](Self::knn_query_mode).
@@ -393,18 +359,7 @@ impl Coordinator {
         window: TimeInterval,
         k: usize,
     ) -> Result<Degraded<Vec<Observation>>, StcamError> {
-        if k == 0 {
-            return Ok(Degraded {
-                value: Vec::new(),
-                completeness: Self::empty_completeness(),
-            });
-        }
-        let d = self.exec.execute_degraded(
-            KnnBroadcastOp { at, window, k },
-            &self.partition,
-            &self.alive,
-        );
-        Self::finish(mode, d)
+        self.plane.knn_broadcast_mode(mode, at, window, k)
     }
 
     /// Strict [`knn_broadcast_mode`](Self::knn_broadcast_mode).
@@ -436,15 +391,7 @@ impl Coordinator {
         buckets: &GridSpec,
         window: TimeInterval,
     ) -> Result<Degraded<Vec<u64>>, StcamError> {
-        let d = self.exec.execute_degraded(
-            HeatmapOp {
-                buckets: GridSpecMsg::from(*buckets),
-                window,
-            },
-            &self.partition,
-            &self.alive,
-        );
-        Self::finish(mode, d)
+        self.plane.heatmap_mode(mode, buckets, window)
     }
 
     /// Strict [`heatmap_mode`](Self::heatmap_mode).
@@ -478,16 +425,7 @@ impl Coordinator {
         window: TimeInterval,
         k: usize,
     ) -> Result<Degraded<Vec<(CellId, u64)>>, StcamError> {
-        let d = self.exec.execute_degraded(
-            TopCellsOp {
-                buckets: GridSpecMsg::from(*buckets),
-                window,
-                k,
-            },
-            &self.partition,
-            &self.alive,
-        );
-        Self::finish(mode, d)
+        self.plane.top_cells_mode(mode, buckets, window, k)
     }
 
     /// Strict [`top_cells_mode`](Self::top_cells_mode).
@@ -516,14 +454,7 @@ impl Coordinator {
         buckets: &GridSpec,
         window: TimeInterval,
     ) -> Result<Vec<u64>, StcamError> {
-        let hits = self.range_query(buckets.extent(), window)?;
-        let mut total = vec![0u64; buckets.cell_count() as usize];
-        for obs in hits {
-            if let Some(cell) = buckets.cell_of(obs.position) {
-                total[cell.row as usize * buckets.cols() as usize + cell.col as usize] += 1;
-            }
-        }
-        Ok(total)
+        self.plane.heatmap_ship_all(buckets, window)
     }
 
     /// Ages out observations older than `cutoff` everywhere.
@@ -550,16 +481,8 @@ impl Coordinator {
         window: TimeInterval,
         class: stcam_world::EntityClass,
     ) -> Result<Degraded<Vec<Observation>>, StcamError> {
-        let d = self.exec.execute_degraded(
-            RangeFilteredOp {
-                region,
-                window,
-                class: class.as_u8(),
-            },
-            &self.partition,
-            &self.alive,
-        );
-        Self::finish(mode, d)
+        self.plane
+            .range_query_filtered_mode(mode, region, window, class)
     }
 
     /// Strict [`range_query_filtered_mode`](Self::range_query_filtered_mode).
@@ -655,9 +578,11 @@ impl Coordinator {
                     .execute(AdoptOp { target: new, batch }, &self.partition, &self.alive)?;
             }
         }
-        // 4. Swap in the new map and make standing queries present at
-        // their (possibly new) overlapping workers.
+        // 4. Swap in the new map, publish it to the query plane, and
+        // make standing queries present at their (possibly new)
+        // overlapping workers.
         self.partition = target;
+        self.publish_plan();
         let notify = self.exec.endpoint().id();
         let registrations: Vec<(ContinuousQueryId, Predicate)> =
             self.registrations.iter().map(|(&id, &p)| (id, p)).collect();
@@ -772,6 +697,12 @@ impl Coordinator {
         }
         for &worker in &failed {
             self.fail_over(worker);
+        }
+        if !failed.is_empty() {
+            // One publication covering membership + every reassignment;
+            // queries in flight finish on their old snapshot and are
+            // caught by replica failover if they touch a dead worker.
+            self.publish_plan();
         }
         failed
     }

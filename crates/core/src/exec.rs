@@ -281,19 +281,70 @@ pub trait DistributedOp: Sync {
 // The executor
 // ----------------------------------------------------------------------
 
+/// State shared by every [`Executor`] of one logical client: policy
+/// overrides, per-operation telemetry, the health view, and the
+/// replication factor.
+///
+/// The coordinator's control-plane executor and the query plane's pooled
+/// executors all hold one `Arc<ExecShared>`, so an operation books into
+/// the same [`OpStats`] registry no matter which fabric endpoint carried
+/// it — telemetry stays a single coherent account under concurrency.
+#[derive(Debug)]
+pub(crate) struct ExecShared {
+    default_policy: OpPolicy,
+    overrides: Mutex<HashMap<&'static str, OpPolicy>>,
+    stats: Mutex<BTreeMap<&'static str, OpStats>>,
+    /// Per-node suspicion, fed by every member endpoint's call observer:
+    /// each RPC outcome — probe, flush, sub-query, failover attempt —
+    /// updates it.
+    health: Arc<HealthView>,
+    /// Replication factor of the ring (0 disables replica failover).
+    replication: AtomicUsize,
+}
+
+impl ExecShared {
+    fn new(default_policy: OpPolicy) -> Self {
+        ExecShared {
+            default_policy,
+            overrides: Mutex::new(HashMap::new()),
+            stats: Mutex::new(BTreeMap::new()),
+            health: Arc::new(HealthView::new()),
+            replication: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Per-scatter wire-byte accumulator. Bytes are counted at each call
+/// site (payload + envelope overhead) instead of diffing endpoint
+/// counters, so concurrent operations sharing an endpoint never
+/// attribute each other's traffic.
+#[derive(Default)]
+struct WireTally {
+    sent: AtomicU64,
+    received: AtomicU64,
+}
+
+impl WireTally {
+    fn sent(&self, payload_len: usize) {
+        self.sent.fetch_add(
+            payload_len as u64 + stcam_net::WIRE_OVERHEAD,
+            Ordering::Relaxed,
+        );
+    }
+    fn received(&self, payload_len: usize) {
+        self.received.fetch_add(
+            payload_len as u64 + stcam_net::WIRE_OVERHEAD,
+            Ordering::Relaxed,
+        );
+    }
+}
+
 /// Owns scatter/gather fan-out, retry policy, and per-op telemetry for
 /// every [`DistributedOp`].
 #[derive(Debug)]
 pub struct Executor {
     endpoint: Endpoint,
-    default_policy: OpPolicy,
-    overrides: Mutex<HashMap<&'static str, OpPolicy>>,
-    stats: Mutex<BTreeMap<&'static str, OpStats>>,
-    /// Per-node suspicion, fed by the endpoint's call observer: every RPC
-    /// outcome — probe, flush, sub-query, failover attempt — updates it.
-    health: Arc<HealthView>,
-    /// Replication factor of the ring (0 disables replica failover).
-    replication: AtomicUsize,
+    shared: Arc<ExecShared>,
 }
 
 impl Executor {
@@ -302,8 +353,15 @@ impl Executor {
     /// installs the endpoint's call observer so every RPC outcome feeds
     /// its [`HealthView`].
     pub fn new(endpoint: Endpoint, default_policy: OpPolicy) -> Self {
-        let health = Arc::new(HealthView::new());
-        let feed = Arc::clone(&health);
+        Self::with_shared(endpoint, Arc::new(ExecShared::new(default_policy)))
+    }
+
+    /// Creates an executor over `endpoint` that joins an existing shared
+    /// state — same policies, same telemetry registry, same health view.
+    /// This is how the query plane's endpoint pool stays one logical
+    /// client: N endpoints, one account.
+    pub(crate) fn with_shared(endpoint: Endpoint, shared: Arc<ExecShared>) -> Self {
+        let feed = Arc::clone(&shared.health);
         endpoint.set_call_observer(Arc::new(move |node, ok| {
             if ok {
                 feed.record_success(node);
@@ -311,14 +369,13 @@ impl Executor {
                 feed.record_failure(node);
             }
         }));
-        Executor {
-            endpoint,
-            default_policy,
-            overrides: Mutex::new(HashMap::new()),
-            stats: Mutex::new(BTreeMap::new()),
-            health,
-            replication: AtomicUsize::new(0),
-        }
+        Executor { endpoint, shared }
+    }
+
+    /// The shared policy/telemetry/health state, for building further
+    /// executors that join this one's account.
+    pub(crate) fn shared(&self) -> Arc<ExecShared> {
+        Arc::clone(&self.shared)
     }
 
     /// The underlying fabric endpoint (also used for one-way traffic
@@ -329,32 +386,36 @@ impl Executor {
 
     /// The live per-node suspicion view.
     pub fn health(&self) -> &Arc<HealthView> {
-        &self.health
+        &self.shared.health
     }
 
     /// Sets the ring replication factor consulted by replica failover
     /// (how many successors may hold a shard's replica log).
     pub fn set_replication(&self, replication: usize) {
-        self.replication.store(replication, Ordering::Relaxed);
+        self.shared
+            .replication
+            .store(replication, Ordering::Relaxed);
     }
 
     /// Installs a policy override for the named operation.
     pub fn set_policy(&self, op: &'static str, policy: OpPolicy) {
-        self.overrides.lock().insert(op, policy);
+        self.shared.overrides.lock().insert(op, policy);
     }
 
     /// The effective policy of the named operation.
     pub fn policy_for(&self, op: &str) -> OpPolicy {
-        self.overrides
+        self.shared
+            .overrides
             .lock()
             .get(op)
             .copied()
-            .unwrap_or(self.default_policy)
+            .unwrap_or(self.shared.default_policy)
     }
 
     /// A snapshot of per-op telemetry, sorted by operation name.
     pub fn op_stats(&self) -> Vec<(&'static str, OpStats)> {
-        self.stats
+        self.shared
+            .stats
             .lock()
             .iter()
             .map(|(&name, &s)| (name, s))
@@ -363,7 +424,12 @@ impl Executor {
 
     /// Telemetry of one operation (zeros when never invoked).
     pub fn stats_for(&self, op: &str) -> OpStats {
-        self.stats.lock().get(op).copied().unwrap_or_default()
+        self.shared
+            .stats
+            .lock()
+            .get(op)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Runs the full operation: scatter, gather, merge. Any sub-query
@@ -387,7 +453,12 @@ impl Executor {
         let started = Instant::now();
         let output = op.merge(partials);
         let merge_micros = started.elapsed().as_micros() as u64;
-        self.stats.lock().entry(name).or_default().merge_micros += merge_micros;
+        self.shared
+            .stats
+            .lock()
+            .entry(name)
+            .or_default()
+            .merge_micros += merge_micros;
         Ok(output)
     }
 
@@ -402,7 +473,7 @@ impl Executor {
     ) -> Vec<(NodeId, Result<O::Partial, StcamError>)> {
         let targets = op.targets(partition, alive);
         let policy = self.policy_for(op.name());
-        let net_before = self.endpoint.stats();
+        let tally = WireTally::default();
         let retries = AtomicU64::new(0);
         let started = Instant::now();
         let results: Vec<(NodeId, Result<O::Partial, StcamError>)> = if targets.is_empty() {
@@ -410,7 +481,7 @@ impl Executor {
         } else if targets.len() == 1 {
             // Single-target fast path: no thread spawn.
             let worker = targets[0];
-            vec![(worker, self.attempt(op, worker, &policy, &retries))]
+            vec![(worker, self.attempt(op, worker, &policy, &retries, &tally))]
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = targets
@@ -418,7 +489,10 @@ impl Executor {
                     .map(|&worker| {
                         let policy = &policy;
                         let retries = &retries;
-                        scope.spawn(move || (worker, self.attempt(op, worker, policy, retries)))
+                        let tally = &tally;
+                        scope.spawn(move || {
+                            (worker, self.attempt(op, worker, policy, retries, tally))
+                        })
                     })
                     .collect();
                 handles
@@ -428,17 +502,16 @@ impl Executor {
             })
         };
         let scatter_micros = started.elapsed().as_micros() as u64;
-        let net_delta = self.endpoint.stats().since(&net_before);
         let retries = retries.into_inner();
         let failures = results.iter().filter(|(_, r)| r.is_err()).count() as u64;
-        let mut stats = self.stats.lock();
+        let mut stats = self.shared.stats.lock();
         let entry = stats.entry(op.name()).or_default();
         entry.invocations += 1;
         entry.sub_queries += targets.len() as u64 + retries;
         entry.retries += retries;
         entry.failures += failures;
-        entry.bytes_sent += net_delta.bytes_sent;
-        entry.bytes_received += net_delta.bytes_received;
+        entry.bytes_sent += tally.sent.into_inner();
+        entry.bytes_received += tally.received.into_inner();
         entry.scatter_micros += scatter_micros;
         results
     }
@@ -450,15 +523,20 @@ impl Executor {
         worker: NodeId,
         policy: &OpPolicy,
         retries: &AtomicU64,
+        tally: &WireTally,
     ) -> Result<O::Partial, StcamError> {
         let payload = encode_to_vec(&op.request(worker));
         let mut attempt = 1u32;
         loop {
+            tally.sent(payload.len());
             let outcome = self
                 .endpoint
                 .call(worker, payload.clone(), policy.timeout)
                 .map_err(StcamError::from)
-                .and_then(|bytes| decode_from_slice::<Response>(&bytes).map_err(StcamError::from))
+                .and_then(|bytes| {
+                    tally.received(bytes.len());
+                    decode_from_slice::<Response>(&bytes).map_err(StcamError::from)
+                })
                 .and_then(|response| op.decode(response));
             match outcome {
                 Err(StcamError::Net(NetError::Timeout))
@@ -519,7 +597,12 @@ impl Executor {
         let started = Instant::now();
         let value = op.merge(partials);
         let merge_micros = started.elapsed().as_micros() as u64;
-        self.stats.lock().entry(name).or_default().merge_micros += merge_micros;
+        self.shared
+            .stats
+            .lock()
+            .entry(name)
+            .or_default()
+            .merge_micros += merge_micros;
         Degraded {
             value,
             completeness,
@@ -537,7 +620,7 @@ impl Executor {
     ) -> (Vec<ShardOutcome<O::Partial>>, u64) {
         let targets = op.targets(partition, alive);
         let policy = self.policy_for(op.name());
-        let net_before = self.endpoint.stats();
+        let tally = WireTally::default();
         let retries = AtomicU64::new(0);
         let failovers = AtomicU64::new(0);
         let started = Instant::now();
@@ -545,7 +628,7 @@ impl Executor {
             Vec::new()
         } else if targets.len() == 1 {
             vec![self.attempt_with_failover(
-                op, targets[0], partition, alive, &policy, &retries, &failovers,
+                op, targets[0], partition, alive, &policy, &retries, &failovers, &tally,
             )]
         } else {
             std::thread::scope(|scope| {
@@ -555,9 +638,10 @@ impl Executor {
                         let policy = &policy;
                         let retries = &retries;
                         let failovers = &failovers;
+                        let tally = &tally;
                         scope.spawn(move || {
                             self.attempt_with_failover(
-                                op, shard, partition, alive, policy, retries, failovers,
+                                op, shard, partition, alive, policy, retries, failovers, tally,
                             )
                         })
                     })
@@ -569,19 +653,18 @@ impl Executor {
             })
         };
         let scatter_micros = started.elapsed().as_micros() as u64;
-        let net_delta = self.endpoint.stats().since(&net_before);
         let retries = retries.into_inner();
         let failovers = failovers.into_inner();
         let failures = outcomes.iter().filter(|o| o.result.is_err()).count() as u64;
-        let mut stats = self.stats.lock();
+        let mut stats = self.shared.stats.lock();
         let entry = stats.entry(op.name()).or_default();
         entry.invocations += 1;
         entry.sub_queries += targets.len() as u64 + retries + failovers;
         entry.retries += retries;
         entry.failures += failures;
         entry.failovers += failovers;
-        entry.bytes_sent += net_delta.bytes_sent;
-        entry.bytes_received += net_delta.bytes_received;
+        entry.bytes_sent += tally.sent.into_inner();
+        entry.bytes_received += tally.received.into_inner();
         entry.scatter_micros += scatter_micros;
         (outcomes, retries)
     }
@@ -599,8 +682,9 @@ impl Executor {
         policy: &OpPolicy,
         retries: &AtomicU64,
         failovers: &AtomicU64,
+        tally: &WireTally,
     ) -> ShardOutcome<O::Partial> {
-        let primary = self.attempt(op, shard, policy, retries);
+        let primary = self.attempt(op, shard, policy, retries, tally);
         let err = match primary {
             Ok(partial) => {
                 return ShardOutcome {
@@ -611,7 +695,7 @@ impl Executor {
             }
             Err(e) => e,
         };
-        let replication = self.replication.load(Ordering::Relaxed);
+        let replication = self.shared.replication.load(Ordering::Relaxed);
         // Only transport failures justify failover: an application-level
         // error from a reachable primary would repeat at any replica.
         if !matches!(err, StcamError::Net(_)) || !op.replica_readable() || replication == 0 {
@@ -626,10 +710,10 @@ impl Executor {
             .into_iter()
             .filter(|r| alive.contains(r))
             .collect();
-        self.health.rank(&mut candidates);
+        self.shared.health.rank(&mut candidates);
         for replica in candidates {
             failovers.fetch_add(1, Ordering::Relaxed);
-            match self.replica_attempt(op, shard, replica, policy) {
+            match self.replica_attempt(op, shard, replica, policy, tally) {
                 Ok(partial) => {
                     return ShardOutcome {
                         shard,
@@ -655,15 +739,20 @@ impl Executor {
         shard: NodeId,
         replica: NodeId,
         policy: &OpPolicy,
+        tally: &WireTally,
     ) -> Result<O::Partial, StcamError> {
         let payload = encode_to_vec(&Request::ReplicaRead {
             of: shard,
             inner: Box::new(op.request(shard)),
         });
+        tally.sent(payload.len());
         self.endpoint
             .call(replica, payload, policy.timeout)
             .map_err(StcamError::from)
-            .and_then(|bytes| decode_from_slice::<Response>(&bytes).map_err(StcamError::from))
+            .and_then(|bytes| {
+                tally.received(bytes.len());
+                decode_from_slice::<Response>(&bytes).map_err(StcamError::from)
+            })
             .and_then(|response| op.decode(response))
     }
 }

@@ -29,14 +29,21 @@
 //!   deterministically after timeouts, migration steps never do), and
 //!   per-operation telemetry ([`OpStats`]: sub-queries, retries, wire
 //!   bytes, scatter/merge latency split).
-//! * [`Coordinator`] — routes ingest batches and composes operations over
-//!   the executor: two-phase pruned kNN is [`exec::KnnPhase1Op`] feeding
-//!   [`exec::KnnPhase2Op`], rebalance chains extract/adopt migrations,
-//!   recovery turns probe failures into failover. Everything else is a
-//!   thin one-op wrapper. Reads run in a [`QueryMode`]: `Strict` fails on
-//!   any lost shard with [`StcamError::PartialFailure`]; `BestEffort`
-//!   returns a [`Degraded`] value whose [`Completeness`] accounts for
-//!   shards answered, replicas used, and shards missing. Either way the
+//! * [`Coordinator`] — the mutex-guarded **control plane**: routes
+//!   ingest batches, chains extract/adopt migrations for rebalance,
+//!   turns probe failures into failover, and keeps the continuous-query
+//!   registry. After every membership or partition mutation it
+//!   *publishes* an immutable, epoch-tagged [`QueryPlan`] snapshot to
+//!   the query plane.
+//! * [`QueryPlane`] — the lock-free **read path**: composes queries
+//!   (two-phase pruned kNN is [`exec::KnnPhase1Op`] feeding
+//!   [`exec::KnnPhase2Op`], heat-maps, top-cells, …) against the current
+//!   published plan, on a pool of fabric endpoints picked round-robin —
+//!   N client threads scatter/gather concurrently with zero shared
+//!   locking. Reads run in a [`QueryMode`]: `Strict` fails on any lost
+//!   shard with [`StcamError::PartialFailure`]; `BestEffort` returns a
+//!   [`Degraded`] value whose [`Completeness`] accounts for shards
+//!   answered, replicas used, and shards missing. Either way the
 //!   executor first tries replica failover — re-issuing a dead shard's
 //!   sub-query to its ring successors — guided by a [`HealthView`] of
 //!   per-node suspicion fed by every RPC outcome.
@@ -76,6 +83,7 @@ pub mod exec;
 mod health;
 mod ingest;
 mod partition;
+pub(crate) mod plane;
 mod protocol;
 pub mod snapshot;
 pub mod stitch;
@@ -90,5 +98,6 @@ pub use exec::{Completeness, Degraded, DistributedOp, Executor, OpPolicy, OpStat
 pub use health::HealthView;
 pub use ingest::Ingestor;
 pub use partition::{PartitionMap, PartitionPolicy};
+pub use plane::{QueryPlan, QueryPlane};
 pub use protocol::{GridSpecMsg, Request, Response, WorkerStatsMsg};
 pub use worker::{Worker, WorkerConfig, WorkerHandle};

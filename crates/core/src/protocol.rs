@@ -6,7 +6,7 @@
 //! meaningful.
 
 use bytes::{Buf, BufMut};
-use stcam_camnet::Observation;
+use stcam_camnet::{batch, Observation};
 use stcam_codec::{DecodeError, Wire};
 use stcam_geo::{BBox, GridSpec, Point, TimeInterval};
 use stcam_net::NodeId;
@@ -316,12 +316,12 @@ impl Wire for Request {
             Request::Ping => buf.put_u8(REQ_PING),
             Request::Ingest(batch) => {
                 buf.put_u8(REQ_INGEST);
-                batch.encode(buf);
+                batch::encode_batch(batch, buf);
             }
             Request::Replicate { primary, batch } => {
                 buf.put_u8(REQ_REPLICATE);
                 primary.0.encode(buf);
-                batch.encode(buf);
+                batch::encode_batch(batch, buf);
             }
             Request::Range { region, window } => {
                 buf.put_u8(REQ_RANGE);
@@ -365,7 +365,7 @@ impl Wire for Request {
             }
             Request::Adopt(batch) => {
                 buf.put_u8(REQ_ADOPT);
-                batch.encode(buf);
+                batch::encode_batch(batch, buf);
             }
             Request::Stats => buf.put_u8(REQ_STATS),
             Request::EvictBefore(t) => {
@@ -407,6 +407,15 @@ impl Wire for Request {
         let tag = u8::decode(buf)?;
         Self::decode_tagged(tag, buf)
     }
+
+    fn size_hint(&self) -> usize {
+        1 + match self {
+            Request::Ingest(batch) | Request::Adopt(batch) => batch::batch_size_hint(batch),
+            Request::Replicate { batch, .. } => 5 + batch::batch_size_hint(batch),
+            Request::ReplicaRead { inner, .. } => 5 + inner.size_hint(),
+            _ => 48,
+        }
+    }
 }
 
 impl Request {
@@ -414,10 +423,10 @@ impl Request {
     fn decode_tagged<B: Buf>(tag: u8, buf: &mut B) -> Result<Self, DecodeError> {
         Ok(match tag {
             REQ_PING => Request::Ping,
-            REQ_INGEST => Request::Ingest(Vec::decode(buf)?),
+            REQ_INGEST => Request::Ingest(batch::decode_batch(buf)?),
             REQ_REPLICATE => Request::Replicate {
                 primary: NodeId(u32::decode(buf)?),
-                batch: Vec::decode(buf)?,
+                batch: batch::decode_batch(buf)?,
             },
             REQ_RANGE => Request::Range {
                 region: BBox::decode(buf)?,
@@ -442,7 +451,7 @@ impl Request {
             REQ_SNAPSHOT => Request::SnapshotReplica {
                 of: NodeId(u32::decode(buf)?),
             },
-            REQ_ADOPT => Request::Adopt(Vec::decode(buf)?),
+            REQ_ADOPT => Request::Adopt(batch::decode_batch(buf)?),
             REQ_STATS => Request::Stats,
             REQ_EVICT => Request::EvictBefore(stcam_geo::Timestamp::decode(buf)?),
             REQ_PROMOTE => Request::Promote {
@@ -498,7 +507,7 @@ impl Wire for Response {
             Response::Ack => buf.put_u8(RESP_ACK),
             Response::Observations(obs) => {
                 buf.put_u8(RESP_OBSERVATIONS);
-                obs.encode(buf);
+                batch::encode_batch(obs, buf);
             }
             Response::Counts(counts) => {
                 buf.put_u8(RESP_COUNTS);
@@ -523,7 +532,7 @@ impl Wire for Response {
         let tag = u8::decode(buf)?;
         Ok(match tag {
             RESP_ACK => Response::Ack,
-            RESP_OBSERVATIONS => Response::Observations(Vec::decode(buf)?),
+            RESP_OBSERVATIONS => Response::Observations(batch::decode_batch(buf)?),
             RESP_COUNTS => Response::Counts(Vec::decode(buf)?),
             RESP_STATS => Response::Stats(WorkerStatsMsg::decode(buf)?),
             RESP_ERROR => Response::Error(String::decode(buf)?),
@@ -535,6 +544,16 @@ impl Wire for Response {
                 })
             }
         })
+    }
+
+    fn size_hint(&self) -> usize {
+        1 + match self {
+            Response::Observations(obs) => batch::batch_size_hint(obs),
+            Response::Counts(counts) => counts.size_hint(),
+            Response::CellCounts(cells) => cells.size_hint(),
+            Response::Error(msg) => msg.size_hint(),
+            _ => 64,
+        }
     }
 }
 

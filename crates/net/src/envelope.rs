@@ -30,12 +30,17 @@ pub struct Envelope {
     pub payload: Vec<u8>,
 }
 
+/// Fixed per-message envelope overhead a real transport would add,
+/// charged on top of the payload (16 bytes: src, dst, kind, correlation).
+/// Public so layers above the fabric can account wire bytes per call
+/// without a fabric-counter round trip.
+pub const WIRE_OVERHEAD: u64 = 16;
+
 impl Envelope {
-    /// Total accounted wire size of this message: payload plus the fixed
-    /// per-message envelope overhead a real transport would add (we charge
-    /// 16 bytes: src, dst, kind, correlation).
+    /// Total accounted wire size of this message: payload plus
+    /// [`WIRE_OVERHEAD`].
     pub fn wire_size(&self) -> u64 {
-        self.payload.len() as u64 + 16
+        self.payload.len() as u64 + WIRE_OVERHEAD
     }
 }
 

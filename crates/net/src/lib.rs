@@ -41,7 +41,7 @@ mod fabric;
 mod link;
 mod stats;
 
-pub use envelope::{Envelope, MessageKind};
+pub use envelope::{Envelope, MessageKind, WIRE_OVERHEAD};
 pub use error::NetError;
 pub use fabric::{CallObserver, Endpoint, Fabric};
 pub use link::LinkModel;
