@@ -5,8 +5,9 @@
 //! in the paired column, two ring-adjacent workers) mid-archive, probe
 //! availability during the crash window, run detection + failover, and
 //! audit completeness. Expected shape: r = 0 loses the whole dead shard
-//! (~1/N of the data); r = 1 survives one failure losing at most
-//! in-flight replication traffic; r = 2 survives two adjacent failures.
+//! (~1/N of the data); r = 1 survives one failure with zero loss — the
+//! acked write path replicates synchronously before acknowledging —
+//! and r = 2 survives two adjacent failures.
 //! Recovery time is dominated by replica-log promotion, proportional to
 //! the dead shard's size. Failure detection itself is visible in the
 //! executor's telemetry: each dead worker shows up as exactly one failed
@@ -102,8 +103,8 @@ fn main() {
     }
     table.print();
     println!(
-        "\n(failures are ring-adjacent — the worst case; replication is asynchronous,\n\
-         so loss under r ≥ failures is bounded by in-flight replica traffic;\n\
+        "\n(failures are ring-adjacent — the worst case; acked ingest replicates\n\
+         synchronously before acknowledging, so loss under r ≥ failures is exactly 0;\n\
          availability columns are measured before the recovery tick, when only\n\
          replica-failover reads can answer for the dead shards)"
     );

@@ -67,6 +67,25 @@ pub enum ChaosEvent {
     /// Issue a battery of strict and best-effort queries and check them
     /// against the oracle.
     Queries,
+    /// Set the uniform message-drop probability on **every** fabric link
+    /// to `permille / 1000` (`0` restores a reliable network). Expressed
+    /// in permille so the event stays `Eq`-comparable for plan replay.
+    Loss {
+        /// Drop probability in permille, `0..=1000`.
+        permille: u16,
+    },
+    /// Ingest `count` fresh observations (deterministically derived from
+    /// ids `base .. base + count`) through the **acked** write path while
+    /// whatever fault the schedule last injected is still active. The
+    /// harness records which observations were acknowledged; the
+    /// write-durability oracle then asserts every acked observation
+    /// appears in all subsequent strict query answers.
+    Ingest {
+        /// First observation id of the batch.
+        base: u64,
+        /// Number of observations in the batch.
+        count: u32,
+    },
 }
 
 /// A seeded, survivable fault schedule.
@@ -92,6 +111,73 @@ impl ChaosPlan {
     /// with a final battery, so eventual-recovery invariants can assert
     /// completeness returns to full.
     pub fn generate(seed: u64, workers: u32, steps: usize, max_dead: usize) -> ChaosPlan {
+        let (mut events, tail) = Self::schedule(seed, workers, steps, max_dead);
+        events.extend(tail);
+        ChaosPlan { seed, events }
+    }
+
+    /// Generates a *lossy-link* plan: the same survivable fault schedule
+    /// as [`ChaosPlan::generate`] (same seed ⇒ same kills, partitions,
+    /// and recovery ticks), wrapped in a link-loss phase of
+    /// `loss_permille / 1000` drop probability and interleaved with
+    /// [`ChaosEvent::Ingest`] batches after every mid-plan query battery,
+    /// so writes land while faults and message loss are both active.
+    ///
+    /// Links are healed (`Loss { permille: 0 }`) right before the
+    /// convergence tail: the closing battery asserts *durability* — every
+    /// acknowledged observation is present — which must not depend on
+    /// link luck during the final flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_permille > 1000` (more than certain loss).
+    pub fn generate_lossy(
+        seed: u64,
+        workers: u32,
+        steps: usize,
+        max_dead: usize,
+        loss_permille: u16,
+    ) -> ChaosPlan {
+        assert!(
+            loss_permille <= 1000,
+            "loss_permille must be ≤ 1000, got {loss_permille}"
+        );
+        let (body, tail) = Self::schedule(seed, workers, steps, max_dead);
+        // A distinct RNG stream for batch sizing, so the fault schedule
+        // itself stays byte-identical to the non-lossy plan.
+        let mut rng = ChaosRng::new(seed ^ 0x1057_1057_1057_1057);
+        // Synthetic ids far above any preloaded data set.
+        let mut next_base: u64 = 1 << 32;
+        let mut events = vec![ChaosEvent::Loss {
+            permille: loss_permille,
+        }];
+        for event in body {
+            let inject = matches!(event, ChaosEvent::Queries);
+            events.push(event);
+            if inject {
+                let count = 8 + rng.gen_range(9) as u32; // 8..=16
+                events.push(ChaosEvent::Ingest {
+                    base: next_base,
+                    count,
+                });
+                next_base += u64::from(count);
+            }
+        }
+        events.push(ChaosEvent::Loss { permille: 0 });
+        events.extend(tail);
+        ChaosPlan { seed, events }
+    }
+
+    /// The shared schedule builder: returns the fault body (each event
+    /// followed by a `Queries` battery) and the deterministic convergence
+    /// tail (heal, recover, final battery) separately, so lossy plans can
+    /// splice loss/ingest events around them.
+    fn schedule(
+        seed: u64,
+        workers: u32,
+        steps: usize,
+        max_dead: usize,
+    ) -> (Vec<ChaosEvent>, Vec<ChaosEvent>) {
         let mut rng = ChaosRng::new(seed);
         let mut events = Vec::new();
         // Membership bookkeeping mirroring the cluster's state machine:
@@ -162,14 +248,15 @@ impl ChaosPlan {
             events.push(ChaosEvent::Queries);
         }
         // Deterministic convergence tail: heal, recover, final battery.
+        let mut tail = Vec::new();
         if isolated.is_some() {
-            events.push(ChaosEvent::Heal);
+            tail.push(ChaosEvent::Heal);
         }
         if !crashed.is_empty() {
-            events.push(ChaosEvent::Recover);
+            tail.push(ChaosEvent::Recover);
         }
-        events.push(ChaosEvent::Queries);
-        ChaosPlan { seed, events }
+        tail.push(ChaosEvent::Queries);
+        (events, tail)
     }
 }
 
@@ -212,7 +299,7 @@ mod tests {
                         in_ring.retain(|n| !crashed.contains(n));
                         crashed.clear();
                     }
-                    ChaosEvent::Queries => {}
+                    ChaosEvent::Queries | ChaosEvent::Loss { .. } | ChaosEvent::Ingest { .. } => {}
                 }
                 let down = in_ring
                     .iter()
@@ -252,7 +339,7 @@ mod tests {
                         in_ring.retain(|n| !crashed.contains(n));
                         crashed.clear();
                     }
-                    ChaosEvent::Queries => {}
+                    ChaosEvent::Queries | ChaosEvent::Loss { .. } | ChaosEvent::Ingest { .. } => {}
                 }
             }
             assert!(!partitioned, "seed {seed}: plan ends partitioned");
@@ -261,6 +348,69 @@ mod tests {
                 "seed {seed}: plan ends with a crashed in-ring shard"
             );
         }
+    }
+
+    #[test]
+    fn lossy_plans_extend_the_base_schedule_without_perturbing_it() {
+        for seed in [7u64, 11, 23, 47] {
+            let base = ChaosPlan::generate(seed, 8, 15, 2);
+            let lossy = ChaosPlan::generate_lossy(seed, 8, 15, 2, 50);
+            // Stripping the loss/ingest events recovers the exact base
+            // fault schedule: the lossy generator must not perturb it.
+            let stripped: Vec<ChaosEvent> = lossy
+                .events
+                .iter()
+                .filter(|e| !matches!(e, ChaosEvent::Loss { .. } | ChaosEvent::Ingest { .. }))
+                .cloned()
+                .collect();
+            assert_eq!(stripped, base.events, "seed {seed}: fault schedule drifted");
+            assert_eq!(
+                lossy.events.first(),
+                Some(&ChaosEvent::Loss { permille: 50 }),
+                "seed {seed}: plan must open by degrading the links"
+            );
+            assert_eq!(
+                lossy.events.last(),
+                Some(&ChaosEvent::Queries),
+                "seed {seed}: plan must end with a final battery"
+            );
+            // Links heal before the convergence battery, and some ingest
+            // happened while they were lossy.
+            let last_loss = lossy
+                .events
+                .iter()
+                .rposition(|e| matches!(e, ChaosEvent::Loss { .. }))
+                .unwrap();
+            assert_eq!(
+                lossy.events[last_loss],
+                ChaosEvent::Loss { permille: 0 },
+                "seed {seed}: links must be healed for the convergence tail"
+            );
+            let ingests: Vec<(u64, u32)> = lossy
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    ChaosEvent::Ingest { base, count } => Some((*base, *count)),
+                    _ => None,
+                })
+                .collect();
+            assert!(!ingests.is_empty(), "seed {seed}: no ingest-under-fault");
+            // Id ranges are dense and non-overlapping.
+            let mut expect = 1u64 << 32;
+            for (batch_base, count) in ingests {
+                assert_eq!(batch_base, expect, "seed {seed}: id ranges must chain");
+                assert!(count > 0, "seed {seed}: empty ingest batch");
+                expect = batch_base + u64::from(count);
+            }
+            let determinism = ChaosPlan::generate_lossy(seed, 8, 15, 2, 50);
+            assert_eq!(lossy.events, determinism.events, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_permille")]
+    fn lossy_plans_reject_impossible_drop_rates() {
+        let _ = ChaosPlan::generate_lossy(1, 8, 10, 2, 1001);
     }
 
     #[test]

@@ -265,6 +265,10 @@ impl Cluster {
             config.replication,
             config.rpc_timeout,
         );
+        // Arm the workers' misroute check from the start, so stale
+        // senders are NACKed (and self-heal) after the first recovery
+        // or rebalance instead of silently feeding old owners.
+        coordinator.broadcast_routes();
         let plane = coordinator.query_plane();
         Ok(Cluster {
             fabric,
@@ -290,13 +294,25 @@ impl Cluster {
         &self.config
     }
 
-    /// Routes observations to their owning workers (fire-and-forget).
+    /// Acknowledged ingest: routes observations to their owning workers
+    /// and replicas, returning the number durably accepted (see
+    /// [`Coordinator::ingest`]).
     ///
     /// # Errors
     ///
     /// See [`Coordinator::ingest`].
     pub fn ingest(&self, batch: Vec<Observation>) -> Result<usize, StcamError> {
         self.coordinator.lock().ingest(batch)
+    }
+
+    /// Legacy fire-and-forget ingest: no acknowledgement, returns the
+    /// number *routed* (see [`Coordinator::ingest_unacked`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::ingest_unacked`].
+    pub fn ingest_unacked(&self, batch: Vec<Observation>) -> Result<usize, StcamError> {
+        self.coordinator.lock().ingest_unacked(batch)
     }
 
     /// Barrier: returns once all previously ingested traffic is indexed.
@@ -309,16 +325,22 @@ impl Cluster {
     }
 
     /// Creates a direct-ingest handle with its own fabric endpoint (see
-    /// [`Ingestor`]); many may ingest concurrently. The handle snapshots
-    /// the current partition map — recreate ingestors after a recovery.
+    /// [`Ingestor`]); many may ingest concurrently. The handle caches a
+    /// routing snapshot and refreshes it by itself on NACKs and
+    /// timeouts, so it survives recoveries and rebalances without being
+    /// recreated.
     pub fn create_ingestor(&self) -> Ingestor {
         let id = NodeId(
             self.next_ingestor
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         );
         let endpoint = self.fabric.register(id);
-        let partition = self.plane.plan().partition.clone();
-        Ingestor::new(endpoint, partition, self.config.rpc_timeout)
+        Ingestor::new(
+            endpoint,
+            self.query_plane(),
+            self.config.replication,
+            self.config.rpc_timeout,
+        )
     }
 
     /// Spatio-temporal range query (lock-free: runs on the
@@ -693,6 +715,18 @@ impl Cluster {
     /// Removes all injected network partitions.
     pub fn heal_network(&self) {
         self.fabric.heal_partition();
+    }
+
+    /// Failure injection: replaces the fabric-wide message drop
+    /// probability at runtime (`0.0` restores a reliable network). The
+    /// acked ingest path retransmits through the loss; the legacy
+    /// [`ingest_unacked`](Self::ingest_unacked) path loses traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0.0, 1.0]`.
+    pub fn set_drop_probability(&self, p: f64) {
+        self.fabric.set_drop_probability(p);
     }
 
     /// Stops all worker threads. Idempotent; also runs on drop.

@@ -22,8 +22,9 @@ use crate::continuous::{ContinuousQueryId, Notification, Predicate};
 use crate::error::StcamError;
 use crate::exec::{
     AdoptOp, Degraded, EvictOp, Executor, ExtractRegionOp, FlushOp, OpPolicy, OpStats, ProbeOp,
-    PromoteOp, QueryMode, RegisterContinuousOp, StatsOp, UnregisterContinuousOp,
+    PromoteOp, QueryMode, RegisterContinuousOp, RouteUpdateOp, StatsOp, UnregisterContinuousOp,
 };
+use crate::ingest::ReliableSender;
 use crate::partition::PartitionMap;
 use crate::plane::{self, QueryPlane};
 use crate::protocol::{Request, WorkerStatsMsg};
@@ -99,6 +100,7 @@ pub struct RebalanceReport {
 pub struct Coordinator {
     exec: Executor,
     plane: Arc<QueryPlane>,
+    sender: ReliableSender,
     partition: PartitionMap,
     replication: usize,
     alive: HashSet<NodeId>,
@@ -136,9 +138,11 @@ impl Coordinator {
             .map(|ep| Executor::with_shared(ep, Arc::clone(&shared)))
             .collect();
         let plane = Arc::new(QueryPlane::new(pool, partition.clone(), alive.clone()));
+        let sender = ReliableSender::new(Arc::clone(&plane), replication, rpc_timeout);
         Coordinator {
             exec,
             plane,
+            sender,
             partition,
             replication,
             alive,
@@ -208,16 +212,36 @@ impl Coordinator {
     // Ingest path
     // ------------------------------------------------------------------
 
-    /// Routes a batch of observations to their owning workers
-    /// (fire-and-forget; pair with [`flush`](Self::flush) for a barrier).
-    /// Returns the number of observations routed.
+    /// Acknowledged ingest: routes each observation to its owning worker
+    /// and that worker's alive ring replicas, retries lost traffic with
+    /// backoff, and hands unacked batches off to ring successors when an
+    /// owner stops answering. Returns the number of observations durably
+    /// **accepted** — not merely routed; anything unaccepted is parked
+    /// and re-driven by [`flush`](Self::flush).
+    ///
+    /// # Errors
+    ///
+    /// Fails on local problems (codec errors, fabric shutdown);
+    /// unreachable workers park observations instead of erroring.
+    pub fn ingest(&mut self, batch: Vec<Observation>) -> Result<usize, StcamError> {
+        // The coordinator's own plan is authoritative (it publishes
+        // after every mutation), so sync the sender's snapshot first.
+        self.sender.refresh_plan();
+        self.sender.ingest(self.exec.endpoint(), batch)
+    }
+
+    /// Legacy fire-and-forget ingest: routes the batch with no
+    /// acknowledgement and returns the number of observations *routed*.
+    /// Lossy links or a dying destination silently drop traffic — use
+    /// [`ingest`](Self::ingest) unless you are benchmarking the
+    /// unreliable baseline.
     ///
     /// # Errors
     ///
     /// Fails only on transport-level problems; observations routed to a
     /// worker that died mid-flight are counted as routed (their fate is
     /// governed by the replication factor).
-    pub fn ingest(&mut self, batch: Vec<Observation>) -> Result<usize, StcamError> {
+    pub fn ingest_unacked(&mut self, batch: Vec<Observation>) -> Result<usize, StcamError> {
         let n = batch.len();
         // Owner → destination is resolved once per distinct owner, not
         // once per observation: the divert decision (alive-set lookup +
@@ -251,14 +275,31 @@ impl Coordinator {
         plane::route_owner(owner, &self.partition, &self.alive, self.exec.health())
     }
 
-    /// Barrier: confirms every alive worker has drained all previously
-    /// sent ingest traffic (per-link FIFO + a Ping round trip).
+    /// Write barrier: first drains the acked sender's parked window
+    /// (re-delivering unacknowledged observations under fresh routing),
+    /// then confirms every alive worker has drained all previously sent
+    /// ingest traffic (per-link FIFO + a Ping round trip).
     ///
     /// # Errors
     ///
-    /// Fails when a worker believed alive does not answer in time.
+    /// [`StcamError::PartialFailure`] when parked observations still
+    /// cannot be acknowledged; transport errors when a worker believed
+    /// alive does not answer in time.
     pub fn flush(&self) -> Result<(), StcamError> {
+        self.sender.drain(self.exec.endpoint())?;
         self.exec.execute(FlushOp, &self.partition, &self.alive)
+    }
+
+    /// Pushes every alive worker its slice of the current routing plan
+    /// (epoch + owned cell set), arming the misroute-NACK check that
+    /// lets stale senders self-heal. Per-worker failures are ignored: a
+    /// worker that misses an update keeps its previous (older-epoch)
+    /// route and simply NACKs less precisely until the next broadcast.
+    pub fn broadcast_routes(&self) {
+        let op = RouteUpdateOp::from_plan(self.plane.epoch(), &self.partition);
+        for (_, result) in self.exec.run(&op, &self.partition, &self.alive) {
+            let _ = result;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -519,11 +560,12 @@ impl Coordinator {
     /// (replica logs are keyed by primary and are not rewritten by this
     /// version of migration), and propagates worker failures.
     ///
-    /// # Caveats
-    ///
-    /// External [`Ingestor`](crate::Ingestor) handles hold partition-map
-    /// snapshots; recreate them after a rebalance or their traffic will
-    /// land on (and be served from) the old owners.
+    /// External [`Ingestor`](crate::Ingestor) handles hold routing
+    /// snapshots, but heal themselves: the route broadcast after the
+    /// swap arms the misroute NACK that makes their acked path refresh
+    /// from the published plan (legacy
+    /// [`ingest_unacked`](crate::Ingestor::ingest_unacked) traffic keeps
+    /// landing on the old owners until then).
     pub fn rebalance(&mut self) -> Result<RebalanceReport, StcamError> {
         if self.replication > 0 {
             return Err(StcamError::Unsupported(
@@ -583,6 +625,7 @@ impl Coordinator {
         // overlapping workers.
         self.partition = target;
         self.publish_plan();
+        self.broadcast_routes();
         let notify = self.exec.endpoint().id();
         let registrations: Vec<(ContinuousQueryId, Predicate)> =
             self.registrations.iter().map(|(&id, &p)| (id, p)).collect();
@@ -703,6 +746,7 @@ impl Coordinator {
             // queries in flight finish on their old snapshot and are
             // caught by replica failover if they touch a dead worker.
             self.publish_plan();
+            self.broadcast_routes();
         }
         failed
     }
@@ -715,18 +759,18 @@ impl Coordinator {
             return; // no quorum: nothing to repair onto
         };
         self.partition.reassign(failed, successor);
-        if self.replication > 0 {
-            // Absorb the replica log; data loss is bounded by in-flight
-            // replication traffic at crash time.
-            let _ = self.exec.execute(
-                PromoteOp {
-                    target: successor,
-                    failed,
-                },
-                &self.partition,
-                &self.alive,
-            );
-        }
+        // Absorb the replica log; data loss is bounded by in-flight
+        // replication traffic at crash time. This runs even with
+        // replication disabled, because hinted handoff parks acked
+        // batches for a dead owner in its successor's replica log.
+        let _ = self.exec.execute(
+            PromoteOp {
+                target: successor,
+                failed,
+            },
+            &self.partition,
+            &self.alive,
+        );
         // Standing queries whose region now overlaps the successor's
         // enlarged shard must be present there.
         let notify = self.exec.endpoint().id();

@@ -879,6 +879,9 @@ impl DistributedOp for FlushOp {
 /// Liveness probe: a Ping whose timeout *is* the failure signal, so it
 /// carries its own policy key ("probe", single attempt by default) and
 /// is consumed through [`Executor::run`] rather than `execute`.
+/// Idempotent (a ping has no effect), so deployments running over lossy
+/// links can install a multi-attempt "probe" policy to keep single lost
+/// datagrams from masquerading as worker deaths.
 #[derive(Debug, Clone, Copy)]
 pub struct ProbeOp;
 
@@ -887,6 +890,9 @@ impl DistributedOp for ProbeOp {
     type Output = ();
     fn name(&self) -> &'static str {
         "probe"
+    }
+    fn idempotent(&self) -> bool {
+        true
     }
     fn targets(&self, _partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
         all_alive(alive)
@@ -1454,7 +1460,11 @@ impl DistributedOp for AdoptOp {
 }
 
 /// Failover: tell a successor to absorb its replica log of `failed`.
-/// **Not** idempotent — promotion re-replicates onward.
+/// Idempotent: promotion removes the log before absorbing it, and the
+/// worker inserts through an id filter, so a retried promote after a
+/// lost ack finds an empty log and is a no-op. Retrying matters — a
+/// promote lost to the loss model would otherwise strand the replica
+/// data outside the primary index until a second failover.
 #[derive(Debug, Clone, Copy)]
 pub struct PromoteOp {
     /// The successor absorbing the shard.
@@ -1469,12 +1479,88 @@ impl DistributedOp for PromoteOp {
     fn name(&self) -> &'static str {
         "promote"
     }
+    fn idempotent(&self) -> bool {
+        true
+    }
     fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
         vec![self.target]
     }
     fn request(&self, _to: NodeId) -> Request {
         Request::Promote {
             failed: self.failed,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Installs every worker's slice of the routing plan (epoch + owned
+/// macro cells). Broadcast after each plan publication and pushed to
+/// restarted workers so a stale node cannot keep acknowledging sequenced
+/// ingest for cells it no longer owns. Idempotent: installing the same
+/// epoch twice is a no-op, and workers ignore older epochs.
+#[derive(Debug, Clone)]
+pub struct RouteUpdateOp {
+    /// The plan epoch being installed.
+    pub epoch: u64,
+    /// The macro grid the packed cell indices refer to.
+    pub grid: GridSpecMsg,
+    /// Per-worker owned cells, packed `row * cols + col`. Workers absent
+    /// from the map receive an *empty* cell set — which is the point for
+    /// failed-out nodes: an empty route makes them NACK every sequenced
+    /// batch, steering stale senders to refresh.
+    pub cells: HashMap<NodeId, Vec<u32>>,
+    /// When set, send only to this worker (restart push).
+    pub only: Option<NodeId>,
+}
+
+impl RouteUpdateOp {
+    /// Builds the broadcast for `partition` at `epoch`.
+    pub fn from_plan(epoch: u64, partition: &PartitionMap) -> Self {
+        let cols = partition.grid().cols();
+        let cells = partition
+            .workers()
+            .iter()
+            .map(|&w| {
+                let packed = partition
+                    .cells_of(w)
+                    .into_iter()
+                    .map(|c| c.row * cols + c.col)
+                    .collect();
+                (w, packed)
+            })
+            .collect();
+        RouteUpdateOp {
+            epoch,
+            grid: GridSpecMsg::from(*partition.grid()),
+            cells,
+            only: None,
+        }
+    }
+}
+
+impl DistributedOp for RouteUpdateOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "route_update"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        match self.only {
+            Some(worker) => vec![worker],
+            None => all_alive(alive),
+        }
+    }
+    fn request(&self, to: NodeId) -> Request {
+        Request::RouteUpdate {
+            epoch: self.epoch,
+            grid: self.grid,
+            cells: self.cells.get(&to).cloned().unwrap_or_default(),
         }
     }
     fn decode(&self, response: Response) -> Result<(), StcamError> {

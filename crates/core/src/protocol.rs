@@ -6,7 +6,7 @@
 //! meaningful.
 
 use bytes::{Buf, BufMut};
-use stcam_camnet::{batch, Observation};
+use stcam_camnet::{batch, Observation, ObservationId};
 use stcam_codec::{DecodeError, Wire};
 use stcam_geo::{BBox, GridSpec, Point, TimeInterval};
 use stcam_net::NodeId;
@@ -84,6 +84,55 @@ pub enum Request {
         primary: NodeId,
         /// The replicated observations.
         batch: Vec<Observation>,
+    },
+    /// Sequenced, acknowledged ingest: the reliable mirror of `Ingest`.
+    ///
+    /// The `(sender, seq)` pair identifies the batch for retransmission
+    /// dedup: the worker remembers recent sequence numbers per sender and
+    /// answers a retransmitted batch from that memory without re-applying
+    /// it. `epoch` is the routing-plan epoch the sender routed under; a
+    /// worker whose own plan disagrees about ownership answers with
+    /// [`Response::IngestNack`] naming the misrouted observations. Unlike
+    /// `Ingest`, the worker does **not** replicate onward — the sender
+    /// performs replication itself (via `ReplicateSeq`) so that an ack
+    /// can certify durability.
+    IngestSeq {
+        /// The ingesting endpoint (an ingestor or the coordinator).
+        sender: NodeId,
+        /// Per-sender monotonically increasing batch sequence number.
+        seq: u64,
+        /// The routing-plan epoch the sender routed this batch under.
+        epoch: u64,
+        /// The observations, all believed owned by the addressee.
+        batch: Vec<Observation>,
+    },
+    /// Sequenced, acknowledged replica write: the reliable mirror of
+    /// `Replicate`, sent by the *ingesting* endpoint (not the primary) to
+    /// each ring successor of `primary` before the batch is acknowledged.
+    /// Deduplicated by `(sender, seq)` exactly like `IngestSeq`, and
+    /// answered with [`Response::IngestAck`].
+    ReplicateSeq {
+        /// The ingesting endpoint performing sender-side replication.
+        sender: NodeId,
+        /// Per-sender monotonically increasing batch sequence number
+        /// (a namespace separate from `IngestSeq` sequence numbers).
+        seq: u64,
+        /// The worker whose shard these observations belong to.
+        primary: NodeId,
+        /// The replicated observations.
+        batch: Vec<Observation>,
+    },
+    /// Installs the addressee's slice of the routing plan: the set of
+    /// grid cells it owns as of `epoch`. Workers use it to detect
+    /// misrouted `IngestSeq` batches from stale senders; updates with an
+    /// epoch older than the installed one are ignored.
+    RouteUpdate {
+        /// The routing-plan epoch this cell set belongs to.
+        epoch: u64,
+        /// The macro grid the cell indices refer to.
+        grid: GridSpecMsg,
+        /// Owned cells, packed as `row * grid_cols + col`.
+        cells: Vec<u32>,
     },
     /// Return observations in `region` × `window` from the local shard.
     Range {
@@ -193,6 +242,9 @@ impl Request {
             Request::Ping => "ping",
             Request::Ingest(_) => "ingest",
             Request::Replicate { .. } => "replicate",
+            Request::IngestSeq { .. } => "ingest_seq",
+            Request::ReplicateSeq { .. } => "replicate_seq",
+            Request::RouteUpdate { .. } => "route_update",
             Request::Range { .. } => "range",
             Request::Knn { .. } => "knn",
             Request::Heatmap { .. } => "heatmap",
@@ -290,6 +342,31 @@ pub enum Response {
     /// Sparse per-bucket counts: `(bucket index, count)` for occupied
     /// buckets only (answer to [`Request::TopCells`]).
     CellCounts(Vec<(u32, u64)>),
+    /// Positive acknowledgement of an `IngestSeq`/`ReplicateSeq` batch:
+    /// every observation in the batch is owned by the addressee and is
+    /// now applied (`accepted` counts them, including ones already
+    /// present from an earlier transmission of the same batch).
+    IngestAck {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Observations applied (or already present) at the addressee.
+        accepted: u32,
+    },
+    /// Negative acknowledgement of an `IngestSeq` batch: the addressee
+    /// applied the observations it owns (`accepted` of them) but rejects
+    /// `misrouted` — observations its routing plan assigns elsewhere.
+    /// `epoch` is the addressee's plan epoch, so a stale sender can tell
+    /// whether *it* must refresh (its epoch is older) before re-routing.
+    IngestNack {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Observations applied (or already present) at the addressee.
+        accepted: u32,
+        /// The addressee's routing-plan epoch.
+        epoch: u64,
+        /// Ids of the observations the addressee refuses to own.
+        misrouted: Vec<ObservationId>,
+    },
 }
 
 const REQ_PING: u8 = 0;
@@ -309,6 +386,9 @@ const REQ_EXTRACT: u8 = 13;
 const REQ_RANGE_FILTERED: u8 = 14;
 const REQ_TOP_CELLS: u8 = 15;
 const REQ_REPLICA_READ: u8 = 16;
+const REQ_INGEST_SEQ: u8 = 17;
+const REQ_REPLICATE_SEQ: u8 = 18;
+const REQ_ROUTE_UPDATE: u8 = 19;
 
 impl Wire for Request {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -400,6 +480,36 @@ impl Wire for Request {
                 of.0.encode(buf);
                 inner.encode(buf);
             }
+            Request::IngestSeq {
+                sender,
+                seq,
+                epoch,
+                batch,
+            } => {
+                buf.put_u8(REQ_INGEST_SEQ);
+                sender.0.encode(buf);
+                seq.encode(buf);
+                epoch.encode(buf);
+                batch::encode_batch(batch, buf);
+            }
+            Request::ReplicateSeq {
+                sender,
+                seq,
+                primary,
+                batch,
+            } => {
+                buf.put_u8(REQ_REPLICATE_SEQ);
+                sender.0.encode(buf);
+                seq.encode(buf);
+                primary.0.encode(buf);
+                batch::encode_batch(batch, buf);
+            }
+            Request::RouteUpdate { epoch, grid, cells } => {
+                buf.put_u8(REQ_ROUTE_UPDATE);
+                epoch.encode(buf);
+                grid.encode(buf);
+                cells.encode(buf);
+            }
         }
     }
 
@@ -412,6 +522,9 @@ impl Wire for Request {
         1 + match self {
             Request::Ingest(batch) | Request::Adopt(batch) => batch::batch_size_hint(batch),
             Request::Replicate { batch, .. } => 5 + batch::batch_size_hint(batch),
+            Request::IngestSeq { batch, .. } => 23 + batch::batch_size_hint(batch),
+            Request::ReplicateSeq { batch, .. } => 28 + batch::batch_size_hint(batch),
+            Request::RouteUpdate { cells, .. } => 41 + cells.size_hint(),
             Request::ReplicaRead { inner, .. } => 5 + inner.size_hint(),
             _ => 48,
         }
@@ -484,6 +597,23 @@ impl Request {
                     inner: Box::new(Self::decode_tagged(inner_tag, buf)?),
                 }
             }
+            REQ_INGEST_SEQ => Request::IngestSeq {
+                sender: NodeId(u32::decode(buf)?),
+                seq: u64::decode(buf)?,
+                epoch: u64::decode(buf)?,
+                batch: batch::decode_batch(buf)?,
+            },
+            REQ_REPLICATE_SEQ => Request::ReplicateSeq {
+                sender: NodeId(u32::decode(buf)?),
+                seq: u64::decode(buf)?,
+                primary: NodeId(u32::decode(buf)?),
+                batch: batch::decode_batch(buf)?,
+            },
+            REQ_ROUTE_UPDATE => Request::RouteUpdate {
+                epoch: u64::decode(buf)?,
+                grid: GridSpecMsg::decode(buf)?,
+                cells: Vec::decode(buf)?,
+            },
             other => {
                 return Err(DecodeError::InvalidDiscriminant {
                     type_name: "Request",
@@ -500,6 +630,8 @@ const RESP_COUNTS: u8 = 2;
 const RESP_STATS: u8 = 3;
 const RESP_ERROR: u8 = 4;
 const RESP_CELL_COUNTS: u8 = 5;
+const RESP_INGEST_ACK: u8 = 6;
+const RESP_INGEST_NACK: u8 = 7;
 
 impl Wire for Response {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -525,6 +657,23 @@ impl Wire for Response {
                 buf.put_u8(RESP_CELL_COUNTS);
                 cells.encode(buf);
             }
+            Response::IngestAck { seq, accepted } => {
+                buf.put_u8(RESP_INGEST_ACK);
+                seq.encode(buf);
+                accepted.encode(buf);
+            }
+            Response::IngestNack {
+                seq,
+                accepted,
+                epoch,
+                misrouted,
+            } => {
+                buf.put_u8(RESP_INGEST_NACK);
+                seq.encode(buf);
+                accepted.encode(buf);
+                epoch.encode(buf);
+                misrouted.encode(buf);
+            }
         }
     }
 
@@ -537,6 +686,16 @@ impl Wire for Response {
             RESP_STATS => Response::Stats(WorkerStatsMsg::decode(buf)?),
             RESP_ERROR => Response::Error(String::decode(buf)?),
             RESP_CELL_COUNTS => Response::CellCounts(Vec::decode(buf)?),
+            RESP_INGEST_ACK => Response::IngestAck {
+                seq: u64::decode(buf)?,
+                accepted: u32::decode(buf)?,
+            },
+            RESP_INGEST_NACK => Response::IngestNack {
+                seq: u64::decode(buf)?,
+                accepted: u32::decode(buf)?,
+                epoch: u64::decode(buf)?,
+                misrouted: Vec::decode(buf)?,
+            },
             other => {
                 return Err(DecodeError::InvalidDiscriminant {
                     type_name: "Response",
@@ -552,6 +711,7 @@ impl Wire for Response {
             Response::Counts(counts) => counts.size_hint(),
             Response::CellCounts(cells) => cells.size_hint(),
             Response::Error(msg) => msg.size_hint(),
+            Response::IngestNack { misrouted, .. } => 21 + misrouted.size_hint(),
             _ => 64,
         }
     }
@@ -659,6 +819,28 @@ mod tests {
                 window,
             }),
         });
+        round_trip_req(Request::IngestSeq {
+            sender: NodeId(10_001),
+            seq: 42,
+            epoch: 3,
+            batch: vec![obs(), obs()],
+        });
+        round_trip_req(Request::ReplicateSeq {
+            sender: NodeId(10_001),
+            seq: 43,
+            primary: NodeId(2),
+            batch: vec![obs()],
+        });
+        round_trip_req(Request::RouteUpdate {
+            epoch: 4,
+            grid: GridSpecMsg {
+                origin: Point::new(0.0, 0.0),
+                cell_size: 200.0,
+                cols: 8,
+                rows: 8,
+            },
+            cells: vec![0, 7, 63],
+        });
     }
 
     #[test]
@@ -696,6 +878,19 @@ mod tests {
         }));
         round_trip_resp(Response::Error("shard unavailable".into()));
         round_trip_resp(Response::CellCounts(vec![(0, 9), (17, 1), (250, 3)]));
+        round_trip_resp(Response::IngestAck {
+            seq: 42,
+            accepted: 17,
+        });
+        round_trip_resp(Response::IngestNack {
+            seq: 43,
+            accepted: 2,
+            epoch: 5,
+            misrouted: vec![
+                ObservationId::compose(CameraId(1), 7),
+                ObservationId::compose(CameraId(2), 9),
+            ],
+        });
     }
 
     #[test]
@@ -753,6 +948,23 @@ mod tests {
             Request::ReplicaRead {
                 of: NodeId(1),
                 inner: Box::new(Request::Range { region, window }),
+            },
+            Request::IngestSeq {
+                sender: NodeId(0),
+                seq: 0,
+                epoch: 1,
+                batch: vec![],
+            },
+            Request::ReplicateSeq {
+                sender: NodeId(0),
+                seq: 0,
+                primary: NodeId(1),
+                batch: vec![],
+            },
+            Request::RouteUpdate {
+                epoch: 1,
+                grid,
+                cells: vec![],
             },
         ];
         let names: std::collections::HashSet<&str> = all.iter().map(|r| r.op_name()).collect();

@@ -1,17 +1,64 @@
 //! Worker nodes: shard storage and sub-query serving.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
-use stcam_camnet::Observation;
+use stcam_camnet::{Observation, ObservationId};
 use stcam_codec::{decode_from_slice, encode_to_vec};
 use stcam_index::{IndexConfig, StIndex};
 use stcam_net::{Endpoint, Envelope, MessageKind, NodeId};
 
 use crate::continuous::{ContinuousQueryId, Notification, Predicate};
 use crate::protocol::{Request, Response, WorkerStatsMsg};
+
+/// Per-sender sequence numbers remembered for retransmission dedup;
+/// lowest are evicted beyond this. 256 far exceeds any sender's in-flight
+/// window, so a live retransmission always hits the memory.
+const SEQ_MEMORY: usize = 256;
+
+/// The worker's slice of the routing plan: the macro grid plus the set of
+/// cells (packed `row * cols + col`) this worker owns as of `epoch`.
+/// Installed by [`Request::RouteUpdate`]; used to reject misrouted
+/// sequenced ingest from stale senders.
+#[derive(Debug)]
+struct RouteInfo {
+    epoch: u64,
+    grid: stcam_geo::GridSpec,
+    cells: HashSet<u32>,
+}
+
+impl RouteInfo {
+    fn owns(&self, position: stcam_geo::Point) -> bool {
+        let cell = self.grid.cell_of_clamped(position);
+        self.cells
+            .contains(&(cell.row * self.grid.cols() + cell.col))
+    }
+}
+
+/// Remembered responses per sender, keyed by batch sequence number.
+/// A retransmitted `(sender, seq)` is answered from here without being
+/// re-applied — the idempotence half of reliable ingest.
+#[derive(Debug, Default)]
+struct SeqMemory {
+    answered: HashMap<NodeId, BTreeMap<u64, Response>>,
+}
+
+impl SeqMemory {
+    fn replay(&self, sender: NodeId, seq: u64) -> Option<Response> {
+        self.answered.get(&sender)?.get(&seq).cloned()
+    }
+
+    fn remember(&mut self, sender: NodeId, seq: u64, response: Response) {
+        let table = self.answered.entry(sender).or_default();
+        table.insert(seq, response);
+        while table.len() > SEQ_MEMORY {
+            let oldest = *table.keys().next().expect("non-empty table");
+            table.remove(&oldest);
+        }
+    }
+}
 
 /// Static configuration of one worker.
 #[derive(Debug, Clone)]
@@ -38,7 +85,22 @@ pub struct Worker {
     index: StIndex,
     /// Append-only replica logs, one per primary this worker backs up.
     replica_logs: HashMap<NodeId, Vec<Observation>>,
+    /// Ids present in each replica log, so sequenced replica writes and
+    /// promote-time re-replication never append the same observation twice.
+    replica_seen: HashMap<NodeId, HashSet<ObservationId>>,
     continuous: HashMap<ContinuousQueryId, (Predicate, NodeId)>,
+    /// Routing slice installed by `RouteUpdate` (absent until the first
+    /// update; an uninstalled route accepts everything, preserving legacy
+    /// single-worker setups that never publish a plan).
+    route: Option<RouteInfo>,
+    /// Retransmission memory for `IngestSeq`, keyed `(sender, seq)`.
+    ingest_seqs: SeqMemory,
+    /// Retransmission memory for `ReplicateSeq` (separate namespace).
+    replicate_seqs: SeqMemory,
+    /// Ids ever inserted into the primary index via sequenced ingest or
+    /// promotion — the second dedup line for batches that reach this
+    /// worker under a *different* `(sender, seq)` after a failover.
+    seen: HashSet<ObservationId>,
     ingested_total: u64,
     notifications_sent: u64,
     busy: std::time::Duration,
@@ -69,6 +131,9 @@ const DISPATCH: &[(&str, Handler)] = &[
     ("stats", Worker::serve_stats),
     ("evict_before", Worker::serve_evict_before),
     ("replica_read", Worker::serve_replica_read),
+    ("ingest_seq", Worker::serve_ingest_seq),
+    ("replicate_seq", Worker::serve_replicate_seq),
+    ("route_update", Worker::serve_route_update),
 ];
 
 impl Worker {
@@ -80,7 +145,12 @@ impl Worker {
             config,
             index,
             replica_logs: HashMap::new(),
+            replica_seen: HashMap::new(),
             continuous: HashMap::new(),
+            route: None,
+            ingest_seqs: SeqMemory::default(),
+            replicate_seqs: SeqMemory::default(),
+            seen: HashSet::new(),
             ingested_total: 0,
             notifications_sent: 0,
             busy: std::time::Duration::ZERO,
@@ -182,7 +252,107 @@ impl Worker {
         let Request::Replicate { primary, batch } = request else {
             return Self::misrouted(&request);
         };
-        self.replica_logs.entry(primary).or_default().extend(batch);
+        self.append_replica(primary, batch);
+        Response::Ack
+    }
+
+    /// Appends `batch` to the replica log held for `primary`, skipping
+    /// observations already present (sender-side replication and
+    /// promote-time re-replication may both deliver the same data).
+    fn append_replica(&mut self, primary: NodeId, batch: Vec<Observation>) {
+        let log = self.replica_logs.entry(primary).or_default();
+        let ids = self.replica_seen.entry(primary).or_default();
+        for obs in batch {
+            if ids.insert(obs.id) {
+                log.push(obs);
+            }
+        }
+    }
+
+    fn serve_ingest_seq(&mut self, request: Request) -> Response {
+        let Request::IngestSeq {
+            sender,
+            seq,
+            epoch,
+            batch,
+        } = request
+        else {
+            return Self::misrouted(&request);
+        };
+        // Retransmission of an already-answered batch: replay the stored
+        // answer without re-applying (idempotent retry).
+        if let Some(answer) = self.ingest_seqs.replay(sender, seq) {
+            return answer;
+        }
+        // Partition the batch into observations this worker owns under
+        // its installed routing slice and ones a stale sender misrouted.
+        // A sender whose routing epoch is *newer* than the installed slice
+        // is better informed (this worker missed a broadcast, e.g. on a
+        // lossy link): accept permissively instead of NACKing writes the
+        // newest plan really does route here, which would livelock the
+        // sender's redo loop.
+        let (owned, misrouted): (Vec<Observation>, Vec<Observation>) = match &self.route {
+            Some(route) if route.epoch >= epoch => {
+                batch.into_iter().partition(|o| route.owns(o.position))
+            }
+            _ => (batch, Vec::new()),
+        };
+        let accepted = owned.len() as u32;
+        self.ingested_total += owned.len() as u64;
+        self.notify_continuous(&owned);
+        // No onward replication here: the *sender* replicates (via
+        // `ReplicateSeq`) before counting the batch durable, so the ack
+        // below certifies exactly this worker's copy.
+        let fresh: Vec<Observation> = owned
+            .into_iter()
+            .filter(|o| self.seen.insert(o.id))
+            .collect();
+        self.index.insert_batch(fresh);
+        let answer = if misrouted.is_empty() {
+            Response::IngestAck { seq, accepted }
+        } else {
+            Response::IngestNack {
+                seq,
+                accepted,
+                epoch: self.route.as_ref().map_or(0, |r| r.epoch),
+                misrouted: misrouted.into_iter().map(|o| o.id).collect(),
+            }
+        };
+        self.ingest_seqs.remember(sender, seq, answer.clone());
+        answer
+    }
+
+    fn serve_replicate_seq(&mut self, request: Request) -> Response {
+        let Request::ReplicateSeq {
+            sender,
+            seq,
+            primary,
+            batch,
+        } = request
+        else {
+            return Self::misrouted(&request);
+        };
+        if let Some(answer) = self.replicate_seqs.replay(sender, seq) {
+            return answer;
+        }
+        let accepted = batch.len() as u32;
+        self.append_replica(primary, batch);
+        let answer = Response::IngestAck { seq, accepted };
+        self.replicate_seqs.remember(sender, seq, answer.clone());
+        answer
+    }
+
+    fn serve_route_update(&mut self, request: Request) -> Response {
+        let Request::RouteUpdate { epoch, grid, cells } = request else {
+            return Self::misrouted(&request);
+        };
+        if self.route.as_ref().is_none_or(|r| epoch >= r.epoch) {
+            self.route = Some(RouteInfo {
+                epoch,
+                grid: grid.to_grid(),
+                cells: cells.into_iter().collect(),
+            });
+        }
         Response::Ack
     }
 
@@ -285,8 +455,15 @@ impl Worker {
             return Self::misrouted(&request);
         };
         let log = self.replica_logs.remove(&failed).unwrap_or_default();
+        self.replica_seen.remove(&failed);
         self.replicate(&log);
-        self.index.insert_batch(log);
+        // The same observations may already be primary here — a sender
+        // whose ack from `failed` was lost retransmits to this worker
+        // after failover. Promote through the seen-id filter so they
+        // count once; a retried `Promote` is likewise a no-op (the log
+        // was removed above).
+        let fresh: Vec<Observation> = log.into_iter().filter(|o| self.seen.insert(o.id)).collect();
+        self.index.insert_batch(fresh);
         Response::Ack
     }
 
@@ -844,6 +1021,28 @@ mod tests {
                     window: window_all(),
                 }),
             },
+            Request::IngestSeq {
+                sender: NodeId(10_001),
+                seq: 0,
+                epoch: 1,
+                batch: vec![],
+            },
+            Request::ReplicateSeq {
+                sender: NodeId(10_001),
+                seq: 0,
+                primary: NodeId(1),
+                batch: vec![],
+            },
+            Request::RouteUpdate {
+                epoch: 1,
+                grid: GridSpecMsg {
+                    origin: Point::ORIGIN,
+                    cell_size: 1.0,
+                    cols: 1,
+                    rows: 1,
+                },
+                cells: vec![],
+            },
         ];
         assert_eq!(
             all.len(),
@@ -857,6 +1056,229 @@ mod tests {
                 "no dispatch row for {name}"
             );
         }
+    }
+
+    #[test]
+    fn duplicate_sequenced_batch_counts_once() {
+        let (_fabric, mut worker) = lone_worker();
+        let sender = NodeId(10_001);
+        let batch = vec![obs(0, 500, 10.0, 10.0), obs(1, 500, 20.0, 20.0)];
+        let first = worker.handle_request(Request::IngestSeq {
+            sender,
+            seq: 5,
+            epoch: 1,
+            batch: batch.clone(),
+        });
+        assert_eq!(
+            first,
+            Response::IngestAck {
+                seq: 5,
+                accepted: 2
+            }
+        );
+        // Retransmission: answered from memory, applied exactly once.
+        let replay = worker.handle_request(Request::IngestSeq {
+            sender,
+            seq: 5,
+            epoch: 1,
+            batch,
+        });
+        assert_eq!(replay, first);
+        let stats = worker.stats();
+        assert_eq!(stats.primary_observations, 2);
+        assert_eq!(stats.ingested_total, 2);
+    }
+
+    #[test]
+    fn same_observation_under_new_seq_inserts_once() {
+        // After a failover the same batch can legitimately arrive under a
+        // fresh (sender, seq); the id filter must still count it once.
+        let (_fabric, mut worker) = lone_worker();
+        let sender = NodeId(10_001);
+        let batch = vec![obs(0, 500, 10.0, 10.0)];
+        worker.handle_request(Request::IngestSeq {
+            sender,
+            seq: 1,
+            epoch: 1,
+            batch: batch.clone(),
+        });
+        let again = worker.handle_request(Request::IngestSeq {
+            sender,
+            seq: 2,
+            epoch: 1,
+            batch,
+        });
+        // Still a full ack — the data is present, which is what an ack
+        // certifies.
+        assert_eq!(
+            again,
+            Response::IngestAck {
+                seq: 2,
+                accepted: 1
+            }
+        );
+        assert_eq!(worker.stats().primary_observations, 1);
+    }
+
+    #[test]
+    fn misrouted_observations_are_nacked_with_epoch() {
+        use crate::protocol::GridSpecMsg;
+        let (_fabric, mut worker) = lone_worker();
+        // Own only cell 0 of a 2×1 macro grid splitting x at 500.
+        worker.handle_request(Request::RouteUpdate {
+            epoch: 7,
+            grid: GridSpecMsg {
+                origin: Point::ORIGIN,
+                cell_size: 500.0,
+                cols: 2,
+                rows: 1,
+            },
+            cells: vec![0],
+        });
+        let mine = obs(0, 500, 100.0, 100.0);
+        let theirs = obs(1, 500, 900.0, 100.0);
+        let theirs_id = theirs.id;
+        let resp = worker.handle_request(Request::IngestSeq {
+            sender: NodeId(10_001),
+            seq: 1,
+            epoch: 3,
+            batch: vec![mine, theirs],
+        });
+        assert_eq!(
+            resp,
+            Response::IngestNack {
+                seq: 1,
+                accepted: 1,
+                epoch: 7,
+                misrouted: vec![theirs_id],
+            }
+        );
+        // The owned observation was applied despite the nack.
+        assert_eq!(worker.stats().primary_observations, 1);
+    }
+
+    #[test]
+    fn route_update_ignores_older_epoch() {
+        use crate::protocol::GridSpecMsg;
+        let (_fabric, mut worker) = lone_worker();
+        let grid = GridSpecMsg {
+            origin: Point::ORIGIN,
+            cell_size: 500.0,
+            cols: 2,
+            rows: 1,
+        };
+        worker.handle_request(Request::RouteUpdate {
+            epoch: 9,
+            grid,
+            cells: vec![0],
+        });
+        // A stale update must not widen ownership back to cell 1.
+        worker.handle_request(Request::RouteUpdate {
+            epoch: 4,
+            grid,
+            cells: vec![0, 1],
+        });
+        let resp = worker.handle_request(Request::IngestSeq {
+            sender: NodeId(10_001),
+            seq: 1,
+            epoch: 4,
+            batch: vec![obs(0, 500, 900.0, 100.0)],
+        });
+        assert!(
+            matches!(resp, Response::IngestNack { epoch: 9, .. }),
+            "unexpected response {resp:?}"
+        );
+    }
+
+    #[test]
+    fn newer_sender_epoch_is_accepted_permissively() {
+        use crate::protocol::GridSpecMsg;
+        let (_fabric, mut worker) = lone_worker();
+        // Installed slice (epoch 7) owns only cell 0 — but the sender
+        // writes under epoch 9, so its plan post-dates this worker's and
+        // the out-of-slice observation must be accepted, not NACKed.
+        worker.handle_request(Request::RouteUpdate {
+            epoch: 7,
+            grid: GridSpecMsg {
+                origin: Point::ORIGIN,
+                cell_size: 500.0,
+                cols: 2,
+                rows: 1,
+            },
+            cells: vec![0],
+        });
+        let resp = worker.handle_request(Request::IngestSeq {
+            sender: NodeId(10_001),
+            seq: 1,
+            epoch: 9,
+            batch: vec![obs(0, 500, 900.0, 100.0)],
+        });
+        assert_eq!(
+            resp,
+            Response::IngestAck {
+                seq: 1,
+                accepted: 1
+            }
+        );
+        assert_eq!(worker.stats().primary_observations, 1);
+    }
+
+    #[test]
+    fn replicate_seq_is_idempotent_and_id_deduped() {
+        let (_fabric, mut worker) = lone_worker();
+        let sender = NodeId(10_001);
+        let batch = vec![obs(0, 500, 10.0, 10.0), obs(1, 500, 20.0, 20.0)];
+        let first = worker.handle_request(Request::ReplicateSeq {
+            sender,
+            seq: 1,
+            primary: NodeId(4),
+            batch: batch.clone(),
+        });
+        assert_eq!(
+            first,
+            Response::IngestAck {
+                seq: 1,
+                accepted: 2
+            }
+        );
+        // Same seq: replayed. New seq, same ids: appended zero times.
+        worker.handle_request(Request::ReplicateSeq {
+            sender,
+            seq: 1,
+            primary: NodeId(4),
+            batch: batch.clone(),
+        });
+        worker.handle_request(Request::ReplicateSeq {
+            sender,
+            seq: 2,
+            primary: NodeId(4),
+            batch,
+        });
+        assert_eq!(worker.stats().replica_observations, 2);
+    }
+
+    #[test]
+    fn promote_skips_observations_already_primary() {
+        let (_fabric, mut worker) = lone_worker();
+        let shared = obs(0, 500, 10.0, 10.0);
+        // Arrives once as a replica for a primary that will fail…
+        worker.handle_request(Request::ReplicateSeq {
+            sender: NodeId(10_001),
+            seq: 1,
+            primary: NodeId(4),
+            batch: vec![shared.clone(), obs(1, 500, 20.0, 20.0)],
+        });
+        // …and once directly (sender retried to the successor).
+        worker.handle_request(Request::IngestSeq {
+            sender: NodeId(10_001),
+            seq: 2,
+            epoch: 1,
+            batch: vec![shared],
+        });
+        worker.handle_request(Request::Promote { failed: NodeId(4) });
+        let stats = worker.stats();
+        assert_eq!(stats.primary_observations, 2);
+        assert_eq!(stats.replica_observations, 0);
     }
 
     #[test]

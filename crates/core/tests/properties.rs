@@ -94,6 +94,9 @@ proptest! {
         node in 0u32..100,
         cutoff in 0u64..1_000_000,
         max_distance in proptest::option::of(0.0..10_000.0f64),
+        seq in any::<u64>(),
+        epoch in any::<u64>(),
+        cells in prop::collection::vec(0u32..4096, 0..32),
     ) {
         let class_enum = EntityClass::from_u8(class).expect("class");
         // Every Request variant the protocol defines.
@@ -101,6 +104,9 @@ proptest! {
             Request::Ping,
             Request::Ingest(batch.clone()),
             Request::Replicate { primary: NodeId(node), batch: batch.clone() },
+            Request::IngestSeq { sender: NodeId(node), seq, epoch, batch: batch.clone() },
+            Request::ReplicateSeq { sender: NodeId(node), seq, primary: NodeId(node), batch: batch.clone() },
+            Request::RouteUpdate { epoch, grid: buckets, cells },
             Request::Range { region, window },
             Request::Knn { at: region.center(), window, k, max_distance },
             Request::Heatmap { buckets, window },
@@ -130,7 +136,7 @@ proptest! {
             prop_assert!(names.insert(request.op_name()), "duplicate op name {}", request.op_name());
             prop_assert_eq!(decode_from_slice::<Request>(&bytes).unwrap(), request);
         }
-        prop_assert_eq!(names.len(), 17);
+        prop_assert_eq!(names.len(), 20);
     }
 
     #[test]
@@ -142,6 +148,9 @@ proptest! {
         scalars in prop::collection::vec(0u64..1_000_000, 6),
         newest in proptest::option::of(0u64..1_000_000),
         error in "[ -~]{0,64}",
+        seq in any::<u64>(),
+        epoch in any::<u64>(),
+        accepted in any::<u32>(),
     ) {
         let stats = WorkerStatsMsg {
             primary_observations: scalars[0],
@@ -154,6 +163,7 @@ proptest! {
             served,
         };
         // Every Response variant the protocol defines.
+        let misrouted: Vec<ObservationId> = batch.iter().map(|o| o.id).collect();
         let responses = [
             Response::Ack,
             Response::Observations(batch),
@@ -161,6 +171,8 @@ proptest! {
             Response::Stats(stats),
             Response::Error(error),
             Response::CellCounts(cells),
+            Response::IngestAck { seq, accepted },
+            Response::IngestNack { seq, accepted, epoch, misrouted },
         ];
         for response in responses {
             let bytes = encode_to_vec(&response);

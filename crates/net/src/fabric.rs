@@ -28,6 +28,10 @@ pub struct Fabric {
 #[derive(Debug)]
 struct FabricInner {
     link: LinkModel,
+    /// Current drop probability as `f64::to_bits`, runtime-mutable so
+    /// chaos schedules can open and close lossy-link phases on a running
+    /// cluster (initialised from `link.drop_probability`).
+    drop_bits: AtomicU64,
     stats: StatsRegistry,
     nodes: RwLock<HashMap<NodeId, NodeState>>,
     sched_tx: Sender<Scheduled>,
@@ -85,6 +89,7 @@ impl Fabric {
         let (sched_tx, sched_rx) = channel::unbounded();
         let inner = Arc::new(FabricInner {
             link,
+            drop_bits: AtomicU64::new(link.drop_probability.to_bits()),
             stats: StatsRegistry::default(),
             nodes: RwLock::new(HashMap::new()),
             sched_tx,
@@ -187,9 +192,29 @@ impl Fabric {
         self.inner.stats.snapshot()
     }
 
-    /// The link model used by every link of this fabric.
+    /// The link model used by every link of this fabric, with the
+    /// *current* drop probability (see
+    /// [`set_drop_probability`](Self::set_drop_probability)).
     pub fn link_model(&self) -> LinkModel {
-        self.inner.link
+        let mut link = self.inner.link;
+        link.drop_probability = f64::from_bits(self.inner.drop_bits.load(Ordering::SeqCst));
+        link
+    }
+
+    /// Changes the loss rate of every link at runtime. Messages already
+    /// scheduled for delivery are unaffected; subsequent sends draw
+    /// against the new probability. Chaos schedules use this to run
+    /// lossy-link phases against a live cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not within `[0, 1]`.
+    pub fn set_drop_probability(&self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} not in [0, 1]"
+        );
+        self.inner.drop_bits.store(p.to_bits(), Ordering::SeqCst);
     }
 }
 
@@ -221,7 +246,7 @@ impl FabricInner {
         // crash-at-delivery races are checked again in the delivery loop.
         let dropped =
             !dst_state.alive.load(Ordering::SeqCst) || !self.same_partition(env.src, env.dst) || {
-                let p = self.link.drop_probability;
+                let p = f64::from_bits(self.drop_bits.load(Ordering::Relaxed));
                 p > 0.0 && self.rng.lock().next_f64() < p
             };
         if dropped {
@@ -602,6 +627,20 @@ mod tests {
         assert!((300..700).contains(&received), "received {received}");
         let stats = f.stats();
         assert_eq!(stats.total_dropped + received, 1000);
+    }
+
+    #[test]
+    fn drop_probability_is_runtime_mutable() {
+        let f = Fabric::with_seed(LinkModel::instant(), 7);
+        let a = f.register(NodeId(0));
+        let b = f.register(NodeId(1));
+        f.set_drop_probability(1.0);
+        assert_eq!(f.link_model().drop_probability, 1.0);
+        a.send(NodeId(1), b"lost".to_vec()).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_none());
+        f.set_drop_probability(0.0);
+        a.send(NodeId(1), b"through".to_vec()).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_some());
     }
 
     #[test]

@@ -196,11 +196,13 @@ fn lossy_link_read_succeeds_via_retry_where_single_shot_fails() {
 fn per_op_policy_is_isolated_from_other_ops() {
     // Replication 0: with replicas available, a read whose primary
     // sub-query times out would fail over and succeed anyway, hiding the
-    // strangled policy this test is about.
+    // strangled policy this test is about. The LAN link (not instant)
+    // matters too: a 1 ns deadline can only lose deterministically if no
+    // reply can already be in the mailbox at the first poll.
     let cluster = Cluster::launch(
         ClusterConfig::new(extent(), 2)
             .with_replication(0)
-            .with_link(LinkModel::instant()),
+            .with_link(LinkModel::lan()),
     )
     .unwrap();
     // A tiny timeout on an op we never call must not affect others.
