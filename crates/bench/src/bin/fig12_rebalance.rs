@@ -99,6 +99,11 @@ fn main() {
         "\naudit: adaptive cluster holds {held} of {} ingested observations",
         3 * EPOCH_LEN
     );
+    assert_eq!(
+        held,
+        3 * EPOCH_LEN,
+        "rebalance migrations must conserve every observation"
+    );
     static_cluster.shutdown();
     adaptive.shutdown();
 }

@@ -53,16 +53,19 @@ impl ChaosRng {
 pub enum ChaosEvent {
     /// Crash a worker (fabric drops its traffic and pending RPCs).
     Kill(NodeId),
-    /// Restart a previously crashed worker's transport. Restarted nodes
-    /// do **not** rejoin the ring — membership is monotonic — but they
-    /// stop timing out, which exercises suspicion decay.
+    /// Restart a previously crashed worker's transport. A node restarted
+    /// before any recovery tick noticed its crash simply stops timing out
+    /// (exercising suspicion decay); a node restarted after being failed
+    /// out of the ring is readmitted — state reset, shard re-synced — by
+    /// the next [`Recover`](ChaosEvent::Recover) tick's rejoin handshake.
     Restart(NodeId),
     /// Isolate this group from the rest of the cluster.
     Partition(Vec<NodeId>),
     /// Heal the active partition.
     Heal,
     /// Run a recovery tick (`check_and_recover`): failed shards are
-    /// reassigned and promoted on their successors.
+    /// reassigned and promoted on their successors, restarted failed-out
+    /// workers rejoin the ring, and replica coverage is repaired.
     Recover,
     /// Issue a battery of strict and best-effort queries and check them
     /// against the oracle.
@@ -181,10 +184,14 @@ impl ChaosPlan {
         let mut rng = ChaosRng::new(seed);
         let mut events = Vec::new();
         // Membership bookkeeping mirroring the cluster's state machine:
-        // failed-out shards leave `in_ring` at Recover; crashed/isolated
-        // in-ring shards are "unavailable" and must stay ≤ max_dead.
+        // failed-out shards leave `in_ring` at Recover (into `down_out`),
+        // a Restart of a failed-out shard parks it in `up_out` until the
+        // next Recover rejoins it, and crashed/isolated in-ring shards
+        // are "unavailable" and must stay ≤ max_dead.
         let mut in_ring: Vec<NodeId> = (1..=workers).map(NodeId).collect();
         let mut crashed: Vec<NodeId> = Vec::new();
+        let mut down_out: Vec<NodeId> = Vec::new();
+        let mut up_out: Vec<NodeId> = Vec::new();
         let mut isolated: Option<Vec<NodeId>> = None;
         let unavailable = |in_ring: &[NodeId],
                            crashed: &[NodeId],
@@ -213,8 +220,19 @@ impl ChaosPlan {
                     crashed.push(victim);
                     events.push(ChaosEvent::Kill(victim));
                 }
-                2 if !crashed.is_empty() => {
-                    let victim = crashed.swap_remove(rng.gen_range(crashed.len()));
+                2 if !crashed.is_empty() || !down_out.is_empty() => {
+                    // Restart either an in-ring crashed shard (comes back
+                    // with its data, never noticed missing) or a
+                    // failed-out one (comes back empty, rejoins at the
+                    // next Recover).
+                    let idx = rng.gen_range(crashed.len() + down_out.len());
+                    let victim = if idx < crashed.len() {
+                        crashed.swap_remove(idx)
+                    } else {
+                        let victim = down_out.swap_remove(idx - crashed.len());
+                        up_out.push(victim);
+                        victim
+                    };
                     events.push(ChaosEvent::Restart(victim));
                 }
                 3 if isolated.is_none() && budget > 0 && healthy.len() > 2 => {
@@ -230,17 +248,19 @@ impl ChaosPlan {
                     isolated = None;
                     events.push(ChaosEvent::Heal);
                 }
-                5 if down > 0 && in_ring.len() > 2 => {
-                    // Recovery fails crashed shards out of the ring; an
-                    // isolated group heals first (the coordinator cannot
-                    // tell a partition from a crash, and failing out an
-                    // isolated majority would not be survivable).
+                5 if (down > 0 || !up_out.is_empty()) && in_ring.len() > 2 => {
+                    // Recovery fails crashed shards out of the ring and
+                    // rejoins restarted ones; an isolated group heals
+                    // first (the coordinator cannot tell a partition from
+                    // a crash, and failing out an isolated majority would
+                    // not be survivable).
                     if isolated.is_some() {
                         isolated = None;
                         events.push(ChaosEvent::Heal);
                     }
                     in_ring.retain(|n| !crashed.contains(n));
-                    crashed.clear();
+                    down_out.append(&mut crashed);
+                    in_ring.append(&mut up_out);
                     events.push(ChaosEvent::Recover);
                 }
                 _ => continue,
@@ -252,7 +272,7 @@ impl ChaosPlan {
         if isolated.is_some() {
             tail.push(ChaosEvent::Heal);
         }
-        if !crashed.is_empty() {
+        if !crashed.is_empty() || !up_out.is_empty() {
             tail.push(ChaosEvent::Recover);
         }
         tail.push(ChaosEvent::Queries);
@@ -279,15 +299,27 @@ mod tests {
             let plan = ChaosPlan::generate(seed, 8, 20, 2);
             let mut in_ring: Vec<NodeId> = (1..=8).map(NodeId).collect();
             let mut crashed: Vec<NodeId> = Vec::new();
+            let mut pending_rejoin: Vec<NodeId> = Vec::new();
             let mut isolated: Vec<NodeId> = Vec::new();
             for event in &plan.events {
                 match event {
                     ChaosEvent::Kill(n) => {
                         assert!(!crashed.contains(n), "double kill in seed {seed}");
+                        assert!(in_ring.contains(n), "killed out-of-ring shard, seed {seed}");
                         crashed.push(*n);
                     }
                     ChaosEvent::Restart(n) => {
-                        crashed.retain(|c| c != n);
+                        if crashed.contains(n) {
+                            crashed.retain(|c| c != n);
+                        } else {
+                            // Restart of a failed-out shard: it waits for
+                            // the next Recover's rejoin handshake.
+                            assert!(
+                                !in_ring.contains(n),
+                                "restart of a healthy in-ring shard, seed {seed}"
+                            );
+                            pending_rejoin.push(*n);
+                        }
                     }
                     ChaosEvent::Partition(group) => isolated.clone_from(group),
                     ChaosEvent::Heal => isolated.clear(),
@@ -298,6 +330,7 @@ mod tests {
                         );
                         in_ring.retain(|n| !crashed.contains(n));
                         crashed.clear();
+                        in_ring.append(&mut pending_rejoin);
                     }
                     ChaosEvent::Queries | ChaosEvent::Loss { .. } | ChaosEvent::Ingest { .. } => {}
                 }
@@ -308,7 +341,40 @@ mod tests {
                 assert!(down <= 2, "seed {seed}: {down} unavailable > budget");
                 assert!(in_ring.len() >= 2, "seed {seed}: ring shrank below 2");
             }
+            assert!(
+                pending_rejoin.is_empty(),
+                "seed {seed}: plan ends with a restarted shard never rejoined"
+            );
         }
+    }
+
+    #[test]
+    fn some_plans_rejoin_failed_out_workers() {
+        // The generator must actually exercise the rejoin path: across a
+        // modest seed range, at least one plan restarts a shard that a
+        // Recover already failed out (so the next Recover readmits it).
+        let mut rejoins = 0usize;
+        for seed in 0..50u64 {
+            let plan = ChaosPlan::generate(seed, 8, 20, 2);
+            let mut crashed: Vec<NodeId> = Vec::new();
+            let mut failed_out: Vec<NodeId> = Vec::new();
+            for event in &plan.events {
+                match event {
+                    ChaosEvent::Kill(n) => crashed.push(*n),
+                    ChaosEvent::Restart(n) => {
+                        if crashed.contains(n) {
+                            crashed.retain(|c| c != n);
+                        } else if failed_out.contains(n) {
+                            failed_out.retain(|c| c != n);
+                            rejoins += 1;
+                        }
+                    }
+                    ChaosEvent::Recover => failed_out.append(&mut crashed),
+                    _ => {}
+                }
+            }
+        }
+        assert!(rejoins > 0, "no plan in 0..50 exercised worker rejoin");
     }
 
     #[test]
@@ -325,23 +391,35 @@ mod tests {
                 "seed {seed}: plan must end with a final battery"
             );
             // After replaying the whole plan, nothing may remain crashed
-            // in-ring or isolated.
+            // in-ring, isolated, or restarted-but-never-rejoined.
             let mut crashed: Vec<NodeId> = Vec::new();
+            let mut pending_rejoin: Vec<NodeId> = Vec::new();
             let mut in_ring: Vec<NodeId> = (1..=8).map(NodeId).collect();
             let mut partitioned = false;
             for event in &plan.events {
                 match event {
                     ChaosEvent::Kill(n) => crashed.push(*n),
-                    ChaosEvent::Restart(n) => crashed.retain(|c| c != n),
+                    ChaosEvent::Restart(n) => {
+                        if crashed.contains(n) {
+                            crashed.retain(|c| c != n);
+                        } else {
+                            pending_rejoin.push(*n);
+                        }
+                    }
                     ChaosEvent::Partition(_) => partitioned = true,
                     ChaosEvent::Heal => partitioned = false,
                     ChaosEvent::Recover => {
                         in_ring.retain(|n| !crashed.contains(n));
                         crashed.clear();
+                        in_ring.append(&mut pending_rejoin);
                     }
                     ChaosEvent::Queries | ChaosEvent::Loss { .. } | ChaosEvent::Ingest { .. } => {}
                 }
             }
+            assert!(
+                pending_rejoin.is_empty(),
+                "seed {seed}: plan ends with a pending rejoin"
+            );
             assert!(!partitioned, "seed {seed}: plan ends partitioned");
             assert!(
                 in_ring.iter().all(|n| !crashed.contains(n)),

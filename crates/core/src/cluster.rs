@@ -15,6 +15,7 @@ use crate::exec::{Degraded, QueryMode};
 use crate::ingest::Ingestor;
 use crate::partition::{PartitionMap, PartitionPolicy};
 use crate::plane::QueryPlane;
+use crate::repair::{RepairBudget, RepairReport};
 use crate::worker::{Worker, WorkerConfig, WorkerHandle};
 
 /// Configuration of a whole cluster, with builder-style adjustment.
@@ -646,17 +647,44 @@ impl Cluster {
 
     /// Failure injection: restarts a previously killed worker's
     /// transport. The worker thread never exited — the fabric only
-    /// dropped its traffic — so it resumes serving its (possibly stale)
-    /// shard immediately. Restarted workers do **not** rejoin the ring if
-    /// a recovery tick already failed them out; membership is monotonic.
+    /// dropped its traffic — so it answers probes again immediately, but
+    /// its shard is stale. The next
+    /// [`check_and_recover`](Self::check_and_recover) tick detects the
+    /// restart and readmits the worker through the rejoin handshake:
+    /// state reset, shard bulk-synced from the current owners, routes and
+    /// standing queries re-installed, and the ring re-entered under a
+    /// fresh plan epoch.
     pub fn restart_worker(&self, worker: NodeId) {
         self.fabric.restart(worker);
     }
 
-    /// Detects failed workers and fails their shards over to replicas.
-    /// Returns the failures handled.
+    /// Detects failed workers and fails their shards over to replicas;
+    /// detects restarted workers and rejoins them (see
+    /// [`Coordinator::check_and_recover`]). Returns the newly failed
+    /// workers.
     pub fn check_and_recover(&self) -> Vec<NodeId> {
         self.coordinator.lock().check_and_recover()
+    }
+
+    /// One anti-entropy repair pass under the default [`RepairBudget`]:
+    /// restores every cell's replica copies at its required ring
+    /// successors (see [`Coordinator::repair`]). Idempotent; re-invoke
+    /// until [`under_replicated_cells`](Self::under_replicated_cells)
+    /// reaches zero if a pass exhausts its budget.
+    pub fn repair(&self) -> RepairReport {
+        self.coordinator.lock().repair()
+    }
+
+    /// As [`repair`](Self::repair) under an explicit [`RepairBudget`].
+    pub fn repair_with(&self, budget: RepairBudget) -> RepairReport {
+        self.coordinator.lock().repair_with(budget)
+    }
+
+    /// Distinct owned macro-cells currently missing at least one required
+    /// replica copy (0 when replication is disabled or the anti-entropy
+    /// invariant holds). Costs one digest sweep.
+    pub fn under_replicated_cells(&self) -> usize {
+        self.coordinator.lock().under_replicated_cells()
     }
 
     /// Per-node suspicion counters from the shared
@@ -664,6 +692,21 @@ impl Cluster {
     /// the node's last success), sorted by node id. Lock-free.
     pub fn suspicions(&self) -> Vec<(NodeId, u32)> {
         self.plane.health().snapshot()
+    }
+
+    /// Replica-log promotions that failed (after retries) during
+    /// failover. Non-zero means a dead shard's replica data could not be
+    /// absorbed and recovery fell to anti-entropy
+    /// [`repair`](Self::repair).
+    pub fn promotion_failures(&self) -> u64 {
+        self.coordinator.lock().promotion_failures()
+    }
+
+    /// Standing-query re-registrations that failed during failover or
+    /// rejoin; affected workers miss notifications until the next
+    /// recovery tick re-registers them.
+    pub fn registration_failures(&self) -> u64 {
+        self.coordinator.lock().registration_failures()
     }
 
     /// Starts a background liveness monitor that runs
@@ -917,6 +960,86 @@ mod tests {
         // Ingest keeps working: the dead worker's cells have a new owner.
         cluster.ingest(vec![obs(9_999, 0, 800.0, 800.0)]).unwrap();
         cluster.flush().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failover_then_repair_restores_replica_coverage() {
+        let cluster = Cluster::launch(test_config(4).with_replication(1)).unwrap();
+        let batch: Vec<Observation> = (0..300)
+            .map(|i| obs(i, 0, (i as f64 * 31.0) % 1600.0, (i as f64 * 43.0) % 1600.0))
+            .collect();
+        cluster.ingest(batch).unwrap();
+        cluster.flush().unwrap();
+        cluster.kill_worker(NodeId(1));
+        cluster.check_and_recover();
+        // The recovery tick already ran a repair pass: every surviving
+        // cell must again have its full complement of replica copies.
+        assert_eq!(cluster.under_replicated_cells(), 0);
+        // And a second pass is a no-op.
+        let report = cluster.repair();
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.under_replicated_before, 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn restarted_worker_rejoins_and_serves_strict_reads() {
+        let cluster = Cluster::launch(test_config(4).with_replication(1)).unwrap();
+        let batch: Vec<Observation> = (0..400)
+            .map(|i| obs(i, 0, (i as f64 * 11.0) % 1600.0, (i as f64 * 17.0) % 1600.0))
+            .collect();
+        cluster.ingest(batch).unwrap();
+        cluster.flush().unwrap();
+        cluster.kill_worker(NodeId(2));
+        assert_eq!(cluster.check_and_recover(), vec![NodeId(2)]);
+        // More data lands while the worker is out.
+        cluster.ingest(vec![obs(9_000, 0, 800.0, 800.0)]).unwrap();
+        cluster.flush().unwrap();
+        // Restart: the next tick re-detects it, bulk-syncs its shard, and
+        // re-enters it into the ring.
+        cluster.restart_worker(NodeId(2));
+        assert!(cluster.check_and_recover().is_empty());
+        let partition = cluster.partition();
+        assert!(
+            !partition.cells_of(NodeId(2)).is_empty(),
+            "rejoined worker owns no cells"
+        );
+        // The rejoined worker answers stats (it is alive) and holds its
+        // shard's data again.
+        let stats = cluster.stats().unwrap();
+        let rejoined = stats
+            .workers
+            .iter()
+            .find(|(w, _)| *w == NodeId(2))
+            .map(|(_, s)| s.primary_observations)
+            .expect("rejoined worker missing from stats");
+        assert!(rejoined > 0, "rejoined worker holds no data");
+        assert_eq!(stats.under_replicated_cells, 0);
+        // Strict reads see the complete data set under the new plan.
+        let all = cluster.range_query(extent(), window_all()).unwrap();
+        assert_eq!(all.len(), 401);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn rebalance_under_replication_preserves_data_and_coverage() {
+        let cluster = Cluster::launch(test_config(4).with_replication(1)).unwrap();
+        // Skewed load: everything in one corner, so the uniform map is
+        // badly imbalanced and the rebalance has real moves to make.
+        let batch: Vec<Observation> = (0..500)
+            .map(|i| obs(i, 0, (i as f64 * 3.0) % 400.0, (i as f64 * 5.0) % 400.0))
+            .collect();
+        cluster.ingest(batch).unwrap();
+        cluster.flush().unwrap();
+        let report = cluster.rebalance().expect("rebalance with replication");
+        assert!(report.cells_moved > 0, "skewed load moved nothing");
+        assert!(report.imbalance_after <= report.imbalance_before);
+        // No observation was lost by the copy-then-cutover migration, and
+        // the moved cells' replica chains are full again.
+        let all = cluster.range_query(extent(), window_all()).unwrap();
+        assert_eq!(all.len(), 500);
+        assert_eq!(cluster.under_replicated_cells(), 0);
         cluster.shutdown();
     }
 

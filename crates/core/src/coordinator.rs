@@ -21,13 +21,15 @@ use stcam_net::{Endpoint, NodeId};
 use crate::continuous::{ContinuousQueryId, Notification, Predicate};
 use crate::error::StcamError;
 use crate::exec::{
-    AdoptOp, Degraded, EvictOp, Executor, ExtractRegionOp, FlushOp, OpPolicy, OpStats, ProbeOp,
-    PromoteOp, QueryMode, RegisterContinuousOp, RouteUpdateOp, StatsOp, UnregisterContinuousOp,
+    CellDigestOp, CopyRegionOp, Degraded, EvictOp, Executor, ExtractRegionOp, FlushOp, OpPolicy,
+    OpStats, ProbeOp, PromoteOp, QueryMode, RegisterContinuousOp, RejoinOp, RepairOp,
+    RouteUpdateOp, StatsOp, UnregisterContinuousOp,
 };
 use crate::ingest::ReliableSender;
 use crate::partition::PartitionMap;
 use crate::plane::{self, QueryPlane};
-use crate::protocol::{Request, WorkerStatsMsg};
+use crate::protocol::{DigestReport, GridSpecMsg, Request, WorkerStatsMsg};
+use crate::repair::{self, RepairBudget, RepairReport};
 
 /// Aggregated statistics across the cluster.
 #[derive(Debug, Clone, Default)]
@@ -36,6 +38,10 @@ pub struct ClusterStats {
     pub workers: Vec<(NodeId, WorkerStatsMsg)>,
     /// Per-operation executor telemetry, sorted by operation name.
     pub ops: Vec<(&'static str, OpStats)>,
+    /// Distinct owned macro-cells currently missing at least one of their
+    /// required replica copies (0 when replication is disabled or the
+    /// anti-entropy invariant holds — see [`Coordinator::repair`]).
+    pub under_replicated_cells: usize,
 }
 
 impl ClusterStats {
@@ -104,9 +110,19 @@ pub struct Coordinator {
     partition: PartitionMap,
     replication: usize,
     alive: HashSet<NodeId>,
+    /// Every worker ever admitted to the cluster, dead or alive.
+    /// Rebalance drops dead members from the partition ring, so this is
+    /// the set [`check_and_recover`](Self::check_and_recover) probes for
+    /// restarts.
+    known: HashSet<NodeId>,
     next_query_id: u64,
     /// Standing queries, kept for re-registration on failover.
     registrations: HashMap<ContinuousQueryId, Predicate>,
+    /// Failover promotions that failed after retries (data recovery then
+    /// falls to anti-entropy repair).
+    promotion_failures: u64,
+    /// Standing-query re-registrations that failed during failover.
+    registration_failures: u64,
 }
 
 impl Coordinator {
@@ -143,11 +159,14 @@ impl Coordinator {
             exec,
             plane,
             sender,
+            known: alive.clone(),
             partition,
             replication,
             alive,
             next_query_id: 1,
             registrations: HashMap::new(),
+            promotion_failures: 0,
+            registration_failures: 0,
         }
     }
 
@@ -206,6 +225,21 @@ impl Coordinator {
     /// last success), for every node with recorded history.
     pub fn suspicions(&self) -> Vec<(NodeId, u32)> {
         self.exec.health().snapshot()
+    }
+
+    /// Failover promotions that failed after retries. Non-zero means a
+    /// successor could not absorb a dead worker's replica log when its
+    /// shard was reassigned; the data is restored by the next
+    /// [`repair`](Self::repair) sweep instead.
+    pub fn promotion_failures(&self) -> u64 {
+        self.promotion_failures
+    }
+
+    /// Standing-query re-registrations that failed during failover. The
+    /// affected successor misses continuous-query matches until the next
+    /// registration broadcast (rebalance or rejoin) reaches it.
+    pub fn registration_failures(&self) -> u64 {
+        self.registration_failures
     }
 
     // ------------------------------------------------------------------
@@ -546,9 +580,15 @@ impl Coordinator {
     // ------------------------------------------------------------------
 
     /// Re-partitions the cluster by *measured* per-cell load and migrates
-    /// the affected shards: each moved macro-cell's contents are extracted
-    /// from the old owner and adopted by the new one. Queries issued after
-    /// this call observe the full data set under the new map.
+    /// the affected shards with copy-then-cutover semantics: each moved
+    /// macro-cell's contents are copied (idempotently, in bounded
+    /// streaming batches) into the new owner, the new owner's replica
+    /// chain is brought up to the configured factor by an anti-entropy
+    /// sweep against the *target* map, and only then is the map cut over
+    /// and the old copy evicted. Observations accepted by the old owner
+    /// between the copy and the cutover are drained into the new owner by
+    /// the eviction step, so acked data survives the move. Queries issued
+    /// after this call observe the full data set under the new map.
     ///
     /// Intended for rebalance epochs when traffic has drifted from the
     /// distribution the current map was built for (see the load-balance
@@ -556,9 +596,11 @@ impl Coordinator {
     ///
     /// # Errors
     ///
-    /// Returns [`StcamError::Unsupported`] when replication is enabled
-    /// (replica logs are keyed by primary and are not rewritten by this
-    /// version of migration), and propagates worker failures.
+    /// Propagates worker failures. A failure before the cutover leaves
+    /// the old map in force (the partial copies are redundant and are
+    /// garbage-collected by [`repair`](Self::repair)); a failure after
+    /// the cutover leaves the new map in force with stale copies at old
+    /// owners, cleaned up by re-running the rebalance.
     ///
     /// External [`Ingestor`](crate::Ingestor) handles hold routing
     /// snapshots, but heal themselves: the route broadcast after the
@@ -567,11 +609,13 @@ impl Coordinator {
     /// [`ingest_unacked`](crate::Ingestor::ingest_unacked) traffic keeps
     /// landing on the old owners until then).
     pub fn rebalance(&mut self) -> Result<RebalanceReport, StcamError> {
-        if self.replication > 0 {
-            return Err(StcamError::Unsupported(
-                "online rebalance requires replication factor 0",
-            ));
-        }
+        self.rebalance_with(RepairBudget::default())
+    }
+
+    /// As [`rebalance`](Self::rebalance) with an explicit budget bounding
+    /// the migration's streaming chunk size and its replica-repair
+    /// rounds.
+    pub fn rebalance_with(&mut self, budget: RepairBudget) -> Result<RebalanceReport, StcamError> {
         // 1. Measure the load profile: all-time per-macro-cell counts.
         let grid = *self.partition.grid();
         let loads = self.heatmap(&grid, TimeInterval::ALL)?;
@@ -588,44 +632,88 @@ impl Coordinator {
             return Err(StcamError::NoQuorum);
         }
         let target = PartitionMap::load_aware(grid.extent(), grid.cell_size(), alive_ring, &loads);
-        // 3. Diff and migrate, batched per (old, new) owner pair.
-        let mut moves: HashMap<(NodeId, NodeId), Vec<CellId>> = HashMap::new();
-        for cell in grid.all_cells() {
-            let old = self.partition.owner_of_cell(cell);
-            let new = target.owner_of_cell(cell);
-            if old != new && self.alive.contains(&old) {
-                moves.entry((old, new)).or_default().push(cell);
-            }
-        }
-        let mut cells_moved = 0usize;
+        // 3. Copy phase: stream each moved cell from its old owner into
+        // the new owner's primary shard. `Repair` with `primary ==
+        // addressee` is an idempotent cell overwrite, so a retried or
+        // re-run migration cannot duplicate observations the way the old
+        // extract/adopt chain could.
+        let moves: Vec<(CellId, NodeId, NodeId)> = grid
+            .all_cells()
+            .filter_map(|cell| {
+                let old = self.partition.owner_of_cell(cell);
+                let new = target.owner_of_cell(cell);
+                (old != new && self.alive.contains(&old)).then_some((cell, old, new))
+            })
+            .collect();
+        let gmsg = GridSpecMsg::from(grid);
+        let cols = grid.cols();
         let mut observations_moved = 0usize;
-        for ((old, new), cells) in moves {
-            let mut batch = Vec::new();
-            for cell in cells {
-                let region = self.partition.cell_routing_region(cell);
-                let extracted = self.exec.execute(
-                    ExtractRegionOp {
-                        target: old,
-                        region,
-                    },
-                    &self.partition,
-                    &self.alive,
-                )?;
-                batch.extend(extracted);
-                cells_moved += 1;
-            }
-            observations_moved += batch.len();
-            if !batch.is_empty() {
-                self.exec
-                    .execute(AdoptOp { target: new, batch }, &self.partition, &self.alive)?;
-            }
+        for &(cell, old, new) in &moves {
+            let region = self.partition.cell_routing_region(cell);
+            let contents = self.exec.execute(
+                CopyRegionOp {
+                    target: old,
+                    region,
+                },
+                &self.partition,
+                &self.alive,
+            )?;
+            observations_moved += contents.len();
+            self.stream_cell(
+                new,
+                new,
+                gmsg,
+                cell.row * cols + cell.col,
+                &contents,
+                &budget,
+            )?;
         }
-        // 4. Swap in the new map, publish it to the query plane, and
-        // make standing queries present at their (possibly new)
-        // overlapping workers.
+        // 4. Cover phase: bring every moved cell's replica chain up to
+        // the configured factor *under the target map* before any old
+        // copy is dropped.
+        if self.replication > 0 {
+            self.repair_against(&target, budget, false);
+        }
+        // 5. Cutover: swap in the new map and publish it.
         self.partition = target;
         self.publish_plan();
         self.broadcast_routes();
+        // 6. Evict the old copies, draining any stragglers accepted by
+        // the old owner between the copy and the cutover into the new
+        // owner (append without truncate: the rejoin-safe dedup on the
+        // worker makes this idempotent against the copied prefix).
+        for &(cell, old, new) in &moves {
+            let region = self.partition.cell_routing_region(cell);
+            let stragglers = self.exec.execute(
+                ExtractRegionOp {
+                    target: old,
+                    region,
+                },
+                &self.partition,
+                &self.alive,
+            )?;
+            if !stragglers.is_empty() {
+                observations_moved += stragglers.len();
+                let packed = cell.row * cols + cell.col;
+                for chunk in stragglers.chunks(budget.chunk.max(1)) {
+                    self.exec.execute(
+                        RepairOp {
+                            target: new,
+                            primary: new,
+                            grid: gmsg,
+                            cell: packed,
+                            truncate: false,
+                            batch: chunk.to_vec(),
+                        },
+                        &self.partition,
+                        &self.alive,
+                    )?;
+                }
+            }
+        }
+        // 7. Make standing queries present at their (possibly new)
+        // overlapping workers, and re-converge replica coverage for the
+        // straggler drain.
         let notify = self.exec.endpoint().id();
         let registrations: Vec<(ContinuousQueryId, Predicate)> =
             self.registrations.iter().map(|(&id, &p)| (id, p)).collect();
@@ -641,13 +729,270 @@ impl Coordinator {
                 &self.alive,
             )?;
         }
+        if self.replication > 0 {
+            self.repair_with(budget);
+        }
         let imbalance_after = self.partition.imbalance(&loads);
         Ok(RebalanceReport {
-            cells_moved,
+            cells_moved: moves.len(),
             observations_moved,
             imbalance_before,
             imbalance_after,
         })
+    }
+
+    /// Streams `contents` into `target`'s copy of packed cell `cell`
+    /// (primary shard when `target == primary`, replica log otherwise) in
+    /// bounded batches: the first chunk truncates the stale copy, the
+    /// rest append. Empty contents degenerate to a pure truncation.
+    fn stream_cell(
+        &self,
+        target: NodeId,
+        primary: NodeId,
+        grid: GridSpecMsg,
+        cell: u32,
+        contents: &[Observation],
+        budget: &RepairBudget,
+    ) -> Result<usize, StcamError> {
+        let mut first = true;
+        let mut streamed = 0usize;
+        for chunk in contents.chunks(budget.chunk.max(1)) {
+            self.exec.execute(
+                RepairOp {
+                    target,
+                    primary,
+                    grid,
+                    cell,
+                    truncate: first,
+                    batch: chunk.to_vec(),
+                },
+                &self.partition,
+                &self.alive,
+            )?;
+            first = false;
+            streamed += chunk.len();
+        }
+        if first {
+            self.exec.execute(
+                RepairOp {
+                    target,
+                    primary,
+                    grid,
+                    cell,
+                    truncate: true,
+                    batch: Vec::new(),
+                },
+                &self.partition,
+                &self.alive,
+            )?;
+        }
+        Ok(streamed)
+    }
+
+    // ------------------------------------------------------------------
+    // Anti-entropy repair
+    // ------------------------------------------------------------------
+
+    /// One anti-entropy repair pass under the default [`RepairBudget`]:
+    /// sweeps per-cell digests from every alive worker, compares each
+    /// owner's primary against the replica copies at its required ring
+    /// successors, and streams the missing/diverged cells until the
+    /// configured replication factor holds everywhere (or the budget runs
+    /// out — re-invoke to continue; the sweep is idempotent).
+    ///
+    /// Individual worker failures during a pass are tolerated: the next
+    /// round re-plans from fresh digests. The pass itself never fails.
+    pub fn repair(&self) -> RepairReport {
+        self.repair_with(RepairBudget::default())
+    }
+
+    /// As [`repair`](Self::repair) under an explicit [`RepairBudget`].
+    pub fn repair_with(&self, budget: RepairBudget) -> RepairReport {
+        self.repair_against(&self.partition.clone(), budget, true)
+    }
+
+    /// The digest-sweep/plan/stream loop behind [`repair`](Self::repair),
+    /// parameterised by the partition map the invariant is judged against
+    /// (rebalance repairs against its *target* map before cutover).
+    ///
+    /// `drain_strays` additionally reclaims primary copies of cells the
+    /// map assigns elsewhere (a ceded cell whose evict was lost): each is
+    /// drained into its assigned owner, then truncated. Pre-cutover
+    /// callers pass `false` — against a not-yet-published target map the
+    /// ceding owners still serve reads, so their copies are not stale.
+    fn repair_against(
+        &self,
+        partition: &PartitionMap,
+        budget: RepairBudget,
+        drain_strays: bool,
+    ) -> RepairReport {
+        let mut report = RepairReport::default();
+        if self.replication == 0 {
+            report.converged = true;
+            return report;
+        }
+        let grid = *partition.grid();
+        let gmsg = GridSpecMsg::from(grid);
+        let mut first_sweep = true;
+        loop {
+            let digests = self.sweep_digests(partition);
+            let mut plan = repair::plan(&digests, partition, &self.alive, self.replication);
+            if !drain_strays {
+                plan.strays.clear();
+            }
+            if first_sweep {
+                report.under_replicated_before = plan.under_replicated_cells;
+                first_sweep = false;
+            }
+            report.under_replicated_after = plan.under_replicated_cells;
+            if plan.is_converged() || report.rounds >= budget.max_rounds {
+                report.converged = plan.is_converged();
+                return report;
+            }
+            report.rounds += 1;
+            let traffic_before = self.repair_traffic();
+            // Stray primary copies of ceded cells: drain into the
+            // assigned owner first (id dedup absorbs what already
+            // landed), truncate the stale copy only once every chunk has
+            // been accepted — a failed drain retries next round.
+            for s in &plan.strays {
+                let region = repair::cell_region(&grid, s.cell);
+                let Ok(contents) = self.exec.execute(
+                    CopyRegionOp {
+                        target: s.holder,
+                        region,
+                    },
+                    partition,
+                    &self.alive,
+                ) else {
+                    continue;
+                };
+                let mut drained = true;
+                for chunk in contents.chunks(budget.chunk.max(1)) {
+                    let appended = self.exec.execute(
+                        RepairOp {
+                            target: s.owner,
+                            primary: s.owner,
+                            grid: gmsg,
+                            cell: s.cell,
+                            truncate: false,
+                            batch: chunk.to_vec(),
+                        },
+                        partition,
+                        &self.alive,
+                    );
+                    if appended.is_err() {
+                        drained = false;
+                        break;
+                    }
+                }
+                if !drained {
+                    continue;
+                }
+                let truncated = self.exec.execute(
+                    RepairOp {
+                        target: s.holder,
+                        primary: s.holder,
+                        grid: gmsg,
+                        cell: s.cell,
+                        truncate: true,
+                        batch: Vec::new(),
+                    },
+                    partition,
+                    &self.alive,
+                );
+                if truncated.is_ok() {
+                    report.cells_repaired += 1;
+                    report.observations_streamed += contents.len();
+                }
+            }
+            // Stale copies outside the required successor sets: truncate
+            // without restreaming (their alive primaries hold the data).
+            for g in &plan.garbage {
+                let cleaned = self.exec.execute(
+                    RepairOp {
+                        target: g.holder,
+                        primary: g.owner,
+                        grid: gmsg,
+                        cell: g.cell,
+                        truncate: true,
+                        batch: Vec::new(),
+                    },
+                    partition,
+                    &self.alive,
+                );
+                if cleaned.is_ok() {
+                    report.cells_repaired += 1;
+                }
+            }
+            // Deficits, grouped by (owner, cell) so each source copy is
+            // fetched once however many holders need it.
+            let mut groups: std::collections::BTreeMap<(NodeId, u32), Vec<NodeId>> =
+                std::collections::BTreeMap::new();
+            for d in &plan.deficits {
+                groups.entry((d.owner, d.cell)).or_default().push(d.holder);
+            }
+            let mut budget_left = budget.max_observations_per_round;
+            'groups: for ((owner, cell), holders) in groups {
+                let region = repair::cell_region(&grid, cell);
+                let Ok(contents) = self.exec.execute(
+                    CopyRegionOp {
+                        target: owner,
+                        region,
+                    },
+                    partition,
+                    &self.alive,
+                ) else {
+                    continue; // owner unreachable this round: re-planned next round
+                };
+                for holder in holders {
+                    if let Ok(n) = self.stream_cell(holder, owner, gmsg, cell, &contents, &budget) {
+                        report.cells_repaired += 1;
+                        report.observations_streamed += n;
+                        budget_left = budget_left.saturating_sub(n);
+                    }
+                    if budget_left == 0 {
+                        break 'groups;
+                    }
+                }
+            }
+            self.exec
+                .note_repair(1, self.repair_traffic().saturating_sub(traffic_before));
+        }
+    }
+
+    /// Wire bytes attributable to repair streaming so far: repair
+    /// requests sent plus cell copies received.
+    fn repair_traffic(&self) -> u64 {
+        self.exec.stats_for("repair").bytes_sent + self.exec.stats_for("copy_region").bytes_received
+    }
+
+    /// One digest sweep over the alive workers; non-answering workers
+    /// simply contribute nothing (the planner treats their copies as
+    /// missing and retries next round).
+    fn sweep_digests(&self, partition: &PartitionMap) -> Vec<(NodeId, DigestReport)> {
+        let op = CellDigestOp {
+            grid: GridSpecMsg::from(*partition.grid()),
+            only: None,
+        };
+        self.exec
+            .run(&op, partition, &self.alive)
+            .into_iter()
+            .filter_map(|(w, r)| r.ok().map(|d| (w, d)))
+            .collect()
+    }
+
+    /// Distinct owned macro-cells currently missing at least one required
+    /// replica copy, per a fresh digest sweep (0 with replication
+    /// disabled). This is the convergence gauge [`repair`](Self::repair)
+    /// drives to zero.
+    pub fn under_replicated_cells(&self) -> usize {
+        if self.replication == 0 {
+            return 0;
+        }
+        let digests = self.sweep_digests(&self.partition);
+        repair::plan(&digests, &self.partition, &self.alive, self.replication)
+            .under_replicated_cells
     }
 
     // ------------------------------------------------------------------
@@ -726,8 +1071,16 @@ impl Coordinator {
     /// Probes every worker believed alive; for each failure, fails its
     /// shard over to the first alive ring successor (which holds the
     /// replica when the replication factor covers it), repairs the
-    /// partition map, and re-registers standing queries there. Returns the
-    /// failed workers.
+    /// partition map, and re-registers standing queries there. Then
+    /// probes every worker believed *dead*: a restarted worker that
+    /// answers is readmitted through the rejoin handshake — its state is
+    /// reset, its target shard bulk-synced from the current owners, its
+    /// epoch-stamped route and standing-query registrations re-installed,
+    /// and the whole re-entry made visible by a single plan publication.
+    /// Any membership change with replication enabled ends with an
+    /// anti-entropy pass, so strict reads can rely on the ring-walked
+    /// successors the new plan points them at. Returns the newly failed
+    /// workers.
     pub fn check_and_recover(&mut self) -> Vec<NodeId> {
         let failed: Vec<NodeId> = self
             .exec
@@ -748,6 +1101,10 @@ impl Coordinator {
             self.publish_plan();
             self.broadcast_routes();
         }
+        let rejoined = self.try_rejoin();
+        if (!failed.is_empty() || !rejoined.is_empty()) && self.replication > 0 {
+            self.repair();
+        }
         failed
     }
 
@@ -762,8 +1119,12 @@ impl Coordinator {
         // Absorb the replica log; data loss is bounded by in-flight
         // replication traffic at crash time. This runs even with
         // replication disabled, because hinted handoff parks acked
-        // batches for a dead owner in its successor's replica log.
-        let _ = self.exec.execute(
+        // batches for a dead owner in its successor's replica log. A
+        // failed promotion is counted, not swallowed: the executor has
+        // already booked the failure into the "promote" telemetry and the
+        // successor's suspicion, and the unabsorbed log is re-streamed by
+        // the next anti-entropy pass.
+        let promoted = self.exec.execute(
             PromoteOp {
                 target: successor,
                 failed,
@@ -771,13 +1132,16 @@ impl Coordinator {
             &self.partition,
             &self.alive,
         );
+        if promoted.is_err() {
+            self.promotion_failures += 1;
+        }
         // Standing queries whose region now overlaps the successor's
         // enlarged shard must be present there.
         let notify = self.exec.endpoint().id();
         let registrations: Vec<(ContinuousQueryId, Predicate)> =
             self.registrations.iter().map(|(&id, &p)| (id, p)).collect();
         for (id, predicate) in registrations {
-            let _ = self.exec.execute(
+            let registered = self.exec.execute(
                 RegisterContinuousOp {
                     id,
                     predicate,
@@ -787,11 +1151,183 @@ impl Coordinator {
                 &self.partition,
                 &self.alive,
             );
+            if registered.is_err() {
+                self.registration_failures += 1;
+            }
         }
     }
 
+    /// Probes every known-but-dead worker and readmits the ones that
+    /// answer (a restart brings the transport back with empty state).
+    /// Returns the workers that completed the rejoin handshake.
+    fn try_rejoin(&mut self) -> Vec<NodeId> {
+        let dead: HashSet<NodeId> = self
+            .known
+            .iter()
+            .copied()
+            .filter(|w| !self.alive.contains(w))
+            .collect();
+        if dead.is_empty() {
+            return Vec::new();
+        }
+        let responders: Vec<NodeId> = self
+            .exec
+            .run(&ProbeOp, &self.partition, &dead)
+            .into_iter()
+            .filter_map(|(worker, result)| result.is_ok().then_some(worker))
+            .collect();
+        let mut rejoined = Vec::new();
+        for worker in responders {
+            if self.rejoin(worker).is_ok() {
+                rejoined.push(worker);
+            }
+        }
+        rejoined
+    }
+
+    /// The rejoin handshake for one restarted worker: reset it, bulk-sync
+    /// its target shard from the current owners, readmit it, and cut the
+    /// plan over in a single publication. Fails (leaving the old plan in
+    /// force and the worker out of the ring) only before any durable
+    /// state moves; from the bulk-sync on, individual RPC failures are
+    /// absorbed by the trailing anti-entropy pass.
+    fn rejoin(&mut self, worker: NodeId) -> Result<(), StcamError> {
+        let budget = RepairBudget::default();
+        let grid = *self.partition.grid();
+        let gmsg = GridSpecMsg::from(grid);
+        let cols = grid.cols();
+        // 1. Target map: measured load spread over the alive ring plus
+        // the rejoiner (appended when a rebalance dropped it from the
+        // ring entirely).
+        let loads = self
+            .heatmap_mode(QueryMode::BestEffort, &grid, TimeInterval::ALL)
+            .map(|d| d.value)
+            .unwrap_or_else(|_| vec![1; grid.cell_count() as usize]);
+        let mut ring: Vec<NodeId> = self
+            .partition
+            .workers()
+            .iter()
+            .copied()
+            .filter(|w| self.alive.contains(w) || *w == worker)
+            .collect();
+        if !ring.contains(&worker) {
+            ring.push(worker);
+        }
+        let target = PartitionMap::load_aware(grid.extent(), grid.cell_size(), ring, &loads);
+        let cells: Vec<u32> = target
+            .cells_of(worker)
+            .into_iter()
+            .map(|c| c.row * cols + c.col)
+            .collect();
+        // 2. Handshake: reset the restarted worker's state and install
+        // its route, stamped with the epoch the cutover below publishes.
+        self.exec.execute(
+            RejoinOp {
+                target: worker,
+                epoch: self.plane.epoch() + 1,
+                grid: gmsg,
+                cells: cells.clone(),
+            },
+            &self.partition,
+            &self.alive,
+        )?;
+        // 3. Bulk-sync: copy every assigned cell from its current owner
+        // into the rejoiner's primary shard (idempotent overwrite — a
+        // retried handshake re-streams harmlessly).
+        let moves: Vec<(u32, NodeId)> = cells
+            .iter()
+            .map(|&packed| {
+                let cell = CellId::new(packed % cols, packed / cols);
+                (packed, self.partition.owner_of_cell(cell))
+            })
+            .filter(|(_, old)| *old != worker && self.alive.contains(old))
+            .collect();
+        for &(packed, old) in &moves {
+            let region = repair::cell_region(&grid, packed);
+            let contents = self.exec.execute(
+                CopyRegionOp {
+                    target: old,
+                    region,
+                },
+                &self.partition,
+                &self.alive,
+            )?;
+            self.stream_cell(worker, worker, gmsg, packed, &contents, &budget)?;
+        }
+        // 4. Readmit: a fresh incarnation gets a fresh suspicion history
+        // (the old one's accumulated failures must not demote it).
+        self.alive.insert(worker);
+        self.known.insert(worker);
+        self.exec.health().forget(worker);
+        // 5. Cover the rejoiner's cells at their required successors
+        // under the target map before any old copy is dropped.
+        if self.replication > 0 {
+            self.repair_against(&target, budget, false);
+        }
+        // 6. Cutover: one publication atomically re-enters the worker.
+        self.partition = target;
+        self.publish_plan();
+        self.broadcast_routes();
+        // 7. Standing queries must be present at the fresh incarnation
+        // (the reset dropped the old registrations).
+        let notify = self.exec.endpoint().id();
+        let registrations: Vec<(ContinuousQueryId, Predicate)> =
+            self.registrations.iter().map(|(&id, &p)| (id, p)).collect();
+        for (id, predicate) in registrations {
+            let registered = self.exec.execute(
+                RegisterContinuousOp {
+                    id,
+                    predicate,
+                    notify,
+                    only: Some(worker),
+                },
+                &self.partition,
+                &self.alive,
+            );
+            if registered.is_err() {
+                self.registration_failures += 1;
+            }
+        }
+        // 8. Evict the ceded copies, draining stragglers accepted by the
+        // old owners between the bulk-sync and the cutover into the
+        // rejoiner (append without truncate: worker-side dedup makes the
+        // overlap with the synced prefix harmless).
+        for &(packed, old) in &moves {
+            let region = repair::cell_region(&grid, packed);
+            let Ok(stragglers) = self.exec.execute(
+                ExtractRegionOp {
+                    target: old,
+                    region,
+                },
+                &self.partition,
+                &self.alive,
+            ) else {
+                continue; // stale copy lingers; a rerun extracts it
+            };
+            if stragglers.is_empty() {
+                continue;
+            }
+            for chunk in stragglers.chunks(budget.chunk.max(1)) {
+                let _ = self.exec.execute(
+                    RepairOp {
+                        target: worker,
+                        primary: worker,
+                        grid: gmsg,
+                        cell: packed,
+                        truncate: false,
+                        batch: chunk.to_vec(),
+                    },
+                    &self.partition,
+                    &self.alive,
+                );
+            }
+        }
+        Ok(())
+    }
+
     /// Collects statistics from every alive worker, plus the executor's
-    /// per-operation telemetry.
+    /// per-operation telemetry and the live under-replication gauge (the
+    /// latter costs one digest sweep when replication is enabled).
     ///
     /// # Errors
     ///
@@ -801,6 +1337,7 @@ impl Coordinator {
         Ok(ClusterStats {
             workers,
             ops: self.exec.op_stats(),
+            under_replicated_cells: self.under_replicated_cells(),
         })
     }
 }
@@ -825,6 +1362,7 @@ mod tests {
                 })
                 .collect(),
             ops: Vec::new(),
+            under_replicated_cells: 0,
         }
     }
 

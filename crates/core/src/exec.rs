@@ -49,7 +49,7 @@ use crate::continuous::{ContinuousQueryId, Predicate};
 use crate::error::StcamError;
 use crate::health::HealthView;
 use crate::partition::PartitionMap;
-use crate::protocol::{GridSpecMsg, Request, Response, WorkerStatsMsg};
+use crate::protocol::{DigestReport, GridSpecMsg, Request, Response, WorkerStatsMsg};
 
 // ----------------------------------------------------------------------
 // Policy and telemetry
@@ -118,6 +118,12 @@ pub struct OpStats {
     pub scatter_micros: u64,
     /// Wall-clock microseconds spent merging partials into the output.
     pub merge_micros: u64,
+    /// Observation-stream wire bytes moved by anti-entropy repair on this
+    /// operation's behalf (booked by the repair driver against the
+    /// "repair" key; zero elsewhere).
+    pub repair_bytes: u64,
+    /// Digest/stream repair rounds driven (booked against "repair").
+    pub repair_rounds: u64,
 }
 
 impl OpStats {
@@ -134,6 +140,8 @@ impl OpStats {
             bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
             scatter_micros: self.scatter_micros.saturating_sub(earlier.scatter_micros),
             merge_micros: self.merge_micros.saturating_sub(earlier.merge_micros),
+            repair_bytes: self.repair_bytes.saturating_sub(earlier.repair_bytes),
+            repair_rounds: self.repair_rounds.saturating_sub(earlier.repair_rounds),
         }
     }
 }
@@ -422,6 +430,16 @@ impl Executor {
             .collect()
     }
 
+    /// Books one anti-entropy round and its streamed observation bytes
+    /// against the "repair" telemetry key (the repair driver calls this
+    /// once per digest/stream round).
+    pub(crate) fn note_repair(&self, rounds: u64, bytes: u64) {
+        let mut stats = self.shared.stats.lock();
+        let entry = stats.entry("repair").or_default();
+        entry.repair_rounds += rounds;
+        entry.repair_bytes += bytes;
+    }
+
     /// Telemetry of one operation (zeros when never invoked).
     pub fn stats_for(&self, op: &str) -> OpStats {
         self.shared
@@ -705,11 +723,11 @@ impl Executor {
                 via: None,
             };
         }
-        let mut candidates: Vec<NodeId> = partition
-            .successors(shard, replication)
-            .into_iter()
-            .filter(|r| alive.contains(r))
-            .collect();
+        // The same ring-walking rule the acked write path certifies and
+        // the repair planner restores: the first `replication` *alive*
+        // successors, walking past dead ring members. Reads consult
+        // exactly the set writes covered and repair maintains.
+        let mut candidates: Vec<NodeId> = partition.alive_successors(shard, replication, alive);
         self.shared.health.rank(&mut candidates);
         for replica in candidates {
             failovers.fetch_add(1, Ordering::Relaxed);
@@ -814,6 +832,16 @@ fn want_cell_counts(response: Response) -> Result<Vec<(u32, u64)>, StcamError> {
         Response::Error(msg) => Err(StcamError::Remote(msg)),
         other => Err(StcamError::Remote(format!(
             "expected cell counts, got {other:?}"
+        ))),
+    }
+}
+
+fn want_digests(response: Response) -> Result<DigestReport, StcamError> {
+    match response {
+        Response::Digests(report) => Ok(report),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!(
+            "expected digests, got {other:?}"
         ))),
     }
 }
@@ -1567,6 +1595,175 @@ impl DistributedOp for RouteUpdateOp {
         want_ack(response)
     }
     fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Anti-entropy digest sweep: collect every worker's per-cell
+/// count/checksum summaries (primary shard plus held replica logs).
+/// Idempotent — digests are pure reads. The merge keeps each report tied
+/// to its worker, because the repair planner compares copies by node.
+#[derive(Debug, Clone, Copy)]
+pub struct CellDigestOp {
+    /// The macro grid to bucket by (the partition grid of the sweep).
+    pub grid: GridSpecMsg,
+    /// When set, sweep only this worker (spot checks).
+    pub only: Option<NodeId>,
+}
+
+impl DistributedOp for CellDigestOp {
+    type Partial = DigestReport;
+    type Output = Vec<(NodeId, DigestReport)>;
+    fn name(&self) -> &'static str {
+        "cell_digest"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        match self.only {
+            Some(worker) => vec![worker],
+            None => all_alive(alive),
+        }
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::CellDigest { grid: self.grid }
+    }
+    fn decode(&self, response: Response) -> Result<DigestReport, StcamError> {
+        want_digests(response)
+    }
+    fn merge(self, mut partials: Vec<(NodeId, DigestReport)>) -> Vec<(NodeId, DigestReport)> {
+        partials.sort_by_key(|(w, _)| *w);
+        partials
+    }
+}
+
+/// One chunk of a repair stream into `target`: overwrite (or append to)
+/// the cell's copy held for `primary` — the replica log when `primary`
+/// differs from the target, the primary shard itself when they are equal
+/// (the rejoin/rebalance bulk-sync path). Idempotent: the first chunk
+/// truncates before writing and every append passes the holder's id
+/// filter, so a retransmitted chunk changes nothing.
+#[derive(Debug, Clone)]
+pub struct RepairOp {
+    /// The worker whose copy is being repaired.
+    pub target: NodeId,
+    /// The primary the copy belongs to.
+    pub primary: NodeId,
+    /// The macro grid `cell` refers to.
+    pub grid: GridSpecMsg,
+    /// Packed macro-cell index being overwritten.
+    pub cell: u32,
+    /// Whether to drop the cell's current contents first (set on the
+    /// first chunk of a stream, and on pure cleanups with no batch).
+    pub truncate: bool,
+    /// The observations of this chunk.
+    pub batch: Vec<Observation>,
+}
+
+impl DistributedOp for RepairOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "repair"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        vec![self.target]
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Repair {
+            primary: self.primary,
+            grid: self.grid,
+            cell: self.cell,
+            truncate: self.truncate,
+            batch: self.batch.clone(),
+        }
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Readmission handshake sent to a restarted worker: reset all local
+/// state and install the epoch-stamped routing slice it will own once
+/// the coordinator publishes the readmitting plan. Idempotent — resetting
+/// an already-empty worker and reinstalling the same route are no-ops.
+#[derive(Debug, Clone)]
+pub struct RejoinOp {
+    /// The rejoining worker.
+    pub target: NodeId,
+    /// The plan epoch the worker will re-enter under.
+    pub epoch: u64,
+    /// The macro grid the packed cells refer to.
+    pub grid: GridSpecMsg,
+    /// The cells the worker will own, packed `row * cols + col`.
+    pub cells: Vec<u32>,
+}
+
+impl DistributedOp for RejoinOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "rejoin"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        vec![self.target]
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Rejoin {
+            epoch: self.epoch,
+            grid: self.grid,
+            cells: self.cells.clone(),
+        }
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Non-destructive read of a region's contents from one worker — the
+/// copy side of repair and copy-then-cutover migration. Unlike
+/// [`ExtractRegionOp`] the source keeps its data, so the op is idempotent
+/// and safe to retry over lossy links; the stale source copy is truncated
+/// later, only after the destination chain is covered.
+#[derive(Debug, Clone, Copy)]
+pub struct CopyRegionOp {
+    /// The worker to read from.
+    pub target: NodeId,
+    /// The region to copy.
+    pub region: BBox,
+}
+
+impl DistributedOp for CopyRegionOp {
+    type Partial = Vec<Observation>;
+    type Output = Vec<Observation>;
+    fn name(&self) -> &'static str {
+        "copy_region"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        vec![self.target]
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::Range {
+            region: self.region,
+            window: TimeInterval::ALL,
+        }
+    }
+    fn decode(&self, response: Response) -> Result<Vec<Observation>, StcamError> {
+        want_observations(response)
+    }
+    fn merge(self, partials: Vec<(NodeId, Vec<Observation>)>) -> Vec<Observation> {
+        partials.into_iter().flat_map(|(_, obs)| obs).collect()
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,15 @@ impl HealthView {
         candidates.sort_by_key(|n| inner.get(n).map_or(0, |h| h.suspicion));
     }
 
+    /// Drops all recorded history for `node`. Called when a restarted
+    /// worker is readmitted to the plan: the suspicion it accumulated
+    /// while dead describes the *old* incarnation and would otherwise
+    /// demote the fresh one in replica ranking until enough successful
+    /// calls drained the counter.
+    pub fn forget(&self, node: NodeId) {
+        self.inner.write().remove(&node);
+    }
+
     /// Every node with recorded history and its current suspicion,
     /// sorted by node id.
     pub fn snapshot(&self) -> Vec<(NodeId, u32)> {
@@ -122,6 +131,21 @@ mod tests {
         let mut candidates = vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)];
         view.rank(&mut candidates);
         assert_eq!(candidates, vec![NodeId(3), NodeId(5), NodeId(4), NodeId(2)]);
+    }
+
+    #[test]
+    fn forget_erases_history() {
+        let view = HealthView::new();
+        view.record_failure(NodeId(4));
+        view.record_failure(NodeId(4));
+        view.record_failure(NodeId(5));
+        view.forget(NodeId(4));
+        assert_eq!(view.suspicion(NodeId(4)), 0);
+        assert!(!view.is_suspect(NodeId(4)));
+        // Other nodes keep their history; forgetting unknowns is a no-op.
+        assert_eq!(view.suspicion(NodeId(5)), 1);
+        view.forget(NodeId(99));
+        assert_eq!(view.snapshot(), vec![(NodeId(5), 1)]);
     }
 
     #[test]

@@ -331,13 +331,18 @@ impl ReliableSender {
         }
     }
 
-    /// Sends `batch` as replica-log entries for `primary` to the first
-    /// `want` ring successors the plan calls alive — exactly the set a
-    /// failover read consults and a later promotion absorbs, which is
-    /// what lets an ack certify visibility. Unresponsive targets are
-    /// *not* walked past (a copy parked further around the ring is one
-    /// no reader would find); every target is still attempted so partial
-    /// copies land as hints. Returns `(targets, acks)`.
+    /// Sends `batch` as replica-log entries for `primary` to its first
+    /// `want` *alive* ring successors — walking the ring past dead
+    /// members ([`PartitionMap::alive_successors`]), so a shard keeps
+    /// `want` certified copies as long as that many other nodes are
+    /// alive. This is exactly the set a failover read consults and the
+    /// repair planner maintains, which is what lets an ack certify
+    /// visibility: writes cover, reads consult, and anti-entropy restores
+    /// one and the same walked set. Unresponsive members of the set are
+    /// still attempted so partial copies land as hints. Returns
+    /// `(targets, acks)`.
+    ///
+    /// [`PartitionMap::alive_successors`]: crate::PartitionMap::alive_successors
     fn replicate_to_successors(
         &self,
         endpoint: &Endpoint,
@@ -346,12 +351,7 @@ impl ReliableSender {
         batch: &[Observation],
         want: usize,
     ) -> (usize, usize) {
-        let targets: Vec<NodeId> = plan
-            .partition
-            .successors(primary, want)
-            .into_iter()
-            .filter(|w| plan.alive.contains(w))
-            .collect();
+        let targets: Vec<NodeId> = plan.partition.alive_successors(primary, want, &plan.alive);
         let total = targets.len();
         let mut acks = 0usize;
         for target in targets {

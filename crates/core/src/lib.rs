@@ -85,6 +85,7 @@ mod ingest;
 mod partition;
 pub(crate) mod plane;
 mod protocol;
+pub mod repair;
 pub mod snapshot;
 pub mod stitch;
 mod worker;
@@ -99,5 +100,8 @@ pub use health::HealthView;
 pub use ingest::Ingestor;
 pub use partition::{PartitionMap, PartitionPolicy};
 pub use plane::{QueryPlan, QueryPlane};
-pub use protocol::{GridSpecMsg, Request, Response, WorkerStatsMsg};
+pub use protocol::{
+    DigestEntry, DigestReport, GridSpecMsg, ReplicaDigestEntry, Request, Response, WorkerStatsMsg,
+};
+pub use repair::{RepairBudget, RepairReport};
 pub use worker::{Worker, WorkerConfig, WorkerHandle};

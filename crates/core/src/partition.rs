@@ -205,6 +205,35 @@ impl PartitionMap {
             .collect()
     }
 
+    /// The first `r` *alive* ring successors of `worker`: the whole ring
+    /// is walked past dead members, so a shard keeps `r` live replica
+    /// holders as long as the cluster has that many other alive nodes.
+    /// This is the one successor rule shared by the write path (acked
+    /// ingest certifies these nodes), the read path (replica failover
+    /// consults them), and the repair planner (anti-entropy restores
+    /// them) — the three stay in lockstep by construction.
+    pub fn alive_successors(
+        &self,
+        worker: NodeId,
+        r: usize,
+        alive: &std::collections::HashSet<NodeId>,
+    ) -> Vec<NodeId> {
+        let Some(widx) = self.workers.iter().position(|&w| w == worker) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(r);
+        for i in 1..self.workers.len() {
+            if out.len() == r {
+                break;
+            }
+            let candidate = self.workers[(widx + i) % self.workers.len()];
+            if alive.contains(&candidate) {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+
     /// Reassigns every cell owned by `from` to `to` (failover). `to` must
     /// already be a member.
     ///
@@ -452,6 +481,38 @@ mod tests {
                 "{p} contained by {containing} routing regions"
             );
         }
+    }
+
+    #[test]
+    fn alive_successors_walk_past_dead_members() {
+        use std::collections::HashSet;
+        let m = PartitionMap::uniform(extent(), 400.0, workers(5));
+        let all: HashSet<NodeId> = m.workers().iter().copied().collect();
+        // Everyone alive: identical to the plain successor rule.
+        assert_eq!(
+            m.alive_successors(NodeId(1), 2, &all),
+            vec![NodeId(2), NodeId(3)]
+        );
+        // A dead immediate successor is skipped, not counted.
+        let mut alive = all.clone();
+        alive.remove(&NodeId(2));
+        assert_eq!(
+            m.alive_successors(NodeId(1), 2, &alive),
+            vec![NodeId(3), NodeId(4)]
+        );
+        // The walk wraps around the ring.
+        assert_eq!(
+            m.alive_successors(NodeId(4), 2, &alive),
+            vec![NodeId(5), NodeId(1)]
+        );
+        // Fewer alive peers than r: return all of them.
+        let two: HashSet<NodeId> = [NodeId(1), NodeId(4)].into_iter().collect();
+        assert_eq!(m.alive_successors(NodeId(1), 3, &two), vec![NodeId(4)]);
+        // Self is never a successor even when it is the only alive node.
+        let me: HashSet<NodeId> = [NodeId(1)].into_iter().collect();
+        assert!(m.alive_successors(NodeId(1), 2, &me).is_empty());
+        // Unknown worker.
+        assert!(m.alive_successors(NodeId(99), 2, &all).is_empty());
     }
 
     #[test]

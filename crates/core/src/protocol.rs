@@ -231,6 +231,56 @@ pub enum Request {
         /// The read to evaluate against that replica log.
         inner: Box<Request>,
     },
+    /// Anti-entropy digest request: report, per macro cell of `grid`, the
+    /// observation count and an order-independent checksum — once over
+    /// the local primary shard, and once per replica log held for other
+    /// primaries. The coordinator's repair sweeper compares primary and
+    /// replica digests to find under-replicated or diverged cells without
+    /// moving any observation data.
+    CellDigest {
+        /// The macro grid cells are reported against (packed
+        /// `row * cols + col`, positions bucketed by `cell_of_clamped`).
+        grid: GridSpecMsg,
+    },
+    /// Idempotent cell overwrite, the repair streamer's write primitive.
+    ///
+    /// When `primary` names *another* worker, the batch is applied to the
+    /// replica log held for that primary; when it names the addressee
+    /// itself, the batch is applied to the local primary shard (the
+    /// rejoin/rebalance bulk-sync path). With `truncate` set the cell's
+    /// current contents (under `grid`'s clamped bucketing) are removed
+    /// first — including their dedup ids — so a repair round converges to
+    /// exactly the primary's content even when the target holds stale or
+    /// hinted extras. Chunked streams set `truncate` only on the first
+    /// chunk; appends deduplicate by observation id, so a retransmitted
+    /// chunk is harmless.
+    Repair {
+        /// The primary whose shard the cell belongs to (the addressee
+        /// itself for primary-shard bulk sync).
+        primary: NodeId,
+        /// The macro grid `cell` refers to.
+        grid: GridSpecMsg,
+        /// The cell being overwritten, packed `row * cols + col`.
+        cell: u32,
+        /// Remove the cell's current contents before appending.
+        truncate: bool,
+        /// The authoritative observations for the cell (one chunk of).
+        batch: Vec<Observation>,
+    },
+    /// Readmission handshake for a restarted worker: drop *all* local
+    /// state (primary index, replica logs, dedup memories, standing
+    /// queries) and install the given route. The coordinator then
+    /// bulk-syncs the worker's shard via `Repair` and re-enters it into
+    /// the plan; resetting first makes the whole handshake idempotent —
+    /// a worker that answers `Rejoin` twice just starts over.
+    Rejoin {
+        /// The routing-plan epoch of the installed route.
+        epoch: u64,
+        /// The macro grid the cell indices refer to.
+        grid: GridSpecMsg,
+        /// The cells this worker will own, packed `row * cols + col`.
+        cells: Vec<u32>,
+    },
 }
 
 impl Request {
@@ -259,7 +309,96 @@ impl Request {
             Request::RangeFiltered { .. } => "range_filtered",
             Request::TopCells { .. } => "top_cells",
             Request::ReplicaRead { .. } => "replica_read",
+            Request::CellDigest { .. } => "cell_digest",
+            Request::Repair { .. } => "repair",
+            Request::Rejoin { .. } => "rejoin",
         }
+    }
+}
+
+/// One cell's digest over a worker's primary shard: observation count
+/// plus an order-independent checksum of the cell's contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestEntry {
+    /// The macro cell, packed `row * cols + col`.
+    pub cell: u32,
+    /// Observations positioned in the cell.
+    pub count: u32,
+    /// XOR-folded per-observation mix of id and timestamp (see
+    /// [`observation_checksum`](crate::repair::observation_checksum)) —
+    /// insertion-order independent, so two holders of the same set agree
+    /// regardless of arrival order.
+    pub checksum: u64,
+}
+
+impl Wire for DigestEntry {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.cell.encode(buf);
+        self.count.encode(buf);
+        self.checksum.encode(buf);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(DigestEntry {
+            cell: u32::decode(buf)?,
+            count: u32::decode(buf)?,
+            checksum: u64::decode(buf)?,
+        })
+    }
+}
+
+/// One cell's digest over a replica log: as [`DigestEntry`], keyed by the
+/// primary the log is held for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaDigestEntry {
+    /// The primary whose replica log the entry describes.
+    pub primary: NodeId,
+    /// The macro cell, packed `row * cols + col`.
+    pub cell: u32,
+    /// Observations positioned in the cell.
+    pub count: u32,
+    /// Order-independent content checksum (same mix as [`DigestEntry`]).
+    pub checksum: u64,
+}
+
+impl Wire for ReplicaDigestEntry {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.primary.0.encode(buf);
+        self.cell.encode(buf);
+        self.count.encode(buf);
+        self.checksum.encode(buf);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(ReplicaDigestEntry {
+            primary: NodeId(u32::decode(buf)?),
+            cell: u32::decode(buf)?,
+            count: u32::decode(buf)?,
+            checksum: u64::decode(buf)?,
+        })
+    }
+}
+
+/// A worker's answer to [`Request::CellDigest`]: sparse per-cell digests
+/// of its primary shard and of every replica log it holds. Cells with no
+/// observations are omitted, so the wire cost tracks occupancy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DigestReport {
+    /// Occupied cells of the primary shard, sorted by cell.
+    pub primary: Vec<DigestEntry>,
+    /// Occupied cells of each held replica log, sorted by
+    /// `(primary, cell)`.
+    pub replicas: Vec<ReplicaDigestEntry>,
+}
+
+impl Wire for DigestReport {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.primary.encode(buf);
+        self.replicas.encode(buf);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(DigestReport {
+            primary: Vec::decode(buf)?,
+            replicas: Vec::decode(buf)?,
+        })
     }
 }
 
@@ -367,6 +506,8 @@ pub enum Response {
         /// Ids of the observations the addressee refuses to own.
         misrouted: Vec<ObservationId>,
     },
+    /// Per-cell anti-entropy digests (answer to [`Request::CellDigest`]).
+    Digests(DigestReport),
 }
 
 const REQ_PING: u8 = 0;
@@ -389,6 +530,9 @@ const REQ_REPLICA_READ: u8 = 16;
 const REQ_INGEST_SEQ: u8 = 17;
 const REQ_REPLICATE_SEQ: u8 = 18;
 const REQ_ROUTE_UPDATE: u8 = 19;
+const REQ_CELL_DIGEST: u8 = 20;
+const REQ_REPAIR: u8 = 21;
+const REQ_REJOIN: u8 = 22;
 
 impl Wire for Request {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -510,6 +654,30 @@ impl Wire for Request {
                 grid.encode(buf);
                 cells.encode(buf);
             }
+            Request::CellDigest { grid } => {
+                buf.put_u8(REQ_CELL_DIGEST);
+                grid.encode(buf);
+            }
+            Request::Repair {
+                primary,
+                grid,
+                cell,
+                truncate,
+                batch,
+            } => {
+                buf.put_u8(REQ_REPAIR);
+                primary.0.encode(buf);
+                grid.encode(buf);
+                cell.encode(buf);
+                truncate.encode(buf);
+                batch::encode_batch(batch, buf);
+            }
+            Request::Rejoin { epoch, grid, cells } => {
+                buf.put_u8(REQ_REJOIN);
+                epoch.encode(buf);
+                grid.encode(buf);
+                cells.encode(buf);
+            }
         }
     }
 
@@ -526,6 +694,8 @@ impl Wire for Request {
             Request::ReplicateSeq { batch, .. } => 28 + batch::batch_size_hint(batch),
             Request::RouteUpdate { cells, .. } => 41 + cells.size_hint(),
             Request::ReplicaRead { inner, .. } => 5 + inner.size_hint(),
+            Request::Repair { batch, .. } => 42 + batch::batch_size_hint(batch),
+            Request::Rejoin { cells, .. } => 41 + cells.size_hint(),
             _ => 48,
         }
     }
@@ -614,6 +784,21 @@ impl Request {
                 grid: GridSpecMsg::decode(buf)?,
                 cells: Vec::decode(buf)?,
             },
+            REQ_CELL_DIGEST => Request::CellDigest {
+                grid: GridSpecMsg::decode(buf)?,
+            },
+            REQ_REPAIR => Request::Repair {
+                primary: NodeId(u32::decode(buf)?),
+                grid: GridSpecMsg::decode(buf)?,
+                cell: u32::decode(buf)?,
+                truncate: bool::decode(buf)?,
+                batch: batch::decode_batch(buf)?,
+            },
+            REQ_REJOIN => Request::Rejoin {
+                epoch: u64::decode(buf)?,
+                grid: GridSpecMsg::decode(buf)?,
+                cells: Vec::decode(buf)?,
+            },
             other => {
                 return Err(DecodeError::InvalidDiscriminant {
                     type_name: "Request",
@@ -632,6 +817,7 @@ const RESP_ERROR: u8 = 4;
 const RESP_CELL_COUNTS: u8 = 5;
 const RESP_INGEST_ACK: u8 = 6;
 const RESP_INGEST_NACK: u8 = 7;
+const RESP_DIGESTS: u8 = 8;
 
 impl Wire for Response {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -674,6 +860,10 @@ impl Wire for Response {
                 epoch.encode(buf);
                 misrouted.encode(buf);
             }
+            Response::Digests(report) => {
+                buf.put_u8(RESP_DIGESTS);
+                report.encode(buf);
+            }
         }
     }
 
@@ -696,6 +886,7 @@ impl Wire for Response {
                 epoch: u64::decode(buf)?,
                 misrouted: Vec::decode(buf)?,
             },
+            RESP_DIGESTS => Response::Digests(DigestReport::decode(buf)?),
             other => {
                 return Err(DecodeError::InvalidDiscriminant {
                     type_name: "Response",
@@ -712,6 +903,9 @@ impl Wire for Response {
             Response::CellCounts(cells) => cells.size_hint(),
             Response::Error(msg) => msg.size_hint(),
             Response::IngestNack { misrouted, .. } => 21 + misrouted.size_hint(),
+            Response::Digests(report) => {
+                16 * report.primary.len() + 20 * report.replicas.len() + 20
+            }
             _ => 64,
         }
     }
@@ -841,6 +1035,48 @@ mod tests {
             },
             cells: vec![0, 7, 63],
         });
+        round_trip_req(Request::CellDigest {
+            grid: GridSpecMsg {
+                origin: Point::new(0.0, 0.0),
+                cell_size: 100.0,
+                cols: 4,
+                rows: 4,
+            },
+        });
+        round_trip_req(Request::Repair {
+            primary: NodeId(3),
+            grid: GridSpecMsg {
+                origin: Point::new(0.0, 0.0),
+                cell_size: 100.0,
+                cols: 4,
+                rows: 4,
+            },
+            cell: 9,
+            truncate: true,
+            batch: vec![obs(), obs()],
+        });
+        round_trip_req(Request::Repair {
+            primary: NodeId(4),
+            grid: GridSpecMsg {
+                origin: Point::new(0.0, 0.0),
+                cell_size: 100.0,
+                cols: 4,
+                rows: 4,
+            },
+            cell: 0,
+            truncate: false,
+            batch: vec![],
+        });
+        round_trip_req(Request::Rejoin {
+            epoch: 9,
+            grid: GridSpecMsg {
+                origin: Point::new(0.0, 0.0),
+                cell_size: 100.0,
+                cols: 4,
+                rows: 4,
+            },
+            cells: vec![1, 2, 14],
+        });
     }
 
     #[test]
@@ -891,6 +1127,27 @@ mod tests {
                 ObservationId::compose(CameraId(2), 9),
             ],
         });
+        round_trip_resp(Response::Digests(DigestReport::default()));
+        round_trip_resp(Response::Digests(DigestReport {
+            primary: vec![
+                DigestEntry {
+                    cell: 0,
+                    count: 3,
+                    checksum: 0xDEAD_BEEF,
+                },
+                DigestEntry {
+                    cell: 7,
+                    count: 1,
+                    checksum: 42,
+                },
+            ],
+            replicas: vec![ReplicaDigestEntry {
+                primary: NodeId(2),
+                cell: 5,
+                count: 9,
+                checksum: u64::MAX,
+            }],
+        }));
     }
 
     #[test]
@@ -962,6 +1219,19 @@ mod tests {
                 batch: vec![],
             },
             Request::RouteUpdate {
+                epoch: 1,
+                grid,
+                cells: vec![],
+            },
+            Request::CellDigest { grid },
+            Request::Repair {
+                primary: NodeId(1),
+                grid,
+                cell: 0,
+                truncate: false,
+                batch: vec![],
+            },
+            Request::Rejoin {
                 epoch: 1,
                 grid,
                 cells: vec![],

@@ -134,6 +134,9 @@ const DISPATCH: &[(&str, Handler)] = &[
     ("ingest_seq", Worker::serve_ingest_seq),
     ("replicate_seq", Worker::serve_replicate_seq),
     ("route_update", Worker::serve_route_update),
+    ("cell_digest", Worker::serve_cell_digest),
+    ("repair", Worker::serve_repair),
+    ("rejoin", Worker::serve_rejoin),
 ];
 
 impl Worker {
@@ -356,6 +359,132 @@ impl Worker {
         Response::Ack
     }
 
+    /// Answers the anti-entropy sweep: sparse per-cell count/checksum
+    /// digests over the primary shard and every held replica log,
+    /// bucketed by the request's grid with clamping (the ingest routing
+    /// rule), so the coordinator can compare copies without moving data.
+    fn serve_cell_digest(&mut self, request: Request) -> Response {
+        let Request::CellDigest { grid } = request else {
+            return Self::misrouted(&request);
+        };
+        let grid = grid.to_grid();
+        let everything = stcam_geo::BBox::new(
+            stcam_geo::Point::new(-1e12, -1e12),
+            stcam_geo::Point::new(1e12, 1e12),
+        );
+        let primary = crate::repair::digest_observations(
+            &grid,
+            self.index.range(everything, stcam_geo::TimeInterval::ALL),
+        )
+        .into_iter()
+        .map(|(cell, count, checksum)| crate::protocol::DigestEntry {
+            cell,
+            count,
+            checksum,
+        })
+        .collect();
+        let mut replicas: Vec<crate::protocol::ReplicaDigestEntry> = Vec::new();
+        for (&of, log) in &self.replica_logs {
+            replicas.extend(
+                crate::repair::digest_observations(&grid, log.iter())
+                    .into_iter()
+                    .map(
+                        |(cell, count, checksum)| crate::protocol::ReplicaDigestEntry {
+                            primary: of,
+                            cell,
+                            count,
+                            checksum,
+                        },
+                    ),
+            );
+        }
+        replicas.sort_by_key(|e| (e.primary, e.cell));
+        Response::Digests(crate::protocol::DigestReport { primary, replicas })
+    }
+
+    /// Applies one repair stream chunk. `truncate` first removes the
+    /// cell's current contents (and their dedup ids), so a full stream is
+    /// an idempotent overwrite; appends then pass through the id filter,
+    /// making chunk retransmissions harmless. `primary == self` targets
+    /// the primary shard (the rejoin/rebalance bulk-sync path); any other
+    /// primary targets the replica log held for it.
+    fn serve_repair(&mut self, request: Request) -> Response {
+        let Request::Repair {
+            primary,
+            grid,
+            cell,
+            truncate,
+            batch,
+        } = request
+        else {
+            return Self::misrouted(&request);
+        };
+        let region = crate::repair::cell_region(&grid.to_grid(), cell);
+        if primary == self.endpoint.id() {
+            if truncate {
+                for removed in self.index.extract_range(region) {
+                    self.seen.remove(&removed.id);
+                }
+            }
+            let fresh: Vec<Observation> = batch
+                .into_iter()
+                .filter(|o| self.seen.insert(o.id))
+                .collect();
+            self.index.insert_batch(fresh);
+        } else {
+            let log = self.replica_logs.entry(primary).or_default();
+            let ids = self.replica_seen.entry(primary).or_default();
+            if truncate {
+                log.retain(|o| {
+                    let stale = region.contains(o.position);
+                    if stale {
+                        ids.remove(&o.id);
+                    }
+                    !stale
+                });
+            }
+            for o in batch {
+                if ids.insert(o.id) {
+                    log.push(o);
+                }
+            }
+            // An emptied log reads as "nothing held for that primary",
+            // matching a fresh worker.
+            if log.is_empty() {
+                self.replica_logs.remove(&primary);
+                self.replica_seen.remove(&primary);
+            }
+        }
+        Response::Ack
+    }
+
+    /// Readmission handshake for a restarted worker: drop **all** local
+    /// state (the pre-crash incarnation's shard, replica logs, dedup and
+    /// retransmission memory, standing queries) and install the new
+    /// epoch-stamped routing slice. The coordinator then bulk-syncs the
+    /// shard via [`Request::Repair`] and re-registers standing queries
+    /// before publishing the plan that re-admits this node. Idempotent:
+    /// re-clearing an empty worker and re-installing the same route are
+    /// no-ops.
+    fn serve_rejoin(&mut self, request: Request) -> Response {
+        let Request::Rejoin { epoch, grid, cells } = request else {
+            return Self::misrouted(&request);
+        };
+        self.index = StIndex::new(self.config.index.clone());
+        self.replica_logs.clear();
+        self.replica_seen.clear();
+        self.seen.clear();
+        self.continuous.clear();
+        self.ingest_seqs = SeqMemory::default();
+        self.replicate_seqs = SeqMemory::default();
+        self.route = Some(RouteInfo {
+            epoch,
+            grid: grid.to_grid(),
+            cells: cells.into_iter().collect(),
+        });
+        Response::Ack
+    }
+
     fn serve_range(&mut self, request: Request) -> Response {
         let Request::Range { region, window } = request else {
             return Self::misrouted(&request);
@@ -471,7 +600,14 @@ impl Worker {
         let Request::ExtractRegion { region } = request else {
             return Self::misrouted(&request);
         };
-        Response::Observations(self.index.extract_range(region))
+        // Extraction cedes ownership of the data, so the extracted ids
+        // must leave the dedup set too — if the cell migrates back here
+        // later, the repair stream's appends have to be accepted again.
+        let extracted = self.index.extract_range(region);
+        for o in &extracted {
+            self.seen.remove(&o.id);
+        }
+        Response::Observations(extracted)
     }
 
     fn serve_range_filtered(&mut self, request: Request) -> Response {
@@ -923,6 +1059,11 @@ mod tests {
             Response::Observations(moved) => assert!(moved.is_empty()),
             other => panic!("unexpected response {other:?}"),
         }
+        // Extraction must also release the ids from the ingest dedup set:
+        // if the cell migrates back here later, the same observation has
+        // to be accepted again rather than silently dropped.
+        worker.handle_request(Request::Ingest(vec![obs(0, 0, 100.0, 100.0)]));
+        assert_eq!(worker.stats().primary_observations, 2);
     }
 
     #[test]
@@ -1034,6 +1175,36 @@ mod tests {
                 batch: vec![],
             },
             Request::RouteUpdate {
+                epoch: 1,
+                grid: GridSpecMsg {
+                    origin: Point::ORIGIN,
+                    cell_size: 1.0,
+                    cols: 1,
+                    rows: 1,
+                },
+                cells: vec![],
+            },
+            Request::CellDigest {
+                grid: GridSpecMsg {
+                    origin: Point::ORIGIN,
+                    cell_size: 1.0,
+                    cols: 1,
+                    rows: 1,
+                },
+            },
+            Request::Repair {
+                primary: NodeId(1),
+                grid: GridSpecMsg {
+                    origin: Point::ORIGIN,
+                    cell_size: 1.0,
+                    cols: 1,
+                    rows: 1,
+                },
+                cell: 0,
+                truncate: false,
+                batch: vec![],
+            },
+            Request::Rejoin {
                 epoch: 1,
                 grid: GridSpecMsg {
                     origin: Point::ORIGIN,
@@ -1418,6 +1589,200 @@ mod tests {
             }
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    fn grid_2x2() -> crate::protocol::GridSpecMsg {
+        crate::protocol::GridSpecMsg {
+            origin: Point::ORIGIN,
+            cell_size: 500.0,
+            cols: 2,
+            rows: 2,
+        }
+    }
+
+    #[test]
+    fn cell_digest_covers_primary_and_replica_logs() {
+        use crate::repair::observation_checksum;
+        let (_fabric, mut worker) = lone_worker();
+        let a = obs(0, 100, 100.0, 100.0); // cell 0
+        let b = obs(1, 200, 100.0, 150.0); // cell 0
+        let c = obs(2, 300, 900.0, 900.0); // cell 3
+        worker.handle_request(Request::Ingest(vec![a.clone(), b.clone()]));
+        worker.handle_request(Request::Replicate {
+            primary: NodeId(7),
+            batch: vec![c.clone()],
+        });
+        match worker.handle_request(Request::CellDigest { grid: grid_2x2() }) {
+            Response::Digests(report) => {
+                assert_eq!(report.primary.len(), 1);
+                assert_eq!(report.primary[0].cell, 0);
+                assert_eq!(report.primary[0].count, 2);
+                assert_eq!(
+                    report.primary[0].checksum,
+                    observation_checksum(&a) ^ observation_checksum(&b)
+                );
+                assert_eq!(report.replicas.len(), 1);
+                assert_eq!(report.replicas[0].primary, NodeId(7));
+                assert_eq!(report.replicas[0].cell, 3);
+                assert_eq!(report.replicas[0].count, 1);
+                assert_eq!(report.replicas[0].checksum, observation_checksum(&c));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_overwrites_replica_log_cell_idempotently() {
+        let (_fabric, mut worker) = lone_worker();
+        // Stale copy in cell 0 of primary 4's log.
+        worker.handle_request(Request::Replicate {
+            primary: NodeId(4),
+            batch: vec![obs(0, 100, 10.0, 10.0), obs(9, 100, 900.0, 900.0)],
+        });
+        // Stream the authoritative contents: truncate, then two chunks.
+        let fresh = [obs(1, 100, 20.0, 20.0), obs(2, 100, 30.0, 30.0)];
+        worker.handle_request(Request::Repair {
+            primary: NodeId(4),
+            grid: grid_2x2(),
+            cell: 0,
+            truncate: true,
+            batch: vec![fresh[0].clone()],
+        });
+        worker.handle_request(Request::Repair {
+            primary: NodeId(4),
+            grid: grid_2x2(),
+            cell: 0,
+            truncate: false,
+            batch: vec![fresh[1].clone()],
+        });
+        // A retransmitted chunk appends nothing (id dedup).
+        worker.handle_request(Request::Repair {
+            primary: NodeId(4),
+            grid: grid_2x2(),
+            cell: 0,
+            truncate: false,
+            batch: vec![fresh[1].clone()],
+        });
+        match worker.handle_request(Request::SnapshotReplica { of: NodeId(4) }) {
+            Response::Observations(log) => {
+                let mut seqs: Vec<u64> = log.iter().map(|o| o.id.seq()).collect();
+                seqs.sort_unstable();
+                // Cell 0 replaced (seq 0 gone, 1 and 2 in); cell 3
+                // untouched (seq 9 kept).
+                assert_eq!(seqs, vec![1, 2, 9]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Truncating the stale-id namespace re-admits the removed id.
+        worker.handle_request(Request::Repair {
+            primary: NodeId(4),
+            grid: grid_2x2(),
+            cell: 0,
+            truncate: true,
+            batch: vec![obs(0, 100, 10.0, 10.0)],
+        });
+        match worker.handle_request(Request::SnapshotReplica { of: NodeId(4) }) {
+            Response::Observations(log) => {
+                let mut seqs: Vec<u64> = log.iter().map(|o| o.id.seq()).collect();
+                seqs.sort_unstable();
+                assert_eq!(seqs, vec![0, 9]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_to_self_overwrites_primary_cell() {
+        let (_fabric, mut worker) = lone_worker();
+        worker.handle_request(Request::Ingest(vec![
+            obs(0, 100, 10.0, 10.0),   // cell 0 — to be replaced
+            obs(9, 100, 900.0, 900.0), // cell 3 — untouched
+        ]));
+        worker.handle_request(Request::Repair {
+            primary: NodeId(1), // == self: primary shard path
+            grid: grid_2x2(),
+            cell: 0,
+            truncate: true,
+            batch: vec![obs(1, 100, 20.0, 20.0)],
+        });
+        let resp = worker.handle_request(Request::Range {
+            region: BBox::new(Point::ORIGIN, Point::new(1000.0, 1000.0)),
+            window: window_all(),
+        });
+        match resp {
+            Response::Observations(hits) => {
+                let mut seqs: Vec<u64> = hits.iter().map(|o| o.id.seq()).collect();
+                seqs.sort_unstable();
+                assert_eq!(seqs, vec![1, 9]);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The truncated id was released from the dedup filter: the same
+        // observation can be streamed back (rebalance return trip).
+        worker.handle_request(Request::Repair {
+            primary: NodeId(1),
+            grid: grid_2x2(),
+            cell: 0,
+            truncate: true,
+            batch: vec![obs(0, 100, 10.0, 10.0)],
+        });
+        assert_eq!(worker.stats().primary_observations, 2);
+    }
+
+    #[test]
+    fn rejoin_resets_all_state_and_installs_route() {
+        let (_fabric, mut worker) = lone_worker();
+        worker.handle_request(Request::Ingest(vec![obs(0, 100, 10.0, 10.0)]));
+        worker.handle_request(Request::Replicate {
+            primary: NodeId(4),
+            batch: vec![obs(1, 100, 20.0, 20.0)],
+        });
+        worker.handle_request(Request::RegisterContinuous {
+            id: ContinuousQueryId(7),
+            predicate: Predicate {
+                region: BBox::around(Point::new(10.0, 10.0), 50.0),
+                class: None,
+            },
+            notify: NodeId(0),
+        });
+        worker.handle_request(Request::IngestSeq {
+            sender: NodeId(10_001),
+            seq: 5,
+            epoch: 1,
+            batch: vec![obs(2, 100, 30.0, 30.0)],
+        });
+        assert_eq!(
+            worker.handle_request(Request::Rejoin {
+                epoch: 9,
+                grid: grid_2x2(),
+                cells: vec![0],
+            }),
+            Response::Ack
+        );
+        let stats = worker.stats();
+        assert_eq!(stats.primary_observations, 0);
+        assert_eq!(stats.replica_observations, 0);
+        assert_eq!(stats.continuous_queries, 0);
+        // Retransmission memory cleared: the old (sender, seq) is
+        // re-applied, not replayed from a forgotten answer.
+        worker.handle_request(Request::IngestSeq {
+            sender: NodeId(10_001),
+            seq: 5,
+            epoch: 9,
+            batch: vec![obs(2, 100, 30.0, 30.0)],
+        });
+        assert_eq!(worker.stats().primary_observations, 1);
+        // The installed route rejects cells outside the new slice.
+        let resp = worker.handle_request(Request::IngestSeq {
+            sender: NodeId(10_001),
+            seq: 6,
+            epoch: 9,
+            batch: vec![obs(3, 100, 900.0, 900.0)],
+        });
+        assert!(
+            matches!(resp, Response::IngestNack { epoch: 9, .. }),
+            "unexpected response {resp:?}"
+        );
     }
 
     #[test]

@@ -397,6 +397,29 @@ fn execute_plan(seed: u64, plan: &ChaosPlan, lossy: bool) {
         failovers > 0,
         "seed {seed}: plan never exercised replica failover"
     );
+
+    // Post-heal replica invariant: anti-entropy converges, after which
+    // every cell an alive owner holds is mirrored — digest-equal — at its
+    // `replication` alive ring successors.
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(30);
+    loop {
+        let report = cluster.repair();
+        if report.converged {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "seed {seed}: repair never converged ({} cells still under-replicated \
+             after {} rounds)",
+            report.under_replicated_after,
+            report.rounds
+        );
+    }
+    assert_eq!(
+        cluster.under_replicated_cells(),
+        0,
+        "seed {seed}: under-replication gauge nonzero after repair converged"
+    );
     cluster.shutdown();
 }
 
@@ -540,6 +563,65 @@ fn killed_worker_is_served_by_replicas_before_recovery() {
             .any(|&(n, s)| n == victim && s > 0),
         "killed worker never became suspect: {:?}",
         cluster.suspicions()
+    );
+    cluster.shutdown();
+}
+
+/// A worker that crashed, was failed out of the ring, and later restarts
+/// is readmitted by the rejoin handshake even while the links drop 5% of
+/// messages — and afterwards owns cells and serves strict reads again.
+#[test]
+fn restarted_worker_rejoins_under_loss() {
+    let (cluster, oracle, _upper) = launch_with_data();
+    let victim = NodeId(2);
+    cluster.kill_worker(victim);
+    let failed = cluster.check_and_recover();
+    assert!(
+        failed.contains(&victim),
+        "kill was not detected: {failed:?}"
+    );
+
+    // Lossy links from here on: the rejoin probe and the repair stream
+    // must survive dropped messages, so give probes real retry room.
+    cluster.set_op_policy("probe", OpPolicy::new(StdDuration::from_millis(750)));
+    cluster.set_drop_probability(0.05);
+    cluster.restart_worker(victim);
+
+    // Rejoin may need more than one recovery tick under loss (a dropped
+    // probe looks exactly like a still-dead worker).
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(30);
+    loop {
+        cluster.check_and_recover();
+        let owns_cells = !cluster.partition().cells_of(victim).is_empty();
+        if owns_cells && cluster.under_replicated_cells() == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "restarted worker never rejoined under loss \
+             (owns_cells={owns_cells}, under_replicated={})",
+            cluster.under_replicated_cells()
+        );
+        std::thread::sleep(StdDuration::from_millis(50));
+    }
+
+    // Heal the links and drive anti-entropy to convergence: repair ops
+    // lost to the 5% drop (a failed evict leaves a stale copy) retry now.
+    cluster.set_drop_probability(0.0);
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(30);
+    while !cluster.repair().converged {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "repair never converged after links healed"
+        );
+    }
+    let strict = cluster
+        .range_query(extent(), window_all())
+        .expect("strict range after rejoin");
+    assert_eq!(
+        sorted_ids(&strict),
+        sorted_ids(&oracle.range_query(extent(), window_all())),
+        "strict answer diverged from oracle after rejoin"
     );
     cluster.shutdown();
 }

@@ -4,7 +4,10 @@
 //! sizes and load profiles.
 
 use proptest::prelude::*;
-use stcam::{GridSpecMsg, PartitionMap, Predicate, Request, Response, WorkerStatsMsg};
+use stcam::{
+    DigestEntry, DigestReport, GridSpecMsg, PartitionMap, Predicate, ReplicaDigestEntry, Request,
+    Response, WorkerStatsMsg,
+};
 use stcam_camnet::{CameraId, Observation, ObservationId, Signature};
 use stcam_codec::{decode_from_slice, encode_to_vec};
 use stcam_geo::{BBox, Point, TimeInterval, Timestamp};
@@ -106,7 +109,7 @@ proptest! {
             Request::Replicate { primary: NodeId(node), batch: batch.clone() },
             Request::IngestSeq { sender: NodeId(node), seq, epoch, batch: batch.clone() },
             Request::ReplicateSeq { sender: NodeId(node), seq, primary: NodeId(node), batch: batch.clone() },
-            Request::RouteUpdate { epoch, grid: buckets, cells },
+            Request::RouteUpdate { epoch, grid: buckets, cells: cells.clone() },
             Request::Range { region, window },
             Request::Knn { at: region.center(), window, k, max_distance },
             Request::Heatmap { buckets, window },
@@ -128,6 +131,15 @@ proptest! {
                 of: NodeId(node),
                 inner: Box::new(Request::Range { region, window }),
             },
+            Request::CellDigest { grid: buckets },
+            Request::Repair {
+                primary: NodeId(node),
+                grid: buckets,
+                cell: k,
+                truncate: k % 2 == 0,
+                batch: batch.clone(),
+            },
+            Request::Rejoin { epoch, grid: buckets, cells },
         ];
         // Each round-trips exactly, and dispatch names stay unique.
         let mut names = std::collections::HashSet::new();
@@ -136,7 +148,7 @@ proptest! {
             prop_assert!(names.insert(request.op_name()), "duplicate op name {}", request.op_name());
             prop_assert_eq!(decode_from_slice::<Request>(&bytes).unwrap(), request);
         }
-        prop_assert_eq!(names.len(), 20);
+        prop_assert_eq!(names.len(), 23);
     }
 
     #[test]
@@ -164,6 +176,25 @@ proptest! {
         };
         // Every Response variant the protocol defines.
         let misrouted: Vec<ObservationId> = batch.iter().map(|o| o.id).collect();
+        let digests = DigestReport {
+            primary: cells
+                .iter()
+                .map(|&(cell, checksum)| DigestEntry {
+                    cell,
+                    count: cell,
+                    checksum,
+                })
+                .collect(),
+            replicas: cells
+                .iter()
+                .map(|&(cell, checksum)| ReplicaDigestEntry {
+                    primary: NodeId(cell),
+                    cell,
+                    count: cell,
+                    checksum,
+                })
+                .collect(),
+        };
         let responses = [
             Response::Ack,
             Response::Observations(batch),
@@ -173,6 +204,7 @@ proptest! {
             Response::CellCounts(cells),
             Response::IngestAck { seq, accepted },
             Response::IngestNack { seq, accepted, epoch, misrouted },
+            Response::Digests(digests),
         ];
         for response in responses {
             let bytes = encode_to_vec(&response);

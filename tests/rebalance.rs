@@ -1,6 +1,6 @@
 //! Online rebalancing and filtered queries, end to end.
 
-use stcam::{Cluster, ClusterConfig, PartitionPolicy, Predicate, StcamError};
+use stcam::{Cluster, ClusterConfig, PartitionPolicy, Predicate};
 use stcam_camnet::{CameraId, Observation, ObservationId, Signature};
 use stcam_geo::{BBox, Point, TimeInterval, Timestamp};
 use stcam_net::LinkModel;
@@ -155,18 +155,75 @@ fn ingest_routes_correctly_after_rebalance() {
     cluster.shutdown();
 }
 
+/// A hotspot in an arbitrary corner of the extent (same shape as
+/// `hotspot_batch`, which anchors at the south-west corner).
+fn corner_batch(start: u64, n: u64, cx: f64, cy: f64) -> Vec<Observation> {
+    (start..start + n)
+        .map(|i| {
+            let (x, y) = if i % 10 < 7 {
+                (
+                    cx + (i as f64 * 7.3) % 300.0,
+                    cy + (i as f64 * 11.7) % 300.0,
+                )
+            } else {
+                ((i as f64 * 37.0) % 1600.0, (i as f64 * 53.0) % 1600.0)
+            };
+            obs(i, (i % 50) * 1000, x, y, EntityClass::Car)
+        })
+        .collect()
+}
+
+/// Regression: when the hotspot migrates between epochs, cells move away
+/// from a worker and later move back to it. The returning copies must be
+/// re-accepted — a stale entry in the ingest dedup set used to swallow
+/// them silently.
 #[test]
-fn rebalance_with_replication_is_rejected() {
+fn repeated_rebalances_with_shifting_hotspots_lose_nothing() {
+    let cluster = Cluster::launch(config(6)).unwrap();
+    let epochs = [(50.0, 50.0), (1250.0, 1250.0), (50.0, 50.0)];
+    let per_epoch = 2_000u64;
+    for (round, &(cx, cy)) in epochs.iter().enumerate() {
+        let start = round as u64 * per_epoch;
+        cluster
+            .ingest(corner_batch(start, per_epoch, cx, cy))
+            .unwrap();
+        cluster.flush().unwrap();
+        cluster.rebalance().unwrap();
+        let held = cluster.range_query(extent(), window_all()).unwrap().len();
+        assert_eq!(
+            held,
+            (round as u64 + 1) as usize * per_epoch as usize,
+            "epoch {round}: rebalance lost observations"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn rebalance_with_replication_preserves_data_and_coverage() {
     let cluster = Cluster::launch(
         ClusterConfig::new(extent(), 4)
             .with_replication(1)
             .with_link(LinkModel::instant()),
     )
     .unwrap();
-    assert!(matches!(
-        cluster.rebalance(),
-        Err(StcamError::Unsupported(_))
-    ));
+    cluster.ingest(hotspot_batch(1_000)).unwrap();
+    cluster.flush().unwrap();
+
+    // The old factor-0 guard is gone: the move runs copy-then-cutover
+    // through the repair streamer and keeps the replica chains covered.
+    let report = cluster.rebalance().unwrap();
+    assert!(report.cells_moved > 0, "hotspot workload should move cells");
+    assert_eq!(
+        cluster.range_query(extent(), window_all()).unwrap().len(),
+        1_000,
+        "rebalance under replication lost or duplicated data"
+    );
+    assert_eq!(
+        cluster.under_replicated_cells(),
+        0,
+        "moved cells left without their replica copies"
+    );
     cluster.shutdown();
 }
 
