@@ -1,5 +1,5 @@
 //! Figure 13 (ablation) — local index parameters: spatial cell size ×
-//! temporal slice length.
+//! temporal slice length × storage tier.
 //!
 //! The worker index's two knobs trade insert cost against query cost:
 //! finer cells mean more buckets to manage but tighter range scans;
@@ -7,12 +7,19 @@
 //! structures. This sweep justifies the framework defaults (cell ≈
 //! extent/80, slice 10 s) on the standard archive.
 //!
+//! Each configuration is measured twice — all-mutable and with closed
+//! slices sealed into immutable columnar segments — so the table doubles
+//! as the sealed-store ablation: what sealing costs (decode on
+//! materialising scans) and what it buys (footer-resolved counts,
+//! compressed residency) across the parameter grid.
+//!
 //! ```text
 //! cargo run -p stcam-bench --release --bin fig13_index_ablation
 //! ```
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use stcam_bench::report::{obj, Report, Value};
 use stcam_bench::{square_extent, synthetic_stream, timed, window_secs, Table};
 use stcam_geo::{BBox, Duration, Point, TimeInterval, Timestamp};
 use stcam_index::{IndexConfig, StIndex};
@@ -21,72 +28,121 @@ const EXTENT_M: f64 = 8_000.0;
 const ARCHIVE: usize = 500_000;
 const QUERIES: usize = 200;
 
+/// Per-tier measurements of one (cell, slice) configuration.
+struct TierRun {
+    insert_mobs: f64,
+    range_ms: f64,
+    trange_ms: f64,
+    knn_ms: f64,
+    resident_mb: f64,
+}
+
+fn measure(config: IndexConfig, stream: &[stcam_camnet::Observation], seed: u64) -> TierRun {
+    let (index, insert_s) = timed(|| {
+        let mut index = StIndex::new(config);
+        index.insert_batch(stream.iter().cloned());
+        index
+    });
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points: Vec<Point> = (0..QUERIES)
+        .map(|_| Point::new(rng.gen_range(0.0..EXTENT_M), rng.gen_range(0.0..EXTENT_M)))
+        .collect();
+    let full_window = window_secs(600);
+
+    let (_, range_s) = timed(|| {
+        let mut total = 0usize;
+        for &p in &points {
+            total += index.range(BBox::around(p, 250.0), full_window).len();
+        }
+        total
+    });
+    // Temporally selective query: a 30 s window over a wide area
+    // exercises slice pruning (and, sealed, footer counting).
+    let (_, trange_s) = timed(|| {
+        let mut total = 0usize;
+        for (i, &p) in points.iter().enumerate() {
+            let t0 = (i as u64 * 17) % 570;
+            let window =
+                TimeInterval::new(Timestamp::from_secs(t0), Timestamp::from_secs(t0 + 30));
+            total += index.range_count(BBox::around(p, 1000.0), window);
+        }
+        total
+    });
+    let (_, knn_s) = timed(|| {
+        let mut total = 0usize;
+        for &p in &points {
+            total += index.knn(p, full_window, 16).len();
+        }
+        total
+    });
+    TierRun {
+        insert_mobs: ARCHIVE as f64 / insert_s / 1e6,
+        range_ms: range_s * 1e3 / QUERIES as f64,
+        trange_ms: trange_s * 1e3 / QUERIES as f64,
+        knn_ms: knn_s * 1e3 / QUERIES as f64,
+        resident_mb: index.stats().resident_bytes as f64 / (1 << 20) as f64,
+    }
+}
+
 fn main() {
     let extent = square_extent(EXTENT_M);
-    let stream = synthetic_stream(ARCHIVE, extent, 600, 83);
-    println!("Figure 13 (ablation): index cell size × slice length (500k archive)\n");
+    let mut stream = synthetic_stream(ARCHIVE, extent, 600, 83);
+    // Live ingest delivers observations in arrival ≈ timestamp order;
+    // slice-close events (which drive sealing) depend on it.
+    stream.sort_by_key(|o| o.time);
+    println!(
+        "Figure 13 (ablation): index cell size × slice length × tier (500k archive)\n\
+         each latency cell: all-mutable / sealed-segment store\n"
+    );
     let mut table = Table::new(&[
         "cell m",
         "slice s",
         "insert Mobs/s",
         "range 500 m ms",
-        "range 30 s window ms",
+        "count 30 s ms",
         "knn16 ms",
-        "slices",
+        "resident MB",
     ]);
 
+    let mut report = Report::new("fig13_index_ablation");
+    report.set("archive", ARCHIVE);
+    report.set("queries", QUERIES);
+    let mut rows: Vec<Value> = Vec::new();
     for cell_size in [25.0f64, 100.0, 400.0, 1600.0] {
         for slice_secs in [1u64, 10, 100] {
+            let seed = (cell_size as u64) ^ slice_secs;
             let config = IndexConfig::new(extent, cell_size, Duration::from_secs(slice_secs));
-            let (index, insert_s) = timed(|| {
-                let mut index = StIndex::new(config.clone());
-                index.insert_batch(stream.iter().cloned());
-                index
-            });
-
-            let mut rng = StdRng::seed_from_u64((cell_size as u64) ^ slice_secs);
-            let points: Vec<Point> = (0..QUERIES)
-                .map(|_| Point::new(rng.gen_range(0.0..EXTENT_M), rng.gen_range(0.0..EXTENT_M)))
-                .collect();
-            let full_window = window_secs(600);
-
-            let (_, range_s) = timed(|| {
-                let mut total = 0usize;
-                for &p in &points {
-                    total += index.range(BBox::around(p, 250.0), full_window).len();
-                }
-                total
-            });
-            // Temporally selective query: a 30 s window over the full area
-            // exercises slice pruning.
-            let (_, trange_s) = timed(|| {
-                let mut total = 0usize;
-                for (i, &p) in points.iter().enumerate() {
-                    let t0 = (i as u64 * 17) % 570;
-                    let window =
-                        TimeInterval::new(Timestamp::from_secs(t0), Timestamp::from_secs(t0 + 30));
-                    total += index.range_count(BBox::around(p, 1000.0), window);
-                }
-                total
-            });
-            let (_, knn_s) = timed(|| {
-                let mut total = 0usize;
-                for &p in &points {
-                    total += index.knn(p, full_window, 16).len();
-                }
-                total
-            });
+            let mutable = measure(config.clone().without_sealing(), &stream, seed);
+            let sealed = measure(config, &stream, seed);
             table.row(&[
                 format!("{cell_size:.0}"),
                 slice_secs.to_string(),
-                format!("{:.2}", ARCHIVE as f64 / insert_s / 1e6),
-                format!("{:.3}", range_s * 1e3 / QUERIES as f64),
-                format!("{:.3}", trange_s * 1e3 / QUERIES as f64),
-                format!("{:.3}", knn_s * 1e3 / QUERIES as f64),
-                index.stats().slices.to_string(),
+                format!("{:.2}/{:.2}", mutable.insert_mobs, sealed.insert_mobs),
+                format!("{:.3}/{:.3}", mutable.range_ms, sealed.range_ms),
+                format!("{:.3}/{:.3}", mutable.trange_ms, sealed.trange_ms),
+                format!("{:.3}/{:.3}", mutable.knn_ms, sealed.knn_ms),
+                format!("{:.1}/{:.1}", mutable.resident_mb, sealed.resident_mb),
             ]);
+            let tier = |r: &TierRun| {
+                obj(vec![
+                    ("insert_mobs_per_sec", Value::from(r.insert_mobs)),
+                    ("range_ms", Value::from(r.range_ms)),
+                    ("count_30s_ms", Value::from(r.trange_ms)),
+                    ("knn_ms", Value::from(r.knn_ms)),
+                    ("resident_mb", Value::from(r.resident_mb)),
+                ])
+            };
+            rows.push(obj(vec![
+                ("cell_m", Value::from(cell_size)),
+                ("slice_secs", Value::from(slice_secs)),
+                ("mutable", tier(&mutable)),
+                ("sealed", tier(&sealed)),
+            ]));
         }
     }
     table.print();
+    report.set("rows", rows);
+    report.emit();
     println!("\n(framework default: cell = extent/80 = 100 m, slice = 10 s)");
 }

@@ -1,0 +1,385 @@
+//! Figure 16 — archive scale: flat memory ceiling under the tiered
+//! mutable-head + sealed-segment store.
+//!
+//! Sweeps the archive from 10⁶ to 10⁷ observations at a **constant
+//! ingest rate** (so the mutable head holds a fixed-size working set
+//! throughout) with segment spilling enabled, and shows that
+//!
+//! 1. peak resident memory stays flat as the archive grows 10× — closed
+//!    slices are frozen into compressed columnar segments and their
+//!    payloads spilled to disk, leaving only the head and the per-segment
+//!    footers resident, and
+//! 2. query latency over the sealed tier stays within small factors of
+//!    the all-mutable baseline — the per-segment cell directory lets
+//!    `range`/`knn`/`heatmap` read back only the blocks a query touches.
+//!
+//! The time-windowed query mix has scale-independent result sizes (fixed
+//! window × constant rate), so latencies are comparable across scales.
+//!
+//! ```text
+//! cargo run -p stcam-bench --release --bin fig16_archive_scale
+//! ```
+//!
+//! Knobs: `FIG16_SCALES=1000000,10000000` overrides the sweep;
+//! `FIG16_NO_ASSERT=1` reports without enforcing the acceptance gates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stcam_bench::report::{obj, Report, Value};
+use stcam_bench::{fmt_count, square_extent, synthetic_stream, timed, LatencyStats, Table};
+use stcam_geo::{BBox, Duration, GridSpec, Point, TimeInterval, Timestamp};
+use stcam_index::{IndexConfig, StIndex};
+
+const EXTENT_M: f64 = 8_000.0;
+const CELL_M: f64 = 400.0;
+const SLICE_SECS: u64 = 60;
+/// Constant ingest rate: 10⁶ observations ≙ 600 s of archive.
+const RATE_OBS_PER_SEC: u64 = 1_667;
+const CHUNK_SECS: u64 = 60;
+const QUERIES: usize = 100;
+/// Deep-history analytics window (count / heatmap / archival range):
+/// spans many slices, so interior segments resolve from their footers.
+const DEEP_WINDOW_SECS: u64 = 600;
+/// Heat-map bucket edge: a multiple of the index cell size, so sealed
+/// blocks of interior cells aggregate straight from footer counts.
+const HEAT_BUCKET_M: f64 = 1_200.0;
+
+/// One scale's measurements.
+struct ScaleRun {
+    n: usize,
+    insert_s: f64,
+    peak_resident: usize,
+    spilled_bytes: usize,
+    sealed_segments: usize,
+    mix: QueryMix,
+}
+
+/// Latencies of the query mix at one scale.
+struct QueryMix {
+    /// Materialising range over the most recent 60 s (head-resident).
+    recent: LatencyStats,
+    /// Materialising range over a deep 600 s window (decode-bound).
+    range: LatencyStats,
+    /// `range_count` of a cell-aligned zone over a slice-aligned deep
+    /// window (footer-resolved).
+    count: LatencyStats,
+    /// kNN-16 over a random 60 s window.
+    knn: LatencyStats,
+    /// Whole-extent heat-map over a slice-aligned deep window
+    /// (footer-resolved for interior cells).
+    heatmap: LatencyStats,
+    hits: usize,
+}
+
+fn scales_from_env() -> Vec<usize> {
+    match std::env::var("FIG16_SCALES") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("FIG16_SCALES entry"))
+            .collect(),
+        Err(_) => vec![1_000_000, 3_000_000, 10_000_000],
+    }
+}
+
+/// Streams `n` observations at the constant rate into `index`,
+/// chunk-by-chunk (the full stream is never materialised — the point of
+/// the experiment is that the *index* does not hold it either), sampling
+/// the resident gauge after every chunk. Returns (peak resident, insert
+/// seconds).
+fn ingest_constant_rate(index: &mut StIndex, n: usize, extent: BBox, seed: u64) -> (usize, f64) {
+    let chunk_n = (RATE_OBS_PER_SEC * CHUNK_SECS) as usize;
+    let mut peak = 0usize;
+    let mut inserted = 0usize;
+    let mut chunk_no = 0u64;
+    let (_, insert_s) = timed(|| {
+        while inserted < n {
+            let take = chunk_n.min(n - inserted);
+            let mut chunk = synthetic_stream(take, extent, CHUNK_SECS, seed + chunk_no);
+            let base_ms = chunk_no * CHUNK_SECS * 1000;
+            for o in &mut chunk {
+                o.time = Timestamp::from_millis(o.time.as_millis() + base_ms);
+            }
+            index.insert_batch(chunk);
+            inserted += take;
+            chunk_no += 1;
+            peak = peak.max(index.stats().resident_bytes);
+        }
+    });
+    (peak, insert_s)
+}
+
+/// The query mix. Windows have fixed durations and the ingest rate is
+/// constant, so per-query result sizes are independent of archive depth
+/// and latencies are comparable across scales. Two horizons are probed:
+/// the most recent 60 s (the mutable head in the tiered config) and deep
+/// 600 s analytics windows at random offsets (sealed segments).
+fn query(index: &StIndex, archive_secs: u64, seed: u64) -> QueryMix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points: Vec<Point> = (0..QUERIES)
+        .map(|_| Point::new(rng.gen_range(0.0..EXTENT_M), rng.gen_range(0.0..EXTENT_M)))
+        .collect();
+    let deep: Vec<u64> = (0..QUERIES)
+        .map(|_| rng.gen_range(0..archive_secs.saturating_sub(DEEP_WINDOW_SECS).max(1)))
+        .collect();
+    // Analytics (count / heatmap) windows align to slice boundaries, as a
+    // per-minute dashboard would: every overlapped segment is then fully
+    // covered in time and interior cells resolve from footer counts alone.
+    let max_slice = archive_secs.saturating_sub(DEEP_WINDOW_SECS) / SLICE_SECS;
+    let aligned: Vec<u64> = (0..QUERIES)
+        .map(|_| rng.gen_range(0..=max_slice) * SLICE_SECS)
+        .collect();
+    // Count regions align to the index grid (district-style zones in the
+    // interior), so sealed blocks are either fully inside or fully outside.
+    let grid_cells = (EXTENT_M / CELL_M) as u64;
+    let span_cells = (HEAT_BUCKET_M / CELL_M) as u64;
+    let zones: Vec<BBox> = (0..QUERIES)
+        .map(|_| {
+            let gx = rng.gen_range(1..grid_cells - span_cells) as f64;
+            let gy = rng.gen_range(1..grid_cells - span_cells) as f64;
+            // Half-open on the far edges: the district covers its own
+            // cells, not the boundary line of the next row/column.
+            BBox::from_corners(
+                Point::new(gx * CELL_M, gy * CELL_M),
+                Point::new(
+                    ((gx + span_cells as f64) * CELL_M).next_down(),
+                    ((gy + span_cells as f64) * CELL_M).next_down(),
+                ),
+            )
+        })
+        .collect();
+    let short: Vec<u64> = (0..QUERIES)
+        .map(|_| rng.gen_range(0..archive_secs.saturating_sub(60).max(1)))
+        .collect();
+    let window = |t0: u64, secs: u64| {
+        TimeInterval::new(Timestamp::from_secs(t0), Timestamp::from_secs(t0 + secs))
+    };
+    let recent_window = window(archive_secs.saturating_sub(60), 60);
+
+    let mut recent_s = Vec::with_capacity(QUERIES);
+    for &p in &points {
+        let (_, s) = timed(|| index.range(BBox::around(p, 250.0), recent_window).len());
+        recent_s.push(s);
+    }
+    let mut hits = 0usize;
+    let mut range_s = Vec::with_capacity(QUERIES);
+    for (&p, &t0) in points.iter().zip(&deep) {
+        let (n, s) = timed(|| {
+            index
+                .range(BBox::around(p, 250.0), window(t0, DEEP_WINDOW_SECS))
+                .len()
+        });
+        hits += n;
+        range_s.push(s);
+    }
+    let mut count_s = Vec::with_capacity(QUERIES);
+    for (zone, &t0) in zones.iter().zip(&aligned) {
+        let (_, s) = timed(|| index.range_count(*zone, window(t0, DEEP_WINDOW_SECS)));
+        count_s.push(s);
+    }
+    let mut knn_s = Vec::with_capacity(QUERIES);
+    for (&p, &t0) in points.iter().zip(&short) {
+        let (_, s) = timed(|| index.knn(p, window(t0, 60), 16).len());
+        knn_s.push(s);
+    }
+    let buckets = GridSpec::covering(square_extent(EXTENT_M), HEAT_BUCKET_M);
+    let mut heat_s = Vec::with_capacity(QUERIES);
+    for &t0 in &aligned {
+        let (_, s) = timed(|| index.heatmap(&buckets, window(t0, DEEP_WINDOW_SECS)));
+        heat_s.push(s);
+    }
+    QueryMix {
+        recent: LatencyStats::from_samples(&recent_s),
+        range: LatencyStats::from_samples(&range_s),
+        count: LatencyStats::from_samples(&count_s),
+        knn: LatencyStats::from_samples(&knn_s),
+        heatmap: LatencyStats::from_samples(&heat_s),
+        hits,
+    }
+}
+
+fn run_scale(n: usize, spill_dir: &std::path::Path, sealing: bool) -> ScaleRun {
+    let extent = square_extent(EXTENT_M);
+    let archive_secs = n as u64 / RATE_OBS_PER_SEC + 1;
+    let mut config = IndexConfig::new(extent, CELL_M, Duration::from_secs(SLICE_SECS));
+    config = if sealing {
+        config.with_spill_dir(spill_dir)
+    } else {
+        config.without_sealing()
+    };
+    let mut index = StIndex::new(config);
+    let (peak_resident, insert_s) = ingest_constant_rate(&mut index, n, extent, 41);
+    let stats = index.stats();
+    let mix = query(&index, archive_secs, 97);
+    ScaleRun {
+        n,
+        insert_s,
+        peak_resident,
+        spilled_bytes: stats.spilled_bytes,
+        sealed_segments: stats.sealed_segments,
+        mix,
+    }
+}
+
+fn main() {
+    let scales = scales_from_env();
+    let assert_gates = std::env::var("FIG16_NO_ASSERT").is_err();
+    let spill_dir = std::env::temp_dir().join(format!("stcam-fig16-{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir).expect("create spill dir");
+    println!(
+        "Figure 16 (archive scale): sealed-segment store, {} sweep at {} obs/s\n",
+        scales
+            .iter()
+            .map(|&n| fmt_count(n as f64))
+            .collect::<Vec<_>>()
+            .join(" → "),
+        RATE_OBS_PER_SEC,
+    );
+
+    // The all-mutable baseline at the smallest scale anchors the latency
+    // comparison; by construction (fixed window × constant rate) per-query
+    // work does not grow with archive depth.
+    let base_n = scales[0];
+    let baseline = run_scale(base_n, &spill_dir, false);
+    println!(
+        "all-mutable baseline @ {}: recent {} ms, range {} ms, count {} ms, knn {} ms, heatmap {} ms, resident {} MB\n",
+        fmt_count(base_n as f64),
+        baseline.mix.recent.render_ms(),
+        baseline.mix.range.render_ms(),
+        baseline.mix.count.render_ms(),
+        baseline.mix.knn.render_ms(),
+        baseline.mix.heatmap.render_ms(),
+        baseline.peak_resident / (1 << 20),
+    );
+
+    let mut table = Table::new(&[
+        "archive",
+        "insert Mobs/s",
+        "peak resident MB",
+        "spilled MB",
+        "segments",
+        "recent ms",
+        "range ms (mean/p50/p95)",
+        "count ms",
+        "knn16 ms",
+        "heatmap ms",
+    ]);
+    let mut runs: Vec<ScaleRun> = Vec::new();
+    for &n in &scales {
+        let run = run_scale(n, &spill_dir, true);
+        table.row(&[
+            fmt_count(n as f64),
+            format!("{:.2}", n as f64 / run.insert_s / 1e6),
+            format!("{:.1}", run.peak_resident as f64 / (1 << 20) as f64),
+            format!("{:.1}", run.spilled_bytes as f64 / (1 << 20) as f64),
+            run.sealed_segments.to_string(),
+            run.mix.recent.render_ms(),
+            run.mix.range.render_ms(),
+            run.mix.count.render_ms(),
+            run.mix.knn.render_ms(),
+            run.mix.heatmap.render_ms(),
+        ]);
+        runs.push(run);
+    }
+    table.print();
+
+    let first = &runs[0];
+    let last = &runs[runs.len() - 1];
+    let growth = last.peak_resident as f64 / first.peak_resident.max(1) as f64;
+    let scale_factor = last.n as f64 / first.n as f64;
+    let recent_ratio = last.mix.recent.mean / baseline.mix.recent.mean;
+    let range_ratio = last.mix.range.mean / baseline.mix.range.mean;
+    let count_ratio = last.mix.count.mean / baseline.mix.count.mean;
+    let knn_ratio = last.mix.knn.mean / baseline.mix.knn.mean;
+    let heat_ratio = last.mix.heatmap.mean / baseline.mix.heatmap.mean;
+    println!(
+        "\narchive ×{scale_factor:.0} → peak resident ×{growth:.2}; \
+         sealed/mutable latency: recent ×{recent_ratio:.2}, range ×{range_ratio:.2}, \
+         count ×{count_ratio:.2}, knn ×{knn_ratio:.2}, heatmap ×{heat_ratio:.2}"
+    );
+
+    let mut report = Report::new("fig16_archive_scale");
+    report.set("rate_obs_per_sec", RATE_OBS_PER_SEC);
+    report.set(
+        "baseline",
+        obj(vec![
+            ("archive", Value::from(baseline.n)),
+            ("peak_resident_bytes", Value::from(baseline.peak_resident)),
+            ("recent_ms_mean", Value::from(baseline.mix.recent.mean * 1e3)),
+            ("range_ms_mean", Value::from(baseline.mix.range.mean * 1e3)),
+            ("count_ms_mean", Value::from(baseline.mix.count.mean * 1e3)),
+            ("knn_ms_mean", Value::from(baseline.mix.knn.mean * 1e3)),
+            (
+                "heatmap_ms_mean",
+                Value::from(baseline.mix.heatmap.mean * 1e3),
+            ),
+            ("hits", Value::from(baseline.mix.hits)),
+        ]),
+    );
+    report.set(
+        "scales",
+        runs.iter()
+            .map(|r| {
+                obj(vec![
+                    ("archive", Value::from(r.n)),
+                    (
+                        "insert_mobs_per_sec",
+                        Value::from(r.n as f64 / r.insert_s / 1e6),
+                    ),
+                    ("peak_resident_bytes", Value::from(r.peak_resident)),
+                    ("spilled_bytes", Value::from(r.spilled_bytes)),
+                    ("sealed_segments", Value::from(r.sealed_segments)),
+                    ("recent_ms_mean", Value::from(r.mix.recent.mean * 1e3)),
+                    ("range_ms_mean", Value::from(r.mix.range.mean * 1e3)),
+                    ("range_ms_p95", Value::from(r.mix.range.p95 * 1e3)),
+                    ("count_ms_mean", Value::from(r.mix.count.mean * 1e3)),
+                    ("knn_ms_mean", Value::from(r.mix.knn.mean * 1e3)),
+                    ("heatmap_ms_mean", Value::from(r.mix.heatmap.mean * 1e3)),
+                    ("hits", Value::from(r.mix.hits)),
+                ])
+            })
+            .collect::<Vec<_>>(),
+    );
+    report.set("resident_growth", growth);
+    report.set("archive_growth", scale_factor);
+    report.set("recent_latency_ratio", recent_ratio);
+    report.set("range_latency_ratio", range_ratio);
+    report.set("count_latency_ratio", count_ratio);
+    report.set("knn_latency_ratio", knn_ratio);
+    report.set("heatmap_latency_ratio", heat_ratio);
+    report.emit();
+
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    if assert_gates {
+        assert!(
+            growth <= 1.5,
+            "memory ceiling not flat: peak resident grew ×{growth:.2} over a ×{scale_factor:.0} archive"
+        );
+        // 0.1 ms of absolute slack keeps timer noise on the microsecond-
+        // scale probes (recent / count) from flaking the ratio gates.
+        const SLACK_S: f64 = 1e-4;
+        for (name, sealed, base) in [
+            ("recent", last.mix.recent.mean, baseline.mix.recent.mean),
+            ("count", last.mix.count.mean, baseline.mix.count.mean),
+            ("knn", last.mix.knn.mean, baseline.mix.knn.mean),
+            ("heatmap", last.mix.heatmap.mean, baseline.mix.heatmap.mean),
+        ] {
+            assert!(
+                sealed <= 2.0 * base + SLACK_S,
+                "sealed {name} latency ×{:.2} the all-mutable baseline (gate: 2×)",
+                sealed / base,
+            );
+        }
+        // Deep materialising range pays full block decode for every
+        // matched row — the one decode-bound operation. Guarded against
+        // regression at a documented looser bound.
+        assert!(
+            range_ratio <= 6.0,
+            "sealed deep-range latency ×{range_ratio:.2} the all-mutable baseline (gate: 6×)"
+        );
+        println!(
+            "\ngates: resident ×{growth:.2} ≤ 1.5, recent/count/knn/heatmap ratios ≤ 2.0, \
+             deep range ×{range_ratio:.2} ≤ 6.0 — ok"
+        );
+    }
+}

@@ -90,7 +90,11 @@ fn main() {
                     backoff: std::time::Duration::from_millis(10),
                 },
             );
-            let stream = synthetic_stream(stream_len, extent, 600, 71);
+            let mut stream = synthetic_stream(stream_len, extent, 600, 71);
+            // Live ingest delivers in arrival ≈ timestamp order; worker
+            // slice-close events (which seal segments — the unit the
+            // rejoin bulk-sync ships) depend on it.
+            stream.sort_by_key(|o| o.time);
             ingest_chunked(&cluster, &stream, chunk);
 
             cluster.kill_worker(VICTIM);

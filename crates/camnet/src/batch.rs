@@ -63,6 +63,30 @@ fn need<B: Buf>(buf: &B, n: usize, context: &'static str) -> Result<(), DecodeEr
     }
 }
 
+/// Reads and validates the count + flags prefix of one batch frame.
+/// An empty frame (`n == 0`) has no flag byte; `flags` is 0 then.
+fn frame_header<B: Buf>(buf: &mut B) -> Result<(usize, u8), DecodeError> {
+    let n = varint::read_u64(buf)?;
+    if n > MAX_SEQ_LEN {
+        return Err(DecodeError::LengthOverflow {
+            declared: n,
+            max: MAX_SEQ_LEN,
+        });
+    }
+    let n = n as usize;
+    if n == 0 {
+        return Ok((0, 0));
+    }
+    need(buf, 1, "batch flags")?;
+    let flags = buf.get_u8();
+    if flags & !FLAG_FIXED_POINT_POS != 0 {
+        return Err(DecodeError::InvalidValue {
+            reason: "unknown batch flags",
+        });
+    }
+    Ok((n, flags))
+}
+
 /// Appends the columnar wire form of `batch` to `buf`.
 pub fn encode_batch<B: BufMut>(batch: &[Observation], buf: &mut B) {
     varint::write_u64(buf, batch.len() as u64);
@@ -165,105 +189,41 @@ pub fn encode_batch<B: BufMut>(batch: &[Observation], buf: &mut B) {
 /// Returns a [`DecodeError`] on truncated input, a hostile length prefix,
 /// malformed run-length structure, or an invalid class code.
 pub fn decode_batch<B: Buf>(buf: &mut B) -> Result<Vec<Observation>, DecodeError> {
-    let n = varint::read_u64(buf)?;
-    if n > MAX_SEQ_LEN {
-        return Err(DecodeError::LengthOverflow {
-            declared: n,
-            max: MAX_SEQ_LEN,
-        });
-    }
-    let n = n as usize;
+    let mut out = Vec::new();
+    decode_batch_into(buf, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decode_batch`], but **appends** the decoded observations to
+/// `out` instead of allocating a fresh vector. Segment readers scanning
+/// many per-cell blocks into one result use this to reuse a single
+/// output allocation. On error, `out` may hold a partially decoded
+/// prefix of the failing block; callers that care should truncate back
+/// to the pre-call length.
+pub fn decode_batch_into<B: Buf>(
+    buf: &mut B,
+    out: &mut Vec<Observation>,
+) -> Result<(), DecodeError> {
+    let (n, flags) = frame_header(buf)?;
     if n == 0 {
-        return Ok(Vec::new());
-    }
-    need(buf, 1, "batch flags")?;
-    let flags = buf.get_u8();
-    if flags & !FLAG_FIXED_POINT_POS != 0 {
-        return Err(DecodeError::InvalidValue {
-            reason: "unknown batch flags",
-        });
+        return Ok(());
     }
 
-    let mut ids = Vec::with_capacity(n.min(1024));
-    let mut prev = varint::read_u64(buf)?;
-    ids.push(ObservationId(prev));
-    for _ in 1..n {
-        prev = prev.wrapping_add(varint::read_i64(buf)? as u64);
-        ids.push(ObservationId(prev));
-    }
-
-    let mut cameras = Vec::with_capacity(n.min(1024));
-    while cameras.len() < n {
-        let run = varint::read_u64(buf)?;
-        if run == 0 || run > (n - cameras.len()) as u64 {
-            return Err(DecodeError::InvalidValue {
-                reason: "camera run length out of bounds",
-            });
-        }
-        let camera = varint::read_u64(buf)?;
-        let camera = u32::try_from(camera).map_err(|_| DecodeError::InvalidValue {
-            reason: "camera id out of range",
-        })?;
-        cameras.extend(std::iter::repeat_n(CameraId(camera), run as usize));
-    }
-
-    let mut times = Vec::with_capacity(n.min(1024));
-    let mut prev_ms = varint::read_u64(buf)?;
-    times.push(Timestamp::from_millis(prev_ms));
-    for _ in 1..n {
-        prev_ms = prev_ms.wrapping_add(varint::read_i64(buf)? as u64);
-        times.push(Timestamp::from_millis(prev_ms));
-    }
-
-    let mut classes = Vec::with_capacity(n.min(1024));
-    need(buf, n.div_ceil(4), "class column")?;
-    while classes.len() < n {
-        let byte = buf.get_u8();
-        for slot in 0..4.min(n - classes.len()) {
-            let code = (byte >> (2 * slot)) & 0b11;
-            classes.push(
-                EntityClass::from_u8(code).ok_or(DecodeError::InvalidDiscriminant {
-                    type_name: "EntityClass",
-                    value: code as u64,
-                })?,
-            );
-        }
-    }
-
-    let mut positions = Vec::with_capacity(n.min(1024));
-    if flags & FLAG_FIXED_POINT_POS != 0 {
-        for _ in 0..n {
-            let x = varint::read_i64(buf)? as f64 / POS_SCALE;
-            let y = varint::read_i64(buf)? as f64 / POS_SCALE;
-            positions.push(Point::new(x, y));
-        }
-    } else {
-        need(buf, 16 * n, "position column")?;
-        for _ in 0..n {
-            positions.push(Point::new(buf.get_f64_le(), buf.get_f64_le()));
-        }
-    }
+    let ids = read_ids(buf, n)?;
+    let cameras = read_cameras(buf, n)?;
+    let times = read_times(buf, n)?;
+    let classes = read_classes(buf, n)?;
+    let positions = read_positions(buf, n, flags)?;
 
     let mut signatures = Vec::with_capacity(n.min(1024));
     need(buf, 4 * SIGNATURE_DIM * n, "signature column")?;
     for _ in 0..n {
-        let mut values = [0f32; SIGNATURE_DIM];
-        for v in &mut values {
-            *v = buf.get_f32_le();
-        }
-        signatures.push(Signature::new(values));
+        signatures.push(read_signature(buf));
     }
 
-    let mut present = Vec::with_capacity(n.min(1024));
-    need(buf, n.div_ceil(8), "truth bitmap")?;
-    while present.len() < n {
-        let byte = buf.get_u8();
-        for slot in 0..8.min(n - present.len()) {
-            present.push(byte & (1 << slot) != 0);
-        }
-    }
+    let present = read_present(buf, n)?;
 
-    let mut out = Vec::with_capacity(n.min(1024));
+    out.reserve(n.min(1024));
     for i in 0..n {
         let truth = if present[i] {
             let delta = varint::read_i64(buf)?;
@@ -281,7 +241,260 @@ pub fn decode_batch<B: Buf>(buf: &mut B) -> Result<Vec<Observation>, DecodeError
             truth,
         });
     }
-    Ok(out)
+    Ok(())
+}
+
+// --- per-column readers and skippers ------------------------------------
+//
+// One implementation per column, shared by the full decoder and the
+// partial scanners below. Skippers still validate frame *structure*
+// (varint framing, run-length bounds) but not the skipped values.
+
+fn read_ids<B: Buf>(buf: &mut B, n: usize) -> Result<Vec<ObservationId>, DecodeError> {
+    let mut ids = Vec::with_capacity(n.min(1024));
+    let mut prev = varint::read_u64(buf)?;
+    ids.push(ObservationId(prev));
+    for _ in 1..n {
+        prev = prev.wrapping_add(varint::read_i64(buf)? as u64);
+        ids.push(ObservationId(prev));
+    }
+    Ok(ids)
+}
+
+fn skip_ids<B: Buf>(buf: &mut B, n: usize) -> Result<(), DecodeError> {
+    varint::read_u64(buf)?;
+    for _ in 1..n {
+        varint::read_i64(buf)?;
+    }
+    Ok(())
+}
+
+fn read_cameras<B: Buf>(buf: &mut B, n: usize) -> Result<Vec<CameraId>, DecodeError> {
+    let mut cameras = Vec::with_capacity(n.min(1024));
+    while cameras.len() < n {
+        let (run, camera) = camera_run(buf, n - cameras.len())?;
+        cameras.extend(std::iter::repeat_n(camera, run));
+    }
+    Ok(cameras)
+}
+
+fn skip_cameras<B: Buf>(buf: &mut B, n: usize) -> Result<(), DecodeError> {
+    let mut seen = 0;
+    while seen < n {
+        seen += camera_run(buf, n - seen)?.0;
+    }
+    Ok(())
+}
+
+fn camera_run<B: Buf>(buf: &mut B, left: usize) -> Result<(usize, CameraId), DecodeError> {
+    let run = varint::read_u64(buf)?;
+    if run == 0 || run > left as u64 {
+        return Err(DecodeError::InvalidValue {
+            reason: "camera run length out of bounds",
+        });
+    }
+    let camera = varint::read_u64(buf)?;
+    let camera = u32::try_from(camera).map_err(|_| DecodeError::InvalidValue {
+        reason: "camera id out of range",
+    })?;
+    Ok((run as usize, CameraId(camera)))
+}
+
+fn read_times<B: Buf>(buf: &mut B, n: usize) -> Result<Vec<Timestamp>, DecodeError> {
+    let mut times = Vec::with_capacity(n.min(1024));
+    let mut prev_ms = varint::read_u64(buf)?;
+    times.push(Timestamp::from_millis(prev_ms));
+    for _ in 1..n {
+        prev_ms = prev_ms.wrapping_add(varint::read_i64(buf)? as u64);
+        times.push(Timestamp::from_millis(prev_ms));
+    }
+    Ok(times)
+}
+
+fn read_classes<B: Buf>(buf: &mut B, n: usize) -> Result<Vec<EntityClass>, DecodeError> {
+    let mut classes = Vec::with_capacity(n.min(1024));
+    need(buf, n.div_ceil(4), "class column")?;
+    while classes.len() < n {
+        let byte = buf.get_u8();
+        for slot in 0..4.min(n - classes.len()) {
+            let code = (byte >> (2 * slot)) & 0b11;
+            classes.push(
+                EntityClass::from_u8(code).ok_or(DecodeError::InvalidDiscriminant {
+                    type_name: "EntityClass",
+                    value: code as u64,
+                })?,
+            );
+        }
+    }
+    Ok(classes)
+}
+
+fn skip_classes<B: Buf>(buf: &mut B, n: usize) -> Result<(), DecodeError> {
+    need(buf, n.div_ceil(4), "class column")?;
+    buf.advance(n.div_ceil(4));
+    Ok(())
+}
+
+fn read_positions<B: Buf>(buf: &mut B, n: usize, flags: u8) -> Result<Vec<Point>, DecodeError> {
+    let mut positions = Vec::with_capacity(n.min(1024));
+    if flags & FLAG_FIXED_POINT_POS != 0 {
+        for _ in 0..n {
+            let x = varint::read_i64(buf)? as f64 / POS_SCALE;
+            let y = varint::read_i64(buf)? as f64 / POS_SCALE;
+            positions.push(Point::new(x, y));
+        }
+    } else {
+        need(buf, 16 * n, "position column")?;
+        for _ in 0..n {
+            positions.push(Point::new(buf.get_f64_le(), buf.get_f64_le()));
+        }
+    }
+    Ok(positions)
+}
+
+fn read_signature<B: Buf>(buf: &mut B) -> Signature {
+    // One bulk copy instead of 16 bounds-checked `get_f32_le` calls; the
+    // signature column dominates full-row decode cost.
+    let mut raw = [0u8; 4 * SIGNATURE_DIM];
+    buf.copy_to_slice(&mut raw);
+    let mut values = [0f32; SIGNATURE_DIM];
+    for (v, c) in values.iter_mut().zip(raw.chunks_exact(4)) {
+        *v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+    }
+    Signature::new(values)
+}
+
+fn read_present<B: Buf>(buf: &mut B, n: usize) -> Result<Vec<bool>, DecodeError> {
+    let mut present = Vec::with_capacity(n.min(1024));
+    need(buf, n.div_ceil(8), "truth bitmap")?;
+    while present.len() < n {
+        let byte = buf.get_u8();
+        for slot in 0..8.min(n - present.len()) {
+            present.push(byte & (1 << slot) != 0);
+        }
+    }
+    Ok(present)
+}
+
+/// Visits `(time, position)` for every row of one columnar batch frame
+/// without materialising observations: the id, camera, class, signature,
+/// and truth columns are stepped over, not decoded. Sealed-segment
+/// count and heatmap scans use this — the signature column alone is
+/// `16 × f32` per row, so a key-only visit costs a fraction of
+/// [`decode_batch_into`]. Consumes exactly one frame; returns its row
+/// count.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated input, a hostile length
+/// prefix, or malformed run-length structure. The skipped columns'
+/// *values* are not validated.
+pub fn scan_batch_keys<B: Buf>(
+    buf: &mut B,
+    mut f: impl FnMut(Timestamp, Point),
+) -> Result<usize, DecodeError> {
+    let (n, flags) = frame_header(buf)?;
+    if n == 0 {
+        return Ok(0);
+    }
+    skip_ids(buf, n)?;
+    skip_cameras(buf, n)?;
+    let times = read_times(buf, n)?;
+    skip_classes(buf, n)?;
+    if flags & FLAG_FIXED_POINT_POS != 0 {
+        for &t in &times {
+            let x = varint::read_i64(buf)? as f64 / POS_SCALE;
+            let y = varint::read_i64(buf)? as f64 / POS_SCALE;
+            f(t, Point::new(x, y));
+        }
+    } else {
+        need(buf, 16 * n, "position column")?;
+        for &t in &times {
+            f(t, Point::new(buf.get_f64_le(), buf.get_f64_le()));
+        }
+    }
+    need(buf, 4 * SIGNATURE_DIM * n, "signature column")?;
+    buf.advance(4 * SIGNATURE_DIM * n);
+    need(buf, n.div_ceil(8), "truth bitmap")?;
+    let mut with_truth = 0u32;
+    let mut left = n;
+    while left > 0 {
+        let bits = 8.min(left);
+        let mask = ((1u16 << bits) - 1) as u8;
+        with_truth += (buf.get_u8() & mask).count_ones();
+        left -= bits;
+    }
+    for _ in 0..with_truth {
+        varint::read_i64(buf)?;
+    }
+    Ok(n)
+}
+
+/// Like [`decode_batch_into`], but materialises only rows for which
+/// `keep(time, position)` returns `true`. The wide columns — signatures
+/// (`16 × f32` per row) and truth — are decoded **only for kept rows**;
+/// a dropped row costs a few varint steps. Sealed-segment readers use
+/// this to answer partially-covered blocks without paying full decode
+/// for rows outside the query region or window. Consumes exactly one
+/// frame; returns its total row count.
+pub fn decode_batch_filtered<B: Buf>(
+    buf: &mut B,
+    mut keep: impl FnMut(Timestamp, Point) -> bool,
+    out: &mut Vec<Observation>,
+) -> Result<usize, DecodeError> {
+    let (n, flags) = frame_header(buf)?;
+    if n == 0 {
+        return Ok(0);
+    }
+    let ids = read_ids(buf, n)?;
+    let cameras = read_cameras(buf, n)?;
+    let times = read_times(buf, n)?;
+    let classes = read_classes(buf, n)?;
+    let positions = read_positions(buf, n, flags)?;
+
+    let kept: Vec<u32> = (0..n)
+        .filter(|&i| keep(times[i], positions[i]))
+        .map(|i| i as u32)
+        .collect();
+
+    // Signature column: fixed-stride, so dropped rows are one `advance`.
+    need(buf, 4 * SIGNATURE_DIM * n, "signature column")?;
+    let mut signatures = Vec::with_capacity(kept.len());
+    let mut cursor = 0;
+    for &i in &kept {
+        let i = i as usize;
+        buf.advance(4 * SIGNATURE_DIM * (i - cursor));
+        signatures.push(read_signature(buf));
+        cursor = i + 1;
+    }
+    buf.advance(4 * SIGNATURE_DIM * (n - cursor));
+
+    let present = read_present(buf, n)?;
+    out.reserve(kept.len());
+    let mut signatures = signatures.into_iter();
+    let mut kept = kept.into_iter().peekable();
+    for i in 0..n {
+        let is_kept = kept.peek() == Some(&(i as u32));
+        let truth = if present[i] {
+            let delta = varint::read_i64(buf)?;
+            is_kept.then(|| EntityId(ids[i].seq().wrapping_add(delta as u64)))
+        } else {
+            None
+        };
+        if is_kept {
+            kept.next();
+            out.push(Observation {
+                id: ids[i],
+                camera: cameras[i],
+                time: times[i],
+                position: positions[i],
+                class: classes[i],
+                signature: signatures.next().expect("one signature per kept row"),
+                truth,
+            });
+        }
+    }
+    Ok(n)
 }
 
 /// A rough upper bound on the encoded size of `batch`, for buffer

@@ -48,7 +48,7 @@ mod observation;
 mod signature;
 mod wire_impls;
 
-pub use batch::ObservationBatch;
+pub use batch::{decode_batch_filtered, decode_batch_into, scan_batch_keys, ObservationBatch};
 pub use camera::{Camera, CameraId};
 pub use detection::{DetectionModel, SensorSim};
 pub use network::{CameraNetwork, TransitionModel};

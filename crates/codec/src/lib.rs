@@ -12,6 +12,9 @@
 //!   values; small ids and counts dominate the traffic, so this roughly
 //!   halves message sizes compared to fixed-width encoding.
 //! * [`frame`] — length-prefixed, CRC-32-protected framing for transport.
+//! * [`segment`] — the sealed-segment frame: per-cell columnar blocks
+//!   with a footer directory, the at-rest/wire form of the index's
+//!   immutable archive tier.
 //!
 //! # Example
 //!
@@ -31,9 +34,11 @@
 mod error;
 pub mod frame;
 mod geo_impls;
+pub mod segment;
 pub mod varint;
 mod wire;
 
 pub use error::DecodeError;
 pub use frame::{read_frame, write_frame, FrameHeader, MAX_FRAME_LEN};
+pub use segment::{SegmentBlock, SegmentFrame, SEGMENT_MAGIC, SEGMENT_VERSION};
 pub use wire::{decode_from_slice, encode_into, encode_to_vec, encoded_len, Wire, MAX_SEQ_LEN};

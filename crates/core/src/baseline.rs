@@ -75,7 +75,7 @@ impl CentralizedStore {
     /// Spatio-temporal range query (sorted by id).
     pub fn range_query(&self, region: BBox, window: TimeInterval) -> Vec<Observation> {
         match &self.backend {
-            Backend::Indexed(index) => index.range(region, window).into_iter().cloned().collect(),
+            Backend::Indexed(index) => index.range(region, window),
             Backend::Flat(index) => index.range(region, window).into_iter().cloned().collect(),
         }
     }
@@ -83,7 +83,7 @@ impl CentralizedStore {
     /// k-nearest-neighbour query (distance order).
     pub fn knn_query(&self, at: Point, window: TimeInterval, k: usize) -> Vec<Observation> {
         match &self.backend {
-            Backend::Indexed(index) => index.knn(at, window, k).into_iter().cloned().collect(),
+            Backend::Indexed(index) => index.knn(at, window, k),
             Backend::Flat(index) => index.knn(at, window, k).into_iter().cloned().collect(),
         }
     }

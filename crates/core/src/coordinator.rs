@@ -21,14 +21,15 @@ use stcam_net::{Endpoint, NodeId};
 use crate::continuous::{ContinuousQueryId, Notification, Predicate};
 use crate::error::StcamError;
 use crate::exec::{
-    CellDigestOp, CopyRegionOp, Degraded, EvictOp, Executor, ExtractRegionOp, FlushOp, OpPolicy,
-    OpStats, ProbeOp, PromoteOp, QueryMode, RegisterContinuousOp, RejoinOp, RepairOp,
-    RouteUpdateOp, StatsOp, UnregisterContinuousOp,
+    CellDigestOp, CopyRegionOp, Degraded, EvictOp, Executor, ExportSegmentsOp, ExtractRegionOp,
+    FlushOp, InstallSegmentsOp, OpPolicy, OpStats, ProbeOp, PromoteOp, QueryMode,
+    RegisterContinuousOp, RejoinOp, RepairOp, RouteUpdateOp, SegmentDigestOp, StatsOp,
+    UnregisterContinuousOp,
 };
 use crate::ingest::ReliableSender;
 use crate::partition::PartitionMap;
 use crate::plane::{self, QueryPlane};
-use crate::protocol::{DigestReport, GridSpecMsg, Request, WorkerStatsMsg};
+use crate::protocol::{DigestReport, GridSpecMsg, Request, SegmentDigestEntry, WorkerStatsMsg};
 use crate::repair::{self, RepairBudget, RepairReport};
 
 /// Aggregated statistics across the cluster.
@@ -51,6 +52,17 @@ impl ClusterStats {
             .iter()
             .map(|(_, s)| s.primary_observations)
             .sum()
+    }
+
+    /// Approximate bytes held in memory across all primary shards
+    /// (mutable heads plus resident sealed-segment payloads).
+    pub fn resident_bytes(&self) -> u64 {
+        self.workers.iter().map(|(_, s)| s.resident_bytes).sum()
+    }
+
+    /// Sealed immutable segments held across all primary shards.
+    pub fn sealed_segments(&self) -> u64 {
+        self.workers.iter().map(|(_, s)| s.sealed_segments).sum()
     }
 
     /// Max ÷ mean of per-worker primary observation counts (1.0 = perfect
@@ -839,6 +851,17 @@ impl Coordinator {
             let mut plan = repair::plan(&digests, partition, &self.alive, self.replication);
             if !drain_strays {
                 plan.strays.clear();
+                // Replica logs keyed by a ceding owner are not stale
+                // against a not-yet-published map either: the ceding
+                // owner still holds (and serves) the cell, so "stream
+                // the empty truth" would fetch the still-present copy
+                // and faithfully re-append it every round without ever
+                // converging. Post-cutover repair reclaims these logs
+                // together with the stray primary copies.
+                let cols = grid.cols();
+                plan.deficits.retain(|d| {
+                    partition.owner_of_cell(CellId::new(d.cell % cols, d.cell / cols)) == d.owner
+                });
             }
             if first_sweep {
                 report.under_replicated_before = plan.under_replicated_cells;
@@ -934,6 +957,13 @@ impl Coordinator {
             }
             let mut budget_left = budget.max_observations_per_round;
             'groups: for ((owner, cell), holders) in groups {
+                // Budget check *before* the fetch: once the round is out
+                // of stream budget, fetching the remaining copies would
+                // be pure waste (they are re-planned and re-fetched next
+                // round anyway).
+                if budget_left == 0 {
+                    break 'groups;
+                }
                 let region = repair::cell_region(&grid, cell);
                 let Ok(contents) = self.exec.execute(
                     CopyRegionOp {
@@ -1196,24 +1226,18 @@ impl Coordinator {
         let grid = *self.partition.grid();
         let gmsg = GridSpecMsg::from(grid);
         let cols = grid.cols();
-        // 1. Target map: measured load spread over the alive ring plus
-        // the rejoiner (appended when a rebalance dropped it from the
-        // ring entirely).
+        // 1. Target map: minimal-churn admission — the rejoiner is
+        // granted a fair share of the measured load carved from the most
+        // loaded veterans, and every other assignment is preserved. A
+        // from-scratch load-aware rebuild here would reshuffle ownership
+        // across the whole keyspace and make the pre-cutover replica
+        // covering (step 5) re-stream nearly every cell; carving keeps
+        // the covering proportional to the share actually moved.
         let loads = self
             .heatmap_mode(QueryMode::BestEffort, &grid, TimeInterval::ALL)
             .map(|d| d.value)
             .unwrap_or_else(|_| vec![1; grid.cell_count() as usize]);
-        let mut ring: Vec<NodeId> = self
-            .partition
-            .workers()
-            .iter()
-            .copied()
-            .filter(|w| self.alive.contains(w) || *w == worker)
-            .collect();
-        if !ring.contains(&worker) {
-            ring.push(worker);
-        }
-        let target = PartitionMap::load_aware(grid.extent(), grid.cell_size(), ring, &loads);
+        let target = self.partition.admit(worker, &loads);
         let cells: Vec<u32> = target
             .cells_of(worker)
             .into_iter()
@@ -1231,9 +1255,14 @@ impl Coordinator {
             &self.partition,
             &self.alive,
         )?;
-        // 3. Bulk-sync: copy every assigned cell from its current owner
-        // into the rejoiner's primary shard (idempotent overwrite — a
-        // retried handshake re-streams harmlessly).
+        // 3. Bulk-sync: ship every assigned cell from its current owner
+        // into the rejoiner's primary shard as whole sealed segments
+        // (split at cell boundaries, installed without row-by-row
+        // re-indexing) plus the owner's loose mutable-head rows. The
+        // digest skip list keeps a retried handshake cheap — segments the
+        // rejoiner already holds are never re-exported — and the
+        // deterministic split makes retried frames digest-identical, so
+        // the dedup holds across retries.
         let moves: Vec<(u32, NodeId)> = cells
             .iter()
             .map(|&packed| {
@@ -1242,17 +1271,54 @@ impl Coordinator {
             })
             .filter(|(_, old)| *old != worker && self.alive.contains(old))
             .collect();
+        let mut installed: Vec<SegmentDigestEntry> = self
+            .exec
+            .execute(
+                SegmentDigestOp { target: worker },
+                &self.partition,
+                &self.alive,
+            )
+            .unwrap_or_default();
         for &(packed, old) in &moves {
             let region = repair::cell_region(&grid, packed);
-            let contents = self.exec.execute(
-                CopyRegionOp {
+            let (frames, head) = self.exec.execute(
+                ExportSegmentsOp {
                     target: old,
                     region,
+                    skip: installed.clone(),
                 },
                 &self.partition,
                 &self.alive,
             )?;
-            self.stream_cell(worker, worker, gmsg, packed, &contents, &budget)?;
+            installed.extend(frames.iter().map(|f| SegmentDigestEntry {
+                number: f.number,
+                count: f.count,
+                checksum: f.checksum,
+            }));
+            let mut head_chunks = head.chunks(budget.chunk.max(1));
+            let first = head_chunks.next().unwrap_or(&[]).to_vec();
+            if !frames.is_empty() || !first.is_empty() {
+                self.exec.execute(
+                    InstallSegmentsOp {
+                        target: worker,
+                        frames,
+                        head: first,
+                    },
+                    &self.partition,
+                    &self.alive,
+                )?;
+            }
+            for chunk in head_chunks {
+                self.exec.execute(
+                    InstallSegmentsOp {
+                        target: worker,
+                        frames: Vec::new(),
+                        head: chunk.to_vec(),
+                    },
+                    &self.partition,
+                    &self.alive,
+                )?;
+            }
         }
         // 4. Readmit: a fresh incarnation gets a fresh suspicion history
         // (the old one's accumulated failures must not demote it).
@@ -1260,9 +1326,13 @@ impl Coordinator {
         self.known.insert(worker);
         self.exec.health().forget(worker);
         // 5. Cover the rejoiner's cells at their required successors
-        // under the target map before any old copy is dropped.
+        // under the target map before any old copy is dropped. The
+        // covering is one-shot work proportional to the whole target
+        // map (readmitting a worker shifts ring successors broadly), so
+        // it runs under the bulk budget: one digest sweep and one copy
+        // fetch per cell instead of a fresh sweep every 8 k rows.
         if self.replication > 0 {
-            self.repair_against(&target, budget, false);
+            self.repair_against(&target, RepairBudget::bulk(), false);
         }
         // 6. Cutover: one publication atomically re-enters the worker.
         self.partition = target;

@@ -49,7 +49,9 @@ use crate::continuous::{ContinuousQueryId, Predicate};
 use crate::error::StcamError;
 use crate::health::HealthView;
 use crate::partition::PartitionMap;
-use crate::protocol::{DigestReport, GridSpecMsg, Request, Response, WorkerStatsMsg};
+use crate::protocol::{
+    DigestReport, GridSpecMsg, Request, Response, SegmentDigestEntry, WorkerStatsMsg,
+};
 
 // ----------------------------------------------------------------------
 // Policy and telemetry
@@ -842,6 +844,28 @@ fn want_digests(response: Response) -> Result<DigestReport, StcamError> {
         Response::Error(msg) => Err(StcamError::Remote(msg)),
         other => Err(StcamError::Remote(format!(
             "expected digests, got {other:?}"
+        ))),
+    }
+}
+
+fn want_segment_digests(response: Response) -> Result<Vec<SegmentDigestEntry>, StcamError> {
+    match response {
+        Response::SegmentDigests(digests) => Ok(digests),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!(
+            "expected segment digests, got {other:?}"
+        ))),
+    }
+}
+
+fn want_segments(
+    response: Response,
+) -> Result<(Vec<stcam_codec::SegmentFrame>, Vec<Observation>), StcamError> {
+    match response {
+        Response::Segments { frames, head } => Ok((frames, head)),
+        Response::Error(msg) => Err(StcamError::Remote(msg)),
+        other => Err(StcamError::Remote(format!(
+            "expected segments, got {other:?}"
         ))),
     }
 }
@@ -1719,6 +1743,127 @@ impl DistributedOp for RejoinOp {
             epoch: self.epoch,
             grid: self.grid,
             cells: self.cells.clone(),
+        }
+    }
+    fn decode(&self, response: Response) -> Result<(), StcamError> {
+        want_ack(response)
+    }
+    fn merge(self, _partials: Vec<(NodeId, ())>) {}
+}
+
+/// Collects one worker's sealed-segment digests — the compare step of
+/// segment-granular bulk sync. Idempotent pure read.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentDigestOp {
+    /// The worker whose archive is summarised.
+    pub target: NodeId,
+}
+
+impl DistributedOp for SegmentDigestOp {
+    type Partial = Vec<SegmentDigestEntry>;
+    type Output = Vec<SegmentDigestEntry>;
+    fn name(&self) -> &'static str {
+        "segment_digest"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        vec![self.target]
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::SegmentDigest
+    }
+    fn decode(&self, response: Response) -> Result<Vec<SegmentDigestEntry>, StcamError> {
+        want_segment_digests(response)
+    }
+    fn merge(self, partials: Vec<(NodeId, Vec<SegmentDigestEntry>)>) -> Vec<SegmentDigestEntry> {
+        partials.into_iter().flat_map(|(_, d)| d).collect()
+    }
+}
+
+/// Reads a region's contents from one worker as whole sealed segment
+/// frames plus loose head rows, skipping segments the requester already
+/// holds. Non-destructive and deterministic (retried exports produce
+/// digest-identical frames), so the op is idempotent over lossy links.
+#[derive(Debug, Clone)]
+pub struct ExportSegmentsOp {
+    /// The worker to export from.
+    pub target: NodeId,
+    /// The region whose contents move.
+    pub region: BBox,
+    /// Segment digests the destination already holds.
+    pub skip: Vec<SegmentDigestEntry>,
+}
+
+impl DistributedOp for ExportSegmentsOp {
+    type Partial = (Vec<stcam_codec::SegmentFrame>, Vec<Observation>);
+    type Output = (Vec<stcam_codec::SegmentFrame>, Vec<Observation>);
+    fn name(&self) -> &'static str {
+        "export_segments"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        vec![self.target]
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::ExportSegments {
+            region: self.region,
+            skip: self.skip.clone(),
+        }
+    }
+    fn decode(
+        &self,
+        response: Response,
+    ) -> Result<(Vec<stcam_codec::SegmentFrame>, Vec<Observation>), StcamError> {
+        want_segments(response)
+    }
+    fn merge(
+        self,
+        partials: Vec<(NodeId, (Vec<stcam_codec::SegmentFrame>, Vec<Observation>))>,
+    ) -> (Vec<stcam_codec::SegmentFrame>, Vec<Observation>) {
+        let mut frames = Vec::new();
+        let mut head = Vec::new();
+        for (_, (f, h)) in partials {
+            frames.extend(f);
+            head.extend(h);
+        }
+        (frames, head)
+    }
+}
+
+/// Installs exported segments whole into one worker's archive tier, and
+/// the loose head rows through deduplicated ingest. Idempotent: the
+/// receiver drops frames whose digest it already holds and rows it has
+/// already seen, so a retry after a lost ack changes nothing.
+#[derive(Debug, Clone)]
+pub struct InstallSegmentsOp {
+    /// The worker receiving the segments.
+    pub target: NodeId,
+    /// Sealed segment frames to archive.
+    pub frames: Vec<stcam_codec::SegmentFrame>,
+    /// Loose mutable-head rows to ingest.
+    pub head: Vec<Observation>,
+}
+
+impl DistributedOp for InstallSegmentsOp {
+    type Partial = ();
+    type Output = ();
+    fn name(&self) -> &'static str {
+        "install_segments"
+    }
+    fn idempotent(&self) -> bool {
+        true
+    }
+    fn targets(&self, _partition: &PartitionMap, _alive: &HashSet<NodeId>) -> Vec<NodeId> {
+        vec![self.target]
+    }
+    fn request(&self, _to: NodeId) -> Request {
+        Request::InstallSegments {
+            frames: self.frames.clone(),
+            head: self.head.clone(),
         }
     }
     fn decode(&self, response: Response) -> Result<(), StcamError> {

@@ -101,7 +101,8 @@ pub use ingest::Ingestor;
 pub use partition::{PartitionMap, PartitionPolicy};
 pub use plane::{QueryPlan, QueryPlane};
 pub use protocol::{
-    DigestEntry, DigestReport, GridSpecMsg, ReplicaDigestEntry, Request, Response, WorkerStatsMsg,
+    DigestEntry, DigestReport, GridSpecMsg, ReplicaDigestEntry, Request, Response,
+    SegmentDigestEntry, WorkerStatsMsg,
 };
 pub use repair::{RepairBudget, RepairReport};
 pub use worker::{Worker, WorkerConfig, WorkerHandle};

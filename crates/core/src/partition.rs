@@ -258,6 +258,70 @@ impl PartitionMap {
         }
     }
 
+    /// Minimal-churn admission: a map identical to `self` except that
+    /// `joiner` is (re)entered into the ring and granted approximately a
+    /// fair share of the measured `loads` (one entry per cell,
+    /// row-major), carved cell-by-cell from the currently most loaded
+    /// workers. Every other assignment is preserved, so the replica
+    /// re-covering a cutover entails is proportional to the share moved
+    /// — unlike rebuilding the map from scratch, which can reshuffle
+    /// ownership across the whole keyspace. Donor cells are taken from
+    /// the tail of each donor's Z-order run, keeping the donors
+    /// contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loads.len()` does not match the cell count.
+    pub fn admit(&self, joiner: NodeId, loads: &[u64]) -> PartitionMap {
+        assert_eq!(loads.len(), self.assignment.len());
+        let mut map = self.clone();
+        if !map.workers.contains(&joiner) {
+            map.workers.push(joiner);
+        }
+        let jix = map.workers.iter().position(|&w| w == joiner).unwrap() as u32;
+        // All-zero load degenerates to uniform (cell-count) shares.
+        let loads: Vec<u64> = if loads.iter().all(|&l| l == 0) {
+            vec![1; loads.len()]
+        } else {
+            loads.to_vec()
+        };
+        let fair = loads.iter().sum::<u64>() / map.workers.len() as u64;
+        // Per-worker load totals and cell slots, the latter Z-ordered so
+        // donors cede from the tail of their curve run.
+        let mut totals = vec![0u64; map.workers.len()];
+        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); map.workers.len()];
+        let mut slots: Vec<usize> = (0..map.assignment.len()).collect();
+        let cols = map.grid.cols();
+        slots.sort_by_key(|&s| CellId::new(s as u32 % cols, s as u32 / cols).zorder());
+        for &slot in &slots {
+            let w = map.assignment[slot] as usize;
+            totals[w] += loads[slot];
+            owned[w].push(slot);
+        }
+        let mut jload = totals[jix as usize];
+        while jload < fair {
+            // Donor: the most loaded worker that would keep ≥ 1 cell.
+            let Some(donor) = (0..map.workers.len())
+                .filter(|&w| w as u32 != jix && owned[w].len() > 1)
+                .max_by_key(|&w| totals[w])
+            else {
+                break;
+            };
+            let slot = *owned[donor].last().expect("donor has cells");
+            let l = loads[slot];
+            // Stop when overshooting the fair share hurts more than
+            // stopping short does.
+            if jload + l > fair && (jload + l - fair) > (fair - jload) {
+                break;
+            }
+            owned[donor].pop();
+            totals[donor] -= l;
+            map.assignment[slot] = jix;
+            jload += l;
+        }
+        map
+    }
+
     /// The region of positions that *route* to `cell` under
     /// [`owner_of`](Self::owner_of): the cell's half-open box, extended
     /// unboundedly outward on grid-border sides (clamping maps outside
@@ -335,6 +399,40 @@ mod tests {
             assert_eq!(*count, 16, "worker {w} owns {count} cells");
         }
         assert!((m.imbalance(&loads) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admit_moves_only_the_joiners_share() {
+        let m = PartitionMap::uniform(extent(), 200.0, workers(4));
+        let loads = vec![1u64; 64];
+        let joiner = NodeId(9);
+        let grown = m.admit(joiner, &loads);
+        assert!(grown.workers().contains(&joiner));
+        // Every cell either kept its previous owner or moved to the
+        // joiner — veterans never trade cells among themselves.
+        let mut moved = 0usize;
+        for cell in m.grid().all_cells() {
+            let before = m.owner_of_cell(cell);
+            let after = grown.owner_of_cell(cell);
+            if after != before {
+                assert_eq!(after, joiner, "cell {cell:?} moved between veterans");
+                moved += 1;
+            }
+        }
+        // The joiner ends within one cell of its fair share (64 / 5).
+        assert!((11..=13).contains(&moved), "joiner got {moved} cells");
+        assert!((grown.imbalance(&loads) - 65.0 / 64.0).abs() < 0.11);
+    }
+
+    #[test]
+    fn admit_of_satisfied_member_changes_nothing() {
+        let m = PartitionMap::uniform(extent(), 200.0, workers(4));
+        let loads = vec![1u64; 64];
+        let same = m.admit(NodeId(2), &loads);
+        assert_eq!(same.workers(), m.workers());
+        for cell in m.grid().all_cells() {
+            assert_eq!(same.owner_of_cell(cell), m.owner_of_cell(cell));
+        }
     }
 
     #[test]

@@ -281,6 +281,36 @@ pub enum Request {
         /// The cells this worker will own, packed `row * cols + col`.
         cells: Vec<u32>,
     },
+    /// Report the digests of every sealed segment held by the primary
+    /// shard ([`Response::SegmentDigests`]). The rejoin bulk-sync path
+    /// asks both sides for these and ships only the segments the receiver
+    /// lacks.
+    SegmentDigest,
+    /// Export the primary shard's contents overlapping `region` as whole
+    /// sealed segments (split at cell boundaries against the segments'
+    /// own grid) plus the not-yet-sealed head rows, skipping any segment
+    /// whose digest appears in `skip` ([`Response::Segments`]). The
+    /// export is non-destructive and deterministic, so a retried transfer
+    /// produces byte-identical frames and the receiver's dedup holds.
+    ExportSegments {
+        /// The region whose contents to export (routing region of the
+        /// moving cells).
+        region: BBox,
+        /// Digests the requester already holds; matching segments are
+        /// omitted from the reply.
+        skip: Vec<SegmentDigestEntry>,
+    },
+    /// Install exported segments into the primary shard: each frame is
+    /// verified (counts, checksums, window bounds) and archived whole —
+    /// no row-by-row re-indexing — and `head` rows go through normal
+    /// deduplicated ingest. Re-delivery is harmless: frames matching an
+    /// already-held digest and rows already seen are dropped.
+    InstallSegments {
+        /// Verified-on-receipt sealed segment frames.
+        frames: Vec<stcam_codec::SegmentFrame>,
+        /// Rows that were still in the exporter's mutable head.
+        head: Vec<Observation>,
+    },
 }
 
 impl Request {
@@ -312,6 +342,59 @@ impl Request {
             Request::CellDigest { .. } => "cell_digest",
             Request::Repair { .. } => "repair",
             Request::Rejoin { .. } => "rejoin",
+            Request::SegmentDigest => "segment_digest",
+            Request::ExportSegments { .. } => "export_segments",
+            Request::InstallSegments { .. } => "install_segments",
+        }
+    }
+}
+
+/// The identity of one sealed segment: slice number, row count, and the
+/// XOR-folded content checksum. Equal digests certify equal contents (up
+/// to mix collisions), so rejoin and rebalance compare digest lists and
+/// move only missing segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentDigestEntry {
+    /// The time-slice number the segment covers.
+    pub number: u64,
+    /// Rows in the segment.
+    pub count: u64,
+    /// XOR fold of the per-observation mix over all rows.
+    pub checksum: u64,
+}
+
+impl Wire for SegmentDigestEntry {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        self.number.encode(buf);
+        self.count.encode(buf);
+        self.checksum.encode(buf);
+    }
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
+        Ok(SegmentDigestEntry {
+            number: u64::decode(buf)?,
+            count: u64::decode(buf)?,
+            checksum: u64::decode(buf)?,
+        })
+    }
+}
+
+impl From<stcam_index::SegmentDigest> for SegmentDigestEntry {
+    fn from(d: stcam_index::SegmentDigest) -> Self {
+        SegmentDigestEntry {
+            number: d.number,
+            count: d.count,
+            checksum: d.checksum,
+        }
+    }
+}
+
+impl SegmentDigestEntry {
+    /// The index-side digest this entry mirrors.
+    pub fn to_digest(self) -> stcam_index::SegmentDigest {
+        stcam_index::SegmentDigest {
+            number: self.number,
+            count: self.count,
+            checksum: self.checksum,
         }
     }
 }
@@ -421,6 +504,13 @@ pub struct WorkerStatsMsg {
     /// critical path — the busiest shard's busy time — which is what a
     /// multi-machine deployment's latency would track.
     pub busy_micros: u64,
+    /// Approximate bytes the primary shard keeps in memory: mutable-head
+    /// rows plus resident (non-spilled) sealed-segment payloads and
+    /// footers. The archive-scale experiment reads this to show the
+    /// memory ceiling staying flat as the sealed tier grows.
+    pub resident_bytes: u64,
+    /// Sealed immutable segments held by the primary shard.
+    pub sealed_segments: u64,
     /// End of the newest retained index slice, in milliseconds, if any
     /// data is held. Drives cluster-wide retention sweeps.
     pub newest_ms: Option<u64>,
@@ -448,6 +538,8 @@ impl Wire for WorkerStatsMsg {
         self.notifications_sent.encode(buf);
         self.continuous_queries.encode(buf);
         self.busy_micros.encode(buf);
+        self.resident_bytes.encode(buf);
+        self.sealed_segments.encode(buf);
         self.newest_ms.encode(buf);
         self.served.encode(buf);
     }
@@ -459,6 +551,8 @@ impl Wire for WorkerStatsMsg {
             notifications_sent: u64::decode(buf)?,
             continuous_queries: u64::decode(buf)?,
             busy_micros: u64::decode(buf)?,
+            resident_bytes: u64::decode(buf)?,
+            sealed_segments: u64::decode(buf)?,
             newest_ms: Option::decode(buf)?,
             served: Vec::decode(buf)?,
         })
@@ -508,6 +602,17 @@ pub enum Response {
     },
     /// Per-cell anti-entropy digests (answer to [`Request::CellDigest`]).
     Digests(DigestReport),
+    /// Digests of every sealed segment held (answer to
+    /// [`Request::SegmentDigest`]), ascending by `(number, digest)`.
+    SegmentDigests(Vec<SegmentDigestEntry>),
+    /// Sealed segment frames plus loose head rows (answer to
+    /// [`Request::ExportSegments`]).
+    Segments {
+        /// Whole sealed segments overlapping the requested region.
+        frames: Vec<stcam_codec::SegmentFrame>,
+        /// Rows from the exporter's mutable head, sorted by id.
+        head: Vec<Observation>,
+    },
 }
 
 const REQ_PING: u8 = 0;
@@ -533,6 +638,9 @@ const REQ_ROUTE_UPDATE: u8 = 19;
 const REQ_CELL_DIGEST: u8 = 20;
 const REQ_REPAIR: u8 = 21;
 const REQ_REJOIN: u8 = 22;
+const REQ_SEGMENT_DIGEST: u8 = 23;
+const REQ_EXPORT_SEGMENTS: u8 = 24;
+const REQ_INSTALL_SEGMENTS: u8 = 25;
 
 impl Wire for Request {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -678,6 +786,17 @@ impl Wire for Request {
                 grid.encode(buf);
                 cells.encode(buf);
             }
+            Request::SegmentDigest => buf.put_u8(REQ_SEGMENT_DIGEST),
+            Request::ExportSegments { region, skip } => {
+                buf.put_u8(REQ_EXPORT_SEGMENTS);
+                region.encode(buf);
+                skip.encode(buf);
+            }
+            Request::InstallSegments { frames, head } => {
+                buf.put_u8(REQ_INSTALL_SEGMENTS);
+                frames.encode(buf);
+                batch::encode_batch(head, buf);
+            }
         }
     }
 
@@ -696,6 +815,10 @@ impl Wire for Request {
             Request::ReplicaRead { inner, .. } => 5 + inner.size_hint(),
             Request::Repair { batch, .. } => 42 + batch::batch_size_hint(batch),
             Request::Rejoin { cells, .. } => 41 + cells.size_hint(),
+            Request::ExportSegments { skip, .. } => 32 + skip.size_hint(),
+            Request::InstallSegments { frames, head } => {
+                frames.size_hint() + batch::batch_size_hint(head)
+            }
             _ => 48,
         }
     }
@@ -799,6 +922,15 @@ impl Request {
                 grid: GridSpecMsg::decode(buf)?,
                 cells: Vec::decode(buf)?,
             },
+            REQ_SEGMENT_DIGEST => Request::SegmentDigest,
+            REQ_EXPORT_SEGMENTS => Request::ExportSegments {
+                region: BBox::decode(buf)?,
+                skip: Vec::decode(buf)?,
+            },
+            REQ_INSTALL_SEGMENTS => Request::InstallSegments {
+                frames: Vec::decode(buf)?,
+                head: batch::decode_batch(buf)?,
+            },
             other => {
                 return Err(DecodeError::InvalidDiscriminant {
                     type_name: "Request",
@@ -818,6 +950,8 @@ const RESP_CELL_COUNTS: u8 = 5;
 const RESP_INGEST_ACK: u8 = 6;
 const RESP_INGEST_NACK: u8 = 7;
 const RESP_DIGESTS: u8 = 8;
+const RESP_SEGMENT_DIGESTS: u8 = 9;
+const RESP_SEGMENTS: u8 = 10;
 
 impl Wire for Response {
     fn encode<B: BufMut>(&self, buf: &mut B) {
@@ -864,6 +998,15 @@ impl Wire for Response {
                 buf.put_u8(RESP_DIGESTS);
                 report.encode(buf);
             }
+            Response::SegmentDigests(digests) => {
+                buf.put_u8(RESP_SEGMENT_DIGESTS);
+                digests.encode(buf);
+            }
+            Response::Segments { frames, head } => {
+                buf.put_u8(RESP_SEGMENTS);
+                frames.encode(buf);
+                batch::encode_batch(head, buf);
+            }
         }
     }
 
@@ -887,6 +1030,11 @@ impl Wire for Response {
                 misrouted: Vec::decode(buf)?,
             },
             RESP_DIGESTS => Response::Digests(DigestReport::decode(buf)?),
+            RESP_SEGMENT_DIGESTS => Response::SegmentDigests(Vec::decode(buf)?),
+            RESP_SEGMENTS => Response::Segments {
+                frames: Vec::decode(buf)?,
+                head: batch::decode_batch(buf)?,
+            },
             other => {
                 return Err(DecodeError::InvalidDiscriminant {
                     type_name: "Response",
@@ -905,6 +1053,10 @@ impl Wire for Response {
             Response::IngestNack { misrouted, .. } => 21 + misrouted.size_hint(),
             Response::Digests(report) => {
                 16 * report.primary.len() + 20 * report.replicas.len() + 20
+            }
+            Response::SegmentDigests(digests) => digests.size_hint(),
+            Response::Segments { frames, head } => {
+                frames.size_hint() + batch::batch_size_hint(head)
             }
             _ => 64,
         }
@@ -1077,6 +1229,48 @@ mod tests {
             },
             cells: vec![1, 2, 14],
         });
+        round_trip_req(Request::SegmentDigest);
+        round_trip_req(Request::ExportSegments {
+            region: BBox::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0)),
+            skip: vec![
+                SegmentDigestEntry {
+                    number: 3,
+                    count: 12,
+                    checksum: 0xFEED,
+                },
+                SegmentDigestEntry {
+                    number: 4,
+                    count: 1,
+                    checksum: u64::MAX,
+                },
+            ],
+        });
+        round_trip_req(Request::InstallSegments {
+            frames: vec![segment_frame()],
+            head: vec![obs(), obs()],
+        });
+        round_trip_req(Request::InstallSegments {
+            frames: vec![],
+            head: vec![],
+        });
+    }
+
+    /// A real sealed-segment frame: seal one observation, export it.
+    fn segment_frame() -> stcam_codec::SegmentFrame {
+        let mut index = stcam_index::StIndex::new(
+            stcam_index::IndexConfig::new(
+                BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+                50.0,
+                stcam_geo::Duration::from_secs(10),
+            )
+            .with_head_slices(1),
+        );
+        index.insert(obs());
+        index.seal_all();
+        let everything = BBox::new(Point::new(-1e12, -1e12), Point::new(1e12, 1e12));
+        let (frames, _) = index.export_segments(everything, &[]);
+        assert_eq!(frames.len(), 1);
+        frames.into_iter().next().unwrap()
     }
 
     #[test]
@@ -1109,6 +1303,8 @@ mod tests {
             notifications_sent: 4,
             continuous_queries: 1,
             busy_micros: 1234,
+            resident_bytes: 4_096,
+            sealed_segments: 7,
             newest_ms: Some(99_000),
             served: vec![("ping".into(), 3), ("range".into(), 12)],
         }));
@@ -1148,6 +1344,27 @@ mod tests {
                 checksum: u64::MAX,
             }],
         }));
+        round_trip_resp(Response::SegmentDigests(vec![]));
+        round_trip_resp(Response::SegmentDigests(vec![
+            SegmentDigestEntry {
+                number: 0,
+                count: 1000,
+                checksum: 7,
+            },
+            SegmentDigestEntry {
+                number: 5,
+                count: 1,
+                checksum: 0xABCD,
+            },
+        ]));
+        round_trip_resp(Response::Segments {
+            frames: vec![segment_frame()],
+            head: vec![obs()],
+        });
+        round_trip_resp(Response::Segments {
+            frames: vec![],
+            head: vec![],
+        });
     }
 
     #[test]
@@ -1235,6 +1452,15 @@ mod tests {
                 epoch: 1,
                 grid,
                 cells: vec![],
+            },
+            Request::SegmentDigest,
+            Request::ExportSegments {
+                region,
+                skip: vec![],
+            },
+            Request::InstallSegments {
+                frames: vec![],
+                head: vec![],
             },
         ];
         let names: std::collections::HashSet<&str> = all.iter().map(|r| r.op_name()).collect();

@@ -43,7 +43,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use stcam_camnet::Observation;
-use stcam_geo::{BBox, CellId, GridSpec, Point};
+use stcam_geo::{BBox, CellId, GridSpec};
 use stcam_net::NodeId;
 
 use crate::partition::PartitionMap;
@@ -52,67 +52,71 @@ use crate::protocol::DigestReport;
 /// The order-independent per-observation mix folded (by XOR) into a
 /// cell's digest checksum. Covers the identity and the timestamp, so a
 /// replica holding the right ids but corrupted times still diverges.
-pub fn observation_checksum(o: &Observation) -> u64 {
-    splitmix64(o.id.0 ^ splitmix64(o.time.as_millis()))
-}
-
-/// SplitMix64 finalizer: a cheap, well-dispersed 64-bit mix.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+/// Defined in `stcam-index` (sealed-segment checksums fold the same mix,
+/// so a whole-cell segment block and a live cell digest agree) and
+/// re-exported here for the repair plane.
+pub use stcam_index::observation_checksum;
 
 /// The region of positions that bucket into packed cell `cell` under the
 /// clamped assignment of `grid` (outside positions clamp to border
 /// cells). Mirrors `PartitionMap::cell_routing_region`, but standalone so
 /// workers — which hold only the grid, not the partition — can truncate a
-/// cell's exact contents during [`Request::Repair`].
+/// cell's exact contents during [`Request::Repair`]. Delegates to
+/// `stcam-index`'s [`cell_scope`](stcam_index::cell_scope), the same rule
+/// sealed-segment scans use to copy whole blocks without decoding.
 ///
 /// [`Request::Repair`]: crate::Request::Repair
 pub fn cell_region(grid: &GridSpec, cell: u32) -> BBox {
-    const FAR: f64 = 1e12;
-    let cell = CellId::new(cell % grid.cols(), cell / grid.cols());
-    let bb = grid.cell_bbox(cell);
-    let min = Point::new(
-        if cell.col == 0 { -FAR } else { bb.min.x },
-        if cell.row == 0 { -FAR } else { bb.min.y },
-    );
-    let max = Point::new(
-        if cell.col == grid.cols() - 1 {
-            FAR
-        } else {
-            bb.max.x.next_down()
-        },
-        if cell.row == grid.rows() - 1 {
-            FAR
-        } else {
-            bb.max.y.next_down()
-        },
-    );
-    BBox::new(min, max)
+    stcam_index::cell_scope(grid, cell)
+}
+
+/// Streaming builder of sparse per-cell digests: observations are folded
+/// one at a time (bucketed by `grid` with clamping — the same assignment
+/// ingest routing uses), so a digest sweep never materialises the shard.
+#[derive(Debug)]
+pub(crate) struct DigestAccumulator {
+    grid: GridSpec,
+    cells: BTreeMap<u32, (u32, u64)>,
+}
+
+impl DigestAccumulator {
+    pub(crate) fn new(grid: &GridSpec) -> Self {
+        DigestAccumulator {
+            grid: grid.clone(),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one observation into its cell's digest.
+    pub(crate) fn add(&mut self, o: &Observation) {
+        let cell = self.grid.cell_of_clamped(o.position);
+        let packed = cell.row * self.grid.cols() + cell.col;
+        let entry = self.cells.entry(packed).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 ^= observation_checksum(o);
+    }
+
+    /// The accumulated `(packed cell, count, checksum)` triples, sorted
+    /// by cell.
+    pub(crate) fn finish(self) -> Vec<(u32, u32, u64)> {
+        self.cells
+            .into_iter()
+            .map(|(cell, (count, checksum))| (cell, count, checksum))
+            .collect()
+    }
 }
 
 /// Sparse per-cell digests (`(packed cell, count, checksum)`, sorted by
-/// cell) over a set of observations, bucketed by `grid` with clamping —
-/// the same assignment ingest routing uses.
+/// cell) over a set of observations. See [`DigestAccumulator`].
 pub(crate) fn digest_observations<'a, I>(grid: &GridSpec, observations: I) -> Vec<(u32, u32, u64)>
 where
     I: IntoIterator<Item = &'a Observation>,
 {
-    let mut cells: BTreeMap<u32, (u32, u64)> = BTreeMap::new();
+    let mut acc = DigestAccumulator::new(grid);
     for o in observations {
-        let cell = grid.cell_of_clamped(o.position);
-        let packed = cell.row * grid.cols() + cell.col;
-        let entry = cells.entry(packed).or_insert((0, 0));
-        entry.0 += 1;
-        entry.1 ^= observation_checksum(o);
+        acc.add(o);
     }
-    cells
-        .into_iter()
-        .map(|(cell, (count, checksum))| (cell, count, checksum))
-        .collect()
+    acc.finish()
 }
 
 /// Resource bounds for one `Coordinator::repair_with` invocation, so
@@ -137,6 +141,20 @@ impl Default for RepairBudget {
             max_observations_per_round: 8_192,
             max_rounds: 32,
             chunk: 512,
+        }
+    }
+}
+
+impl RepairBudget {
+    /// An effectively unbounded per-round budget for one-shot covering
+    /// passes (rejoin and rebalance re-replicate a whole target map
+    /// before cutover, with no foreground traffic to starve): every
+    /// deficit streams in a single round instead of paying a fresh
+    /// digest sweep and copy fetch per 8 k rows.
+    pub fn bulk() -> Self {
+        RepairBudget {
+            max_observations_per_round: usize::MAX,
+            ..RepairBudget::default()
         }
     }
 }
@@ -323,7 +341,7 @@ mod tests {
     use super::*;
     use crate::protocol::{DigestEntry, ReplicaDigestEntry};
     use stcam_camnet::{CameraId, ObservationId, Signature};
-    use stcam_geo::Timestamp;
+    use stcam_geo::{Point, Timestamp};
     use stcam_world::{EntityClass, EntityId};
 
     fn obs(seq: u64, t_ms: u64, x: f64, y: f64) -> Observation {

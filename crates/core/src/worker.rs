@@ -137,6 +137,9 @@ const DISPATCH: &[(&str, Handler)] = &[
     ("cell_digest", Worker::serve_cell_digest),
     ("repair", Worker::serve_repair),
     ("rejoin", Worker::serve_rejoin),
+    ("segment_digest", Worker::serve_segment_digest),
+    ("export_segments", Worker::serve_export_segments),
+    ("install_segments", Worker::serve_install_segments),
 ];
 
 impl Worker {
@@ -368,21 +371,19 @@ impl Worker {
             return Self::misrouted(&request);
         };
         let grid = grid.to_grid();
-        let everything = stcam_geo::BBox::new(
-            stcam_geo::Point::new(-1e12, -1e12),
-            stcam_geo::Point::new(1e12, 1e12),
-        );
-        let primary = crate::repair::digest_observations(
-            &grid,
-            self.index.range(everything, stcam_geo::TimeInterval::ALL),
-        )
-        .into_iter()
-        .map(|(cell, count, checksum)| crate::protocol::DigestEntry {
-            cell,
-            count,
-            checksum,
-        })
-        .collect();
+        // Stream the shard through the accumulator instead of
+        // materialising it: sealed segments decode block by block.
+        let mut acc = crate::repair::DigestAccumulator::new(&grid);
+        self.index.for_each(|o| acc.add(o));
+        let primary = acc
+            .finish()
+            .into_iter()
+            .map(|(cell, count, checksum)| crate::protocol::DigestEntry {
+                cell,
+                count,
+                checksum,
+            })
+            .collect();
         let mut replicas: Vec<crate::protocol::ReplicaDigestEntry> = Vec::new();
         for (&of, log) in &self.replica_logs {
             replicas.extend(
@@ -485,17 +486,75 @@ impl Worker {
         Response::Ack
     }
 
+    /// Reports the digests of every sealed segment in the primary shard,
+    /// so a bulk-sync peer can ask for only the segments it lacks.
+    fn serve_segment_digest(&mut self, request: Request) -> Response {
+        let Request::SegmentDigest = request else {
+            return Self::misrouted(&request);
+        };
+        Response::SegmentDigests(
+            self.index
+                .segment_digests()
+                .into_iter()
+                .map(Into::into)
+                .collect(),
+        )
+    }
+
+    /// Exports the shard contents overlapping a region as whole sealed
+    /// segment frames (split at cell boundaries, skipping digests the
+    /// requester already holds) plus the loose mutable-head rows. The
+    /// export reads without mutating, so it is safe to retry and the
+    /// deterministic split keeps retried frames digest-identical.
+    fn serve_export_segments(&mut self, request: Request) -> Response {
+        let Request::ExportSegments { region, skip } = request else {
+            return Self::misrouted(&request);
+        };
+        let skip: Vec<stcam_index::SegmentDigest> = skip
+            .into_iter()
+            .map(crate::protocol::SegmentDigestEntry::to_digest)
+            .collect();
+        let (frames, head) = self.index.export_segments(region, &skip);
+        Response::Segments { frames, head }
+    }
+
+    /// Installs exported segments whole into the archive tier — the
+    /// frames were verified during decode-time reconstruction, so no
+    /// row-by-row re-indexing happens — and routes loose head rows
+    /// through the normal deduplicated ingest. Duplicate frames (digest
+    /// already held) and already-seen rows are dropped, making
+    /// retransmission harmless.
+    fn serve_install_segments(&mut self, request: Request) -> Response {
+        let Request::InstallSegments { frames, head } = request else {
+            return Self::misrouted(&request);
+        };
+        for frame in frames {
+            let segment = match stcam_index::SealedSegment::from_frame(frame) {
+                Ok(segment) => segment,
+                Err(e) => return Response::Error(format!("bad segment frame: {e:?}")),
+            };
+            // The dedup filter must know the archived ids even though the
+            // rows never pass through insert; decode once up front.
+            let rows = segment.unseal();
+            if self.index.install_segment(segment) {
+                for o in &rows {
+                    self.seen.insert(o.id);
+                }
+            }
+        }
+        let fresh: Vec<Observation> = head
+            .into_iter()
+            .filter(|o| self.seen.insert(o.id))
+            .collect();
+        self.index.insert_batch(fresh);
+        Response::Ack
+    }
+
     fn serve_range(&mut self, request: Request) -> Response {
         let Request::Range { region, window } = request else {
             return Self::misrouted(&request);
         };
-        let hits = self
-            .index
-            .range(region, window)
-            .into_iter()
-            .cloned()
-            .collect();
-        Response::Observations(hits)
+        Response::Observations(self.index.range(region, window))
     }
 
     fn serve_knn(&mut self, request: Request) -> Response {
@@ -508,12 +567,7 @@ impl Worker {
         else {
             return Self::misrouted(&request);
         };
-        let mut hits: Vec<Observation> = self
-            .index
-            .knn(at, window, k as usize)
-            .into_iter()
-            .cloned()
-            .collect();
+        let mut hits: Vec<Observation> = self.index.knn(at, window, k as usize);
         if let Some(limit) = max_distance {
             hits.retain(|o| at.distance(o.position) <= limit);
         }
@@ -625,7 +679,6 @@ impl Worker {
                     .range(region, window)
                     .into_iter()
                     .filter(|o| o.class == class)
-                    .cloned()
                     .collect(),
             ),
             None => Response::Error(format!("invalid class {class}")),
@@ -792,6 +845,7 @@ impl Worker {
             .map(|(&op, &n)| (op.to_string(), n))
             .collect();
         served.sort();
+        let index_stats = self.index.stats();
         WorkerStatsMsg {
             primary_observations: self.index.len() as u64,
             replica_observations: self.replica_logs.values().map(|v| v.len() as u64).sum(),
@@ -799,7 +853,9 @@ impl Worker {
             notifications_sent: self.notifications_sent,
             continuous_queries: self.continuous.len() as u64,
             busy_micros: self.busy.as_micros() as u64,
-            newest_ms: self.index.stats().newest.map(|t| t.as_millis()),
+            resident_bytes: index_stats.resident_bytes as u64,
+            sealed_segments: index_stats.sealed_segments as u64,
+            newest_ms: index_stats.newest.map(|t| t.as_millis()),
             served,
         }
     }
@@ -1214,6 +1270,15 @@ mod tests {
                 },
                 cells: vec![],
             },
+            Request::SegmentDigest,
+            Request::ExportSegments {
+                region: BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+                skip: vec![],
+            },
+            Request::InstallSegments {
+                frames: vec![],
+                head: vec![],
+            },
         ];
         assert_eq!(
             all.len(),
@@ -1227,6 +1292,89 @@ mod tests {
                 "no dispatch row for {name}"
             );
         }
+    }
+
+    #[test]
+    fn export_install_bulk_syncs_a_fresh_worker() {
+        let (fabric, mut source) = lone_worker();
+        // Spread across enough slices that the head seals some of them.
+        let batch: Vec<Observation> = (0..200)
+            .map(|i| {
+                obs(
+                    i,
+                    (i * 250) % 50_000,
+                    (i * 37 % 1000) as f64,
+                    (i * 61 % 1000) as f64,
+                )
+            })
+            .collect();
+        assert_eq!(
+            source.handle_request(Request::Ingest(batch.clone())),
+            Response::Ack
+        );
+        let Response::SegmentDigests(digests) =
+            source.handle_request(Request::SegmentDigest)
+        else {
+            panic!("expected segment digests");
+        };
+        assert!(!digests.is_empty(), "nothing sealed at the source");
+        let everything = BBox::new(Point::new(-1e12, -1e12), Point::new(1e12, 1e12));
+        let Response::Segments { frames, head } = source.handle_request(
+            Request::ExportSegments {
+                region: everything,
+                skip: vec![],
+            },
+        ) else {
+            panic!("expected segments");
+        };
+        assert_eq!(frames.len(), digests.len());
+        assert_eq!(
+            frames.iter().map(|f| f.count as usize).sum::<usize>() + head.len(),
+            batch.len()
+        );
+        // Install into a fresh worker; answers must match the source's.
+        let endpoint = fabric.register(NodeId(2));
+        let mut target = Worker::new(
+            endpoint,
+            WorkerConfig {
+                index: index_config(),
+                replicas: vec![],
+            },
+        );
+        assert_eq!(
+            target.handle_request(Request::InstallSegments {
+                frames: frames.clone(),
+                head: head.clone(),
+            }),
+            Response::Ack
+        );
+        assert_eq!(target.stats().primary_observations, batch.len() as u64);
+        assert_eq!(target.stats().sealed_segments, digests.len() as u64);
+        let probe = Request::Range {
+            region: BBox::new(Point::new(100.0, 100.0), Point::new(800.0, 800.0)),
+            window: window_all(),
+        };
+        assert_eq!(
+            source.handle_request(probe.clone()),
+            target.handle_request(probe)
+        );
+        // Retransmission: digest dedup and the id filter drop everything.
+        assert_eq!(
+            target.handle_request(Request::InstallSegments { frames, head }),
+            Response::Ack
+        );
+        assert_eq!(target.stats().primary_observations, batch.len() as u64);
+        assert_eq!(target.stats().sealed_segments, digests.len() as u64);
+        // A skip list naming everything held suppresses the re-export.
+        let Response::Segments { frames, .. } = source.handle_request(
+            Request::ExportSegments {
+                region: everything,
+                skip: digests,
+            },
+        ) else {
+            panic!("expected segments");
+        };
+        assert!(frames.is_empty(), "skip list ignored");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use stcam::{
     DigestEntry, DigestReport, GridSpecMsg, PartitionMap, Predicate, ReplicaDigestEntry, Request,
-    Response, WorkerStatsMsg,
+    Response, SegmentDigestEntry, WorkerStatsMsg,
 };
 use stcam_camnet::{CameraId, Observation, ObservationId, Signature};
 use stcam_codec::{decode_from_slice, encode_to_vec};
@@ -140,6 +140,12 @@ proptest! {
                 batch: batch.clone(),
             },
             Request::Rejoin { epoch, grid: buckets, cells },
+            Request::SegmentDigest,
+            Request::ExportSegments {
+                region,
+                skip: vec![SegmentDigestEntry { number: seq, count: k as u64, checksum: epoch }],
+            },
+            Request::InstallSegments { frames: vec![], head: batch.clone() },
         ];
         // Each round-trips exactly, and dispatch names stay unique.
         let mut names = std::collections::HashSet::new();
@@ -148,7 +154,7 @@ proptest! {
             prop_assert!(names.insert(request.op_name()), "duplicate op name {}", request.op_name());
             prop_assert_eq!(decode_from_slice::<Request>(&bytes).unwrap(), request);
         }
-        prop_assert_eq!(names.len(), 23);
+        prop_assert_eq!(names.len(), 26);
     }
 
     #[test]
@@ -157,7 +163,7 @@ proptest! {
         counts in prop::collection::vec(0u64..1_000_000, 0..64),
         cells in prop::collection::vec((0u32..4096, 0u64..1_000_000), 0..32),
         served in prop::collection::vec(("[a-z_]{1,20}", 0u64..1_000), 0..6),
-        scalars in prop::collection::vec(0u64..1_000_000, 6),
+        scalars in prop::collection::vec(0u64..1_000_000, 8),
         newest in proptest::option::of(0u64..1_000_000),
         error in "[ -~]{0,64}",
         seq in any::<u64>(),
@@ -171,6 +177,8 @@ proptest! {
             notifications_sent: scalars[3],
             continuous_queries: scalars[4],
             busy_micros: scalars[5],
+            resident_bytes: scalars[6],
+            sealed_segments: scalars[7],
             newest_ms: newest,
             served,
         };
@@ -201,10 +209,21 @@ proptest! {
             Response::Counts(counts),
             Response::Stats(stats),
             Response::Error(error),
-            Response::CellCounts(cells),
+            Response::CellCounts(cells.clone()),
             Response::IngestAck { seq, accepted },
             Response::IngestNack { seq, accepted, epoch, misrouted },
             Response::Digests(digests),
+            Response::SegmentDigests(
+                cells
+                    .iter()
+                    .map(|&(cell, checksum)| SegmentDigestEntry {
+                        number: cell as u64,
+                        count: cell as u64,
+                        checksum,
+                    })
+                    .collect(),
+            ),
+            Response::Segments { frames: vec![], head: vec![] },
         ];
         for response in responses {
             let bytes = encode_to_vec(&response);

@@ -1,11 +1,15 @@
-//! The time-sliced grid index.
+//! The tiered time-sliced grid index: mutable head + sealed archive.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
+use std::path::PathBuf;
 
 use stcam_camnet::Observation;
-use stcam_geo::{BBox, Duration, GridSpec, Point, TimeInterval, Timestamp};
+use stcam_codec::SegmentFrame;
+use stcam_geo::{BBox, CellId, Duration, GridSpec, Point, TimeInterval, Timestamp};
 
+use crate::segment::{ScanScratch, SealedSegment, SegmentDigest};
 use crate::slice::{slice_number, Slice};
+use crate::store::SegmentStore;
 
 /// Configuration of a [`StIndex`].
 #[derive(Debug, Clone, PartialEq)]
@@ -22,10 +26,22 @@ pub struct IndexConfig {
     /// exceeded, whole oldest slices are evicted (the open slice is never
     /// evicted).
     pub max_observations: usize,
+    /// Number of most-recent slice numbers kept in the mutable head;
+    /// older slices are sealed into immutable columnar segments when the
+    /// maximum slice number advances. `usize::MAX` disables sealing
+    /// entirely (the pre-tiered all-mutable behaviour); values below 1
+    /// behave as 1 — the open slice is always mutable.
+    pub head_slices: usize,
+    /// When set, sealed segment payloads are spilled to one file each
+    /// under this directory, leaving only the footer directory resident.
+    pub spill_dir: Option<PathBuf>,
 }
 
+/// Default number of recent slices kept mutable.
+pub const DEFAULT_HEAD_SLICES: usize = 2;
+
 impl IndexConfig {
-    /// Creates an unbounded config.
+    /// Creates an unbounded config with the default head depth.
     ///
     /// # Panics
     ///
@@ -40,12 +56,33 @@ impl IndexConfig {
             cell_size,
             slice_len,
             max_observations: 0,
+            head_slices: DEFAULT_HEAD_SLICES,
+            spill_dir: None,
         }
     }
 
     /// Replaces the retention budget.
     pub fn with_max_observations(mut self, max: usize) -> Self {
         self.max_observations = max;
+        self
+    }
+
+    /// Replaces the head depth (`usize::MAX` disables sealing).
+    pub fn with_head_slices(mut self, head_slices: usize) -> Self {
+        self.head_slices = head_slices;
+        self
+    }
+
+    /// Disables sealing: every slice stays mutable (the pre-tiered
+    /// behaviour, kept for ablation benchmarks and oracle tests).
+    pub fn without_sealing(mut self) -> Self {
+        self.head_slices = usize::MAX;
+        self
+    }
+
+    /// Spills sealed segment payloads to files under `dir`.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
         self
     }
 }
@@ -55,21 +92,39 @@ impl IndexConfig {
 pub struct IndexStats {
     /// Stored observations.
     pub observations: usize,
-    /// Live time slices.
+    /// Live time slices (distinct slice numbers across both tiers).
     pub slices: usize,
     /// Start of the oldest retained slice, if any.
     pub oldest: Option<Timestamp>,
     /// End of the newest retained slice, if any.
     pub newest: Option<Timestamp>,
+    /// Approximate heap bytes held in RAM: mutable-head rows and bucket
+    /// tables plus resident sealed payloads and footers.
+    pub resident_bytes: usize,
+    /// Sealed immutable segments in the archive tier.
+    pub sealed_segments: usize,
+    /// Sealed payload bytes spilled to disk (excluded from
+    /// `resident_bytes`).
+    pub spilled_bytes: usize,
 }
 
-/// The time-sliced grid index over observations (see the
+/// The tiered time-sliced grid index over observations (see the
 /// [crate docs](crate) for the design rationale).
+///
+/// Two tiers, one facade: recent slices live in the **mutable head**
+/// (dense per-cell buckets, cheap inserts), older slices are **sealed**
+/// into immutable columnar segments (compressed, cell-addressable,
+/// optionally spilled to disk). Every query merges both tiers and
+/// answers exactly as the all-mutable index would — property-tested
+/// against the flat-scan oracle with sealing forced on and off.
 #[derive(Debug)]
 pub struct StIndex {
     config: IndexConfig,
     grid: GridSpec,
-    slices: BTreeMap<u64, Slice>,
+    head: BTreeMap<u64, Slice>,
+    sealed: SegmentStore,
+    /// Largest slice number ever inserted; sealing advances with it.
+    max_number: Option<u64>,
     len: usize,
 }
 
@@ -77,17 +132,20 @@ impl StIndex {
     /// Creates an empty index.
     pub fn new(config: IndexConfig) -> Self {
         let grid = GridSpec::covering(config.extent, config.cell_size);
+        let sealed = SegmentStore::new(config.spill_dir.clone());
         StIndex {
             config,
             grid,
-            slices: BTreeMap::new(),
+            head: BTreeMap::new(),
+            sealed,
+            max_number: None,
             len: 0,
         }
     }
 
     /// Rebuilds an index from a previously exported snapshot (see
-    /// [`iter`](Self::iter)); used when a replica takes over a failed
-    /// worker's shard.
+    /// [`snapshot`](Self::snapshot)); used when a replica takes over a
+    /// failed worker's shard.
     pub fn from_observations<I>(config: IndexConfig, observations: I) -> Self
     where
         I: IntoIterator<Item = Observation>,
@@ -119,28 +177,68 @@ impl StIndex {
         self.len == 0
     }
 
+    /// Distinct slice numbers across both tiers.
+    fn slice_count(&self) -> usize {
+        let mut n = self.head.len();
+        for num in self.sealed.numbers() {
+            if !self.head.contains_key(&num) {
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> IndexStats {
+        let head_rows = self.len - self.sealed.len();
+        let head_bytes = head_rows * std::mem::size_of::<Observation>()
+            + self.head.len()
+                * self.grid.cell_count() as usize
+                * std::mem::size_of::<Vec<Observation>>();
+        let slice_ms = self.config.slice_len.as_millis();
+        let first = [
+            self.head.keys().next().copied(),
+            self.sealed.first_number(),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        let last = [
+            self.head.keys().next_back().copied(),
+            self.sealed.last_number(),
+        ]
+        .into_iter()
+        .flatten()
+        .max();
         IndexStats {
             observations: self.len,
-            slices: self.slices.len(),
-            oldest: self.slices.values().next().map(|s| s.window().start()),
-            newest: self.slices.values().next_back().map(|s| s.window().end()),
+            slices: self.slice_count(),
+            oldest: first.map(|n| Timestamp::from_millis(n * slice_ms)),
+            newest: last.map(|n| Timestamp::from_millis((n + 1) * slice_ms)),
+            resident_bytes: head_bytes + self.sealed.resident_bytes(),
+            sealed_segments: self.sealed.segment_count(),
+            spilled_bytes: self.sealed.spilled_bytes(),
         }
     }
 
     /// Inserts one observation. Out-of-order arrival within the retained
     /// horizon is supported (the slice is located by timestamp, not by
-    /// arrival order).
+    /// arrival order); a late insert into an already-sealed slice number
+    /// lands in a mutable head overlay that is merged back into the
+    /// archive at the next sealing event.
     pub fn insert(&mut self, obs: Observation) {
         let number = slice_number(obs.time, self.config.slice_len);
         let cell = self.grid.cell_of_clamped(obs.position);
         let slice = self
-            .slices
+            .head
             .entry(number)
             .or_insert_with(|| Slice::new(number, self.config.slice_len, &self.grid));
         slice.insert(&self.grid, cell, obs);
         self.len += 1;
+        if self.max_number.is_none_or(|m| number > m) {
+            self.max_number = Some(number);
+            self.seal_closed();
+        }
         self.enforce_budget();
     }
 
@@ -151,22 +249,105 @@ impl StIndex {
         }
     }
 
+    /// Seals every head slice older than the configured head depth.
+    /// Called when the maximum slice number advances (a slice-close
+    /// event), so sealing cost amortises to once per slice.
+    fn seal_closed(&mut self) {
+        let depth = self.config.head_slices;
+        if depth == usize::MAX {
+            return;
+        }
+        let Some(max) = self.max_number else { return };
+        let Some(boundary) = max.checked_sub(depth.max(1) as u64) else {
+            return;
+        };
+        let stale: Vec<u64> = self.head.range(..=boundary).map(|(&n, _)| n).collect();
+        for number in stale {
+            self.seal_number(number);
+        }
+    }
+
+    /// Freezes one head slice into the archive, merging with any
+    /// already-sealed segments of the same number (late-arrival overlays
+    /// re-seal into a single segment).
+    fn seal_number(&mut self, number: u64) {
+        let Some(slice) = self.head.remove(&number) else {
+            return;
+        };
+        let window = slice.window();
+        let mut buckets = slice.into_buckets();
+        let existing = self.sealed.take_number(number);
+        if existing.is_empty() && buckets.iter().all(Vec::is_empty) {
+            return;
+        }
+        for segment in existing {
+            for obs in segment.unseal() {
+                let cell = self.grid.cell_of_clamped(obs.position);
+                buckets[(cell.row * self.grid.cols() + cell.col) as usize].push(obs);
+            }
+        }
+        self.sealed.add(SealedSegment::seal(number, window, &buckets));
+    }
+
+    /// Forces every head slice — the open one included — into the
+    /// archive. Benchmarks and tests use this to pin the index into its
+    /// fully-sealed state; production sealing is driven by
+    /// [`insert`](Self::insert).
+    pub fn seal_all(&mut self) {
+        let numbers: Vec<u64> = self.head.keys().copied().collect();
+        for number in numbers {
+            self.seal_number(number);
+        }
+    }
+
     fn enforce_budget(&mut self) {
         if self.config.max_observations == 0 {
             return;
         }
-        while self.len > self.config.max_observations && self.slices.len() > 1 {
-            let oldest = *self.slices.keys().next().expect("non-empty");
-            let removed = self.slices.remove(&oldest).expect("present");
-            self.len -= removed.len();
+        while self.len > self.config.max_observations && self.slice_count() > 1 {
+            let oldest = [self.head.keys().next().copied(), self.sealed.first_number()]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("non-empty");
+            if let Some(slice) = self.head.remove(&oldest) {
+                self.len -= slice.len();
+            }
+            for segment in self.sealed.take_number(oldest) {
+                self.len -= segment.len();
+            }
         }
+    }
+
+    /// Packed candidate cells for `region`, ascending (row-major).
+    fn packed_cells(&self, region: &BBox) -> Vec<u32> {
+        self.grid
+            .cells_overlapping(*region)
+            .map(|c| c.row * self.grid.cols() + c.col)
+            .collect()
+    }
+
+    /// The inclusive slice-number range `window` can touch, or `None`
+    /// for an empty window.
+    fn number_range(&self, window: TimeInterval) -> Option<(u64, u64)> {
+        if window.is_empty() {
+            return None;
+        }
+        let lo = slice_number(window.start(), self.config.slice_len);
+        // End is exclusive; a window ending exactly on a slice boundary
+        // does not touch that slice.
+        let hi_ts = Timestamp::from_millis(window.end().as_millis().saturating_sub(1));
+        Some((lo, slice_number(hi_ts, self.config.slice_len)))
     }
 
     /// All observations with `region.contains(position)` and
     /// `window.contains(time)`, sorted by id.
-    pub fn range(&self, region: BBox, window: TimeInterval) -> Vec<&Observation> {
+    pub fn range(&self, region: BBox, window: TimeInterval) -> Vec<Observation> {
         let mut out = Vec::new();
-        for slice in self.slices_overlapping(window) {
+        let Some((lo, hi)) = self.number_range(window) else {
+            return out;
+        };
+        for (_, slice) in self.head.range(lo..=hi) {
             slice.scan_cells(
                 &self.grid,
                 self.grid.cells_overlapping(region),
@@ -174,26 +355,38 @@ impl StIndex {
                 &window,
                 &mut out,
             );
+        }
+        let cells = self.packed_cells(&region);
+        let mut scratch = ScanScratch::default();
+        for segment in self.sealed.overlapping(lo, hi) {
+            segment.scan_cells(&self.grid, &cells, Some(&region), &window, &mut out, &mut scratch);
         }
         out.sort_by_key(|o| o.id);
         out
     }
 
-    /// Count of matches without materialising them.
+    /// Count of matches without materialising them: head slices count in
+    /// place, sealed segments answer wholly-covered cells straight from
+    /// their footer directory and decode only partially-covered blocks.
     pub fn range_count(&self, region: BBox, window: TimeInterval) -> usize {
-        // Reuses the scan; the allocation of references is cheap relative
-        // to the scan itself.
-        let mut out = Vec::new();
-        for slice in self.slices_overlapping(window) {
-            slice.scan_cells(
+        let Some((lo, hi)) = self.number_range(window) else {
+            return 0;
+        };
+        let mut total = 0;
+        for (_, slice) in self.head.range(lo..=hi) {
+            total += slice.count_cells(
                 &self.grid,
                 self.grid.cells_overlapping(region),
                 &region,
                 &window,
-                &mut out,
             );
         }
-        out.len()
+        let cells = self.packed_cells(&region);
+        let mut scratch = ScanScratch::default();
+        for segment in self.sealed.overlapping(lo, hi) {
+            total += segment.count_cells(&self.grid, &cells, Some(&region), &window, &mut scratch);
+        }
+        total
     }
 
     /// The `k` observations within `window` nearest to `at`, ordered by
@@ -202,24 +395,39 @@ impl StIndex {
     /// Expands square cell rings outward from the query point; a ring at
     /// Chebyshev cell distance `r` can hold nothing closer than
     /// `(r−1) × cell_size`, so expansion stops as soon as that lower bound
-    /// exceeds the current k-th best distance.
-    pub fn knn(&self, at: Point, window: TimeInterval, k: usize) -> Vec<&Observation> {
+    /// exceeds the current k-th best distance. Both tiers contribute
+    /// candidates per ring cell.
+    pub fn knn(&self, at: Point, window: TimeInterval, k: usize) -> Vec<Observation> {
         if k == 0 {
             return Vec::new();
         }
-        let slices: Vec<&Slice> = self.slices_overlapping(window).collect();
-        if slices.is_empty() {
+        let Some((lo, hi)) = self.number_range(window) else {
+            return Vec::new();
+        };
+        let slices: Vec<&Slice> = self.head.range(lo..=hi).map(|(_, s)| s).collect();
+        let segments: Vec<&SealedSegment> = self.sealed.overlapping(lo, hi).collect();
+        if slices.is_empty() && segments.is_empty() {
             return Vec::new();
         }
         let center = self.grid.cell_of_clamped(at);
         let max_radius = self.grid.cols().max(self.grid.rows());
-        // (distance_sq, id) max-heap of current best k.
-        let mut best: Vec<(f64, &Observation)> = Vec::with_capacity(k + 8);
+        // (distance_sq, observation) current best k, ordered.
+        let mut best: Vec<(f64, Observation)> = Vec::with_capacity(k + 8);
+        let mut scratch = ScanScratch::default();
+        let mut cell_rows: Vec<Observation> = Vec::new();
         for radius in 0..=max_radius {
+            // Distance of the current k-th best, valid for this whole ring
+            // (`best` is sorted and truncated at the end of the previous
+            // one). Sealed rows farther than this can never enter the
+            // answer, so the segment scan drops them before full decode.
+            let kth_sq = if best.len() >= k {
+                best.last().expect("k >= 1").0
+            } else {
+                f64::INFINITY
+            };
             if best.len() >= k {
                 let bound = self.grid.ring_min_distance(radius);
-                let kth = best.last().expect("k >= 1").0.sqrt();
-                if bound > kth {
+                if bound > kth_sq.sqrt() {
                     break;
                 }
             }
@@ -236,8 +444,20 @@ impl StIndex {
                         if !window.contains(obs.time) {
                             continue;
                         }
-                        let d = at.distance_sq(obs.position);
-                        best.push((d, obs));
+                        best.push((at.distance_sq(obs.position), obs.clone()));
+                    }
+                }
+                let packed = cell.row * self.grid.cols() + cell.col;
+                for segment in &segments {
+                    cell_rows.clear();
+                    segment.cell_filtered(
+                        packed,
+                        |t, p| window.contains(t) && at.distance_sq(p) <= kth_sq,
+                        &mut cell_rows,
+                        &mut scratch,
+                    );
+                    for obs in cell_rows.drain(..) {
+                        best.push((at.distance_sq(obs.position), obs));
                     }
                 }
             }
@@ -254,104 +474,167 @@ impl StIndex {
 
     /// Observation counts per cell of `buckets` for matches in `window`,
     /// as a dense row-major vector. `buckets` need not match the index's
-    /// own grid.
+    /// own grid. Slices and segments wholly inside the window skip the
+    /// per-row time check.
     pub fn heatmap(&self, buckets: &GridSpec, window: TimeInterval) -> Vec<u64> {
         let mut counts = vec![0u64; buckets.cell_count() as usize];
-        for slice in self.slices_overlapping(window) {
-            for obs in slice.iter() {
-                if !window.contains(obs.time) {
-                    continue;
-                }
-                if let Some(cell) = buckets.cell_of(obs.position) {
-                    counts[cell.row as usize * buckets.cols() as usize + cell.col as usize] += 1;
-                }
-            }
+        let Some((lo, hi)) = self.number_range(window) else {
+            return counts;
+        };
+        for (_, slice) in self.head.range(lo..=hi) {
+            slice.heatmap_into(buckets, &window, &mut counts);
+        }
+        let mut scratch = ScanScratch::default();
+        for segment in self.sealed.overlapping(lo, hi) {
+            segment.heatmap_into(&self.grid, buckets, &window, &mut counts, &mut scratch);
         }
         counts
     }
 
-    /// Drops every slice that ends at or before `cutoff`. Retention is
-    /// slice-granular: observations newer than `cutoff` in a retained
-    /// slice are kept, and a slice containing both sides of the cutoff is
-    /// kept whole.
+    /// Drops every slice that ends at or before `cutoff`, in both tiers.
+    /// Retention is slice-granular: observations newer than `cutoff` in a
+    /// retained slice are kept, and a slice containing both sides of the
+    /// cutoff is kept whole.
     pub fn evict_before(&mut self, cutoff: Timestamp) {
-        let keep_from = self
-            .slices
+        let stale: Vec<u64> = self
+            .head
             .iter()
-            .find(|(_, s)| s.window().end() > cutoff)
-            .map(|(&n, _)| n);
-        let removed: Vec<u64> = match keep_from {
-            Some(n) => self.slices.range(..n).map(|(&k, _)| k).collect(),
-            None => self.slices.keys().copied().collect(),
-        };
-        for n in removed {
-            let slice = self.slices.remove(&n).expect("present");
+            .filter(|(_, s)| s.window().end() <= cutoff)
+            .map(|(&n, _)| n)
+            .collect();
+        for number in stale {
+            let slice = self.head.remove(&number).expect("present");
             self.len -= slice.len();
         }
+        self.len -= self.sealed.evict_before(cutoff);
+    }
+
+    /// Candidate cells for a removal/extraction region: every cell the
+    /// clipped region overlaps, plus — when the region pokes outside the
+    /// extent — the border cells, which hold clamped observations whose
+    /// true position may lie inside `region`.
+    fn extraction_cells(&self, region: &BBox) -> Vec<CellId> {
+        let mut cells: Vec<CellId> = self.grid.cells_overlapping(*region).collect();
+        if !self.grid.extent().contains_bbox(region) {
+            let have: HashSet<(u32, u32)> = cells.iter().map(|c| (c.col, c.row)).collect();
+            for c in self.grid.all_cells() {
+                let border = c.col == 0
+                    || c.row == 0
+                    || c.col == self.grid.cols() - 1
+                    || c.row == self.grid.rows() - 1;
+                if border && !have.contains(&(c.col, c.row)) {
+                    cells.push(c);
+                }
+            }
+        }
+        cells
     }
 
     /// Removes and returns every observation whose position lies inside
     /// `region` (all retained time). Used for shard migration during
     /// online rebalancing: the old owner extracts the moving cells'
-    /// contents and ships them to the new owner.
+    /// contents and ships them to the new owner. Sealed segments the
+    /// region touches are rewritten at cell granularity — blocks wholly
+    /// inside or outside the region are byte-copied, only straddling
+    /// blocks are re-encoded.
     ///
     /// An observation clamped into a border cell from outside the extent
     /// is extracted when its *true position* is inside `region`, matching
     /// [`range`](Self::range) semantics.
     pub fn extract_range(&mut self, region: BBox) -> Vec<Observation> {
         let mut out = Vec::new();
-        for slice in self.slices.values_mut() {
-            slice.extract_cells(
-                &self.grid,
-                self.grid.cells_overlapping(region),
-                &region,
-                &mut out,
-            );
+        let cells = self.extraction_cells(&region);
+        for slice in self.head.values_mut() {
+            slice.extract_cells(&self.grid, cells.iter().copied(), &region, &mut out);
         }
-        // Border cells may hold clamped observations whose true position
-        // is outside the grid extent yet inside `region`; sweep them when
-        // the region pokes outside the extent.
-        if !self.grid.extent().contains_bbox(&region) {
-            let border: Vec<_> = self
-                .grid
-                .all_cells()
-                .filter(|c| {
-                    c.col == 0
-                        || c.row == 0
-                        || c.col == self.grid.cols() - 1
-                        || c.row == self.grid.rows() - 1
-                })
-                .collect();
-            for slice in self.slices.values_mut() {
-                slice.extract_cells(&self.grid, border.iter().copied(), &region, &mut out);
-            }
-        }
+        self.sealed.extract_region(&self.grid, &region, &mut out);
         self.len -= out.len();
         out.sort_by_key(|o| o.id);
         out
     }
 
-    /// Iterates over all stored observations (slice order, then cell
-    /// order). Used to export a shard snapshot for replication.
-    pub fn iter(&self) -> impl Iterator<Item = &Observation> {
-        self.slices.values().flat_map(Slice::iter)
+    /// Visits every stored observation (head first, then archive;
+    /// unspecified order within). The streaming counterpart of
+    /// [`snapshot`](Self::snapshot) — digest sweeps use this to avoid
+    /// materialising the shard.
+    pub fn for_each(&self, mut f: impl FnMut(&Observation)) {
+        for slice in self.head.values() {
+            for obs in slice.iter() {
+                f(obs);
+            }
+        }
+        let mut scratch = ScanScratch::default();
+        for segment in self.sealed.iter() {
+            segment.for_each_with(&mut scratch, &mut f);
+        }
     }
 
-    fn slices_overlapping(&self, window: TimeInterval) -> impl Iterator<Item = &Slice> {
-        let lo = slice_number(window.start(), self.config.slice_len);
-        // End is exclusive; a window ending exactly on a slice boundary
-        // does not touch that slice.
-        let hi_ts = if window.is_empty() {
-            window.end()
-        } else {
-            Timestamp::from_millis(window.end().as_millis().saturating_sub(1))
-        };
-        let hi = slice_number(hi_ts, self.config.slice_len);
-        let empty = window.is_empty();
-        self.slices
-            .range(lo..=hi)
-            .map(|(_, s)| s)
-            .filter(move |_| !empty)
+    /// Clones out every stored observation. Used to export a shard
+    /// snapshot for replication.
+    pub fn snapshot(&self) -> Vec<Observation> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|o| out.push(o.clone()));
+        out
+    }
+
+    /// Digests of every sealed segment, ascending — the archive half of
+    /// the shard's identity that repair/rejoin compares before shipping
+    /// anything.
+    pub fn segment_digests(&self) -> Vec<SegmentDigest> {
+        self.sealed.digests()
+    }
+
+    /// Exports the shard content inside `region` in segment-granular
+    /// form: one frame per sealed segment intersecting the region
+    /// (byte-copied whole when the region covers it, split at cell
+    /// boundaries otherwise), plus the mutable-head rows as plain
+    /// observations. Segments whose digest appears in `skip` are omitted
+    /// — the receiver already holds them.
+    pub fn export_segments(
+        &self,
+        region: BBox,
+        skip: &[SegmentDigest],
+    ) -> (Vec<SegmentFrame>, Vec<Observation>) {
+        let mut frames = Vec::new();
+        for segment in self.sealed.iter() {
+            let Some(sub) = segment.split_region(&self.grid, &region) else {
+                continue;
+            };
+            if skip.contains(&sub.digest()) {
+                continue;
+            }
+            frames.push(sub.to_frame());
+        }
+        let mut head_rows = Vec::new();
+        let cells = self.extraction_cells(&region);
+        for slice in self.head.values() {
+            slice.scan_cells(
+                &self.grid,
+                cells.iter().copied(),
+                &region,
+                &TimeInterval::ALL,
+                &mut head_rows,
+            );
+        }
+        head_rows.sort_by_key(|o| o.id);
+        (frames, head_rows)
+    }
+
+    /// Installs a sealed segment received from a peer. Returns `false`
+    /// (and stores nothing) when a segment with the same digest is
+    /// already archived, making retried transfers idempotent.
+    ///
+    /// The caller is responsible for row-level dedup against its mutable
+    /// head (the worker's ingest `seen` filter); segment installs are
+    /// only deduplicated against other segments, by digest.
+    pub fn install_segment(&mut self, segment: SealedSegment) -> bool {
+        if segment.is_empty() || self.sealed.contains(segment.digest()) {
+            return false;
+        }
+        self.len += segment.len();
+        self.sealed.add(segment);
+        self.enforce_budget();
+        true
     }
 }
 
@@ -402,7 +685,11 @@ mod tests {
             .collect()
     }
 
-    fn ids(v: &[&Observation]) -> Vec<ObservationId> {
+    fn ids(v: &[Observation]) -> Vec<ObservationId> {
+        v.iter().map(|o| o.id).collect()
+    }
+
+    fn ref_ids(v: &[&Observation]) -> Vec<ObservationId> {
         v.iter().map(|o| o.id).collect()
     }
 
@@ -426,7 +713,7 @@ mod tests {
             let tw = window(t0, t0 + dt);
             assert_eq!(
                 ids(&index.range(region, tw)),
-                ids(&oracle.range(region, tw)),
+                ref_ids(&oracle.range(region, tw)),
                 "range mismatch for {region} {tw}"
             );
         }
@@ -449,7 +736,7 @@ mod tests {
             let tw = window(t0, t0 + rng.gen_range(1_000..60_000u64));
             assert_eq!(
                 ids(&index.knn(at, tw, k)),
-                ids(&oracle.knn(at, tw, k)),
+                ref_ids(&oracle.knn(at, tw, k)),
                 "knn mismatch at {at} k={k} {tw}"
             );
         }
@@ -467,6 +754,175 @@ mod tests {
         let buckets = GridSpec::new(Point::new(0.0, 0.0), 125.0, 8, 8);
         let tw = window(10_000, 70_000);
         assert_eq!(index.heatmap(&buckets, tw), oracle.heatmap(&buckets, tw));
+    }
+
+    #[test]
+    fn sealed_and_unsealed_answers_are_identical() {
+        let workload = random_workload(1500, 7);
+        let mut sealed = StIndex::new(config().with_head_slices(1));
+        let mut unsealed = StIndex::new(config().without_sealing());
+        for o in &workload {
+            sealed.insert(o.clone());
+            unsealed.insert(o.clone());
+        }
+        sealed.seal_all();
+        assert!(sealed.stats().sealed_segments > 0, "sealing must engage");
+        assert_eq!(unsealed.stats().sealed_segments, 0);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..40 {
+            let x = rng.gen_range(-100.0..1100.0);
+            let y = rng.gen_range(-100.0..1100.0);
+            let w = rng.gen_range(0.0..600.0);
+            let t0 = rng.gen_range(0..100_000u64);
+            let tw = window(t0, t0 + rng.gen_range(0..60_000u64));
+            let region = BBox::new(Point::new(x, y), Point::new(x + w, y + w));
+            assert_eq!(
+                sealed.range(region, tw),
+                unsealed.range(region, tw),
+                "range diverged for {region} {tw}"
+            );
+            assert_eq!(
+                sealed.range_count(region, tw),
+                unsealed.range_count(region, tw)
+            );
+            let at = Point::new(x, y);
+            assert_eq!(
+                ids(&sealed.knn(at, tw, 12)),
+                ids(&unsealed.knn(at, tw, 12))
+            );
+        }
+        let buckets = GridSpec::new(Point::new(0.0, 0.0), 125.0, 8, 8);
+        assert_eq!(
+            sealed.heatmap(&buckets, window(5_000, 90_000)),
+            unsealed.heatmap(&buckets, window(5_000, 90_000))
+        );
+    }
+
+    #[test]
+    fn sealing_spills_to_disk_when_configured() {
+        let dir = std::env::temp_dir().join(format!("stseg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let workload = random_workload(800, 11);
+        let mut index = StIndex::new(config().with_head_slices(1).with_spill_dir(&dir));
+        let mut oracle = FlatIndex::new();
+        for o in &workload {
+            index.insert(o.clone());
+            oracle.insert(o.clone());
+        }
+        index.seal_all();
+        let stats = index.stats();
+        assert!(stats.spilled_bytes > 0, "payloads must be on disk");
+        assert!(std::fs::read_dir(&dir).unwrap().count() > 0);
+        // Queries still answer exactly from spilled segments.
+        let region = BBox::new(Point::new(100.0, 100.0), Point::new(700.0, 700.0));
+        let tw = window(5_000, 90_000);
+        assert_eq!(ids(&index.range(region, tw)), ref_ids(&oracle.range(region, tw)));
+        assert_eq!(index.range_count(region, tw), oracle.range(region, tw).len());
+        // Dropping the index removes its spill files.
+        drop(index);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn resident_bytes_flatten_once_sealed() {
+        let workload = random_workload(4000, 13);
+        let mut mutable = StIndex::new(config().without_sealing());
+        let mut tiered = StIndex::new(config().with_head_slices(1));
+        for o in &workload {
+            mutable.insert(o.clone());
+            tiered.insert(o.clone());
+        }
+        tiered.seal_all();
+        let m = mutable.stats();
+        let t = tiered.stats();
+        assert!(t.resident_bytes > 0);
+        assert!(
+            t.resident_bytes < m.resident_bytes,
+            "sealed columnar form must be smaller: sealed {} vs mutable {}",
+            t.resident_bytes,
+            m.resident_bytes
+        );
+    }
+
+    #[test]
+    fn late_insert_into_sealed_number_is_merged_on_next_seal() {
+        let mut index = StIndex::new(config().with_head_slices(1));
+        index.insert(obs(0, 5_000, 100.0, 100.0)); // slice 0
+        index.insert(obs(1, 15_000, 100.0, 100.0)); // slice 1 → seals 0
+        assert!(index.stats().sealed_segments >= 1);
+        // Late arrival for the sealed slice 0 lands in a head overlay.
+        index.insert(obs(2, 6_000, 200.0, 200.0));
+        let region = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        assert_eq!(index.range(region, window(0, 10_000)).len(), 2);
+        // The next slice-close event merges the overlay back.
+        index.insert(obs(3, 25_000, 100.0, 100.0));
+        assert_eq!(index.range(region, window(0, 10_000)).len(), 2);
+        assert_eq!(index.len(), 4);
+        let digests = index.segment_digests();
+        assert_eq!(
+            digests.iter().filter(|d| d.number == 0).count(),
+            1,
+            "overlay must re-seal into a single segment"
+        );
+        assert_eq!(digests.iter().find(|d| d.number == 0).unwrap().count, 2);
+    }
+
+    #[test]
+    fn export_install_round_trips_whole_segments() {
+        let workload = random_workload(600, 17);
+        let mut source = StIndex::new(config().with_head_slices(1));
+        for o in &workload {
+            source.insert(o.clone());
+        }
+        source.seal_all();
+        let everything = BBox::new(Point::new(-1e12, -1e12), Point::new(1e12, 1e12));
+        let (frames, head) = source.export_segments(everything, &[]);
+        assert!(head.is_empty(), "everything is sealed");
+        assert_eq!(frames.len(), source.stats().sealed_segments);
+        // A region covering every cell exports byte-identical segments.
+        let mut digests: Vec<SegmentDigest> = frames
+            .iter()
+            .map(|f| SegmentDigest {
+                number: f.number,
+                count: f.count,
+                checksum: f.checksum,
+            })
+            .collect();
+        digests.sort();
+        assert_eq!(digests, source.segment_digests());
+        // Install into a fresh index and compare answers.
+        let mut target = StIndex::new(config());
+        for frame in frames {
+            let segment = SealedSegment::from_frame(frame).expect("frame verifies");
+            assert!(target.install_segment(segment));
+        }
+        assert_eq!(target.len(), source.len());
+        let region = BBox::new(Point::new(100.0, 0.0), Point::new(900.0, 800.0));
+        let tw = window(3_000, 80_000);
+        assert_eq!(source.range(region, tw), target.range(region, tw));
+        // Re-installing the same digests is a no-op.
+        let (frames, _) = source.export_segments(everything, &target.segment_digests());
+        assert!(frames.is_empty(), "skip list suppresses known segments");
+    }
+
+    #[test]
+    fn export_splits_segments_at_cell_boundaries() {
+        let mut source = StIndex::new(config().with_head_slices(1));
+        for i in 0..200u64 {
+            source.insert(obs(i, 1_000 + i, (i as f64 * 7.3) % 1000.0, 500.0));
+        }
+        source.seal_all();
+        let left = BBox::new(Point::new(-1e12, -1e12), Point::new(500.0, 1e12));
+        let (frames, _) = source.export_segments(left, &[]);
+        let exported: usize = frames.iter().map(|f| f.count as usize).sum();
+        let expected = source.range_count(left, TimeInterval::ALL);
+        assert_eq!(exported, expected);
+        // Deterministic: a second export yields identical digests.
+        let (again, _) = source.export_segments(left, &[]);
+        let d1: Vec<_> = frames.iter().map(|f| f.checksum).collect();
+        let d2: Vec<_> = again.iter().map(|f| f.checksum).collect();
+        assert_eq!(d1, d2);
     }
 
     #[test]
@@ -534,6 +990,20 @@ mod tests {
     }
 
     #[test]
+    fn eviction_crosses_both_tiers() {
+        let mut index = StIndex::new(config().with_head_slices(1));
+        for i in 0..6u64 {
+            index.insert(obs(i, i * 10_000 + 500, 10.0, 10.0));
+        }
+        assert!(index.stats().sealed_segments >= 4);
+        index.evict_before(Timestamp::from_secs(40));
+        assert_eq!(index.len(), 2);
+        index.evict_before(Timestamp::from_secs(1_000));
+        assert!(index.is_empty());
+        assert_eq!(index.stats().sealed_segments, 0);
+    }
+
+    #[test]
     fn memory_budget_evicts_oldest_slices() {
         let cfg = config().with_max_observations(100);
         let mut index = StIndex::new(cfg);
@@ -594,7 +1064,7 @@ mod tests {
         for o in &workload {
             index.insert(o.clone());
         }
-        let snapshot: Vec<Observation> = index.iter().cloned().collect();
+        let snapshot: Vec<Observation> = index.snapshot();
         let rebuilt = StIndex::from_observations(config(), snapshot);
         assert_eq!(rebuilt.len(), index.len());
         let region = BBox::new(Point::new(200.0, 200.0), Point::new(800.0, 800.0));
@@ -704,10 +1174,62 @@ mod extract_tests {
     }
 
     #[test]
+    fn extract_reaches_sealed_segments() {
+        let mut index = StIndex::new(config().with_head_slices(1));
+        let mut oracle = FlatIndex::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..400u64 {
+            let o = obs(
+                i,
+                rng.gen_range(0..60_000),
+                rng.gen_range(0.0..1000.0),
+                rng.gen_range(0.0..1000.0),
+            );
+            index.insert(o.clone());
+            oracle.insert(o);
+        }
+        index.seal_all();
+        assert!(index.stats().sealed_segments > 0);
+        let region = BBox::new(Point::new(130.0, 130.0), Point::new(640.0, 870.0));
+        let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_secs(120));
+        let expected: Vec<_> = oracle
+            .range(region, window)
+            .into_iter()
+            .map(|o| o.id)
+            .collect();
+        let extracted: Vec<_> = index
+            .extract_range(region)
+            .into_iter()
+            .map(|o| o.id)
+            .collect();
+        assert_eq!(extracted, expected);
+        assert!(index.range(region, window).is_empty());
+        assert_eq!(index.len(), 400 - extracted.len());
+        // Remaining content is still fully queryable.
+        assert_eq!(
+            index.range(config().extent, window).len(),
+            400 - extracted.len()
+        );
+    }
+
+    #[test]
     fn extract_reaches_clamped_border_observations() {
         let mut index = StIndex::new(config());
         index.insert(obs(0, 100, -20.0, 500.0)); // clamped into col 0
         index.insert(obs(1, 100, 500.0, 500.0));
+        let region = BBox::new(Point::new(-100.0, 0.0), Point::new(10.0, 1000.0));
+        let extracted = index.extract_range(region);
+        assert_eq!(extracted.len(), 1);
+        assert_eq!(extracted[0].id.seq(), 0);
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn extract_reaches_clamped_border_observations_in_sealed_segments() {
+        let mut index = StIndex::new(config().with_head_slices(1));
+        index.insert(obs(0, 100, -20.0, 500.0)); // clamped into col 0
+        index.insert(obs(1, 100, 500.0, 500.0));
+        index.seal_all();
         let region = BBox::new(Point::new(-100.0, 0.0), Point::new(10.0, 1000.0));
         let extracted = index.extract_range(region);
         assert_eq!(extracted.len(), 1);

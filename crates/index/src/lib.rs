@@ -1,21 +1,40 @@
 //! Single-node spatio-temporal observation index.
 //!
 //! Each `stcam` worker stores its shard of the observation stream in a
-//! [`StIndex`]: a **time-sliced spatial grid**. Time is divided into
-//! fixed-length slices (a ring ordered by slice number); within a slice,
-//! observations are bucketed by grid cell. This layout matches the
-//! workload:
+//! [`StIndex`]: a **tiered time-sliced spatial grid**. Time is divided
+//! into fixed-length slices (a ring ordered by slice number); within a
+//! slice, observations are bucketed by grid cell. The tiers:
 //!
-//! * Inserts are appends into the open slice — O(1), no rebalancing, which
-//!   is what sustains camera-network ingest rates.
-//! * Range queries touch exactly the overlapping slices × overlapping
-//!   cells.
+//! * **Mutable head** — the most recent slices (configurable depth,
+//!   [`IndexConfig::head_slices`]) stay as dense per-cell buckets.
+//!   Inserts are appends into the open slice — O(1), no rebalancing,
+//!   which is what sustains camera-network ingest rates.
+//! * **Sealed archive** — when the open slice advances, closed slices are
+//!   frozen into immutable [`SealedSegment`]s: per-cell columnar blocks
+//!   (the `stcam-camnet` batch encoding) plus a footer directory mapping
+//!   cell → byte range, per-block counts, and order-independent
+//!   checksums. Queries decode only the cells they touch; whole-cell
+//!   counts come straight from the footer; payloads can spill to disk
+//!   ([`IndexConfig::spill_dir`]) so archive size is bounded by storage,
+//!   not RAM.
+//!
+//! Query semantics are tier-transparent:
+//!
+//! * Range queries touch exactly the overlapping slices/segments ×
+//!   overlapping cells, merging both tiers.
 //! * k-nearest-neighbour queries expand cell rings outward from the query
 //!   point until the ring lower bound exceeds the current k-th distance.
 //! * Aggregate (heat-map) queries reduce per cell without materialising
-//!   matches.
-//! * Retention is slice-granular eviction, so memory stays bounded under
-//!   unbounded streams.
+//!   matches, skipping per-row time checks for fully-covered slices.
+//! * Retention is slice-granular eviction across both tiers, so memory
+//!   stays bounded under unbounded streams.
+//!
+//! Segments are also the **repair/rejoin transfer unit**: each carries a
+//! [`SegmentDigest`] (`number`, `count`, XOR-folded checksum), so peers
+//! compare digests and ship whole immutable frames
+//! ([`StIndex::export_segments`] / [`StIndex::install_segment`]) instead
+//! of restreaming per-cell rows. Rebalancing splits segments at cell
+//! boundaries, byte-copying untouched blocks.
 //!
 //! [`FlatIndex`] provides the same query semantics by linear scan. It is
 //! both the correctness oracle for tests and the naive baseline in the
@@ -43,8 +62,11 @@
 
 mod flat;
 mod index;
+mod segment;
 mod slice;
+mod store;
 
 pub use flat::FlatIndex;
-pub use index::{IndexConfig, IndexStats, StIndex};
+pub use index::{IndexConfig, IndexStats, StIndex, DEFAULT_HEAD_SLICES};
+pub use segment::{cell_scope, observation_checksum, SealedSegment, SegmentDigest};
 pub use slice::slice_number;

@@ -55,23 +55,78 @@ impl Slice {
         self.len += 1;
     }
 
-    /// Visits every observation matching `region` and `window` in the
-    /// given cells.
-    pub(crate) fn scan_cells<'a>(
-        &'a self,
+    /// Appends a clone of every observation matching `region` and
+    /// `window` in the given cells. The per-row time check is skipped
+    /// when `window` covers the whole slice.
+    pub(crate) fn scan_cells(
+        &self,
         grid: &GridSpec,
         cells: impl Iterator<Item = CellId>,
         region: &BBox,
         window: &TimeInterval,
-        out: &mut Vec<&'a Observation>,
+        out: &mut Vec<Observation>,
     ) {
+        let check_time = !self.covered_by(window);
         for cell in cells {
             for obs in &self.buckets[Self::slot(grid, cell)] {
-                if window.contains(obs.time) && region.contains(obs.position) {
-                    out.push(obs);
+                if (!check_time || window.contains(obs.time)) && region.contains(obs.position) {
+                    out.push(obs.clone());
                 }
             }
         }
+    }
+
+    /// Counts matches like [`scan_cells`](Self::scan_cells) without
+    /// materialising anything.
+    pub(crate) fn count_cells(
+        &self,
+        grid: &GridSpec,
+        cells: impl Iterator<Item = CellId>,
+        region: &BBox,
+        window: &TimeInterval,
+    ) -> usize {
+        let check_time = !self.covered_by(window);
+        let mut total = 0;
+        for cell in cells {
+            total += self.buckets[Self::slot(grid, cell)]
+                .iter()
+                .filter(|obs| {
+                    (!check_time || window.contains(obs.time)) && region.contains(obs.position)
+                })
+                .count();
+        }
+        total
+    }
+
+    /// Accumulates per-bucket observation counts for `window` into
+    /// `counts` (dense row-major over `buckets`), skipping the per-row
+    /// time check when the window covers the whole slice.
+    pub(crate) fn heatmap_into(
+        &self,
+        buckets: &GridSpec,
+        window: &TimeInterval,
+        counts: &mut [u64],
+    ) {
+        let check_time = !self.covered_by(window);
+        for obs in self.iter() {
+            if check_time && !window.contains(obs.time) {
+                continue;
+            }
+            if let Some(cell) = buckets.cell_of(obs.position) {
+                counts[cell.row as usize * buckets.cols() as usize + cell.col as usize] += 1;
+            }
+        }
+    }
+
+    /// Whether `window` contains the entire slice window, making per-row
+    /// time checks redundant.
+    fn covered_by(&self, window: &TimeInterval) -> bool {
+        window.contains(self.window.start()) && window.end() >= self.window.end()
+    }
+
+    /// Consumes the slice into its dense cell buckets (for sealing).
+    pub(crate) fn into_buckets(self) -> Vec<Vec<Observation>> {
+        self.buckets
     }
 
     /// The observations of a single cell (time-unfiltered).

@@ -1,0 +1,170 @@
+//! The archive tier: sealed segments keyed by slice number.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use stcam_geo::{BBox, GridSpec, Timestamp};
+
+use crate::segment::{SealedSegment, SegmentDigest};
+
+/// Holds every sealed segment of an index, ordered by slice number. A
+/// slice number can map to several segments: an overlay reseal or an
+/// installed remote segment coexists with what is already archived
+/// (their row sets are disjoint by the ingest dedup upstream).
+#[derive(Debug, Default)]
+pub(crate) struct SegmentStore {
+    segments: BTreeMap<u64, Vec<SealedSegment>>,
+    len: usize,
+    /// Spill target; when set, added segments move their payload to disk.
+    spill_dir: Option<PathBuf>,
+    /// Monotonic tag making spill file names unique within this store.
+    next_tag: u64,
+}
+
+impl SegmentStore {
+    pub(crate) fn new(spill_dir: Option<PathBuf>) -> Self {
+        SegmentStore {
+            spill_dir,
+            ..SegmentStore::default()
+        }
+    }
+
+    /// Total observations across all segments.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of sealed segments.
+    pub(crate) fn segment_count(&self) -> usize {
+        self.segments.values().map(Vec::len).sum()
+    }
+
+    /// Approximate heap bytes (resident payloads + footers).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.iter().map(SealedSegment::resident_bytes).sum()
+    }
+
+    /// Payload bytes spilled to disk.
+    pub(crate) fn spilled_bytes(&self) -> usize {
+        self.iter().map(SealedSegment::spilled_bytes).sum()
+    }
+
+    /// Smallest slice number present.
+    pub(crate) fn first_number(&self) -> Option<u64> {
+        self.segments.keys().next().copied()
+    }
+
+    /// Largest slice number present.
+    pub(crate) fn last_number(&self) -> Option<u64> {
+        self.segments.keys().next_back().copied()
+    }
+
+    /// All slice numbers present, ascending.
+    pub(crate) fn numbers(&self) -> impl Iterator<Item = u64> + '_ {
+        self.segments.keys().copied()
+    }
+
+    /// Adds a segment, spilling its payload when a spill dir is set.
+    pub(crate) fn add(&mut self, mut segment: SealedSegment) {
+        if segment.is_empty() {
+            return;
+        }
+        if let Some(dir) = &self.spill_dir {
+            segment.spill(dir, self.next_tag);
+            self.next_tag += 1;
+        }
+        self.len += segment.len();
+        self.segments.entry(segment.number()).or_default().push(segment);
+    }
+
+    /// Whether a segment with exactly this digest is already stored.
+    pub(crate) fn contains(&self, digest: SegmentDigest) -> bool {
+        self.segments
+            .get(&digest.number)
+            .is_some_and(|v| v.iter().any(|s| s.digest() == digest))
+    }
+
+    /// Every stored segment, slice order then install order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &SealedSegment> {
+        self.segments.values().flatten()
+    }
+
+    /// Segments whose slice number lies in `[lo, hi]`.
+    pub(crate) fn overlapping(&self, lo: u64, hi: u64) -> impl Iterator<Item = &SealedSegment> {
+        self.segments.range(lo..=hi).flat_map(|(_, v)| v.iter())
+    }
+
+    /// Digests of every stored segment, ascending by (number, digest).
+    pub(crate) fn digests(&self) -> Vec<SegmentDigest> {
+        let mut out: Vec<SegmentDigest> = self.iter().map(SealedSegment::digest).collect();
+        out.sort();
+        out
+    }
+
+    /// Removes and returns every segment of one slice number (payloads
+    /// loaded back into memory; spill files are deleted on drop when the
+    /// caller discards them, so unsealing must happen via the returned
+    /// values before then).
+    pub(crate) fn take_number(&mut self, number: u64) -> Vec<SealedSegment> {
+        let taken = self.segments.remove(&number).unwrap_or_default();
+        self.len -= taken.iter().map(SealedSegment::len).sum::<usize>();
+        taken
+    }
+
+    /// Drops every segment whose window ends at or before `cutoff`.
+    /// Returns the number of observations removed.
+    pub(crate) fn evict_before(&mut self, cutoff: Timestamp) -> usize {
+        let stale: Vec<u64> = self
+            .segments
+            .iter()
+            .take_while(|(_, v)| v.iter().all(|s| s.window().end() <= cutoff))
+            .map(|(&n, _)| n)
+            .collect();
+        let mut removed = 0;
+        for n in stale {
+            removed += self
+                .segments
+                .remove(&n)
+                .map(|v| v.iter().map(SealedSegment::len).sum::<usize>())
+                .unwrap_or(0);
+        }
+        self.len -= removed;
+        removed
+    }
+
+    /// Extracts every row inside `region` from all segments, rewriting
+    /// touched segments in place. Returns the extracted rows (segment
+    /// order; caller sorts).
+    pub(crate) fn extract_region(
+        &mut self,
+        grid: &GridSpec,
+        region: &BBox,
+        out: &mut Vec<stcam_camnet::Observation>,
+    ) {
+        let numbers: Vec<u64> = self.segments.keys().copied().collect();
+        for number in numbers {
+            let group = self.segments.remove(&number).unwrap_or_default();
+            let mut kept = Vec::with_capacity(group.len());
+            for segment in group {
+                if !segment.touches(grid, region) {
+                    kept.push(segment);
+                    continue;
+                }
+                self.len -= segment.len();
+                let (remainder, extracted) = segment.extract_region(grid, region);
+                out.extend(extracted);
+                if let Some(mut rest) = remainder {
+                    if let Some(dir) = &self.spill_dir {
+                        rest.spill(dir, self.next_tag);
+                        self.next_tag += 1;
+                    }
+                    self.len += rest.len();
+                    kept.push(rest);
+                }
+            }
+            if !kept.is_empty() {
+                self.segments.insert(number, kept);
+            }
+        }
+    }
+}

@@ -56,8 +56,8 @@ fn build_both(raw: &[RawObs]) -> (StIndex, FlatIndex) {
     (index, oracle)
 }
 
-fn ids(v: &[&Observation]) -> Vec<ObservationId> {
-    v.iter().map(|o| o.id).collect()
+fn ids<T: std::borrow::Borrow<Observation>>(v: &[T]) -> Vec<ObservationId> {
+    v.iter().map(|o| o.borrow().id).collect()
 }
 
 proptest! {
@@ -139,6 +139,74 @@ proptest! {
         let region = BBox::around(Point::new(qx, qy), qr);
         let window = TimeInterval::new(Timestamp::ZERO, Timestamp::from_millis(100_000));
         prop_assert_eq!(ids(&forward.range(region, window)), ids(&backward.range(region, window)));
+    }
+
+    #[test]
+    fn sealing_on_or_off_answers_identically(
+        raw in prop::collection::vec(raw_obs(), 0..300),
+        qx in -100.0..600.0f64, qy in -100.0..600.0f64,
+        qw in 0.0..400.0f64, qh in 0.0..400.0f64,
+        t0 in 0u64..70_000, dt in 0u64..40_000,
+        k in 0usize..20,
+        ex in 0.0..EXTENT, ey in 0.0..EXTENT, er in 10.0..300.0f64,
+    ) {
+        let obs = materialize(&raw);
+        let mut sealed = StIndex::new(config().with_head_slices(1));
+        let mut unsealed = StIndex::new(config().without_sealing());
+        for o in &obs {
+            sealed.insert(o.clone());
+            unsealed.insert(o.clone());
+        }
+        sealed.seal_all();
+        prop_assert_eq!(unsealed.stats().sealed_segments, 0);
+        let region = BBox::new(Point::new(qx, qy), Point::new(qx + qw, qy + qh));
+        let window = TimeInterval::new(Timestamp::from_millis(t0), Timestamp::from_millis(t0 + dt));
+        prop_assert_eq!(sealed.range(region, window), unsealed.range(region, window));
+        prop_assert_eq!(sealed.range_count(region, window), unsealed.range_count(region, window));
+        prop_assert_eq!(
+            ids(&sealed.knn(Point::new(qx, qy), window, k)),
+            ids(&unsealed.knn(Point::new(qx, qy), window, k))
+        );
+        let buckets = stcam_geo::GridSpec::covering(
+            BBox::new(Point::new(0.0, 0.0), Point::new(EXTENT, EXTENT)),
+            90.0,
+        );
+        prop_assert_eq!(sealed.heatmap(&buckets, window), unsealed.heatmap(&buckets, window));
+        // extract_range removes identical sets from both.
+        let cut = BBox::around(Point::new(ex, ey), er);
+        let a = sealed.extract_range(cut);
+        let b = unsealed.extract_range(cut);
+        prop_assert_eq!(ids(&a), ids(&b));
+        prop_assert_eq!(sealed.len(), unsealed.len());
+    }
+
+    #[test]
+    fn segment_frame_round_trips_through_the_wire(
+        raw in prop::collection::vec(raw_obs(), 1..200),
+    ) {
+        // seal → encode → decode → unseal equals the input rows.
+        let obs = materialize(&raw);
+        let mut index = StIndex::new(config().with_head_slices(1));
+        for o in &obs {
+            index.insert(o.clone());
+        }
+        index.seal_all();
+        let everything = BBox::new(Point::new(-1e12, -1e12), Point::new(1e12, 1e12));
+        let (frames, head) = index.export_segments(everything, &[]);
+        prop_assert!(head.is_empty());
+        let mut recovered: Vec<Observation> = Vec::new();
+        for frame in frames {
+            let bytes = stcam_codec::encode_to_vec(&frame);
+            let back: stcam_codec::SegmentFrame =
+                stcam_codec::decode_from_slice(&bytes).expect("frame decodes");
+            prop_assert_eq!(&back, &frame);
+            let segment = stcam_index::SealedSegment::from_frame(back).expect("frame verifies");
+            recovered.extend(segment.unseal());
+        }
+        recovered.sort_by_key(|o| o.id);
+        let mut expected = obs;
+        expected.sort_by_key(|o| o.id);
+        prop_assert_eq!(recovered, expected);
     }
 
     #[test]

@@ -8,7 +8,7 @@ for bin in tab1_workload fig4_ingest_scaling fig5_range_latency fig6_knn \
            fig7_aggregate fig8_load_balance fig9_stitching fig10_continuous \
            tab2_comm_cost tab3_recovery fig11_camera_scale fig12_rebalance \
            fig13_index_ablation fig14_concurrent_clients fig15_ingest_loss \
-           tab4_repair; do
+           tab4_repair fig16_archive_scale; do
     echo "=== $bin ==="
     cargo run -p stcam-bench --release --bin "$bin" 2>/dev/null | tee "results/$bin.txt"
     echo
